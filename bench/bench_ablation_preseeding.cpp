@@ -1,0 +1,130 @@
+// Extension ablation: predictive caching / pre-seeding.
+//
+// §5.2 notes "NetSession does not use predictive caching — i.e., a peer only
+// downloads a file when it is requested by the local user", and §5.3
+// speculates that finding copies nearby "could change, e.g., when NetSession
+// is used to distribute large software updates". This bench quantifies that
+// future-work idea: before a release goes live, the provider pushes it to a
+// small fraction of upload-enabled peers; the flash crowd then starts
+// against a pre-warmed swarm.
+#include <algorithm>
+#include <memory>
+
+#include "accounting/accounting.hpp"
+#include "bench/common.hpp"
+#include "common/format.hpp"
+#include "control/control_plane.hpp"
+#include "edge/edge_network.hpp"
+#include "peer/netsession_client.hpp"
+#include "workload/population.hpp"
+
+namespace {
+
+using namespace netsession;
+
+struct Outcome {
+    double mean_efficiency = 0;
+    double median_minutes = 0;
+    Bytes edge_bytes = 0;
+    int completed = 0;
+};
+
+Outcome run(std::uint64_t seed, int n, double preseed_fraction) {
+    sim::Simulator simulator;
+    net::World world(simulator, net::AsGraph::generate(net::AsGraphConfig{}, Rng(seed)));
+    edge::Catalog catalog;
+    const ObjectId update{11, 11};
+    {
+        swarm::ContentObject object(update, CpCode{1000}, 1, 1_GB, 64);
+        edge::ObjectPolicy policy;
+        policy.p2p_enabled = true;
+        catalog.publish(std::move(object), policy);
+    }
+    edge::EdgeNetwork edges(world, catalog, edge::EdgeNetworkConfig{});
+    trace::TraceLog log;
+    accounting::AccountingService accounting(log);
+    control::ControlPlane plane(world, edges.authority(), log, accounting,
+                                control::ControlPlaneConfig{}, Rng(seed).child("cp"));
+    peer::PeerRegistry registry;
+
+    Rng rng(seed);
+    workload::PopulationGenerator population(workload::PopulationConfig{}, world.as_graph(),
+                                             rng.child("pop"));
+    std::vector<std::unique_ptr<peer::NetSessionClient>> clients;
+    std::vector<peer::NetSessionClient*> uploaders;
+    for (int i = 0; i < n; ++i) {
+        const auto spec = population.next();
+        net::HostInfo info;
+        info.attach.location = spec.location;
+        info.attach.asn = spec.asn;
+        info.attach.nat = spec.nat;
+        info.up = spec.up;
+        info.down = spec.down;
+        peer::ClientConfig config;
+        config.uploads_enabled = rng.chance(0.35);
+        clients.push_back(std::make_unique<peer::NetSessionClient>(
+            world, plane, edges, catalog, registry, Guid{rng.next(), rng.next()},
+            world.create_host(info), config, rng.child("c" + std::to_string(i))));
+        clients.back()->start();
+        if (config.uploads_enabled) uploaders.push_back(clients.back().get());
+    }
+    simulator.run_until(sim::SimTime{} + sim::minutes(10.0));
+
+    // The night before the release: push the update to a fraction of the
+    // upload-enabled installed base (background prefetch).
+    const auto preseed_count =
+        static_cast<std::size_t>(preseed_fraction * static_cast<double>(uploaders.size()));
+    for (std::size_t i = 0; i < preseed_count; ++i) uploaders[i]->begin_download(update);
+    simulator.run_until(sim::SimTime{} + sim::hours(8.0));
+
+    // Release morning: everyone (who wasn't pre-seeded) grabs it in an hour.
+    Outcome out;
+    std::vector<double> minutes;
+    double eff_sum = 0;
+    for (auto& client : clients) {
+        peer::NetSessionClient* c = client.get();
+        if (c->has_cached(update)) continue;
+        const double at_min = rng.uniform(0.0, 60.0);
+        simulator.schedule_after(sim::minutes(at_min), [&, c, at_min] {
+            const double started_min = simulator.now().seconds() / 60.0;
+            (void)at_min;
+            c->begin_download(update, [&, started_min](const trace::DownloadRecord& r) {
+                if (r.outcome != trace::DownloadOutcome::completed) return;
+                ++out.completed;
+                eff_sum += r.peer_efficiency();
+                minutes.push_back(r.end.seconds() / 60.0 - started_min);
+            });
+        });
+    }
+    simulator.run_until(sim::SimTime{} + sim::hours(20.0));
+
+    if (out.completed > 0) out.mean_efficiency = eff_sum / out.completed;
+    std::sort(minutes.begin(), minutes.end());
+    if (!minutes.empty()) out.median_minutes = minutes[minutes.size() / 2];
+    out.edge_bytes = edges.total_bytes_served();
+    return out;
+}
+
+}  // namespace
+
+int main() {
+    const auto args = bench::bench_args();
+    bench::print_banner("bench_ablation_preseeding",
+                        "extension: predictive caching (§5.2/§5.3 future-work idea)", args);
+    const int n = std::min(args.peers, 2500);
+    std::printf("%d peers, 1 GB update, flash crowd within one hour\n\n", n);
+    std::printf("%-22s %12s %14s %14s %10s\n", "pre-seeded uploaders", "efficiency",
+                "median time", "edge bytes*", "completed");
+
+    for (const double frac : {0.0, 0.05, 0.15, 0.30}) {
+        const Outcome o = run(args.seed, n, frac);
+        char label[32];
+        std::snprintf(label, sizeof(label), "%.0f%%", frac * 100);
+        std::printf("%-22s %12s %11.1f min %14s %10d\n", label,
+                    format_percent(o.mean_efficiency).c_str(), o.median_minutes,
+                    format_bytes(o.edge_bytes).c_str(), o.completed);
+    }
+    std::printf("\n(*edge bytes include the pre-seeding pushes themselves — predictive\n"
+                "caching trades off-peak edge traffic for flash-crowd offload.)\n");
+    return 0;
+}

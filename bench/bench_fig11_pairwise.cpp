@@ -1,0 +1,38 @@
+// Fig 11: Traffic balance on AS-to-AS links (directly connected heavy
+// uploaders).
+#include <cmath>
+
+#include "analysis/table.hpp"
+#include "bench/common.hpp"
+#include "common/format.hpp"
+
+int main() {
+    using namespace netsession;
+    const auto args = bench::bench_args();
+    bench::print_banner("bench_fig11_pairwise", "Fig 11 (pairwise AS<->AS traffic balance)",
+                        args);
+    const auto dataset = bench::standard_dataset(args);
+    const auto graph = bench::standard_as_graph(args);
+    const auto tb = analysis::traffic_balance(dataset.log, dataset.geodb, &graph);
+
+    std::vector<double> ratios;
+    analysis::TextTable table({"AS A", "AS B", "A->B", "B->A"});
+    int shown = 0;
+    for (const auto& [a, b, fwd, rev] : tb.heavy_pairs) {
+        if (fwd > 0 && rev > 0)
+            ratios.push_back(std::fabs(
+                std::log10(static_cast<double>(fwd) / static_cast<double>(rev))));
+        if (shown++ < 20)
+            table.add_row({format_count(a), format_count(b), format_bytes(fwd),
+                           format_bytes(rev)});
+    }
+    std::printf("\n%zu directly-connected heavy-uploader pairs with traffic\n",
+                tb.heavy_pairs.size());
+    std::printf("%s\n", table.render().c_str());
+    std::printf("|log10(A->B / B->A)|: median %.2f, p80 %.2f over %zu bidirectional pairs\n",
+                analysis::percentile(ratios, 50), analysis::percentile(ratios, 80),
+                ratios.size());
+    std::printf("Reproduction target (paper): pairwise flows between heavy contributors are\n"
+                "roughly even, so the p2p traffic does not tilt settlement-free peering.\n");
+    return 0;
+}

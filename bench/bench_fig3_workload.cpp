@@ -1,0 +1,58 @@
+// Fig 3: Overall workload characteristics — (a) request distribution by
+// object size, (b) content popularity power law, (c) diurnal bytes/hour.
+#include <cmath>
+
+#include "bench/common.hpp"
+#include "common/format.hpp"
+
+int main() {
+    using namespace netsession;
+    const auto args = bench::bench_args();
+    bench::print_banner("bench_fig3_workload", "Fig 3 (workload characteristics)", args);
+    const auto dataset = bench::standard_dataset(args);
+    const analysis::LoginIndex logins(dataset.log);
+    const auto w = analysis::workload_characteristics(dataset.log, logins, dataset.geodb);
+
+    std::printf("\n(a) Request CDF by object size [fraction of requests <= size]\n");
+    std::printf("%12s  %12s  %12s  %12s\n", "size", "infra-only", "all", "peer-assist");
+    for (const double gb : {0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 5.0, 10.0}) {
+        const double bytes = gb * 1e9;
+        std::printf("%9.2f GB  %11.1f%%  %11.1f%%  %11.1f%%\n", gb,
+                    100 * w.size_infra_only.at(bytes), 100 * w.size_all.at(bytes),
+                    100 * w.size_peer_assisted.at(bytes));
+    }
+    const double p2p_over_500mb = 1.0 - w.size_peer_assisted.at(500e6);
+    std::printf("Peer-assisted requests for objects > 500 MB: %s (paper: 82%%)\n",
+                format_percent(p2p_over_500mb).c_str());
+
+    std::printf("\n(b) Content popularity (downloads vs rank)\n");
+    for (const std::size_t rank : {1u, 3u, 10u, 30u, 100u, 300u, 1000u, 3000u}) {
+        if (rank > w.popularity.size()) break;
+        std::printf("  rank %5zu: %8.0f downloads\n", rank, w.popularity[rank - 1].second);
+    }
+    std::printf("  log-log slope: %.2f over %zu files (paper: 'nearly ubiquitous power law')\n",
+                w.popularity_fit.slope, w.popularity_fit.n);
+
+    std::printf("\n(c) Bytes served over time (TB/hour averaged per local hour of day)\n");
+    std::printf("%7s  %14s  %14s\n", "hour", "GMT series", "local series");
+    std::array<double, 24> gmt{}, local{};
+    std::array<int, 24> n{};
+    for (std::size_t h = 0; h < w.bytes_per_hour_gmt.size(); ++h) {
+        gmt[h % 24] += w.bytes_per_hour_gmt[h];
+        local[h % 24] += w.bytes_per_hour_local[h];
+        ++n[h % 24];
+    }
+    double local_peak = 0, local_trough = 1e30;
+    for (int h = 0; h < 24; ++h) {
+        const double g = n[h] ? gmt[h] / n[h] : 0;
+        const double l = n[h] ? local[h] / n[h] : 0;
+        local_peak = std::max(local_peak, l);
+        local_trough = std::min(local_trough, l);
+        std::printf("%5d:00  %11s/h  %11s/h\n", h, format_bytes((Bytes)g).c_str(),
+                    format_bytes((Bytes)l).c_str());
+    }
+    std::printf("Local-time peak/trough ratio: %.1fx — clear diurnal pattern; the GMT series\n"
+                "is flatter because time zones smear it (paper Fig 3c shows the same).\n",
+                local_trough > 0 ? local_peak / local_trough : 0.0);
+    return 0;
+}

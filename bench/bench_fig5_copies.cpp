@@ -1,0 +1,29 @@
+// Fig 5: Number of registered file copies vs peer efficiency.
+#include "analysis/table.hpp"
+#include "bench/common.hpp"
+#include "common/format.hpp"
+
+int main() {
+    using namespace netsession;
+    const auto args = bench::bench_args();
+    bench::print_banner("bench_fig5_copies", "Fig 5 (registered copies vs peer efficiency)",
+                        args);
+    const auto dataset = bench::standard_dataset(args);
+    const auto fig5 = analysis::efficiency_vs_copies(dataset.log);
+
+    analysis::TextTable table({"Copies registered", "Mean eff.", "20th pct", "80th pct",
+                               "Objects"});
+    for (const auto& bin : fig5.bins) {
+        char range[48];
+        std::snprintf(range, sizeof(range), "%.0f - %.0f", bin.copies_lo, bin.copies_hi);
+        table.add_row({range, format_percent(bin.mean), format_percent(bin.p20),
+                       format_percent(bin.p80), format_count(bin.objects)});
+    }
+    std::printf("\n%s\n", table.render().c_str());
+    std::printf(
+        "Paper shape: <50 copies -> <10%% efficiency, rising steeply and reaching ~80%%\n"
+        "at ~10,000 copies. The synthetic deployment is ~10^3 smaller, so the curve's\n"
+        "knee sits at proportionally fewer copies; the monotone rise and the ~80%%\n"
+        "plateau are the reproduction targets.\n");
+    return 0;
+}

@@ -1,0 +1,45 @@
+// Fig 7 + §5.2: download outcomes, and pause/termination rate by file size.
+#include "analysis/table.hpp"
+#include "bench/common.hpp"
+#include "common/format.hpp"
+
+int main() {
+    using namespace netsession;
+    const auto args = bench::bench_args();
+    bench::print_banner("bench_fig7_pause_rate", "Fig 7 + §5.2 (outcomes, pause rates by size)",
+                        args);
+    const auto dataset = bench::standard_dataset(args);
+    const auto stats = analysis::outcome_stats(dataset.log);
+
+    analysis::TextTable outcomes(
+        {"Class", "n", "Completed", "Failed(sys)", "Failed(other)", "Aborted/paused"});
+    const auto add = [&](const char* name, const analysis::OutcomeStats::Class& c) {
+        outcomes.add_row({name, format_count(c.n), format_percent(c.completed),
+                          format_percent(c.failed_system), format_percent(c.failed_other),
+                          format_percent(c.aborted)});
+    };
+    add("Infrastructure-only", stats.infra_only);
+    add("Peer-assisted", stats.peer_assisted);
+    add("All", stats.all);
+    std::printf("\n%s\n", outcomes.render().c_str());
+    std::printf("Paper: 94%% vs 92%% completion; system failures 0.1%% vs 0.2%%; pauses 3%% vs "
+                "8%%.\n\n");
+
+    static const char* kBuckets[4] = {"<10MB", "10-100MB", "100MB-1GB", ">1GB"};
+    static const char* kClasses[3] = {"Infrastructure-only", "Peer-assisted", "All"};
+    analysis::TextTable pause({"File size", kClasses[0], kClasses[1], kClasses[2], "downloads"});
+    for (int b = 0; b < 4; ++b) {
+        std::vector<std::string> row{kBuckets[b]};
+        for (int c = 0; c < 3; ++c)
+            row.push_back(format_percent(
+                stats.pause_rate_by_size[static_cast<std::size_t>(c)][static_cast<std::size_t>(b)]));
+        row.push_back(format_count(
+            stats.downloads_by_size[2][static_cast<std::size_t>(b)]));
+        pause.add_row(std::move(row));
+    }
+    std::printf("Pause/termination rate by size (Fig 7):\n%s\n", pause.render().c_str());
+    std::printf("Reproduction target: the rate rises strongly with file size (the paper\n"
+                "reaches ~25%% for >1GB), which explains the apparent reliability gap of\n"
+                "peer-assisted downloads — they are simply bigger.\n");
+    return 0;
+}

@@ -1,0 +1,40 @@
+// Fig 8: Peer contributions in different regions for one p2p-enabled
+// content provider.
+#include "analysis/table.hpp"
+#include "bench/common.hpp"
+#include "common/format.hpp"
+
+int main() {
+    using namespace netsession;
+    const auto args = bench::bench_args();
+    bench::print_banner("bench_fig8_coverage", "Fig 8 (per-country peer contribution classes)",
+                        args);
+    const auto dataset = bench::standard_dataset(args);
+    const analysis::LoginIndex logins(dataset.log);
+
+    // One typical p2p-enabled provider (the paper shows one exemplary
+    // customer): Customer D ships upload-enabled binaries and is p2p-heavy.
+    const CpCode provider{1003};
+    const auto coverage =
+        analysis::coverage_by_country(dataset.log, logins, dataset.geodb, provider);
+
+    static const char* kClassNames[3] = {"infra > peers (circle)", "infra 50-100% of peers (plus)",
+                                         "infra < 50% of peers (square)"};
+    std::array<int, 3> class_counts{};
+    analysis::TextTable table({"Country", "Infra bytes", "Peer bytes", "Class"});
+    int shown = 0;
+    for (const auto& c : coverage) {
+        ++class_counts[static_cast<std::size_t>(c.cls)];
+        if (shown++ < 25)
+            table.add_row({std::string(net::country(c.country).name),
+                           format_bytes(c.infra_bytes), format_bytes(c.peer_bytes),
+                           kClassNames[static_cast<std::size_t>(c.cls)]});
+    }
+    std::printf("\n%s\n", table.render().c_str());
+    std::printf("Class totals over %zu countries: %d circle / %d plus / %d square\n",
+                coverage.size(), class_counts[0], class_counts[1], class_counts[2]);
+    std::printf("Paper finding: the picture is mixed — peers contribute somewhat more in\n"
+                "under-served regions, but contributions 'do not vary much overall' because\n"
+                "the edge infrastructure already has good global coverage.\n");
+    return 0;
+}

@@ -1,0 +1,30 @@
+// §5.1 headline numbers: how well does peer assist work?
+#include "bench/common.hpp"
+#include "common/format.hpp"
+
+int main() {
+    using namespace netsession;
+    const auto args = bench::bench_args();
+    bench::print_banner("bench_headline", "§5.1 headline offload numbers", args);
+    const auto dataset = bench::standard_dataset(args);
+    const auto h = analysis::headline_offload(dataset.log);
+
+    std::printf("\np2p-enabled files:            %s of files (paper: 1.7%%)\n",
+                format_percent(h.p2p_enabled_file_fraction).c_str());
+    std::printf("bytes in p2p-enabled files:   %s of all bytes (paper: 57.4%%)\n",
+                format_percent(h.p2p_enabled_byte_fraction).c_str());
+    std::printf("mean peer efficiency:         %s (paper: 71.4%%)\n",
+                format_percent(h.mean_peer_efficiency).c_str());
+    std::printf("byte offload to peers:        %s (paper: 70-80%% headline)\n",
+                format_percent(h.overall_offload).c_str());
+
+    Bytes peer_bytes = 0, infra_bytes = 0;
+    for (const auto& d : dataset.log.downloads()) {
+        peer_bytes += d.bytes_from_peers;
+        infra_bytes += d.bytes_from_infrastructure;
+    }
+    std::printf("\nAbsolute volumes this run: %s from peers, %s from the infrastructure\n",
+                format_bytes(peer_bytes).c_str(), format_bytes(infra_bytes).c_str());
+    std::printf("(paper trace: 895 TB of p2p content bytes)\n");
+    return 0;
+}

@@ -1,0 +1,165 @@
+// Hot-path microbenchmarks (google-benchmark): the primitives the simulator
+// leans on at scale.
+#include <benchmark/benchmark.h>
+
+#include "analysis/guid_graph.hpp"
+#include "common/rng.hpp"
+#include "common/sha256.hpp"
+#include "control/directory.hpp"
+#include "net/flow.hpp"
+#include "sim/simulator.hpp"
+#include "swarm/picker.hpp"
+#include "trace/serialize.hpp"
+#include "workload/distributions.hpp"
+
+namespace {
+
+using namespace netsession;
+
+void BM_Sha256_1MiB(benchmark::State& state) {
+    const std::string data(1 << 20, 'x');
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(Sha256::hash(data));
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * (1 << 20));
+}
+BENCHMARK(BM_Sha256_1MiB);
+
+void BM_HmacToken(benchmark::State& state) {
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(hmac_sha256("edge-secret", "guid|object|expiry"));
+    }
+}
+BENCHMARK(BM_HmacToken);
+
+void BM_RngNext(benchmark::State& state) {
+    Rng rng(1);
+    for (auto _ : state) benchmark::DoNotOptimize(rng.next());
+}
+BENCHMARK(BM_RngNext);
+
+void BM_ZipfSample(benchmark::State& state) {
+    workload::ZipfSampler zipf(static_cast<std::size_t>(state.range(0)), 1.1);
+    Rng rng(2);
+    for (auto _ : state) benchmark::DoNotOptimize(zipf.sample(rng));
+}
+BENCHMARK(BM_ZipfSample)->Arg(100)->Arg(10000);
+
+void BM_EventQueue(benchmark::State& state) {
+    for (auto _ : state) {
+        sim::Simulator sim;
+        Rng rng(3);
+        for (int i = 0; i < 1000; ++i)
+            sim.schedule_at(sim::SimTime{static_cast<std::int64_t>(rng.below(1'000'000))}, [] {});
+        sim.run();
+        benchmark::DoNotOptimize(sim.events_dispatched());
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueue);
+
+void BM_DirectorySelect(benchmark::State& state) {
+    control::Directory dir;
+    const ObjectId object{1, 1};
+    Rng rng(4);
+    const auto n = state.range(0);
+    for (std::int64_t i = 1; i <= n; ++i) {
+        control::PeerDescriptor d;
+        d.guid = Guid{static_cast<std::uint64_t>(i), static_cast<std::uint64_t>(i)};
+        d.host = HostId{static_cast<std::uint32_t>(i)};
+        d.asn = Asn{static_cast<std::uint32_t>(10 + i % 50)};
+        d.country = CountryId{static_cast<std::uint16_t>(i % 20)};
+        d.continent = static_cast<net::Continent>(i % 6);
+        d.nat = static_cast<net::NatType>(rng.below(net::kNatTypeCount));
+        dir.add(object, d);
+    }
+    control::PeerDescriptor requester;
+    requester.guid = Guid{999999, 999999};
+    requester.asn = Asn{12};
+    requester.country = CountryId{2};
+    requester.continent = net::Continent::europe;
+    requester.nat = net::NatType::full_cone;
+    const control::SelectionPolicy policy;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(dir.select(object, requester, 40, policy, rng));
+    }
+}
+BENCHMARK(BM_DirectorySelect)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_FlowChurn(benchmark::State& state) {
+    // Start/finish flows against a hub with many spokes — the reallocation
+    // hot path.
+    for (auto _ : state) {
+        sim::Simulator sim;
+        net::FlowNetwork net(sim);
+        const HostId hub = net.add_host(1e6, 1e6);
+        std::vector<HostId> spokes;
+        for (int i = 0; i < 50; ++i) spokes.push_back(net.add_host(1e5, 1e5));
+        int done = 0;
+        for (int i = 0; i < 200; ++i)
+            net.start_flow(hub, spokes[static_cast<std::size_t>(i) % spokes.size()], 50000,
+                           net::kUnlimited, [&](net::FlowId) { ++done; });
+        sim.run();
+        benchmark::DoNotOptimize(done);
+    }
+    state.SetItemsProcessed(state.iterations() * 200);
+}
+BENCHMARK(BM_FlowChurn);
+
+void BM_PiecePick(benchmark::State& state) {
+    swarm::PiecePicker picker(128);
+    swarm::PieceMap local(128);
+    const auto remote = swarm::PieceMap::full(128);
+    Rng rng(5);
+    for (int i = 0; i < 64; ++i) local.set(static_cast<swarm::PieceIndex>(i * 2));
+    for (auto _ : state) benchmark::DoNotOptimize(picker.pick_from_peer(local, remote, rng));
+}
+BENCHMARK(BM_PiecePick);
+
+void BM_GuidGraphClassify(benchmark::State& state) {
+    // 200 installations x 30 login reports each.
+    trace::TraceLog log;
+    Rng rng(7);
+    for (int g = 0; g < 200; ++g) {
+        const Guid guid{static_cast<std::uint64_t>(g + 1), 1};
+        for (int start = 1; start <= 30; ++start) {
+            trace::LoginRecord r;
+            r.guid = guid;
+            for (int i = 0; i < 5 && start - i >= 1; ++i)
+                r.secondary_guids[static_cast<std::size_t>(i)] =
+                    SecondaryGuid{static_cast<std::uint64_t>(g + 1),
+                                  static_cast<std::uint64_t>(start - i)};
+            log.add(r);
+        }
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(analysis::classify_guid_graphs(log));
+    }
+    state.SetItemsProcessed(state.iterations() * 200);
+}
+BENCHMARK(BM_GuidGraphClassify);
+
+void BM_TraceSerializeRoundTrip(benchmark::State& state) {
+    trace::Dataset dataset;
+    Rng rng(9);
+    for (int i = 0; i < 5000; ++i) {
+        trace::DownloadRecord d;
+        d.guid = Guid{rng.next(), rng.next()};
+        d.object = ObjectId{rng.next(), rng.next()};
+        d.object_size = 100_MB;
+        dataset.log.add(d);
+    }
+    const std::string path = "/tmp/bench_roundtrip.nstrace";
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(trace::save_dataset(dataset, path));
+        trace::Dataset loaded;
+        benchmark::DoNotOptimize(trace::load_dataset(loaded, path));
+    }
+    std::remove(path.c_str());
+    state.SetItemsProcessed(state.iterations() * 5000);
+}
+BENCHMARK(BM_TraceSerializeRoundTrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,85 @@
+// §3.8 robustness: rolling CN/DN restarts and full control-plane outage,
+// measured against an undisturbed baseline run.
+#include "analysis/measurement.hpp"
+#include "bench/common.hpp"
+#include "common/format.hpp"
+
+namespace {
+
+using namespace netsession;
+
+struct RunResult {
+    double completion = 0;
+    double offload = 0;
+    std::int64_t downloads = 0;
+};
+
+RunResult run(const bench::BenchArgs& args, int mode) {
+    auto config = bench::standard_config(args);
+    config.peers = std::min(config.peers, 6000);  // robustness runs are separate sims
+    config.behavior.warmup = sim::days(3.0);
+    config.behavior.window = sim::days(6.0);
+    config.behavior.downloads_per_peer_per_month = 10.0;
+    Simulation s(config);
+    auto& plane = s.control_plane();
+    auto& simulator = s.simulator();
+
+    if (mode == 1) {
+        // Rolling restart of every CN and DN halfway through the window.
+        simulator.schedule_at(sim::SimTime{} + sim::days(6.0), [&plane, &simulator] {
+            for (auto& cn : plane.cns()) plane.fail_cn(cn->id());
+            for (auto& dn : plane.dns()) plane.fail_dn(dn->id());
+            simulator.schedule_after(sim::minutes(2.0), [&plane] {
+                for (auto& cn : plane.cns()) plane.restart_cn(cn->id());
+                for (auto& dn : plane.dns()) plane.restart_dn(dn->id());
+            });
+        });
+    } else if (mode == 2) {
+        // Permanent control-plane outage for the last third of the window.
+        simulator.schedule_at(sim::SimTime{} + sim::days(7.0), [&plane] {
+            for (auto& cn : plane.cns()) plane.fail_cn(cn->id());
+            for (auto& dn : plane.dns()) plane.fail_dn(dn->id());
+        });
+    }
+    s.run();
+
+    RunResult r;
+    const auto outcomes = analysis::outcome_stats(s.trace());
+    r.completion = outcomes.all.completed;
+    r.downloads = outcomes.all.n;
+    const auto h = analysis::headline_offload(s.trace());
+    r.offload = h.overall_offload;
+    return r;
+}
+
+}  // namespace
+
+int main() {
+    const auto args = bench::bench_args();
+    bench::print_banner("bench_robustness", "§3.8 (soft state, RE-ADD, edge fallback)", args);
+
+    const RunResult baseline = run(args, 0);
+    const RunResult rolling = run(args, 1);
+    const RunResult outage = run(args, 2);
+
+    std::printf("\n%-34s %12s %12s %10s\n", "scenario", "completion", "p2p offload",
+                "downloads");
+    std::printf("%-34s %12s %12s %10lld\n", "undisturbed",
+                format_percent(baseline.completion).c_str(),
+                format_percent(baseline.offload).c_str(),
+                static_cast<long long>(baseline.downloads));
+    std::printf("%-34s %12s %12s %10lld\n", "rolling CN+DN restart mid-window",
+                format_percent(rolling.completion).c_str(),
+                format_percent(rolling.offload).c_str(),
+                static_cast<long long>(rolling.downloads));
+    std::printf("%-34s %12s %12s %10lld\n", "permanent outage (last 2 days)",
+                format_percent(outage.completion).c_str(),
+                format_percent(outage.offload).c_str(),
+                static_cast<long long>(outage.downloads));
+
+    std::printf("\nReproduction targets (§3.8): restarting all CNs/DNs 'does not negatively\n"
+                "affect the service' (completion unchanged; RE-ADD restores p2p); with the\n"
+                "control plane gone entirely, peers fall back to the edge (completion holds,\n"
+                "offload drops for the outage period).\n");
+    return 0;
+}

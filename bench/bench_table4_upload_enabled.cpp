@@ -1,0 +1,31 @@
+// Table 4: Fraction of peers that have content uploads enabled, per customer.
+#include "analysis/table.hpp"
+#include "bench/common.hpp"
+#include "common/format.hpp"
+
+int main() {
+    using namespace netsession;
+    const auto args = bench::bench_args();
+    bench::print_banner("bench_table4_upload_enabled", "Table 4 (uploads enabled per customer)",
+                        args);
+    const auto dataset = bench::standard_dataset(args);
+    const analysis::LoginIndex logins(dataset.log);
+    const auto t4 = analysis::upload_enabled_by_provider(dataset.log, logins);
+
+    static constexpr double kPaper[10] = {0.005, 0.20, 0.02, 0.94, 0.02,
+                                          0.45,  0.47, 0.005, 0.91, 0.005};
+    analysis::TextTable table({"Customer", "p2p enabled (measured)", "Paper"});
+    for (int i = 0; i < 10; ++i) {
+        const std::uint32_t cp = 1000 + static_cast<std::uint32_t>(i);
+        char name[16];
+        std::snprintf(name, sizeof(name), "%c", 'A' + i);
+        const double v = t4.contains(cp) ? t4.at(cp) : 0.0;
+        table.add_row({name, format_percent(v),
+                       kPaper[i] < 0.01 ? "<1%" : format_percent(kPaper[i])});
+    }
+    std::printf("\n%s\n", table.render().c_str());
+    std::printf("Shape check: D and I near the top, A/H/J near zero, B/F/G in between.\n"
+                "(Our attribution assigns each peer to the provider of its first download,\n"
+                "as the paper does; cross-provider downloads blur the extremes slightly.)\n");
+    return 0;
+}

@@ -1,0 +1,85 @@
+#include "bench/common.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+namespace netsession::bench {
+
+namespace {
+double env_double(const char* name, double fallback) {
+    const char* v = std::getenv(name);
+    return v == nullptr ? fallback : std::atof(v);
+}
+}  // namespace
+
+BenchArgs bench_args() {
+    BenchArgs args;
+    args.peers = static_cast<int>(env_double("NS_BENCH_PEERS", args.peers));
+    args.days = env_double("NS_BENCH_DAYS", args.days);
+    args.warmup = env_double("NS_BENCH_WARMUP", args.warmup);
+    args.seed = static_cast<std::uint64_t>(env_double("NS_BENCH_SEED",
+                                                      static_cast<double>(args.seed)));
+    if (const char* dir = std::getenv("NS_BENCH_CACHE")) args.cache_dir = dir;
+    return args;
+}
+
+SimulationConfig standard_config(const BenchArgs& args) {
+    SimulationConfig config;
+    config.seed = args.seed;
+    config.peers = args.peers;
+    config.behavior.window = sim::days(args.days);
+    config.behavior.warmup = sim::days(args.warmup);
+    config.behavior.downloads_per_peer_per_month = 6.0;
+    return config;
+}
+
+net::AsGraph standard_as_graph(const BenchArgs& args) {
+    // Mirrors Simulation's construction: the graph depends only on
+    // (seed, as_graph config), so it can be rebuilt without re-running.
+    const auto config = standard_config(args);
+    Rng root(config.seed);
+    return net::AsGraph::generate(config.as_graph, root.child("as-graph"));
+}
+
+trace::Dataset standard_dataset(const BenchArgs& args) {
+    std::filesystem::create_directories(args.cache_dir);
+    char name[256];
+    std::snprintf(name, sizeof(name), "%s/standard_p%d_d%.0f_w%.0f_s%llu.nstrace",
+                  args.cache_dir.c_str(), args.peers, args.days, args.warmup,
+                  static_cast<unsigned long long>(args.seed));
+
+    trace::Dataset dataset;
+    if (trace::load_dataset(dataset, name)) {
+        std::printf("[scenario] loaded cached data set %s (%zu log entries)\n", name,
+                    dataset.log.total_entries());
+        return dataset;
+    }
+
+    std::printf("[scenario] running standard scenario: %d peers, %.0f+%.0f days, seed %llu...\n",
+                args.peers, args.warmup, args.days,
+                static_cast<unsigned long long>(args.seed));
+    std::fflush(stdout);
+    Simulation sim(standard_config(args));
+    sim.run();
+    dataset.log = sim.trace();
+    sim.geodb().for_each([&](net::IpAddr ip, const net::GeoRecord& rec) {
+        dataset.geodb.register_ip(ip, rec);
+    });
+    if (trace::save_dataset(dataset, name))
+        std::printf("[scenario] cached to %s\n", name);
+    std::printf("[scenario] %zu downloads, %zu logins, %zu transfers, %zu registrations\n",
+                dataset.log.downloads().size(), dataset.log.logins().size(),
+                dataset.log.transfers().size(), dataset.log.registrations().size());
+    return dataset;
+}
+
+void print_banner(const std::string& name, const std::string& paper_ref, const BenchArgs& args) {
+    std::printf("==============================================================\n");
+    std::printf("%s — reproduces %s\n", name.c_str(), paper_ref.c_str());
+    std::printf("(Zhao et al., \"Peer-Assisted Content Distribution in Akamai\n");
+    std::printf(" NetSession\", IMC 2013; synthetic deployment, %d peers)\n", args.peers);
+    std::printf("==============================================================\n");
+}
+
+}  // namespace netsession::bench

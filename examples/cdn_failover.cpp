@@ -1,0 +1,98 @@
+// Example: control-plane failure drill (§3.8).
+//
+// Runs a live deployment, then kills connection nodes and database nodes in
+// waves while downloads are in flight, narrating what the system does:
+// peers reconnect with backoff, DNs are repopulated via RE-ADD, and when
+// everything is down, downloads silently continue from the edge servers.
+//
+//   ./cdn_failover [peers] [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "analysis/measurement.hpp"
+#include "common/format.hpp"
+#include "core/simulation.hpp"
+
+using namespace netsession;
+
+namespace {
+void status(Simulation& s, const char* label) {
+    int connected = 0, running = 0;
+    for (const auto& c : s.driver().clients()) {
+        if (c->running()) ++running;
+        if (c->connected()) ++connected;
+    }
+    std::size_t directory = 0;
+    int live_dns = 0, live_cns = 0;
+    for (const auto& dn : s.control_plane().dns()) {
+        directory += dn->registration_count();
+        live_dns += dn->up() ? 1 : 0;
+    }
+    for (const auto& cn : s.control_plane().cns()) live_cns += cn->up() ? 1 : 0;
+    std::printf("[day %4.1f] %-28s cns=%2d dns=%2d online=%4d connected=%4d dir=%5zu "
+                "edge=%s finished=%lld\n",
+                s.simulator().now().days(), label, live_cns, live_dns, running, connected,
+                directory, format_bytes(s.edges().total_bytes_served()).c_str(),
+                static_cast<long long>(s.driver().downloads_finished()));
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+    SimulationConfig config;
+    config.peers = argc > 1 ? std::atoi(argv[1]) : 3000;
+    config.seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 13;
+    config.behavior.warmup = sim::days(2.0);
+    config.behavior.window = sim::days(6.0);
+    config.behavior.downloads_per_peer_per_month = 15.0;
+
+    std::printf("cdn_failover: %d peers, failure drill over %0.f days\n\n", config.peers, 8.0);
+    Simulation s(config);
+    auto& plane = s.control_plane();
+    auto& simulator = s.simulator();
+
+    const auto at_day = [&](double day, const char* label, auto&& fn) {
+        simulator.schedule_at(sim::SimTime{} + sim::days(day), [&s, label, fn] {
+            status(s, label);
+            fn();
+        });
+    };
+
+    at_day(3.0, "baseline", [] {});
+    at_day(4.0, ">> kill half the CNs", [&plane] {
+        for (std::size_t i = 0; i < plane.cns().size(); i += 2)
+            plane.fail_cn(plane.cns()[i]->id());
+    });
+    at_day(4.2, "   (peers re-homed)", [] {});
+    at_day(4.5, ">> kill every DN", [&plane] {
+        for (auto& dn : plane.dns()) plane.fail_dn(dn->id());
+    });
+    at_day(4.7, ">> restart everything", [&plane] {
+        for (auto& cn : plane.cns()) plane.restart_cn(cn->id());
+        for (auto& dn : plane.dns()) plane.restart_dn(dn->id());  // triggers RE-ADD
+    });
+    at_day(5.2, "   (RE-ADD repopulated)", [] {});
+    at_day(6.0, ">> total control-plane outage", [&plane] {
+        for (auto& cn : plane.cns()) plane.fail_cn(cn->id());
+        for (auto& dn : plane.dns()) plane.fail_dn(dn->id());
+    });
+    at_day(7.0, "   (edge-only world)", [] {});
+    at_day(7.5, ">> recovery", [&plane] {
+        for (auto& cn : plane.cns()) plane.restart_cn(cn->id());
+        for (auto& dn : plane.dns()) plane.restart_dn(dn->id());
+    });
+    at_day(7.9, "   (back to normal)", [] {});
+
+    s.run();
+    status(s, "end of window");
+
+    const auto outcomes = analysis::outcome_stats(s.trace());
+    std::printf("\ncompletion through the whole drill: %s of %s downloads"
+                " (system failures: %s)\n",
+                format_percent(outcomes.all.completed).c_str(),
+                format_count(outcomes.all.n).c_str(),
+                format_percent(outcomes.all.failed_system).c_str());
+    std::printf("The §3.8 claims to observe: connected count dips and recovers after CN\n"
+                "kills; the directory empties and refills via RE-ADD; downloads keep\n"
+                "finishing (edge bytes keep growing) even with zero live CNs/DNs.\n");
+    return 0;
+}

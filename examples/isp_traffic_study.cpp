@@ -1,0 +1,152 @@
+// Example: the §6.1 question from an ISP's chair — "is this hybrid CDN
+// going to wreck my traffic balance?"
+//
+// A popular release is distributed to a population with a warm swarm (the
+// regime where peer selection decides who talks to whom). For the AS with
+// the most subscribers we report: how much p2p traffic stayed inside the AS,
+// the inter-AS upload/download balance, and the same numbers under the
+// random-selection counterfactual.
+//
+//   ./isp_traffic_study [peers] [seed]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "accounting/accounting.hpp"
+#include "common/format.hpp"
+#include "control/control_plane.hpp"
+#include "edge/edge_network.hpp"
+#include "peer/netsession_client.hpp"
+#include "workload/population.hpp"
+
+using namespace netsession;
+
+namespace {
+
+struct IspView {
+    std::uint32_t asn = 0;
+    std::int64_t subscribers = 0;
+    Bytes intra = 0;        // p2p bytes that never left the AS
+    Bytes sent = 0;         // inter-AS p2p bytes uploaded by the AS
+    Bytes received = 0;     // inter-AS p2p bytes downloaded into the AS
+    double system_intra_share = 0;
+};
+
+IspView study(std::uint64_t seed, int n, control::SelectionPolicy::Strategy strategy) {
+    sim::Simulator simulator;
+    net::World world(simulator, net::AsGraph::generate(net::AsGraphConfig{}, Rng(seed)));
+    edge::Catalog catalog;
+    const ObjectId release{5, 5};
+    {
+        swarm::ContentObject object(release, CpCode{1000}, 1, 800_MB, 64);
+        edge::ObjectPolicy policy;
+        policy.p2p_enabled = true;
+        catalog.publish(std::move(object), policy);
+    }
+    edge::EdgeNetwork edges(world, catalog, edge::EdgeNetworkConfig{});
+    trace::TraceLog log;
+    accounting::AccountingService accounting(log);
+    control::ControlPlaneConfig cp_config;
+    cp_config.selection.strategy = strategy;
+    control::ControlPlane plane(world, edges.authority(), log, accounting, cp_config,
+                                Rng(seed).child("cp"));
+    peer::PeerRegistry registry;
+
+    Rng rng(seed);
+    workload::PopulationGenerator population(workload::PopulationConfig{}, world.as_graph(),
+                                             rng.child("pop"));
+    std::vector<std::unique_ptr<peer::NetSessionClient>> clients;
+    for (int i = 0; i < n; ++i) {
+        const auto spec = population.next();
+        net::HostInfo info;
+        info.attach.location = spec.location;
+        info.attach.asn = spec.asn;
+        info.attach.nat = spec.nat;
+        info.up = spec.up;
+        info.down = spec.down;
+        peer::ClientConfig config;
+        config.uploads_enabled = true;
+        clients.push_back(std::make_unique<peer::NetSessionClient>(
+            world, plane, edges, catalog, registry, Guid{rng.next(), rng.next()},
+            world.create_host(info), config, rng.child("c" + std::to_string(i))));
+        clients.back()->start();
+    }
+    simulator.run_until(sim::SimTime{} + sim::minutes(5.0));
+
+    // A third of the installed base already has the release (steady state);
+    // everyone else fetches it over two hours.
+    for (int i = 0; i < n / 3; ++i) clients[static_cast<std::size_t>(i)]->begin_download(release);
+    simulator.run_until(sim::SimTime{} + sim::hours(8.0));
+    for (int i = n / 3; i < n; ++i) {
+        peer::NetSessionClient* c = clients[static_cast<std::size_t>(i)].get();
+        simulator.schedule_after(sim::minutes(rng.uniform(0.0, 120.0)),
+                                 [c, release] { c->begin_download(release); });
+    }
+    simulator.run_until(sim::SimTime{} + sim::hours(24.0));
+
+    // The "ISP" = the AS with the most subscribers in this population.
+    std::unordered_map<std::uint32_t, std::int64_t> subs;
+    for (const auto& c : clients) ++subs[world.host(c->host()).attach.asn.value];
+    IspView v;
+    for (const auto& [asn, count] : subs)
+        if (count > v.subscribers) {
+            v.asn = asn;
+            v.subscribers = count;
+        }
+
+    Bytes total = 0, intra_total = 0;
+    for (const auto& t : log.transfers()) {
+        const auto from = world.geodb().lookup(t.from_ip);
+        const auto to = world.geodb().lookup(t.to_ip);
+        if (!from || !to) continue;
+        total += t.bytes;
+        if (from->asn == to->asn) intra_total += t.bytes;
+        const bool from_isp = from->asn.value == v.asn;
+        const bool to_isp = to->asn.value == v.asn;
+        if (from_isp && to_isp)
+            v.intra += t.bytes;
+        else if (from_isp)
+            v.sent += t.bytes;
+        else if (to_isp)
+            v.received += t.bytes;
+    }
+    v.system_intra_share =
+        total == 0 ? 0.0 : static_cast<double>(intra_total) / static_cast<double>(total);
+    return v;
+}
+
+void report(const char* label, const IspView& v) {
+    std::printf("%s (asn %u, %lld subscribers):\n", label, v.asn,
+                static_cast<long long>(v.subscribers));
+    std::printf("  p2p bytes kept inside the AS:  %s\n", format_bytes(v.intra).c_str());
+    std::printf("  uploaded to other ASes:        %s\n", format_bytes(v.sent).c_str());
+    std::printf("  downloaded from other ASes:    %s\n", format_bytes(v.received).c_str());
+    const double ratio = v.received == 0 ? 0.0
+                                         : static_cast<double>(v.sent) /
+                                               static_cast<double>(v.received);
+    std::printf("  inter-AS up/down balance:      %.2f (1.0 = settlement-friendly)\n", ratio);
+    std::printf("  system-wide intra-AS share:    %s\n\n",
+                format_percent(v.system_intra_share).c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const int peers = argc > 1 ? std::atoi(argv[1]) : 3000;
+    const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 23;
+    std::printf("isp_traffic_study: %d peers, one hot 800 MB release, seed %llu\n\n", peers,
+                static_cast<unsigned long long>(seed));
+
+    const IspView locality =
+        study(seed, peers, control::SelectionPolicy::Strategy::locality_aware);
+    report("Locality-aware selection (production §3.7)", locality);
+
+    const IspView random = study(seed, peers, control::SelectionPolicy::Strategy::random);
+    report("Random selection (tracker-style counterfactual)", random);
+
+    std::printf("The §6.1/§7 takeaway: locality-aware peer selection keeps traffic inside\n"
+                "the ISP and the residual inter-AS flows balanced — without it, the same\n"
+                "downloads become long-haul inter-AS traffic.\n");
+    return 0;
+}

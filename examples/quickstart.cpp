@@ -1,0 +1,64 @@
+// Quickstart: run a small NetSession deployment for a simulated week and
+// print the headline hybrid-CDN numbers (peer offload, efficiency, outcome
+// rates).
+//
+//   ./quickstart [peers] [days] [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "analysis/measurement.hpp"
+#include "common/format.hpp"
+#include "core/simulation.hpp"
+
+int main(int argc, char** argv) {
+    using namespace netsession;
+
+    SimulationConfig config;
+    config.peers = argc > 1 ? std::atoi(argv[1]) : 3000;
+    const double days = argc > 2 ? std::atof(argv[2]) : 7.0;
+    config.seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 42;
+    config.behavior.window = sim::days(days);
+    // A small run needs a denser request stream to form swarms.
+    config.behavior.downloads_per_peer_per_month = 6.0;
+
+    std::printf("NetSession quickstart: %d peers, %.1f days, seed %llu\n", config.peers, days,
+                static_cast<unsigned long long>(config.seed));
+
+    Simulation sim(config);
+    sim.run();
+
+    const auto& log = sim.trace();
+    std::printf("\nTrace: %zu log entries, %zu downloads, %zu logins, %zu transfers\n",
+                log.total_entries(), log.downloads().size(), log.logins().size(),
+                log.transfers().size());
+
+    const auto headline = analysis::headline_offload(log);
+    std::printf("\n--- Headline (paper §5.1) ---\n");
+    std::printf("p2p-enabled files:        %s of files, %s of bytes (paper: 1.7%% / 57.4%%)\n",
+                format_percent(headline.p2p_enabled_file_fraction).c_str(),
+                format_percent(headline.p2p_enabled_byte_fraction).c_str());
+    std::printf("mean peer efficiency:     %s (paper: 71.4%%)\n",
+                format_percent(headline.mean_peer_efficiency).c_str());
+    std::printf("byte offload to peers:    %s (paper: 70-80%%)\n",
+                format_percent(headline.overall_offload).c_str());
+
+    const auto outcomes = analysis::outcome_stats(log);
+    std::printf("\n--- Outcomes (paper §5.2) ---\n");
+    std::printf("infra-only:    %s completed, %s system-failed, %s aborted (n=%lld)\n",
+                format_percent(outcomes.infra_only.completed).c_str(),
+                format_percent(outcomes.infra_only.failed_system).c_str(),
+                format_percent(outcomes.infra_only.aborted).c_str(),
+                static_cast<long long>(outcomes.infra_only.n));
+    std::printf("peer-assisted: %s completed, %s system-failed, %s aborted (n=%lld)\n",
+                format_percent(outcomes.peer_assisted.completed).c_str(),
+                format_percent(outcomes.peer_assisted.failed_system).c_str(),
+                format_percent(outcomes.peer_assisted.aborted).c_str(),
+                static_cast<long long>(outcomes.peer_assisted.n));
+
+    std::printf("\nBytes served by edge servers: %s\n",
+                format_bytes(sim.edges().total_bytes_served()).c_str());
+    std::printf("Accounting: %lld reports accepted, %lld rejected\n",
+                static_cast<long long>(sim.accounting().accepted()),
+                static_cast<long long>(sim.accounting().rejected()));
+    return 0;
+}

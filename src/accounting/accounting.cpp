@@ -1,0 +1,42 @@
+#include "accounting/accounting.hpp"
+
+namespace netsession::accounting {
+
+RejectReason AccountingService::submit(const trace::DownloadRecord& reported) {
+    RejectReason reason = RejectReason::none;
+
+    if (reported.bytes_from_infrastructure < 0 || reported.bytes_from_peers < 0) {
+        reason = RejectReason::negative_bytes;
+    } else if (ground_truth_) {
+        const Bytes truth = ground_truth_(reported.guid, reported.object);
+        // A compromised peer can claim *more* infrastructure service than it
+        // received to inflate the provider's bill; the trusted edge count
+        // bounds the claim. (Claiming less only hurts the attacker.)
+        const auto limit = static_cast<Bytes>(static_cast<double>(truth) * tolerance_) + 4096;
+        if (reported.bytes_from_infrastructure > limit)
+            reason = RejectReason::infra_bytes_exceed_ground_truth;
+    }
+    if (reason == RejectReason::none && reported.object_size > 0) {
+        // No legitimate download needs much more than the object size in
+        // total; allow some slack for re-fetched corrupt pieces.
+        const auto plausible =
+            static_cast<Bytes>(static_cast<double>(reported.object_size) * (tolerance_ + 0.25));
+        if (reported.total_bytes() > plausible) reason = RejectReason::total_exceeds_plausible_size;
+    }
+
+    if (reason != RejectReason::none) {
+        ++rejected_;
+        return reason;
+    }
+
+    ++accepted_;
+    log_->add(reported);
+    ProviderUsage& usage = billing_[reported.cp_code.value];
+    usage.infra_bytes += reported.bytes_from_infrastructure;
+    usage.peer_bytes += reported.bytes_from_peers;
+    ++usage.downloads;
+    if (reported.outcome == trace::DownloadOutcome::completed) ++usage.completed;
+    return RejectReason::none;
+}
+
+}  // namespace netsession::accounting

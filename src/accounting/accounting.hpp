@@ -1,0 +1,71 @@
+// Reliable client accounting.
+//
+// Content providers pay for NetSession's services and "expect detailed logs
+// that show the amount and the quality of the services provided" (paper
+// §3.1). Because peers are untrusted, compromised clients can attempt
+// *accounting attacks* — misreporting the service they received or provided
+// (§3.5, §6.2, citing Aditya et al., NSDI'12). NetSession cross-checks peer
+// reports against data from the trusted edge servers and filters out
+// implausible ones; this module implements that defence plus the per-provider
+// billing rollups.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "trace/trace_log.hpp"
+
+namespace netsession::accounting {
+
+/// Why a report was rejected by the plausibility filter.
+enum class RejectReason : std::uint8_t {
+    none,
+    negative_bytes,
+    infra_bytes_exceed_ground_truth,  // claimed more than the edge served
+    total_exceeds_plausible_size,     // claimed more than the object could need
+};
+
+/// Per-provider billing rollup.
+struct ProviderUsage {
+    Bytes infra_bytes = 0;
+    Bytes peer_bytes = 0;
+    std::int64_t downloads = 0;
+    std::int64_t completed = 0;
+};
+
+class AccountingService {
+public:
+    /// `log` receives every accepted record; must outlive the service.
+    explicit AccountingService(trace::TraceLog& log) : log_(&log) {}
+
+    /// Installs the trusted byte counter (the edge ledger): given a GUID and
+    /// object, how many bytes did the infrastructure actually serve it?
+    void set_ground_truth(std::function<Bytes(Guid, ObjectId)> infra_bytes) {
+        ground_truth_ = std::move(infra_bytes);
+    }
+
+    /// Multiplicative slack allowed over ground truth / object size before a
+    /// report is declared an attack (re-sent pieces, rounding).
+    void set_tolerance(double tolerance) noexcept { tolerance_ = tolerance; }
+
+    /// Validates a peer-submitted download report; accepted reports are
+    /// appended to the trace log and billed, rejected ones are only counted.
+    RejectReason submit(const trace::DownloadRecord& reported);
+
+    [[nodiscard]] std::int64_t accepted() const noexcept { return accepted_; }
+    [[nodiscard]] std::int64_t rejected() const noexcept { return rejected_; }
+    [[nodiscard]] const std::map<std::uint32_t, ProviderUsage>& billing() const noexcept {
+        return billing_;
+    }
+
+private:
+    trace::TraceLog* log_;
+    std::function<Bytes(Guid, ObjectId)> ground_truth_;
+    double tolerance_ = 1.05;
+    std::int64_t accepted_ = 0;
+    std::int64_t rejected_ = 0;
+    std::map<std::uint32_t, ProviderUsage> billing_;  // keyed by CpCode value
+};
+
+}  // namespace netsession::accounting

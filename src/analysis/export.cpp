@@ -1,0 +1,192 @@
+#include "analysis/export.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+
+#include "analysis/guid_graph.hpp"
+#include "analysis/measurement.hpp"
+
+namespace netsession::analysis {
+
+namespace {
+
+struct FileCloser {
+    void operator()(std::FILE* f) const noexcept {
+        if (f != nullptr) std::fclose(f);
+    }
+};
+using File = std::unique_ptr<std::FILE, FileCloser>;
+
+File open_dat(const std::string& dir, const char* name, std::size_t& written) {
+    File f(std::fopen((dir + "/" + name).c_str(), "w"));
+    if (f) ++written;
+    return f;
+}
+
+void write_cdf(std::FILE* f, const Cdf& cdf, const char* header) {
+    std::fprintf(f, "# %s\n# x  fraction\n", header);
+    for (const auto& [x, y] : cdf.log_sweep(120)) std::fprintf(f, "%g %g\n", x, y);
+}
+
+constexpr char kGnuplot[] = R"(# Renders every exported figure. Usage: gnuplot plot_all.gp
+set terminal pngcairo size 800,560
+set grid
+
+set output 'fig3a.png'
+set logscale x
+set xlabel 'Object size (bytes)'; set ylabel 'CDF of requests'
+plot 'fig3a_infra.dat' u 1:2 w l t 'Infrastructure-only', \
+     'fig3a_all.dat' u 1:2 w l t 'All', \
+     'fig3a_p2p.dat' u 1:2 w l t 'Peer-assisted'
+
+set output 'fig3b.png'
+set logscale xy
+set xlabel 'Download rank'; set ylabel '# Downloads'
+plot 'fig3b.dat' u 1:2 w p pt 7 ps 0.4 t 'objects'
+
+set output 'fig3c.png'
+unset logscale
+set xlabel 'Hour of trace'; set ylabel 'Bytes/hour'
+plot 'fig3c.dat' u 1:2 w l t 'GMT', 'fig3c.dat' u 1:3 w l t 'Local time'
+
+set output 'fig4.png'
+set logscale x
+set xlabel 'Avg download speed (Mbps)'; set ylabel 'CDF of downloads'
+plot 'fig4_asx_edge.dat' u 1:2 w l t 'AS X edge-only', \
+     'fig4_asx_p2p.dat' u 1:2 w l t 'AS X >50% p2p', \
+     'fig4_asy_edge.dat' u 1:2 w l t 'AS Y edge-only', \
+     'fig4_asy_p2p.dat' u 1:2 w l t 'AS Y >50% p2p'
+
+set output 'fig5.png'
+set logscale x
+unset logscale y
+set xlabel 'File copies registered'; set ylabel 'Peer efficiency (%)'
+set yrange [0:100]
+plot 'fig5.dat' u 1:($2*100):($3*100):($4*100) w yerrorbars t 'mean (20th/80th pct)'
+
+set output 'fig6.png'
+unset logscale
+set xlabel 'Peers initially returned'; set ylabel 'Peer efficiency (%)'
+plot 'fig6.dat' u 1:($2*100) w lp t 'mean efficiency'
+
+set output 'fig7.png'
+set style data histogram
+set style histogram cluster gap 1
+set style fill solid 0.8
+set xlabel 'File size bucket'; set ylabel 'Pause rate (%)'
+plot 'fig7.dat' u ($2*100):xtic(1) t 'Infrastructure-only', \
+     '' u ($3*100) t 'Peer-assisted', '' u ($4*100) t 'All'
+
+set output 'fig9a.png'
+set logscale x
+set xlabel 'P2P bytes uploaded by an AS'; set ylabel 'Fraction of ASes'
+plot 'fig9a.dat' u 1:2 w l t 'CDF'
+
+set output 'fig10.png'
+set logscale xy
+set xlabel 'Content downloaded from other ASes'; set ylabel 'Content uploaded to other ASes'
+plot 'fig10.dat' u ($3+1):($2+1):($4) w p pt 7 ps 0.5 lc variable t 'ASes (red=heavy)'
+
+set output 'fig11.png'
+set logscale xy
+set xlabel 'Bytes A->B'; set ylabel 'Bytes B->A'
+plot 'fig11.dat' u ($1+1):($2+1) w p pt 7 ps 0.5 t 'directly connected heavy pairs', x w l lt 0 t ''
+)";
+
+}  // namespace
+
+std::size_t export_figure_data(const trace::Dataset& dataset, const net::AsGraph* graph,
+                               const std::string& dir) {
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) return 0;
+    std::size_t written = 0;
+    const LoginIndex logins(dataset.log);
+
+    // Fig 3.
+    const auto w = workload_characteristics(dataset.log, logins, dataset.geodb);
+    if (auto f = open_dat(dir, "fig3a_infra.dat", written))
+        write_cdf(f.get(), w.size_infra_only, "request CDF by size, infra-only");
+    if (auto f = open_dat(dir, "fig3a_all.dat", written))
+        write_cdf(f.get(), w.size_all, "request CDF by size, all");
+    if (auto f = open_dat(dir, "fig3a_p2p.dat", written))
+        write_cdf(f.get(), w.size_peer_assisted, "request CDF by size, peer-assisted");
+    if (auto f = open_dat(dir, "fig3b.dat", written)) {
+        std::fprintf(f.get(), "# rank downloads\n");
+        for (const auto& [rank, n] : w.popularity) std::fprintf(f.get(), "%g %g\n", rank, n);
+    }
+    if (auto f = open_dat(dir, "fig3c.dat", written)) {
+        std::fprintf(f.get(), "# hour gmt_bytes local_bytes\n");
+        for (std::size_t h = 0; h < w.bytes_per_hour_gmt.size(); ++h)
+            std::fprintf(f.get(), "%zu %g %g\n", h, w.bytes_per_hour_gmt[h],
+                         w.bytes_per_hour_local[h]);
+    }
+
+    // Fig 4.
+    const auto cmp = speed_comparison(dataset.log, logins, dataset.geodb);
+    if (auto f = open_dat(dir, "fig4_asx_edge.dat", written))
+        write_cdf(f.get(), cmp.edge_only_x, "AS X edge-only speed (Mbps)");
+    if (auto f = open_dat(dir, "fig4_asx_p2p.dat", written))
+        write_cdf(f.get(), cmp.p2p_x, "AS X >50% p2p speed (Mbps)");
+    if (auto f = open_dat(dir, "fig4_asy_edge.dat", written))
+        write_cdf(f.get(), cmp.edge_only_y, "AS Y edge-only speed (Mbps)");
+    if (auto f = open_dat(dir, "fig4_asy_p2p.dat", written))
+        write_cdf(f.get(), cmp.p2p_y, "AS Y >50% p2p speed (Mbps)");
+
+    // Fig 5 / 6.
+    if (auto f = open_dat(dir, "fig5.dat", written)) {
+        std::fprintf(f.get(), "# copies_mid mean p20 p80 objects\n");
+        for (const auto& bin : efficiency_vs_copies(dataset.log).bins)
+            std::fprintf(f.get(), "%g %g %g %g %d\n",
+                         std::sqrt(bin.copies_lo * bin.copies_hi), bin.mean, bin.p20, bin.p80,
+                         bin.objects);
+    }
+    if (auto f = open_dat(dir, "fig6.dat", written)) {
+        std::fprintf(f.get(), "# peers_returned mean_efficiency downloads\n");
+        const auto fig6 = efficiency_vs_peers_returned(dataset.log);
+        for (std::size_t k = 0; k < fig6.groups.size(); ++k)
+            if (fig6.groups[k].downloads > 0)
+                std::fprintf(f.get(), "%zu %g %d\n", k, fig6.groups[k].mean_efficiency,
+                             fig6.groups[k].downloads);
+    }
+
+    // Fig 7.
+    if (auto f = open_dat(dir, "fig7.dat", written)) {
+        static const char* kBuckets[4] = {"<10MB", "10-100MB", "100MB-1GB", ">1GB"};
+        const auto outcomes = outcome_stats(dataset.log);
+        std::fprintf(f.get(), "# bucket infra p2p all\n");
+        for (int b = 0; b < 4; ++b)
+            std::fprintf(f.get(), "%s %g %g %g\n", kBuckets[b],
+                         outcomes.pause_rate_by_size[0][static_cast<std::size_t>(b)],
+                         outcomes.pause_rate_by_size[1][static_cast<std::size_t>(b)],
+                         outcomes.pause_rate_by_size[2][static_cast<std::size_t>(b)]);
+    }
+
+    // Fig 9-11.
+    const auto tb = traffic_balance(dataset.log, dataset.geodb, graph);
+    if (auto f = open_dat(dir, "fig9a.dat", written)) {
+        std::vector<double> sent;
+        for (const auto& as : tb.ases) sent.push_back(static_cast<double>(as.sent));
+        write_cdf(f.get(), Cdf(std::move(sent)), "inter-AS bytes uploaded per AS");
+    }
+    if (auto f = open_dat(dir, "fig10.dat", written)) {
+        std::fprintf(f.get(), "# asn uploaded downloaded heavy(1=red,3=blue)\n");
+        for (const auto& as : tb.ases)
+            std::fprintf(f.get(), "%u %lld %lld %d\n", as.asn,
+                         static_cast<long long>(as.sent), static_cast<long long>(as.received),
+                         as.heavy ? 1 : 3);
+    }
+    if (auto f = open_dat(dir, "fig11.dat", written)) {
+        std::fprintf(f.get(), "# a_to_b b_to_a asn_a asn_b\n");
+        for (const auto& [a, b, fwd, rev] : tb.heavy_pairs)
+            std::fprintf(f.get(), "%lld %lld %u %u\n", static_cast<long long>(fwd),
+                         static_cast<long long>(rev), a, b);
+    }
+
+    if (auto f = open_dat(dir, "plot_all.gp", written)) std::fputs(kGnuplot, f.get());
+    return written;
+}
+
+}  // namespace netsession::analysis

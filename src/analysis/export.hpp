@@ -1,0 +1,24 @@
+// Plot-ready figure data export.
+//
+// Writes one whitespace-separated .dat file per paper figure (plus a gnuplot
+// script that renders them all), so a saved trace can be turned into the
+// actual plots offline:
+//
+//   nstrace export run.nstrace plots/ && (cd plots && gnuplot plot_all.gp)
+#pragma once
+
+#include <string>
+
+#include "net/as_graph.hpp"
+#include "trace/serialize.hpp"
+
+namespace netsession::analysis {
+
+/// Writes fig3a.dat, fig3b.dat, ... fig11.dat plus plot_all.gp into `dir`
+/// (created if missing). `graph` is optional and only feeds the Fig 11
+/// direct-connection filter. Returns the number of files written, 0 on I/O
+/// failure.
+std::size_t export_figure_data(const trace::Dataset& dataset, const net::AsGraph* graph,
+                               const std::string& dir);
+
+}  // namespace netsession::analysis

@@ -1,0 +1,100 @@
+#include "analysis/guid_graph.hpp"
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace netsession::analysis {
+
+namespace {
+
+struct Graph {
+    // vertex -> successors (dedup'd)
+    std::unordered_map<SecondaryGuid, std::unordered_set<SecondaryGuid>> out;
+    std::unordered_map<SecondaryGuid, int> in_degree;
+    std::unordered_set<SecondaryGuid> vertices;
+
+    void add_edge(SecondaryGuid a, SecondaryGuid b) {
+        vertices.insert(a);
+        vertices.insert(b);
+        if (out[a].insert(b).second) ++in_degree[b];
+    }
+};
+
+/// Depth of the longest path from v (acyclic graphs only; depth capped).
+int subtree_depth(const Graph& g, SecondaryGuid v, int budget) {
+    if (budget <= 0) return 0;
+    const auto it = g.out.find(v);
+    if (it == g.out.end() || it->second.empty()) return 0;
+    int best = 0;
+    for (const auto& next : it->second) best = std::max(best, 1 + subtree_depth(g, next, budget - 1));
+    return best;
+}
+
+GuidGraphPattern classify(const Graph& g) {
+    // Roots and structural sanity: a chain/tree has exactly one root and no
+    // vertex with in-degree > 1.
+    std::vector<SecondaryGuid> roots;
+    int leaves = 0;
+    int branch_points = 0;
+    SecondaryGuid branch_vertex{};
+    for (const auto& v : g.vertices) {
+        const auto in_it = g.in_degree.find(v);
+        const int in = in_it == g.in_degree.end() ? 0 : in_it->second;
+        if (in == 0) roots.push_back(v);
+        if (in > 1) return GuidGraphPattern::irregular;
+        const auto out_it = g.out.find(v);
+        const auto out = out_it == g.out.end() ? 0 : static_cast<int>(out_it->second.size());
+        if (out == 0) ++leaves;
+        if (out > 1) {
+            ++branch_points;
+            branch_vertex = v;
+        }
+    }
+    if (roots.size() != 1) return GuidGraphPattern::irregular;
+
+    if (branch_points == 0) return GuidGraphPattern::linear_chain;
+    if (leaves >= 3 || branch_points >= 2) return GuidGraphPattern::several_branches;
+
+    // Exactly one branch point with two arms: measure arm lengths.
+    const auto& arms = g.out.at(branch_vertex);
+    const int cap = static_cast<int>(g.vertices.size());
+    int shortest = cap;
+    for (const auto& arm : arms)
+        shortest = std::min(shortest, 1 + subtree_depth(g, arm, cap));
+    return shortest <= 1 ? GuidGraphPattern::long_plus_short
+                         : GuidGraphPattern::two_long_branches;
+}
+
+}  // namespace
+
+GuidGraphStats classify_guid_graphs(const trace::TraceLog& log) {
+    std::unordered_map<Guid, Graph> graphs;
+    for (const auto& login : log.logins()) {
+        Graph& g = graphs[login.guid];
+        // secondary_guids is newest-first; edges run old -> new.
+        const auto& s = login.secondary_guids;
+        for (std::size_t i = 0; i + 1 < s.size(); ++i) {
+            const SecondaryGuid newer = s[i];
+            const SecondaryGuid older = s[i + 1];
+            if (newer.is_nil() || older.is_nil()) continue;
+            g.add_edge(older, newer);
+        }
+    }
+
+    GuidGraphStats stats;
+    for (const auto& [guid, g] : graphs) {
+        if (g.vertices.size() < 3) continue;  // paper considers graphs with >= 3 vertices
+        ++stats.graphs;
+        switch (classify(g)) {
+            case GuidGraphPattern::linear_chain: ++stats.linear_chains; break;
+            case GuidGraphPattern::long_plus_short: ++stats.long_plus_short; break;
+            case GuidGraphPattern::two_long_branches: ++stats.two_long_branches; break;
+            case GuidGraphPattern::several_branches: ++stats.several_branches; break;
+            case GuidGraphPattern::irregular: ++stats.irregular; break;
+        }
+    }
+    return stats;
+}
+
+}  // namespace netsession::analysis

@@ -1,0 +1,656 @@
+#include "analysis/measurement.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "net/geo.hpp"
+#include "net/world_data.hpp"
+
+namespace netsession::analysis {
+
+namespace {
+constexpr std::array<Bytes, 3> kSizeBucketEdges = {10 * 1000 * 1000, 100 * 1000 * 1000,
+                                                   1000 * 1000 * 1000};
+
+int size_bucket(Bytes size) noexcept {
+    for (std::size_t i = 0; i < kSizeBucketEdges.size(); ++i)
+        if (size < kSizeBucketEdges[i]) return static_cast<int>(i);
+    return static_cast<int>(kSizeBucketEdges.size());
+}
+}  // namespace
+
+// --- Table 1 -------------------------------------------------------------------
+
+OverallStats overall_stats(const trace::TraceLog& log, const net::GeoDatabase& geodb) {
+    OverallStats s;
+    s.log_entries = log.total_entries();
+    s.downloads_initiated = log.downloads().size();
+
+    std::unordered_set<Guid> guids;
+    std::unordered_set<net::IpAddr> ips;
+    for (const auto& l : log.logins()) {
+        guids.insert(l.guid);
+        ips.insert(l.ip);
+    }
+    std::unordered_set<std::uint64_t> urls;
+    for (const auto& d : log.downloads()) {
+        guids.insert(d.guid);
+        urls.insert(d.url_hash);
+    }
+    s.guids = guids.size();
+    s.distinct_urls = urls.size();
+    s.distinct_ips = ips.size();
+
+    std::unordered_set<std::uint64_t> locations;
+    std::unordered_set<std::uint32_t> ases;
+    std::unordered_set<std::uint16_t> countries;
+    for (const auto& ip : ips) {
+        const auto geo = geodb.lookup(ip);
+        if (!geo) continue;
+        locations.insert((static_cast<std::uint64_t>(geo->location.country.value) << 32) |
+                         geo->location.city);
+        ases.insert(geo->asn.value);
+        countries.insert(geo->location.country.value);
+    }
+    s.distinct_locations = locations.size();
+    s.distinct_ases = ases.size();
+    s.distinct_countries = countries.size();
+    return s;
+}
+
+// --- Table 2 -------------------------------------------------------------------
+
+std::string_view to_string(ReportRegion r) noexcept {
+    switch (r) {
+        case ReportRegion::us_east: return "US East";
+        case ReportRegion::us_west: return "US West";
+        case ReportRegion::americas_other: return "Am. Other";
+        case ReportRegion::india: return "India";
+        case ReportRegion::china: return "China";
+        case ReportRegion::asia_other: return "Asia Other";
+        case ReportRegion::europe: return "Europe";
+        case ReportRegion::africa: return "Africa";
+        case ReportRegion::oceania: return "Oceania";
+    }
+    return "unknown";
+}
+
+ReportRegion report_region(const net::GeoRecord& geo) {
+    const net::CountryInfo& c = net::country(geo.location.country);
+    if (c.alpha2 == "US") {
+        // The paper splits the United States East/West; we fold the central
+        // region into East (the conventional Mississippi split).
+        return net::region(c.region).name == std::string_view("US-West") ? ReportRegion::us_west
+                                                                         : ReportRegion::us_east;
+    }
+    if (c.alpha2 == "IN") return ReportRegion::india;
+    if (c.alpha2 == "CN") return ReportRegion::china;
+    switch (c.continent) {
+        case net::Continent::north_america:
+        case net::Continent::south_america: return ReportRegion::americas_other;
+        case net::Continent::europe: return ReportRegion::europe;
+        case net::Continent::africa: return ReportRegion::africa;
+        case net::Continent::asia: return ReportRegion::asia_other;
+        case net::Continent::oceania: return ReportRegion::oceania;
+    }
+    return ReportRegion::europe;
+}
+
+std::map<std::uint32_t, std::array<double, kReportRegions>> downloads_by_region(
+    const trace::TraceLog& log, const LoginIndex& logins, const net::GeoDatabase& geodb) {
+    std::map<std::uint32_t, std::array<std::int64_t, kReportRegions>> counts;
+    for (const auto& d : log.downloads()) {
+        const auto geo = logins.locate(d.guid, d.start, geodb);
+        if (!geo) continue;
+        counts[d.cp_code.value][static_cast<std::size_t>(report_region(*geo))] += 1;
+    }
+    std::map<std::uint32_t, std::array<double, kReportRegions>> shares;
+    for (const auto& [cp, row] : counts) {
+        std::int64_t total = 0;
+        for (const auto v : row) total += v;
+        auto& out = shares[cp];
+        for (int i = 0; i < kReportRegions; ++i)
+            out[static_cast<std::size_t>(i)] =
+                total == 0 ? 0.0
+                           : static_cast<double>(row[static_cast<std::size_t>(i)]) /
+                                 static_cast<double>(total);
+    }
+    return shares;
+}
+
+// --- Table 3 -------------------------------------------------------------------
+
+SettingChanges upload_setting_changes(const LoginIndex& logins) {
+    SettingChanges out;
+    for (const auto& [guid, history] : logins) {
+        if (history.empty()) continue;
+        const bool initial = history.front()->uploads_enabled;
+        int changes = 0;
+        for (std::size_t i = 1; i < history.size(); ++i)
+            if (history[i]->uploads_enabled != history[i - 1]->uploads_enabled) ++changes;
+        const std::size_t bucket = changes == 0 ? 0 : changes == 1 ? 1 : 2;
+        (initial ? out.initially_enabled : out.initially_disabled)[bucket] += 1;
+    }
+    return out;
+}
+
+// --- Table 4 -------------------------------------------------------------------
+
+std::map<std::uint32_t, double> upload_enabled_by_provider(const trace::TraceLog& log,
+                                                           const LoginIndex& logins) {
+    // Attribute each peer to the provider of its first download.
+    std::unordered_map<Guid, std::pair<sim::SimTime, std::uint32_t>> first_download;
+    for (const auto& d : log.downloads()) {
+        const auto it = first_download.find(d.guid);
+        if (it == first_download.end() || d.start < it->second.first)
+            first_download[d.guid] = {d.start, d.cp_code.value};
+    }
+    std::map<std::uint32_t, std::pair<std::int64_t, std::int64_t>> counts;  // enabled, total
+    for (const auto& [guid, attribution] : first_download) {
+        const auto* history = logins.history(guid);
+        if (history == nullptr || history->empty()) continue;
+        auto& [enabled, total] = counts[attribution.second];
+        ++total;
+        if (history->back()->uploads_enabled) ++enabled;
+    }
+    std::map<std::uint32_t, double> out;
+    for (const auto& [cp, c] : counts)
+        out[cp] = c.second == 0 ? 0.0
+                                : static_cast<double>(c.first) / static_cast<double>(c.second);
+    return out;
+}
+
+// --- Fig 2 ---------------------------------------------------------------------
+
+std::vector<CountryPeers> peer_distribution(const LoginIndex& logins,
+                                            const net::GeoDatabase& geodb) {
+    std::unordered_map<std::uint16_t, std::int64_t> counts;
+    std::int64_t total = 0;
+    for (const auto& [guid, history] : logins) {
+        if (history.empty()) continue;
+        const auto geo = geodb.lookup(history.front()->ip);
+        if (!geo) continue;
+        counts[geo->location.country.value] += 1;
+        ++total;
+    }
+    std::vector<CountryPeers> out;
+    out.reserve(counts.size());
+    for (const auto& [country, n] : counts)
+        out.push_back(CountryPeers{CountryId{country}, n,
+                                   total == 0 ? 0.0
+                                              : static_cast<double>(n) /
+                                                    static_cast<double>(total)});
+    std::sort(out.begin(), out.end(),
+              [](const CountryPeers& a, const CountryPeers& b) { return a.peers > b.peers; });
+    return out;
+}
+
+std::array<double, net::kContinentCount> continent_shares(const LoginIndex& logins,
+                                                          const net::GeoDatabase& geodb) {
+    std::array<double, net::kContinentCount> shares{};
+    double total = 0;
+    for (const auto& cp : peer_distribution(logins, geodb)) {
+        shares[static_cast<std::size_t>(net::country(cp.country).continent)] +=
+            static_cast<double>(cp.peers);
+        total += static_cast<double>(cp.peers);
+    }
+    if (total > 0)
+        for (auto& s : shares) s /= total;
+    return shares;
+}
+
+// --- Fig 3 ---------------------------------------------------------------------
+
+WorkloadCharacteristics workload_characteristics(const trace::TraceLog& log,
+                                                 const LoginIndex& logins,
+                                                 const net::GeoDatabase& geodb) {
+    WorkloadCharacteristics w;
+    std::vector<double> all, infra, p2p;
+    std::unordered_map<std::uint64_t, std::int64_t> per_url;
+    sim::SimTime window_end{};
+    for (const auto& d : log.downloads()) {
+        const auto size = static_cast<double>(d.object_size);
+        all.push_back(size);
+        (d.p2p_enabled ? p2p : infra).push_back(size);
+        per_url[d.url_hash] += 1;
+        window_end = std::max(window_end, d.end);
+    }
+    w.size_all = Cdf(std::move(all));
+    w.size_infra_only = Cdf(std::move(infra));
+    w.size_peer_assisted = Cdf(std::move(p2p));
+
+    std::vector<std::int64_t> pops;
+    pops.reserve(per_url.size());
+    for (const auto& [url, n] : per_url) pops.push_back(n);
+    std::sort(pops.begin(), pops.end(), std::greater<>());
+    w.popularity.reserve(pops.size());
+    for (std::size_t i = 0; i < pops.size(); ++i)
+        w.popularity.emplace_back(static_cast<double>(i + 1), static_cast<double>(pops[i]));
+    w.popularity_fit = fit_loglog(w.popularity);
+
+    const auto hours = static_cast<std::size_t>(window_end.hours()) + 1;
+    w.bytes_per_hour_gmt.assign(hours, 0.0);
+    w.bytes_per_hour_local.assign(hours, 0.0);
+    for (const auto& d : log.downloads()) {
+        const auto bytes = static_cast<double>(d.total_bytes());
+        if (bytes <= 0) continue;
+        const auto gmt_hour = static_cast<std::size_t>(d.end.hours());
+        if (gmt_hour < hours) w.bytes_per_hour_gmt[gmt_hour] += bytes;
+        // Local time: shift by the longitude-derived timezone of the peer.
+        const auto geo = logins.locate(d.guid, d.start, geodb);
+        if (!geo) continue;
+        const auto offset = static_cast<std::int64_t>(std::lround(geo->location.point.lon / 15.0));
+        const auto local =
+            static_cast<std::int64_t>(gmt_hour) + offset;
+        const auto wrapped = static_cast<std::size_t>(
+            ((local % static_cast<std::int64_t>(hours)) + static_cast<std::int64_t>(hours)) %
+            static_cast<std::int64_t>(hours));
+        w.bytes_per_hour_local[wrapped] += bytes;
+    }
+    return w;
+}
+
+// --- Fig 4 ---------------------------------------------------------------------
+
+SpeedComparison speed_comparison(const trace::TraceLog& log, const LoginIndex& logins,
+                                 const net::GeoDatabase& geodb) {
+    // Count completed downloads per AS; pick the two largest.
+    std::unordered_map<std::uint32_t, std::int64_t> per_as;
+    std::vector<std::pair<std::uint32_t, const trace::DownloadRecord*>> located;
+    located.reserve(log.downloads().size());
+    for (const auto& d : log.downloads()) {
+        if (d.outcome != trace::DownloadOutcome::completed) continue;
+        const auto geo = logins.locate(d.guid, d.start, geodb);
+        if (!geo) continue;
+        per_as[geo->asn.value] += 1;
+        located.emplace_back(geo->asn.value, &d);
+    }
+    SpeedComparison out;
+    std::uint32_t best = 0, second = 0;
+    std::int64_t best_n = -1, second_n = -1;
+    for (const auto& [asn, n] : per_as) {
+        if (n > best_n) {
+            second = best;
+            second_n = best_n;
+            best = asn;
+            best_n = n;
+        } else if (n > second_n) {
+            second = asn;
+            second_n = n;
+        }
+    }
+    out.as_x = best;
+    out.as_y = second;
+
+    std::vector<double> ex, px, ey, py;
+    for (const auto& [asn, d] : located) {
+        if (asn != best && asn != second) continue;
+        const double mbps = d->mean_speed() * 8.0 / 1e6;
+        if (mbps <= 0.0) continue;
+        const bool edge_only = d->bytes_from_peers == 0;
+        const bool mostly_p2p =
+            d->total_bytes() > 0 &&
+            static_cast<double>(d->bytes_from_peers) >= 0.5 * static_cast<double>(d->total_bytes());
+        if (asn == best) {
+            if (edge_only) ex.push_back(mbps);
+            if (mostly_p2p) px.push_back(mbps);
+        } else {
+            if (edge_only) ey.push_back(mbps);
+            if (mostly_p2p) py.push_back(mbps);
+        }
+    }
+    out.edge_only_x = Cdf(std::move(ex));
+    out.p2p_x = Cdf(std::move(px));
+    out.edge_only_y = Cdf(std::move(ey));
+    out.p2p_y = Cdf(std::move(py));
+    return out;
+}
+
+// --- Fig 5 ---------------------------------------------------------------------
+
+EfficiencyVsCopies efficiency_vs_copies(const trace::TraceLog& log, int bins) {
+    // Copies per object = distinct registering peers in the DN log.
+    std::unordered_map<ObjectId, std::unordered_set<Guid>> copies;
+    for (const auto& r : log.registrations()) copies[r.object].insert(r.guid);
+
+    // Mean peer efficiency per object over completed peer-assisted downloads.
+    std::unordered_map<ObjectId, std::pair<double, int>> eff;
+    for (const auto& d : log.downloads()) {
+        if (!d.p2p_enabled || d.outcome != trace::DownloadOutcome::completed) continue;
+        auto& [sum, n] = eff[d.object];
+        sum += d.peer_efficiency();
+        ++n;
+    }
+
+    double max_copies = 1.0;
+    for (const auto& [object, who] : copies)
+        max_copies = std::max(max_copies, static_cast<double>(who.size()));
+
+    std::vector<std::vector<double>> grouped(static_cast<std::size_t>(bins));
+    for (const auto& [object, e] : eff) {
+        if (e.second == 0) continue;
+        const auto cit = copies.find(object);
+        const double c = cit == copies.end() ? 1.0 : static_cast<double>(cit->second.size());
+        const int b = log_bin(std::max(1.0, c), 1.0, max_copies + 1.0, bins);
+        grouped[static_cast<std::size_t>(b)].push_back(e.first / e.second);
+    }
+
+    EfficiencyVsCopies out;
+    const auto edges = log_edges(1.0, max_copies + 1.0, bins);
+    for (int b = 0; b < bins; ++b) {
+        const auto& xs = grouped[static_cast<std::size_t>(b)];
+        if (xs.empty()) continue;
+        EfficiencyVsCopies::Bin bin;
+        bin.copies_lo = edges[static_cast<std::size_t>(b)];
+        bin.copies_hi = edges[static_cast<std::size_t>(b) + 1];
+        bin.mean = mean_of(xs);
+        bin.p20 = percentile(xs, 20);
+        bin.p80 = percentile(xs, 80);
+        bin.objects = static_cast<int>(xs.size());
+        out.bins.push_back(bin);
+    }
+    return out;
+}
+
+// --- Fig 6 ---------------------------------------------------------------------
+
+EfficiencyVsPeers efficiency_vs_peers_returned(const trace::TraceLog& log, int max_peers) {
+    EfficiencyVsPeers out;
+    out.groups.assign(static_cast<std::size_t>(max_peers) + 1, {});
+    std::vector<double> sums(static_cast<std::size_t>(max_peers) + 1, 0.0);
+    for (const auto& d : log.downloads()) {
+        if (!d.p2p_enabled || d.outcome != trace::DownloadOutcome::completed) continue;
+        const auto k = static_cast<std::size_t>(
+            std::clamp(d.peers_initially_returned, 0, max_peers));
+        sums[k] += d.peer_efficiency();
+        out.groups[k].downloads += 1;
+    }
+    for (std::size_t k = 0; k < out.groups.size(); ++k)
+        if (out.groups[k].downloads > 0)
+            out.groups[k].mean_efficiency = sums[k] / out.groups[k].downloads;
+    return out;
+}
+
+// --- outcomes + Fig 7 -------------------------------------------------------------
+
+OutcomeStats outcome_stats(const trace::TraceLog& log) {
+    OutcomeStats out;
+    std::array<std::array<std::int64_t, 4>, 3> aborted_by_size{};
+
+    const auto accumulate = [](OutcomeStats::Class& c, const trace::DownloadRecord& d) {
+        ++c.n;
+        switch (d.outcome) {
+            case trace::DownloadOutcome::completed: c.completed += 1; break;
+            case trace::DownloadOutcome::failed_system: c.failed_system += 1; break;
+            case trace::DownloadOutcome::failed_other: c.failed_other += 1; break;
+            case trace::DownloadOutcome::aborted_by_user: c.aborted += 1; break;
+            case trace::DownloadOutcome::in_progress: break;
+        }
+    };
+
+    for (const auto& d : log.downloads()) {
+        if (d.outcome == trace::DownloadOutcome::in_progress) continue;
+        accumulate(out.all, d);
+        accumulate(d.p2p_enabled ? out.peer_assisted : out.infra_only, d);
+        const int bucket = size_bucket(d.object_size);
+        const int cls = d.p2p_enabled ? 1 : 0;
+        for (const int c : {cls, 2}) {
+            out.downloads_by_size[static_cast<std::size_t>(c)][static_cast<std::size_t>(bucket)] +=
+                1;
+            if (d.outcome == trace::DownloadOutcome::aborted_by_user)
+                aborted_by_size[static_cast<std::size_t>(c)][static_cast<std::size_t>(bucket)] += 1;
+        }
+    }
+
+    const auto finalize = [](OutcomeStats::Class& c) {
+        if (c.n == 0) return;
+        const auto n = static_cast<double>(c.n);
+        c.completed /= n;
+        c.failed_system /= n;
+        c.failed_other /= n;
+        c.aborted /= n;
+    };
+    finalize(out.all);
+    finalize(out.infra_only);
+    finalize(out.peer_assisted);
+
+    for (std::size_t c = 0; c < 3; ++c)
+        for (std::size_t b = 0; b < 4; ++b)
+            out.pause_rate_by_size[c][b] =
+                out.downloads_by_size[c][b] == 0
+                    ? 0.0
+                    : static_cast<double>(aborted_by_size[c][b]) /
+                          static_cast<double>(out.downloads_by_size[c][b]);
+    return out;
+}
+
+// --- Fig 8 ---------------------------------------------------------------------
+
+std::vector<CountryCoverage> coverage_by_country(const trace::TraceLog& log,
+                                                 const LoginIndex& logins,
+                                                 const net::GeoDatabase& geodb, CpCode provider) {
+    std::unordered_map<std::uint16_t, std::pair<Bytes, Bytes>> per_country;  // infra, peers
+    for (const auto& d : log.downloads()) {
+        if (d.cp_code != provider || d.outcome != trace::DownloadOutcome::completed) continue;
+        const auto geo = logins.locate(d.guid, d.start, geodb);
+        if (!geo) continue;
+        auto& [infra, peers] = per_country[geo->location.country.value];
+        infra += d.bytes_from_infrastructure;
+        peers += d.bytes_from_peers;
+    }
+    std::vector<CountryCoverage> out;
+    out.reserve(per_country.size());
+    for (const auto& [country, bytes] : per_country) {
+        CountryCoverage c;
+        c.country = CountryId{country};
+        c.infra_bytes = bytes.first;
+        c.peer_bytes = bytes.second;
+        if (bytes.second <= 0 || bytes.first > bytes.second)
+            c.cls = 0;
+        else if (static_cast<double>(bytes.first) >= 0.5 * static_cast<double>(bytes.second))
+            c.cls = 1;
+        else
+            c.cls = 2;
+        out.push_back(c);
+    }
+    std::sort(out.begin(), out.end(), [](const CountryCoverage& a, const CountryCoverage& b) {
+        return a.infra_bytes + a.peer_bytes > b.infra_bytes + b.peer_bytes;
+    });
+    return out;
+}
+
+// --- traffic balance ---------------------------------------------------------------
+
+TrafficBalance traffic_balance(const trace::TraceLog& log, const net::GeoDatabase& geodb,
+                               const net::AsGraph* graph) {
+    TrafficBalance out;
+    std::unordered_map<std::uint32_t, TrafficBalance::AsFlow> flows;
+    std::unordered_map<std::uint64_t, Bytes> pair_bytes;  // (from<<32|to) inter-AS only
+
+    // Every AS that shows up in logins is part of the universe, even if it
+    // never sent a byte ("roughly half of the ASes did not send any inter-AS
+    // bytes at all").
+    std::unordered_map<std::uint32_t, std::unordered_set<net::IpAddr>> ips_per_as;
+    for (const auto& l : log.logins()) {
+        const auto geo = geodb.lookup(l.ip);
+        if (!geo) continue;
+        ips_per_as[geo->asn.value].insert(l.ip);
+        flows.try_emplace(geo->asn.value);
+    }
+
+    for (const auto& t : log.transfers()) {
+        const auto from = geodb.lookup(t.from_ip);
+        const auto to = geodb.lookup(t.to_ip);
+        if (!from || !to) continue;
+        out.total_p2p_bytes += t.bytes;
+        if (from->asn == to->asn) {
+            out.intra_as_bytes += t.bytes;
+            continue;
+        }
+        out.inter_as_bytes += t.bytes;
+        flows[from->asn.value].sent += t.bytes;
+        flows[to->asn.value].received += t.bytes;
+        pair_bytes[(static_cast<std::uint64_t>(from->asn.value) << 32) | to->asn.value] += t.bytes;
+    }
+
+    out.ases.reserve(flows.size());
+    for (auto& [asn, f] : flows) {
+        f.asn = asn;
+        const auto it = ips_per_as.find(asn);
+        f.ips_observed = it == ips_per_as.end() ? 0 : static_cast<std::int64_t>(it->second.size());
+        out.ases.push_back(f);
+    }
+    std::sort(out.ases.begin(), out.ases.end(),
+              [](const TrafficBalance::AsFlow& a, const TrafficBalance::AsFlow& b) {
+                  return a.sent > b.sent;
+              });
+    out.ases_with_traffic = 0;
+    for (const auto& f : out.ases)
+        if (f.sent > 0 || f.received > 0) ++out.ases_with_traffic;
+
+    // Heavy uploaders: the smallest top set responsible for 90% of inter-AS
+    // upload bytes.
+    Bytes acc = 0;
+    std::unordered_set<std::uint32_t> heavy;
+    for (auto& f : out.ases) {
+        if (out.inter_as_bytes > 0 &&
+            static_cast<double>(acc) < 0.9 * static_cast<double>(out.inter_as_bytes) &&
+            f.sent > 0) {
+            f.heavy = true;
+            heavy.insert(f.asn);
+            acc += f.sent;
+        }
+    }
+    out.heavy_count = heavy.size();
+
+    // p98 of per-AS upload volume and the bottom-98% share.
+    if (!out.ases.empty()) {
+        std::vector<Bytes> sent_sorted;
+        sent_sorted.reserve(out.ases.size());
+        for (const auto& f : out.ases) sent_sorted.push_back(f.sent);
+        std::sort(sent_sorted.begin(), sent_sorted.end());
+        const auto idx = static_cast<std::size_t>(0.98 * static_cast<double>(sent_sorted.size()));
+        out.p98_upload = sent_sorted[std::min(idx, sent_sorted.size() - 1)];
+        Bytes bottom = 0;
+        for (std::size_t i = 0; i <= std::min(idx, sent_sorted.size() - 1); ++i)
+            bottom += sent_sorted[i];
+        out.bottom98_share = out.inter_as_bytes == 0
+                                 ? 0.0
+                                 : static_cast<double>(bottom) /
+                                       static_cast<double>(out.inter_as_bytes);
+    }
+
+    // Pairwise balance among heavy uploaders (Fig 11) and the direct-link
+    // share estimate (§6.1).
+    Bytes heavy_total = 0;
+    Bytes heavy_direct = 0;
+    std::unordered_set<std::uint64_t> seen;
+    for (const auto& [key, bytes] : pair_bytes) {
+        const auto a = static_cast<std::uint32_t>(key >> 32);
+        const auto b = static_cast<std::uint32_t>(key & 0xFFFFFFFFu);
+        if (!heavy.contains(a) || !heavy.contains(b)) continue;
+        heavy_total += bytes;
+        const bool direct = graph != nullptr && graph->directly_connected(Asn{a}, Asn{b});
+        if (direct) heavy_direct += bytes;
+        const std::uint64_t canonical =
+            a < b ? (static_cast<std::uint64_t>(a) << 32) | b
+                  : (static_cast<std::uint64_t>(b) << 32) | a;
+        if (!seen.insert(canonical).second) continue;
+        if (!direct) continue;  // Fig 11 plots directly-connected pairs
+        const auto fwd_it = pair_bytes.find((static_cast<std::uint64_t>(a) << 32) | b);
+        const auto rev_it = pair_bytes.find((static_cast<std::uint64_t>(b) << 32) | a);
+        out.heavy_pairs.emplace_back(a, b, fwd_it == pair_bytes.end() ? 0 : fwd_it->second,
+                                     rev_it == pair_bytes.end() ? 0 : rev_it->second);
+    }
+    out.heavy_direct_share = heavy_total == 0 ? 0.0
+                                              : static_cast<double>(heavy_direct) /
+                                                    static_cast<double>(heavy_total);
+    return out;
+}
+
+// --- mobility ---------------------------------------------------------------------
+
+MobilityStats mobility_stats(const trace::TraceLog& log, const LoginIndex& logins,
+                             const net::GeoDatabase& geodb) {
+    MobilityStats out;
+    sim::SimTime lo{std::numeric_limits<std::int64_t>::max()};
+    sim::SimTime hi{0};
+    for (const auto& l : log.logins()) {
+        lo = std::min(lo, l.time);
+        hi = std::max(hi, l.time);
+    }
+
+    std::int64_t single = 0, two = 0, more = 0, within10 = 0;
+    for (const auto& [guid, history] : logins) {
+        if (history.empty()) continue;
+        ++out.guids;
+        std::unordered_set<std::uint32_t> ases;
+        std::vector<net::GeoPoint> points;
+        for (const auto* l : history) {
+            const auto geo = geodb.lookup(l->ip);
+            if (!geo) continue;
+            ases.insert(geo->asn.value);
+            points.push_back(geo->location.point);
+        }
+        if (ases.size() <= 1)
+            ++single;
+        else if (ases.size() == 2)
+            ++two;
+        else
+            ++more;
+        double max_km = 0.0;
+        for (std::size_t i = 0; i < points.size(); ++i)
+            for (std::size_t j = i + 1; j < points.size(); ++j)
+                max_km = std::max(max_km, net::haversine_km(points[i], points[j]));
+        if (max_km <= 10.0) ++within10;
+    }
+    if (out.guids > 0) {
+        const auto n = static_cast<double>(out.guids);
+        out.frac_single_as = static_cast<double>(single) / n;
+        out.frac_two_as = static_cast<double>(two) / n;
+        out.frac_more_as = static_cast<double>(more) / n;
+        out.frac_within_10km = static_cast<double>(within10) / n;
+    }
+    const double minutes = std::max(1.0, (hi - lo).seconds() / 60.0);
+    out.new_connections_per_minute = static_cast<double>(log.logins().size()) / minutes;
+    return out;
+}
+
+// --- headline ----------------------------------------------------------------------
+
+HeadlineOffload headline_offload(const trace::TraceLog& log) {
+    HeadlineOffload out;
+    std::unordered_set<std::uint64_t> files, p2p_files;
+    Bytes all_bytes = 0, p2p_file_bytes = 0, p2p_peer_bytes = 0, p2p_total_bytes = 0;
+    double eff_sum = 0;
+    std::int64_t eff_n = 0;
+    for (const auto& d : log.downloads()) {
+        files.insert(d.url_hash);
+        all_bytes += d.total_bytes();
+        if (!d.p2p_enabled) continue;
+        p2p_files.insert(d.url_hash);
+        p2p_file_bytes += d.total_bytes();
+        p2p_peer_bytes += d.bytes_from_peers;
+        p2p_total_bytes += d.total_bytes();
+        if (d.outcome == trace::DownloadOutcome::completed) {
+            eff_sum += d.peer_efficiency();
+            ++eff_n;
+        }
+    }
+    out.p2p_enabled_file_fraction =
+        files.empty() ? 0.0
+                      : static_cast<double>(p2p_files.size()) / static_cast<double>(files.size());
+    out.p2p_enabled_byte_fraction =
+        all_bytes == 0 ? 0.0
+                       : static_cast<double>(p2p_file_bytes) / static_cast<double>(all_bytes);
+    out.mean_peer_efficiency = eff_n == 0 ? 0.0 : eff_sum / static_cast<double>(eff_n);
+    out.overall_offload = p2p_total_bytes == 0
+                              ? 0.0
+                              : static_cast<double>(p2p_peer_bytes) /
+                                    static_cast<double>(p2p_total_bytes);
+    return out;
+}
+
+}  // namespace netsession::analysis

@@ -1,0 +1,243 @@
+// The paper's measurement pipeline: every analysis of §4-§6, computed from a
+// TraceLog plus the geo database (EdgeScape substitute), exactly as the paper
+// computes them from the production logs.
+#pragma once
+
+#include <array>
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "analysis/login_index.hpp"
+#include "analysis/stats.hpp"
+#include "net/as_graph.hpp"
+#include "net/geodb.hpp"
+#include "trace/trace_log.hpp"
+
+namespace netsession::analysis {
+
+// --- Table 1 -------------------------------------------------------------------
+
+struct OverallStats {
+    std::size_t log_entries = 0;
+    std::size_t guids = 0;
+    std::size_t distinct_urls = 0;
+    std::size_t distinct_ips = 0;
+    std::size_t downloads_initiated = 0;
+    std::size_t distinct_locations = 0;
+    std::size_t distinct_ases = 0;
+    std::size_t distinct_countries = 0;
+};
+
+[[nodiscard]] OverallStats overall_stats(const trace::TraceLog& log,
+                                         const net::GeoDatabase& geodb);
+
+// --- Table 2 -------------------------------------------------------------------
+
+/// The paper's nine region columns.
+enum class ReportRegion : std::uint8_t {
+    us_east,
+    us_west,
+    americas_other,
+    india,
+    china,
+    asia_other,
+    europe,
+    africa,
+    oceania,
+};
+inline constexpr int kReportRegions = 9;
+[[nodiscard]] std::string_view to_string(ReportRegion r) noexcept;
+
+/// Maps a geolocated peer to a report column.
+[[nodiscard]] ReportRegion report_region(const net::GeoRecord& geo);
+
+/// Per content provider: share of downloads per report region. Keyed by
+/// CpCode value; shares sum to ~1 per provider.
+[[nodiscard]] std::map<std::uint32_t, std::array<double, kReportRegions>>
+downloads_by_region(const trace::TraceLog& log, const LoginIndex& logins,
+                    const net::GeoDatabase& geodb);
+
+// --- Table 3 -------------------------------------------------------------------
+
+struct SettingChanges {
+    // [0]: zero changes, [1]: one change, [2]: two or more.
+    std::array<std::int64_t, 3> initially_disabled{};
+    std::array<std::int64_t, 3> initially_enabled{};
+};
+
+[[nodiscard]] SettingChanges upload_setting_changes(const LoginIndex& logins);
+
+// --- Table 4 -------------------------------------------------------------------
+
+/// Fraction of peers with uploads enabled (last observed setting), per
+/// provider; a peer is attributed to the provider of its first download.
+[[nodiscard]] std::map<std::uint32_t, double> upload_enabled_by_provider(
+    const trace::TraceLog& log, const LoginIndex& logins);
+
+// --- Fig 2 ---------------------------------------------------------------------
+
+struct CountryPeers {
+    CountryId country;
+    std::int64_t peers = 0;
+    double fraction = 0.0;
+};
+
+/// Peers per country of first connection, descending.
+[[nodiscard]] std::vector<CountryPeers> peer_distribution(const LoginIndex& logins,
+                                                          const net::GeoDatabase& geodb);
+
+/// Share of peers per continent (index = net::Continent).
+[[nodiscard]] std::array<double, net::kContinentCount> continent_shares(
+    const LoginIndex& logins, const net::GeoDatabase& geodb);
+
+// --- Fig 3 ---------------------------------------------------------------------
+
+struct WorkloadCharacteristics {
+    Cdf size_all;            // request distribution by object size (bytes)
+    Cdf size_infra_only;
+    Cdf size_peer_assisted;
+    /// (rank, downloads) pairs, rank 1 = most popular (Fig 3b).
+    std::vector<std::pair<double, double>> popularity;
+    LogLogFit popularity_fit;
+    /// Bytes served per hour across the trace window, GMT and local time.
+    std::vector<double> bytes_per_hour_gmt;
+    std::vector<double> bytes_per_hour_local;
+};
+
+[[nodiscard]] WorkloadCharacteristics workload_characteristics(const trace::TraceLog& log,
+                                                               const LoginIndex& logins,
+                                                               const net::GeoDatabase& geodb);
+
+// --- Fig 4 ---------------------------------------------------------------------
+
+struct SpeedComparison {
+    std::uint32_t as_x = 0;  // the AS with the most downloads
+    std::uint32_t as_y = 0;  // runner-up
+    Cdf edge_only_x, p2p_x;  // mean download speed, Mbps
+    Cdf edge_only_y, p2p_y;
+};
+
+[[nodiscard]] SpeedComparison speed_comparison(const trace::TraceLog& log,
+                                               const LoginIndex& logins,
+                                               const net::GeoDatabase& geodb);
+
+// --- Fig 5 ---------------------------------------------------------------------
+
+struct EfficiencyVsCopies {
+    struct Bin {
+        double copies_lo = 0, copies_hi = 0;
+        double mean = 0, p20 = 0, p80 = 0;
+        int objects = 0;
+    };
+    std::vector<Bin> bins;
+};
+
+[[nodiscard]] EfficiencyVsCopies efficiency_vs_copies(const trace::TraceLog& log, int bins = 12);
+
+// --- Fig 6 ---------------------------------------------------------------------
+
+struct EfficiencyVsPeers {
+    /// Index = number of peers initially returned (0..40); NaN-free: groups
+    /// with no downloads have count 0.
+    struct Group {
+        double mean_efficiency = 0;
+        int downloads = 0;
+    };
+    std::vector<Group> groups;
+};
+
+[[nodiscard]] EfficiencyVsPeers efficiency_vs_peers_returned(const trace::TraceLog& log,
+                                                             int max_peers = 40);
+
+// --- §5.2 outcomes + Fig 7 -------------------------------------------------------
+
+struct OutcomeStats {
+    struct Class {
+        std::int64_t n = 0;
+        double completed = 0, failed_system = 0, failed_other = 0, aborted = 0;
+    };
+    Class infra_only, peer_assisted, all;
+    /// Pause/termination rate per file-size bucket (<10MB, 10-100MB,
+    /// 100MB-1GB, >1GB) for each class: [class][bucket]; class order:
+    /// infra-only, peer-assisted, all.
+    std::array<std::array<double, 4>, 3> pause_rate_by_size{};
+    std::array<std::array<std::int64_t, 4>, 3> downloads_by_size{};
+};
+
+[[nodiscard]] OutcomeStats outcome_stats(const trace::TraceLog& log);
+
+// --- Fig 8 ---------------------------------------------------------------------
+
+struct CountryCoverage {
+    CountryId country;
+    Bytes infra_bytes = 0;
+    Bytes peer_bytes = 0;
+    /// 0: infra > peers; 1: infra in [50%,100%] of peers; 2: infra < 50% of
+    /// peers (the paper's circle / plus / square).
+    int cls = 0;
+};
+
+[[nodiscard]] std::vector<CountryCoverage> coverage_by_country(const trace::TraceLog& log,
+                                                               const LoginIndex& logins,
+                                                               const net::GeoDatabase& geodb,
+                                                               CpCode provider);
+
+// --- §6.1 + Fig 9/10/11 -----------------------------------------------------------
+
+struct TrafficBalance {
+    Bytes total_p2p_bytes = 0;
+    Bytes intra_as_bytes = 0;
+    Bytes inter_as_bytes = 0;
+
+    struct AsFlow {
+        std::uint32_t asn = 0;
+        Bytes sent = 0;      // inter-AS bytes uploaded to other ASes
+        Bytes received = 0;  // inter-AS bytes downloaded from other ASes
+        std::int64_t ips_observed = 0;
+        bool heavy = false;  // in the top set responsible for 90% of uploads
+    };
+    std::vector<AsFlow> ases;  // sorted by sent, descending
+    std::size_t ases_with_traffic = 0;
+    std::size_t heavy_count = 0;
+    /// Upload volume at the 98th percentile of ASes (paper: 163 GB).
+    Bytes p98_upload = 0;
+    /// Fraction of inter-AS traffic contributed by the bottom 98% of ASes.
+    double bottom98_share = 0.0;
+
+    /// Directly-connected heavy-uploader pairs: (as_a, as_b, a->b, b->a).
+    std::vector<std::tuple<std::uint32_t, std::uint32_t, Bytes, Bytes>> heavy_pairs;
+    /// Share of heavy-to-heavy inter-AS bytes on direct links (§6.1: ~35%).
+    double heavy_direct_share = 0.0;
+};
+
+[[nodiscard]] TrafficBalance traffic_balance(const trace::TraceLog& log,
+                                             const net::GeoDatabase& geodb,
+                                             const net::AsGraph* graph);
+
+// --- §6.2 mobility -----------------------------------------------------------------
+
+struct MobilityStats {
+    std::int64_t guids = 0;
+    double frac_single_as = 0;
+    double frac_two_as = 0;
+    double frac_more_as = 0;
+    double frac_within_10km = 0;
+    double new_connections_per_minute = 0;
+};
+
+[[nodiscard]] MobilityStats mobility_stats(const trace::TraceLog& log, const LoginIndex& logins,
+                                           const net::GeoDatabase& geodb);
+
+// --- §5.1 headline numbers ----------------------------------------------------------
+
+struct HeadlineOffload {
+    double p2p_enabled_file_fraction = 0;   // paper: 1.7% of files
+    double p2p_enabled_byte_fraction = 0;   // paper: 57.4% of bytes
+    double mean_peer_efficiency = 0;        // paper: 71.4% (peer-assisted downloads)
+    double overall_offload = 0;             // peer bytes / total bytes of p2p downloads
+};
+
+[[nodiscard]] HeadlineOffload headline_offload(const trace::TraceLog& log);
+
+}  // namespace netsession::analysis

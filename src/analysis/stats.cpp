@@ -1,0 +1,115 @@
+#include "analysis/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace netsession::analysis {
+
+Cdf::Cdf(std::vector<double> samples) : sorted_(std::move(samples)) {
+    std::sort(sorted_.begin(), sorted_.end());
+    if (!sorted_.empty()) {
+        double sum = 0.0;
+        for (const double v : sorted_) sum += v;
+        mean_ = sum / static_cast<double>(sorted_.size());
+    }
+}
+
+double Cdf::at(double x) const {
+    if (sorted_.empty()) return 0.0;
+    const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+    return static_cast<double>(it - sorted_.begin()) / static_cast<double>(sorted_.size());
+}
+
+double Cdf::quantile(double q) const {
+    assert(!sorted_.empty());
+    if (q <= 0.0) return sorted_.front();
+    if (q >= 1.0) return sorted_.back();
+    const double pos = q * static_cast<double>(sorted_.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const double frac = pos - static_cast<double>(lo);
+    if (lo + 1 >= sorted_.size()) return sorted_.back();
+    return sorted_[lo] * (1.0 - frac) + sorted_[lo + 1] * frac;
+}
+
+double Cdf::min() const {
+    assert(!sorted_.empty());
+    return sorted_.front();
+}
+
+double Cdf::max() const {
+    assert(!sorted_.empty());
+    return sorted_.back();
+}
+
+std::vector<std::pair<double, double>> Cdf::log_sweep(int points) const {
+    std::vector<std::pair<double, double>> out;
+    if (sorted_.empty() || points < 2) return out;
+    const double lo = std::max(sorted_.front(), 1e-12);
+    const double hi = std::max(sorted_.back(), lo * 1.0001);
+    out.reserve(static_cast<std::size_t>(points));
+    for (int i = 0; i < points; ++i) {
+        const double x =
+            lo * std::pow(hi / lo, static_cast<double>(i) / static_cast<double>(points - 1));
+        out.emplace_back(x, at(x));
+    }
+    return out;
+}
+
+std::vector<double> log_edges(double lo, double hi, int bins) {
+    assert(lo > 0.0 && hi > lo && bins > 0);
+    std::vector<double> edges;
+    edges.reserve(static_cast<std::size_t>(bins) + 1);
+    for (int i = 0; i <= bins; ++i)
+        edges.push_back(lo * std::pow(hi / lo, static_cast<double>(i) / bins));
+    return edges;
+}
+
+int log_bin(double x, double lo, double hi, int bins) {
+    if (x <= lo) return 0;
+    if (x >= hi) return bins - 1;
+    const double t = std::log(x / lo) / std::log(hi / lo);
+    return std::min(bins - 1, static_cast<int>(t * bins));
+}
+
+double mean_of(const std::vector<double>& xs) {
+    if (xs.empty()) return 0.0;
+    double sum = 0.0;
+    for (const double v : xs) sum += v;
+    return sum / static_cast<double>(xs.size());
+}
+
+double percentile(std::vector<double> xs, double pct) {
+    if (xs.empty()) return 0.0;
+    std::sort(xs.begin(), xs.end());
+    const auto rank = static_cast<std::size_t>(
+        std::min<double>(static_cast<double>(xs.size()) - 1.0,
+                         std::max(0.0, pct / 100.0 * static_cast<double>(xs.size() - 1))));
+    return xs[rank];
+}
+
+LogLogFit fit_loglog(const std::vector<std::pair<double, double>>& xy) {
+    double sx = 0, sy = 0, sxx = 0, sxy = 0;
+    std::size_t n = 0;
+    for (const auto& [x, y] : xy) {
+        if (x <= 0.0 || y <= 0.0) continue;
+        const double lx = std::log10(x);
+        const double ly = std::log10(y);
+        sx += lx;
+        sy += ly;
+        sxx += lx * lx;
+        sxy += lx * ly;
+        ++n;
+    }
+    LogLogFit fit;
+    fit.n = n;
+    if (n < 2) return fit;
+    const double dn = static_cast<double>(n);
+    const double denom = dn * sxx - sx * sx;
+    if (denom == 0.0) return fit;
+    fit.slope = (dn * sxy - sx * sy) / denom;
+    fit.intercept = (sy - fit.slope * sx) / dn;
+    return fit;
+}
+
+}  // namespace netsession::analysis

@@ -1,0 +1,61 @@
+// Statistical primitives for the measurement pipeline: empirical CDFs,
+// percentiles, log-spaced binning, and log-log (power-law) regression.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace netsession::analysis {
+
+/// Empirical cumulative distribution over a sample.
+class Cdf {
+public:
+    Cdf() = default;
+    explicit Cdf(std::vector<double> samples);
+
+    [[nodiscard]] bool empty() const noexcept { return sorted_.empty(); }
+    [[nodiscard]] std::size_t size() const noexcept { return sorted_.size(); }
+
+    /// Fraction of samples <= x, in [0,1].
+    [[nodiscard]] double at(double x) const;
+
+    /// The q-quantile (q in [0,1]) by linear interpolation.
+    [[nodiscard]] double quantile(double q) const;
+
+    [[nodiscard]] double min() const;
+    [[nodiscard]] double max() const;
+    [[nodiscard]] double mean() const noexcept { return mean_; }
+
+    /// Evaluates the CDF at `points` log-spaced positions across the sample
+    /// range — the typical rendering of the paper's log-x CDF figures.
+    /// Returns (x, fraction<=x) pairs.
+    [[nodiscard]] std::vector<std::pair<double, double>> log_sweep(int points) const;
+
+private:
+    std::vector<double> sorted_;
+    double mean_ = 0.0;
+};
+
+/// Log-spaced bin edges from lo to hi (inclusive endpoints, `bins`+1 edges).
+[[nodiscard]] std::vector<double> log_edges(double lo, double hi, int bins);
+
+/// Index of the log bin x falls into, clamped to [0, bins-1].
+[[nodiscard]] int log_bin(double x, double lo, double hi, int bins);
+
+/// Mean of a sample (0 for empty).
+[[nodiscard]] double mean_of(const std::vector<double>& xs);
+
+/// Percentile (0..100) of a sample by nearest-rank; 0 for empty.
+[[nodiscard]] double percentile(std::vector<double> xs, double pct);
+
+/// Least-squares slope/intercept of log10(y) over log10(x), skipping
+/// non-positive values. Returns {slope, intercept, n_used}. The slope of a
+/// rank-popularity plot is the (negative) power-law exponent (Fig 3b).
+struct LogLogFit {
+    double slope = 0.0;
+    double intercept = 0.0;
+    std::size_t n = 0;
+};
+[[nodiscard]] LogLogFit fit_loglog(const std::vector<std::pair<double, double>>& xy);
+
+}  // namespace netsession::analysis

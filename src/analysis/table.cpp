@@ -1,0 +1,39 @@
+#include "analysis/table.hpp"
+
+#include <algorithm>
+
+namespace netsession::analysis {
+
+std::string TextTable::render() const {
+    std::vector<std::size_t> widths(headers_.size(), 0);
+    for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+    for (const auto& row : rows_)
+        for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    const auto emit_row = [&](const std::vector<std::string>& row, std::string& out) {
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            const std::string cell = c < row.size() ? row[c] : "";
+            if (c == 0) {
+                out += cell;
+                out.append(widths[c] - cell.size(), ' ');
+            } else {
+                out.append(widths[c] - cell.size(), ' ');
+                out += cell;
+            }
+            out += c + 1 < widths.size() ? "  " : "";
+        }
+        out += '\n';
+    };
+
+    std::string out;
+    emit_row(headers_, out);
+    std::size_t total = 0;
+    for (const auto w : widths) total += w + 2;
+    out.append(total, '-');
+    out += '\n';
+    for (const auto& row : rows_) emit_row(row, out);
+    return out;
+}
+
+}  // namespace netsession::analysis

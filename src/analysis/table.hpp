@@ -1,0 +1,24 @@
+// Plain-text table rendering for bench output (paper-style rows).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace netsession::analysis {
+
+class TextTable {
+public:
+    explicit TextTable(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+    void add_row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+    /// Renders with column alignment; first column left-aligned, the rest
+    /// right-aligned.
+    [[nodiscard]] std::string render() const;
+
+private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace netsession::analysis

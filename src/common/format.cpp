@@ -1,0 +1,67 @@
+#include "common/format.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace netsession {
+
+namespace {
+std::string printf_string(const char* fmt, double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), fmt, v);
+    return buf;
+}
+}  // namespace
+
+std::string format_bytes(Bytes n) {
+    const double v = static_cast<double>(n);
+    const double a = std::fabs(v);
+    if (a >= 1e15) return printf_string("%.2f PB", v / 1e15);
+    if (a >= 1e12) return printf_string("%.2f TB", v / 1e12);
+    if (a >= 1e9) return printf_string("%.2f GB", v / 1e9);
+    if (a >= 1e6) return printf_string("%.2f MB", v / 1e6);
+    if (a >= 1e3) return printf_string("%.2f kB", v / 1e3);
+    return printf_string("%.0f B", v);
+}
+
+std::string format_rate(Rate bytes_per_second) {
+    return printf_string("%.2f Mbps", to_mbps(bytes_per_second));
+}
+
+std::string format_percent(double fraction) { return printf_string("%.1f%%", fraction * 100.0); }
+
+std::string format_fixed(double v, int decimals) {
+    char fmt[16];
+    std::snprintf(fmt, sizeof(fmt), "%%.%df", decimals);
+    return printf_string(fmt, v);
+}
+
+std::string format_count(std::int64_t n) {
+    const bool neg = n < 0;
+    std::string digits = std::to_string(neg ? -n : n);
+    std::string out;
+    out.reserve(digits.size() + digits.size() / 3 + 1);
+    const std::size_t first_group = digits.size() % 3 == 0 ? 3 : digits.size() % 3;
+    for (std::size_t i = 0; i < digits.size(); ++i) {
+        if (i != 0 && (i - first_group) % 3 == 0 && i >= first_group) out.push_back(',');
+        out.push_back(digits[i]);
+    }
+    if (neg) out.insert(out.begin(), '-');
+    return out;
+}
+
+std::string format_duration_s(double seconds) {
+    const auto total = static_cast<std::int64_t>(seconds);
+    const std::int64_t days = total / 86400;
+    const std::int64_t h = (total % 86400) / 3600;
+    const std::int64_t m = (total % 3600) / 60;
+    const std::int64_t s = total % 60;
+    char buf[64];
+    if (days > 0)
+        std::snprintf(buf, sizeof(buf), "%ldd %02ld:%02ld:%02ld", days, h, m, s);
+    else
+        std::snprintf(buf, sizeof(buf), "%02ld:%02ld:%02ld", h, m, s);
+    return buf;
+}
+
+}  // namespace netsession

@@ -1,0 +1,28 @@
+// Human-readable formatting helpers for reports, tables and benches.
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+
+namespace netsession {
+
+/// "1.50 GB", "240 MB", "12 kB", "17 B" — decimal units, as the paper uses.
+[[nodiscard]] std::string format_bytes(Bytes n);
+
+/// "4.21 Mbps" etc.
+[[nodiscard]] std::string format_rate(Rate bytes_per_second);
+
+/// "12.3%" with one decimal.
+[[nodiscard]] std::string format_percent(double fraction);
+
+/// Fixed-point with the given number of decimals.
+[[nodiscard]] std::string format_fixed(double v, int decimals);
+
+/// Thousands separators: 1234567 -> "1,234,567".
+[[nodiscard]] std::string format_count(std::int64_t n);
+
+/// "3d 04:05:06" style duration from seconds.
+[[nodiscard]] std::string format_duration_s(double seconds);
+
+}  // namespace netsession

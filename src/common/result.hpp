@@ -1,0 +1,90 @@
+// Minimal expected-style result type used across module boundaries where an
+// operation can fail for a reason the caller must handle (CppCoreGuidelines
+// E.x: prefer explicit error returns over exceptions on expected paths).
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace netsession {
+
+/// Error payload: a machine-checkable code plus a human-readable message.
+struct Error {
+    enum class Code {
+        not_found,
+        unauthorized,
+        unavailable,
+        invalid_argument,
+        integrity_failure,
+        capacity_exceeded,
+        conflict,
+    };
+    Code code = Code::invalid_argument;
+    std::string message;
+};
+
+[[nodiscard]] constexpr std::string_view to_string(Error::Code c) noexcept {
+    switch (c) {
+        case Error::Code::not_found: return "not_found";
+        case Error::Code::unauthorized: return "unauthorized";
+        case Error::Code::unavailable: return "unavailable";
+        case Error::Code::invalid_argument: return "invalid_argument";
+        case Error::Code::integrity_failure: return "integrity_failure";
+        case Error::Code::capacity_exceeded: return "capacity_exceeded";
+        case Error::Code::conflict: return "conflict";
+    }
+    return "unknown";
+}
+
+/// Either a value or an Error. Access to the wrong alternative asserts.
+template <typename T>
+class Result {
+public:
+    Result(T value) : v_(std::move(value)) {}           // NOLINT(google-explicit-constructor)
+    Result(Error error) : v_(std::move(error)) {}       // NOLINT(google-explicit-constructor)
+
+    [[nodiscard]] bool ok() const noexcept { return std::holds_alternative<T>(v_); }
+    explicit operator bool() const noexcept { return ok(); }
+
+    [[nodiscard]] T& value() {
+        assert(ok());
+        return std::get<T>(v_);
+    }
+    [[nodiscard]] const T& value() const {
+        assert(ok());
+        return std::get<T>(v_);
+    }
+    [[nodiscard]] const Error& error() const {
+        assert(!ok());
+        return std::get<Error>(v_);
+    }
+
+    [[nodiscard]] T value_or(T fallback) const {
+        return ok() ? std::get<T>(v_) : std::move(fallback);
+    }
+
+private:
+    std::variant<T, Error> v_;
+};
+
+/// Result for operations with no payload.
+class Status {
+public:
+    Status() = default;
+    Status(Error error) : error_(std::move(error)), ok_(false) {}  // NOLINT(google-explicit-constructor)
+
+    [[nodiscard]] bool ok() const noexcept { return ok_; }
+    explicit operator bool() const noexcept { return ok_; }
+    [[nodiscard]] const Error& error() const {
+        assert(!ok_);
+        return error_;
+    }
+
+private:
+    Error error_{};
+    bool ok_ = true;
+};
+
+}  // namespace netsession

@@ -1,0 +1,62 @@
+// Deterministic random number generation.
+//
+// All randomness in the simulator flows from a single seed through named
+// child streams, so every experiment is reproducible bit-for-bit from the
+// seed printed in its output.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace netsession {
+
+/// splitmix64 — used to expand seeds into xoshiro state.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// xoshiro256** PRNG (Blackman & Vigna). Fast, high-quality, tiny state;
+/// satisfies std::uniform_random_bit_generator.
+class Rng {
+public:
+    using result_type = std::uint64_t;
+
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) noexcept;
+
+    static constexpr result_type min() noexcept { return 0; }
+    static constexpr result_type max() noexcept { return ~std::uint64_t{0}; }
+
+    result_type operator()() noexcept { return next(); }
+    std::uint64_t next() noexcept;
+
+    /// Uniform in [0, 1).
+    double uniform() noexcept;
+    /// Uniform in [lo, hi).
+    double uniform(double lo, double hi) noexcept;
+    /// Uniform integer in [0, n). n must be > 0.
+    std::uint64_t below(std::uint64_t n) noexcept;
+    /// Uniform integer in [lo, hi] inclusive.
+    std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept;
+    /// Bernoulli trial with success probability p.
+    bool chance(double p) noexcept;
+    /// Exponentially distributed with the given mean (mean > 0).
+    double exponential(double mean) noexcept;
+    /// Standard normal via Box-Muller (one value per call; no caching so the
+    /// stream stays position-independent).
+    double normal() noexcept;
+    /// Normal with given mean and standard deviation.
+    double normal(double mean, double stddev) noexcept;
+    /// Log-normal with the given *underlying* normal parameters mu/sigma.
+    double lognormal(double mu, double sigma) noexcept;
+    /// Pareto with scale xm and shape alpha (heavy-tailed sizes).
+    double pareto(double xm, double alpha) noexcept;
+
+    /// A child generator whose stream is independent of (and stable under
+    /// changes to) draws from this one: derived from the original seed and
+    /// the label only.
+    [[nodiscard]] Rng child(std::string_view label) const noexcept;
+
+private:
+    std::uint64_t s_[4];
+    std::uint64_t seed_;
+};
+
+}  // namespace netsession

@@ -1,0 +1,57 @@
+// SHA-256 and HMAC-SHA256, implemented from scratch (FIPS 180-4 / RFC 2104).
+//
+// NetSession uses secure hashes for two things (paper §3.5): per-piece
+// content hashes that let peers validate downloaded data, and
+// infrastructure-issued authorization tokens. Both are built on this module.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace netsession {
+
+/// A 256-bit digest.
+struct Digest256 {
+    std::array<std::uint8_t, 32> bytes{};
+
+    friend bool operator==(const Digest256&, const Digest256&) = default;
+
+    /// Lowercase hex rendering.
+    [[nodiscard]] std::string to_hex() const;
+    /// First 8 bytes as an integer, for use as a cheap fingerprint.
+    [[nodiscard]] std::uint64_t prefix64() const noexcept;
+};
+
+/// Incremental SHA-256. Typical use:
+///   Sha256 h; h.update(a); h.update(b); Digest256 d = h.finish();
+/// finish() may be called once; the object is then spent.
+class Sha256 {
+public:
+    Sha256() noexcept;
+
+    void update(std::span<const std::uint8_t> data) noexcept;
+    void update(std::string_view data) noexcept;
+
+    [[nodiscard]] Digest256 finish() noexcept;
+
+    /// One-shot convenience.
+    [[nodiscard]] static Digest256 hash(std::string_view data) noexcept;
+    [[nodiscard]] static Digest256 hash(std::span<const std::uint8_t> data) noexcept;
+
+private:
+    void compress(const std::uint8_t* block) noexcept;
+
+    std::array<std::uint32_t, 8> state_;
+    std::array<std::uint8_t, 64> buffer_;
+    std::size_t buffered_ = 0;
+    std::uint64_t total_bytes_ = 0;
+};
+
+/// HMAC-SHA256 (RFC 2104). Used for edge-server authorization tokens.
+[[nodiscard]] Digest256 hmac_sha256(std::string_view key, std::string_view message) noexcept;
+
+}  // namespace netsession

@@ -1,0 +1,106 @@
+// Connection node (CN).
+//
+// "The CNs are the endpoints of the persistent TCP connections that the
+// peers open to the control plane when they are active. The CNs receive and
+// collect the usage statistics that are uploaded by the peers, and they
+// handle queries for objects the peers wish to download. These persistent
+// TCP connections are also used to tell peers to connect to each other in
+// order to facilitate sharing of content." (§3.6)
+#pragma once
+
+#include <array>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "control/peer_descriptor.hpp"
+#include "edge/auth.hpp"
+#include "trace/records.hpp"
+
+namespace netsession::control {
+
+class ControlPlane;
+
+/// What a peer sends when it opens its control connection.
+struct LoginInfo {
+    PeerDescriptor desc;
+    std::uint32_t software_version = 0;
+    bool uploads_enabled = false;
+    std::array<SecondaryGuid, 5> secondary_guids{};
+    /// Locally cached objects the peer is willing to upload (registered with
+    /// the DN iff uploads are enabled).
+    std::vector<ObjectId> cached_objects;
+};
+
+class ConnectionNode {
+public:
+    ConnectionNode(CnId id, RegionId region, HostId host, ControlPlane& plane)
+        : id_(id), region_(region), host_(host), plane_(&plane) {}
+
+    [[nodiscard]] CnId id() const noexcept { return id_; }
+    [[nodiscard]] RegionId region() const noexcept { return region_; }
+    [[nodiscard]] HostId host() const noexcept { return host_; }
+    [[nodiscard]] bool up() const noexcept { return up_; }
+    [[nodiscard]] std::size_t session_count() const noexcept { return sessions_.size(); }
+
+    /// Opens a peer's persistent control connection: records the login,
+    /// registers cached content with the local DN. Returns false when the
+    /// CN is down or the login admission limiter defers the connection
+    /// (§3.8 reconnection rate limiting) — the client backs off and retries.
+    bool login(PeerEndpoint& endpoint, const LoginInfo& info);
+    void logout(Guid guid);
+    [[nodiscard]] bool has_session(Guid guid) const { return sessions_.contains(guid); }
+
+    /// Peer query for download sources. Validates the edge-issued token,
+    /// consults the local DN, arranges introductions on both sides, and
+    /// replies to the requester after the appropriate message delays.
+    void query(Guid requester, ObjectId object, const edge::AuthToken& token, int want,
+               std::function<void(std::vector<PeerDescriptor>)> reply);
+
+    /// Peer announces / withdraws a locally cached copy. `readd` marks
+    /// RE-ADD repopulation traffic, which restores soft state without
+    /// creating new DN log entries.
+    void register_copy(Guid guid, ObjectId object, bool readd = false);
+    void unregister_copy(Guid guid, ObjectId object);
+
+    /// Usage statistics upload (billing, §3.6). Download reports pass
+    /// through the accounting attack filter.
+    void report_download(const trace::DownloadRecord& record);
+    void report_transfer(const trace::TransferRecord& record);
+
+    /// Failure injection: the CN dies; peers notice their TCP connection
+    /// reset (asynchronously) and reconnect elsewhere.
+    void fail();
+    void restart() { up_ = true; }
+
+    /// DN recovery: ask every connected peer to re-announce its cached
+    /// files, rate-limited to keep the repopulation storm smooth (§3.8).
+    void issue_re_add();
+
+    /// Tells every connected peer to upgrade to `version` (§3.8).
+    void push_upgrade(std::uint32_t version);
+
+    [[nodiscard]] std::int64_t logins_deferred() const noexcept { return logins_deferred_; }
+
+private:
+    struct Session {
+        PeerEndpoint* endpoint = nullptr;
+        PeerDescriptor desc;
+        bool uploads_enabled = false;
+    };
+
+    /// Token-bucket admission for logins; true if this login may proceed.
+    bool admit_login();
+
+    CnId id_;
+    RegionId region_;
+    HostId host_;
+    ControlPlane* plane_;
+    std::unordered_map<Guid, Session> sessions_;
+    bool up_ = true;
+    double login_tokens_ = -1.0;  // lazily initialised to the burst depth
+    sim::SimTime tokens_refilled_at_{};
+    std::int64_t logins_deferred_ = 0;
+};
+
+}  // namespace netsession::control

@@ -1,0 +1,137 @@
+#include "control/control_plane.hpp"
+
+#include <cassert>
+#include <limits>
+
+namespace netsession::control {
+
+ControlPlane::ControlPlane(net::World& world, const edge::TokenAuthority& authority,
+                           trace::TraceLog& log, accounting::AccountingService& accounting,
+                           ControlPlaneConfig config, Rng rng)
+    : world_(&world),
+      authority_(&authority),
+      log_(&log),
+      accounting_(&accounting),
+      config_(config),
+      rng_(rng) {
+    // Control-plane servers are placed like edge servers: at each region's
+    // heaviest country, inside its backbone AS.
+    Rng placement = rng_.child("control-placement");
+    dn_rr_.assign(net::regions().size(), 0);
+    for (const auto& region : net::regions()) {
+        const net::CountryInfo* anchor = nullptr;
+        for (const auto& c : net::countries()) {
+            if (c.region != region.id) continue;
+            if (anchor == nullptr || c.peer_weight > anchor->peer_weight) anchor = &c;
+        }
+        if (anchor == nullptr) continue;
+
+        const auto make_server_host = [&]() {
+            net::HostInfo info;
+            info.attach.location = net::Location{anchor->id, 0, anchor->center};
+            info.attach.asn = world.as_graph().pick_for_country(anchor->id, placement);
+            info.attach.nat = net::NatType::open;
+            info.up = net::kUnlimited;
+            info.down = net::kUnlimited;
+            info.is_server = true;
+            return world.create_host(info);
+        };
+
+        for (int k = 0; k < config_.cns_per_region; ++k) {
+            const HostId host = make_server_host();
+            const auto id = CnId{static_cast<std::uint16_t>(cns_.size())};
+            cns_.push_back(std::make_unique<ConnectionNode>(id, region.id, host, *this));
+            if (k == 0) stuns_.push_back(std::make_unique<StunService>(world, host));
+        }
+        for (int k = 0; k < config_.dns_per_region; ++k) {
+            const HostId host = make_server_host();
+            const auto id = DnId{static_cast<std::uint16_t>(dns_.size())};
+            dns_.push_back(std::make_unique<DatabaseNode>(id, region.id, host, log));
+        }
+    }
+    assert(!cns_.empty() && !dns_.empty());
+}
+
+ConnectionNode* ControlPlane::closest_cn(HostId client) {
+    const auto client_point = world_->host(client).attach.location.point;
+    ConnectionNode* best = nullptr;
+    double best_km = std::numeric_limits<double>::infinity();
+    for (const auto& cn : cns_) {
+        if (!cn->up()) continue;
+        const double km =
+            net::haversine_km(client_point, world_->host(cn->host()).attach.location.point);
+        if (km < best_km) {
+            best_km = km;
+            best = cn.get();
+        }
+    }
+    return best;
+}
+
+DatabaseNode* ControlPlane::local_dn(RegionId region) {
+    // Round-robin over the live DNs of the region.
+    std::size_t live_in_region = 0;
+    DatabaseNode* pick = nullptr;
+    std::size_t& cursor = dn_rr_[region.value];
+    std::vector<DatabaseNode*> candidates;
+    for (const auto& dn : dns_)
+        if (dn->region() == region && dn->up()) candidates.push_back(dn.get());
+    live_in_region = candidates.size();
+    if (live_in_region > 0) {
+        pick = candidates[cursor % live_in_region];
+        ++cursor;
+        return pick;
+    }
+    if (config_.local_dns_only) return nullptr;
+    // Cross-region fallback (the CN/DN system is interconnected, §3.7).
+    for (const auto& dn : dns_)
+        if (dn->up()) return dn.get();
+    return nullptr;
+}
+
+PeerEndpoint* ControlPlane::find_endpoint(Guid guid) const {
+    const auto it = endpoints_.find(guid);
+    return it == endpoints_.end() ? nullptr : it->second;
+}
+
+void ControlPlane::note_session(Guid guid, PeerEndpoint* endpoint) { endpoints_[guid] = endpoint; }
+
+void ControlPlane::drop_session(Guid guid) { endpoints_.erase(guid); }
+
+void ControlPlane::release_client_version(std::uint32_t version) {
+    client_version_ = version;
+    for (const auto& cn : cns_) cn->push_upgrade(version);
+}
+
+void ControlPlane::fail_cn(CnId id) { cns_[id.value]->fail(); }
+
+void ControlPlane::restart_cn(CnId id) { cns_[id.value]->restart(); }
+
+void ControlPlane::fail_dn(DnId id) { dns_[id.value]->fail(); }
+
+void ControlPlane::restart_dn(DnId id) {
+    DatabaseNode* dn = dns_[id.value].get();
+    dn->restart();
+    // "If a DN goes down, the CNs connected to that DN send a RE-ADD message
+    // to their peers, asking them to list the files that they are storing."
+    for (const auto& cn : cns_)
+        if (cn->region() == dn->region()) cn->issue_re_add();
+}
+
+StunService& ControlPlane::closest_stun(HostId client) {
+    const auto client_point = world_->host(client).attach.location.point;
+    StunService* best = nullptr;
+    double best_km = std::numeric_limits<double>::infinity();
+    for (const auto& s : stuns_) {
+        const double km =
+            net::haversine_km(client_point, world_->host(s->host()).attach.location.point);
+        if (km < best_km) {
+            best_km = km;
+            best = s.get();
+        }
+    }
+    assert(best != nullptr);
+    return *best;
+}
+
+}  // namespace netsession::control

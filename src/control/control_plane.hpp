@@ -1,0 +1,115 @@
+// The NetSession control plane: globally distributed CN/DN/STUN/monitoring
+// servers (paper §3.6), DNS-style peer-to-CN mapping (§3.7), and failure
+// injection for the robustness behaviours of §3.8.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "accounting/accounting.hpp"
+#include "control/connection_node.hpp"
+#include "control/database_node.hpp"
+#include "control/monitoring.hpp"
+#include "control/stun.hpp"
+#include "edge/auth.hpp"
+#include "net/world.hpp"
+#include "trace/trace_log.hpp"
+
+namespace netsession::control {
+
+struct ControlPlaneConfig {
+    int cns_per_region = 1;
+    int dns_per_region = 1;
+    /// "By default, up to 40 peers are returned" (§3.7).
+    int max_peers_returned = 40;
+    SelectionPolicy selection;
+    /// "using only local DNs in searches does not negatively impact
+    /// performance" (§3.7) — the production setting; false enables the
+    /// cross-region search ablation.
+    bool local_dns_only = true;
+    /// "The CN/DN system is interconnected across regions, so it is possible
+    /// in principle to search for peers from any region" (§3.7). When the
+    /// local DN returns fewer than this many candidates, the CN widens the
+    /// search to the other regions' DNs. In production the local answer is
+    /// almost always sufficient; at simulation scale (10^3 fewer peers) the
+    /// fallback keeps swarm discovery working. Set to 0 to disable.
+    int cross_region_threshold = 8;
+    /// RE-ADD repopulation rate limit, requests per second per CN (§3.8).
+    double readd_rate_per_s = 200.0;
+    /// Login admission rate per CN, logins/second ("in the event of an
+    /// unexpectedly large-scale failure, reconnections are rate-limited to
+    /// ensure a smooth recovery", §3.8). 0 disables the limiter.
+    double login_rate_per_s = 300.0;
+    /// Burst depth of the login token bucket.
+    double login_burst = 600.0;
+};
+
+class ControlPlane {
+public:
+    ControlPlane(net::World& world, const edge::TokenAuthority& authority, trace::TraceLog& log,
+                 accounting::AccountingService& accounting, ControlPlaneConfig config, Rng rng);
+
+    ControlPlane(const ControlPlane&) = delete;
+    ControlPlane& operator=(const ControlPlane&) = delete;
+
+    /// DNS mapping: the nearest *live* CN for a client; nullptr if the whole
+    /// control plane is down (the peer then falls back to edge-only, §3.8).
+    [[nodiscard]] ConnectionNode* closest_cn(HostId client);
+
+    /// The live DN serving a region (round-robin if several); with
+    /// local_dns_only=false, falls back to any live DN in the system.
+    [[nodiscard]] DatabaseNode* local_dn(RegionId region);
+
+    /// Locates the endpoint of a connected peer (for introductions).
+    [[nodiscard]] PeerEndpoint* find_endpoint(Guid guid) const;
+
+    /// Session registry hooks, used by ConnectionNode.
+    void note_session(Guid guid, PeerEndpoint* endpoint);
+    void drop_session(Guid guid);
+
+    /// Releases a new client software version: every connected peer is told
+    /// to upgrade over its control connection; offline peers get the notice
+    /// at their next login (§3.8: centrally controlled client version).
+    void release_client_version(std::uint32_t version);
+    [[nodiscard]] std::uint32_t current_client_version() const noexcept {
+        return client_version_;
+    }
+
+    // --- failure injection -------------------------------------------------
+    void fail_cn(CnId id);
+    void restart_cn(CnId id);
+    void fail_dn(DnId id);
+    /// Restarting a DN brings it back *empty* and triggers RE-ADD through
+    /// the CNs of its region.
+    void restart_dn(DnId id);
+
+    // --- accessors ---------------------------------------------------------
+    [[nodiscard]] net::World& world() noexcept { return *world_; }
+    [[nodiscard]] const edge::TokenAuthority& authority() const noexcept { return *authority_; }
+    [[nodiscard]] trace::TraceLog& trace_log() noexcept { return *log_; }
+    [[nodiscard]] accounting::AccountingService& accounting() noexcept { return *accounting_; }
+    [[nodiscard]] MonitoringNode& monitoring() noexcept { return monitoring_; }
+    [[nodiscard]] const ControlPlaneConfig& config() const noexcept { return config_; }
+    [[nodiscard]] Rng& rng() noexcept { return rng_; }
+    [[nodiscard]] std::vector<std::unique_ptr<ConnectionNode>>& cns() noexcept { return cns_; }
+    [[nodiscard]] std::vector<std::unique_ptr<DatabaseNode>>& dns() noexcept { return dns_; }
+    [[nodiscard]] std::vector<std::unique_ptr<StunService>>& stuns() noexcept { return stuns_; }
+    [[nodiscard]] StunService& closest_stun(HostId client);
+
+private:
+    net::World* world_;
+    const edge::TokenAuthority* authority_;
+    trace::TraceLog* log_;
+    accounting::AccountingService* accounting_;
+    MonitoringNode monitoring_;
+    ControlPlaneConfig config_;
+    Rng rng_;
+    std::vector<std::unique_ptr<ConnectionNode>> cns_;
+    std::vector<std::unique_ptr<DatabaseNode>> dns_;
+    std::vector<std::unique_ptr<StunService>> stuns_;
+    std::unordered_map<Guid, PeerEndpoint*> endpoints_;
+    std::vector<std::size_t> dn_rr_;  // per-region round-robin cursor
+    std::uint32_t client_version_ = 0;  // 0 = no centrally released version yet
+};
+
+}  // namespace netsession::control

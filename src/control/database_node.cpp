@@ -1,0 +1,12 @@
+#include "control/database_node.hpp"
+
+namespace netsession::control {
+
+void DatabaseNode::register_copy(ObjectId object, const PeerDescriptor& peer, sim::SimTime now,
+                                 bool readd) {
+    if (!up_) return;
+    directory_.add(object, peer);
+    if (!readd) log_->add(trace::DnRegistrationRecord{object, peer.guid, now});
+}
+
+}  // namespace netsession::control

@@ -1,0 +1,208 @@
+#include "control/directory.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace netsession::control {
+
+void Directory::add(ObjectId object, const PeerDescriptor& peer) {
+    Swarm& swarm = swarms_[object];
+    if (const auto it = swarm.by_guid.find(peer.guid); it != swarm.by_guid.end()) {
+        // Re-registration: refresh connectivity details in place. If the
+        // peer moved (new AS/country), drop and re-add so buckets stay true.
+        Entry& e = swarm.entries[it->second];
+        if (e.peer.asn == peer.asn && e.peer.country == peer.country) {
+            e.peer = peer;
+            return;
+        }
+        e.alive = false;
+        ++swarm.dead;
+        --live_entries_;
+        swarm.by_guid.erase(it);
+    }
+    const auto idx = static_cast<std::uint32_t>(swarm.entries.size());
+    swarm.entries.push_back(Entry{peer, true});
+    swarm.by_guid[peer.guid] = idx;
+    swarm.by_as[peer.asn.value].members.push_back(idx);
+    swarm.by_country[peer.country.value].members.push_back(idx);
+    swarm.by_continent[static_cast<std::uint8_t>(peer.continent)].members.push_back(idx);
+    swarm.world.members.push_back(idx);
+    ++live_entries_;
+}
+
+void Directory::remove(ObjectId object, Guid guid) {
+    const auto sit = swarms_.find(object);
+    if (sit == swarms_.end()) return;
+    Swarm& swarm = sit->second;
+    const auto it = swarm.by_guid.find(guid);
+    if (it == swarm.by_guid.end()) return;
+    swarm.entries[it->second].alive = false;
+    ++swarm.dead;
+    --live_entries_;
+    swarm.by_guid.erase(it);
+    if (swarm.dead > 64 && swarm.dead * 2 > swarm.entries.size()) swarm.compact();
+    if (swarm.by_guid.empty()) swarms_.erase(sit);
+}
+
+void Directory::remove_peer(Guid guid) {
+    std::vector<ObjectId> emptied;
+    for (auto& [object, swarm] : swarms_) {
+        const auto it = swarm.by_guid.find(guid);
+        if (it == swarm.by_guid.end()) continue;
+        swarm.entries[it->second].alive = false;
+        ++swarm.dead;
+        --live_entries_;
+        swarm.by_guid.erase(it);
+        if (swarm.dead > 64 && swarm.dead * 2 > swarm.entries.size()) swarm.compact();
+        if (swarm.by_guid.empty()) emptied.push_back(object);
+    }
+    for (const auto object : emptied) swarms_.erase(object);
+}
+
+int Directory::copies(ObjectId object) const {
+    const auto it = swarms_.find(object);
+    return it == swarms_.end() ? 0 : static_cast<int>(it->second.by_guid.size());
+}
+
+void Directory::clear() {
+    swarms_.clear();
+    live_entries_ = 0;
+}
+
+void Directory::Swarm::compact() {
+    std::vector<Entry> fresh;
+    fresh.reserve(by_guid.size());
+    by_guid.clear();
+    by_as.clear();
+    by_country.clear();
+    by_continent.clear();
+    world = Bucket{};
+    for (const auto& e : entries) {
+        if (!e.alive) continue;
+        const auto idx = static_cast<std::uint32_t>(fresh.size());
+        fresh.push_back(e);
+        by_guid[e.peer.guid] = idx;
+        by_as[e.peer.asn.value].members.push_back(idx);
+        by_country[e.peer.country.value].members.push_back(idx);
+        by_continent[static_cast<std::uint8_t>(e.peer.continent)].members.push_back(idx);
+        world.members.push_back(idx);
+    }
+    entries = std::move(fresh);
+    dead = 0;
+}
+
+bool Directory::acceptable(const Entry& e, const PeerDescriptor& requester,
+                           const SelectionPolicy& policy, const std::vector<Guid>& chosen) const {
+    if (!e.alive) return false;
+    if (e.peer.guid == requester.guid) return false;
+    if (policy.nat_compatibility_filter && !net::can_traverse(requester.nat, e.peer.nat))
+        return false;
+    return std::find(chosen.begin(), chosen.end(), e.peer.guid) == chosen.end();
+}
+
+template <typename Key>
+std::optional<std::uint32_t> Directory::next_in_bucket(
+    const Swarm& swarm, const std::unordered_map<Key, Bucket>& buckets, Key key,
+    const PeerDescriptor& requester, const SelectionPolicy& policy,
+    const std::vector<Guid>& chosen) const {
+    const auto it = buckets.find(key);
+    if (it == buckets.end()) return std::nullopt;
+    const Bucket& b = it->second;
+    const std::size_t n = b.members.size();
+    if (n == 0) return std::nullopt;
+    for (std::size_t step = 0; step < n; ++step) {
+        const std::size_t pos = (b.cursor + step) % n;
+        const std::uint32_t idx = b.members[pos];
+        if (acceptable(swarm.entries[idx], requester, policy, chosen)) {
+            b.cursor = (pos + 1) % n;  // selected peers go to the end of the list
+            return idx;
+        }
+    }
+    return std::nullopt;
+}
+
+std::optional<std::uint32_t> Directory::next_in_world(const Swarm& swarm,
+                                                      const PeerDescriptor& requester,
+                                                      const SelectionPolicy& policy,
+                                                      const std::vector<Guid>& chosen) const {
+    const Bucket& b = swarm.world;
+    const std::size_t n = b.members.size();
+    for (std::size_t step = 0; step < n; ++step) {
+        const std::size_t pos = (b.cursor + step) % n;
+        const std::uint32_t idx = b.members[pos];
+        if (acceptable(swarm.entries[idx], requester, policy, chosen)) {
+            b.cursor = (pos + 1) % n;
+            return idx;
+        }
+    }
+    return std::nullopt;
+}
+
+std::vector<PeerDescriptor> Directory::select(ObjectId object, const PeerDescriptor& requester,
+                                              int want, const SelectionPolicy& policy,
+                                              Rng& rng) const {
+    std::vector<PeerDescriptor> result;
+    if (want <= 0) return result;
+    const auto sit = swarms_.find(object);
+    if (sit == swarms_.end()) return result;
+    const Swarm& swarm = sit->second;
+
+    std::vector<Guid> chosen;
+    chosen.reserve(static_cast<std::size_t>(want));
+
+    // Draws the next candidate from one specific locality level.
+    const auto draw_at = [&](int level) -> std::optional<std::uint32_t> {
+        switch (static_cast<LocalityLevel>(level)) {
+            case LocalityLevel::as_level:
+                return next_in_bucket(swarm, swarm.by_as, requester.asn.value, requester, policy,
+                                      chosen);
+            case LocalityLevel::country:
+                return next_in_bucket(swarm, swarm.by_country, requester.country.value, requester,
+                                      policy, chosen);
+            case LocalityLevel::continent:
+                return next_in_bucket(swarm, swarm.by_continent,
+                                      static_cast<std::uint8_t>(requester.continent), requester,
+                                      policy, chosen);
+            case LocalityLevel::world:
+                return next_in_world(swarm, requester, policy, chosen);
+        }
+        return std::nullopt;
+    };
+
+    const auto push = [&](std::uint32_t idx) {
+        result.push_back(swarm.entries[idx].peer);
+        chosen.push_back(swarm.entries[idx].peer.guid);
+    };
+
+    if (policy.strategy == SelectionPolicy::Strategy::random) {
+        // Ablation baseline: uniform over everyone, no locality. Start the
+        // world cursor at a random position for unbiasedness.
+        swarm.world.cursor = swarm.world.members.empty()
+                                 ? 0
+                                 : static_cast<std::size_t>(rng.below(swarm.world.members.size()));
+        while (static_cast<int>(result.size()) < want) {
+            const auto idx = next_in_world(swarm, requester, policy, chosen);
+            if (!idx) break;
+            push(*idx);
+        }
+        return result;
+    }
+
+    for (int level = 0; level < kLocalityLevels && static_cast<int>(result.size()) < want;
+         ++level) {
+        while (static_cast<int>(result.size()) < want) {
+            int use_level = level;
+            // Diversity: occasionally draw from a less specific set, with
+            // probability proportional to the specificity of the set.
+            if (level + 1 < kLocalityLevels && rng.chance(policy.diversity[level]))
+                use_level = level + 1;
+            auto idx = draw_at(use_level);
+            if (!idx && use_level != level) idx = draw_at(level);
+            if (!idx) break;  // level exhausted; proceed to a less specific set
+            push(*idx);
+        }
+    }
+    return result;
+}
+
+}  // namespace netsession::control

@@ -1,0 +1,112 @@
+// The DN's object→peer directory with hierarchical locality sets.
+//
+// "Each peer belongs to multiple sets, based on its public IP address and the
+// Autonomous System (AS) it is located in. For example, a peer can
+// simultaneously be in a universal World set, a subset for a large
+// geographical region, a subset for a smaller region, and a subset for its
+// specific AS. DN selection begins with peers from the most specific set that
+// the querying peer belongs to, and proceeds to less specific sets until
+// enough suitable peers are found. An additional mechanism adds diversity:
+// Occasionally, peers are selected from a less specific set, with probability
+// proportional to the specificity of the set. Also, when a peer is selected,
+// it is placed at the end of a peer selection list for fairness."  (§3.7)
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "control/peer_descriptor.hpp"
+
+namespace netsession::control {
+
+/// Locality levels, most specific first.
+enum class LocalityLevel : std::uint8_t { as_level, country, continent, world };
+inline constexpr int kLocalityLevels = 4;
+
+/// Tunables of the selection process ("the selection process can be modified
+/// with a set of configurable policies", §3.7).
+struct SelectionPolicy {
+    enum class Strategy {
+        locality_aware,  // the production algorithm
+        random,          // ablation baseline: uniform over the world set
+    };
+    Strategy strategy = Strategy::locality_aware;
+
+    /// Chance of drawing a slot from the next less-specific set, by level
+    /// (index = LocalityLevel). Proportional to specificity per the paper.
+    double diversity[kLocalityLevels] = {0.15, 0.10, 0.05, 0.0};
+
+    /// Pre-filter candidates whose NAT type cannot traverse the requester's.
+    bool nat_compatibility_filter = true;
+};
+
+/// Directory of which peers currently have which objects, per DN.
+class Directory {
+public:
+    /// Registers a copy; replaces a previous registration by the same GUID.
+    void add(ObjectId object, const PeerDescriptor& peer);
+
+    /// Removes one peer's registration for one object.
+    void remove(ObjectId object, Guid guid);
+
+    /// Removes every registration of a peer (logout / upload-disable).
+    void remove_peer(Guid guid);
+
+    /// Selects up to `want` distinct suitable peers for the requester.
+    [[nodiscard]] std::vector<PeerDescriptor> select(ObjectId object,
+                                                     const PeerDescriptor& requester, int want,
+                                                     const SelectionPolicy& policy, Rng& rng) const;
+
+    /// Currently registered copies of an object.
+    [[nodiscard]] int copies(ObjectId object) const;
+
+    [[nodiscard]] std::size_t object_count() const noexcept { return swarms_.size(); }
+    [[nodiscard]] std::size_t registration_count() const noexcept { return live_entries_; }
+
+    /// Drops everything (simulates a DN crash losing its soft state).
+    void clear();
+
+private:
+    struct Entry {
+        PeerDescriptor peer;
+        bool alive = true;
+    };
+
+    struct Bucket {
+        std::vector<std::uint32_t> members;  // entry indices, append-only
+        mutable std::size_t cursor = 0;      // round-robin fairness pointer
+    };
+
+    struct Swarm {
+        std::vector<Entry> entries;
+        std::unordered_map<Guid, std::uint32_t> by_guid;
+        std::unordered_map<std::uint32_t, Bucket> by_as;         // Asn value
+        std::unordered_map<std::uint16_t, Bucket> by_country;    // CountryId value
+        std::unordered_map<std::uint8_t, Bucket> by_continent;   // Continent
+        Bucket world;
+        std::uint32_t dead = 0;
+
+        void compact();
+    };
+
+    /// Walks a bucket round-robin and returns the next acceptable entry.
+    template <typename Key>
+    std::optional<std::uint32_t> next_in_bucket(
+        const Swarm& swarm, const std::unordered_map<Key, Bucket>& buckets, Key key,
+        const PeerDescriptor& requester, const SelectionPolicy& policy,
+        const std::vector<Guid>& chosen) const;
+    std::optional<std::uint32_t> next_in_world(const Swarm& swarm, const PeerDescriptor& requester,
+                                               const SelectionPolicy& policy,
+                                               const std::vector<Guid>& chosen) const;
+    [[nodiscard]] bool acceptable(const Entry& e, const PeerDescriptor& requester,
+                                  const SelectionPolicy& policy,
+                                  const std::vector<Guid>& chosen) const;
+
+    std::unordered_map<ObjectId, Swarm> swarms_;
+    std::size_t live_entries_ = 0;
+};
+
+}  // namespace netsession::control

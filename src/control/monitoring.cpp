@@ -1,0 +1,19 @@
+#include "control/monitoring.hpp"
+
+namespace netsession::control {
+
+void MonitoringNode::report_download_outcome(bool success) {
+    ++window_total_;
+    if (success) ++window_success_;
+    constexpr int kWindow = 200;
+    if (window_total_ < kWindow) return;
+    const double rate = static_cast<double>(window_success_) / static_cast<double>(window_total_);
+    if (rate < threshold_) {
+        ++alerts_;
+        if (on_alert_) on_alert_();
+    }
+    window_total_ = 0;
+    window_success_ = 0;
+}
+
+}  // namespace netsession::control

@@ -1,0 +1,68 @@
+// Monitoring node.
+//
+// "Peers upload information about their operation and about problems, such
+// as application crash reports, to these nodes. Processing their logs helps
+// to monitor the network in real-time, to identify problems, and to
+// troubleshoot specific user issues." (§3.6)  §3.8 adds that download and
+// upload performance is constantly monitored with automated alerts.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string_view>
+
+#include "common/types.hpp"
+
+namespace netsession::control {
+
+enum class ProblemKind : std::uint8_t {
+    crash,
+    update_failed,
+    disk_full,
+    piece_corruption,
+    connect_failure,
+};
+inline constexpr int kProblemKinds = 5;
+
+[[nodiscard]] constexpr std::string_view to_string(ProblemKind k) noexcept {
+    switch (k) {
+        case ProblemKind::crash: return "crash";
+        case ProblemKind::update_failed: return "update_failed";
+        case ProblemKind::disk_full: return "disk_full";
+        case ProblemKind::piece_corruption: return "piece_corruption";
+        case ProblemKind::connect_failure: return "connect_failure";
+    }
+    return "unknown";
+}
+
+class MonitoringNode {
+public:
+    /// Sliding success-rate alarm threshold for automated alerts (§3.8).
+    explicit MonitoringNode(double alert_threshold = 0.5) : threshold_(alert_threshold) {}
+
+    void report_problem(Guid, ProblemKind kind) {
+        ++problems_[static_cast<std::size_t>(kind)];
+    }
+
+    /// Download-outcome telemetry; raises the alert callback when the
+    /// success rate over the last window falls below the threshold.
+    void report_download_outcome(bool success);
+
+    void set_alert_handler(std::function<void()> fn) { on_alert_ = std::move(fn); }
+
+    [[nodiscard]] std::int64_t problems(ProblemKind kind) const {
+        return problems_[static_cast<std::size_t>(kind)];
+    }
+    [[nodiscard]] std::int64_t alerts_raised() const noexcept { return alerts_; }
+
+private:
+    double threshold_;
+    std::array<std::int64_t, kProblemKinds> problems_{};
+    std::function<void()> on_alert_;
+    std::int64_t alerts_ = 0;
+    int window_total_ = 0;
+    int window_success_ = 0;
+};
+
+}  // namespace netsession::control

@@ -1,0 +1,51 @@
+// The connectivity snapshot the control plane keeps per peer: everything the
+// DN needs for locality-aware, NAT-compatible peer selection (paper §3.6-3.7).
+#pragma once
+
+#include "common/types.hpp"
+#include "net/geo.hpp"
+#include "net/ipv4.hpp"
+#include "net/nat.hpp"
+#include "net/world_data.hpp"
+
+namespace netsession::control {
+
+struct PeerDescriptor {
+    Guid guid;
+    HostId host;              // network address for the simulator
+    net::IpAddr ip;           // public IP (defines the AS/geo sets)
+    net::NatType nat = net::NatType::open;
+    Asn asn;
+    CountryId country;
+    net::Continent continent = net::Continent::europe;
+    RegionId region;
+};
+
+/// Interface the control plane uses to reach a peer's client software over
+/// its persistent control connection. Implemented by peer::NetSessionClient.
+class PeerEndpoint {
+public:
+    virtual ~PeerEndpoint() = default;
+
+    [[nodiscard]] virtual Guid guid() const noexcept = 0;
+    [[nodiscard]] virtual HostId host() const noexcept = 0;
+
+    /// The CN this peer was connected to went away; reconnect elsewhere.
+    virtual void on_disconnected() = 0;
+
+    /// A DN lost its database; the peer should re-announce its cached
+    /// objects (the RE-ADD protocol, paper §3.8).
+    virtual void on_re_add_request() = 0;
+
+    /// Another peer was told to download `object` from us; prepare to accept
+    /// its connection (the CN "instructs both ... peers to initiate
+    /// connections to each other", §3.7).
+    virtual void on_introduction(const PeerDescriptor& downloader, ObjectId object) = 0;
+
+    /// The control plane released a new client version; the client upgrades
+    /// automatically in the background (§3.8: "most of the peer population
+    /// can be upgraded to a new version within one hour").
+    virtual void on_upgrade_available(std::uint32_t version) = 0;
+};
+
+}  // namespace netsession::control

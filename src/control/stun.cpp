@@ -1,0 +1,17 @@
+#include "control/stun.hpp"
+
+namespace netsession::control {
+
+void StunService::probe(HostId peer, std::function<void(ConnectivityReport)> on_done) {
+    // Request travels peer -> STUN; the server observes the mapped address
+    // and NAT behaviour; the classification comes back after a second round
+    // trip (two binding tests are the minimum to detect mapping variance).
+    const sim::Duration rtt = world_->latency(peer, host_) + world_->latency(host_, peer);
+    world_->simulator().schedule_after(rtt + rtt, [this, peer, done = std::move(on_done)] {
+        ++probes_;
+        const auto& attach = world_->host(peer).attach;
+        done(ConnectivityReport{attach.ip, attach.nat});
+    });
+}
+
+}  // namespace netsession::control

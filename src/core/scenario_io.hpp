@@ -1,0 +1,29 @@
+// Scenario files: run custom deployments without recompiling.
+//
+// A scenario is a flat key = value file (with # comments) covering the main
+// SimulationConfig knobs. `netsession_sim template` writes a commented
+// template; `netsession_sim run` executes one and saves the trace.
+#pragma once
+
+#include <string>
+
+#include "common/result.hpp"
+#include "core/simulation.hpp"
+
+namespace netsession {
+
+/// Parses a scenario file into a SimulationConfig (starting from defaults).
+/// Unknown keys and malformed lines are errors — typos must not silently
+/// fall back to defaults.
+[[nodiscard]] Result<SimulationConfig> load_scenario(const std::string& path);
+
+/// Parses scenario text (same format) — the file-free core of load_scenario.
+[[nodiscard]] Result<SimulationConfig> parse_scenario(const std::string& text);
+
+/// Renders a config as scenario text (loadable by parse_scenario).
+[[nodiscard]] std::string describe_scenario(const SimulationConfig& config);
+
+/// Writes a fully-commented template; returns false on I/O failure.
+bool write_scenario_template(const std::string& path);
+
+}  // namespace netsession

@@ -1,0 +1,45 @@
+#include "core/simulation.hpp"
+
+namespace netsession {
+
+Simulation::Simulation(SimulationConfig config)
+    : config_(std::move(config)), accounting_(trace_) {
+    Rng root(config_.seed);
+
+    world_ = std::make_unique<net::World>(
+        sim_, net::AsGraph::generate(config_.as_graph, root.child("as-graph")));
+
+    auto profiles = workload::default_providers(config_.tail_providers);
+    if (config_.disable_p2p)
+        for (auto& p : profiles) p.allow_p2p = false;
+    bundle_ = std::make_unique<workload::CatalogBundle>(std::move(profiles), catalog_,
+                                                        root.child("catalog"), config_.max_pieces);
+
+    edges_ = std::make_unique<edge::EdgeNetwork>(*world_, catalog_, config_.edge);
+
+    // The accounting attack filter cross-checks reports against the trusted
+    // edge ledger (§3.5).
+    accounting_.set_ground_truth([this](Guid guid, ObjectId object) {
+        Bytes total = 0;
+        for (const auto& server : edges_->servers()) total += server->bytes_served(guid, object);
+        return total;
+    });
+
+    plane_ = std::make_unique<control::ControlPlane>(*world_, edges_->authority(), trace_,
+                                                     accounting_, config_.control,
+                                                     root.child("control"));
+
+    population_ = std::make_unique<workload::PopulationGenerator>(
+        config_.population, world_->as_graph(), root.child("population"));
+
+    driver_ = std::make_unique<workload::UserDriver>(
+        *world_, *plane_, *edges_, *bundle_, *population_, registry_, config_.behavior,
+        config_.client, root.child("behavior"));
+}
+
+void Simulation::run() {
+    driver_->create_users(config_.peers);
+    driver_->run();
+}
+
+}  // namespace netsession

@@ -1,0 +1,99 @@
+// netsession::Simulation — the library's public entry point.
+//
+// Builds a complete synthetic NetSession deployment (internet model, edge
+// servers, control plane, peer population), drives it through a measurement
+// window with the configured user-behaviour model, and exposes the resulting
+// control-plane trace plus the geo database, ready for the analysis pipeline
+// that regenerates the paper's tables and figures.
+//
+// Typical use (see examples/quickstart.cpp):
+//
+//   netsession::SimulationConfig config;
+//   config.peers = 5000;
+//   config.behavior.window = netsession::sim::days(7.0);
+//   netsession::Simulation sim(config);
+//   sim.run();
+//   const auto headline = netsession::analysis::headline_offload(sim.trace());
+#pragma once
+
+#include <memory>
+
+#include "accounting/accounting.hpp"
+#include "control/control_plane.hpp"
+#include "edge/edge_network.hpp"
+#include "net/world.hpp"
+#include "peer/registry.hpp"
+#include "sim/simulator.hpp"
+#include "trace/trace_log.hpp"
+#include "workload/behavior.hpp"
+
+namespace netsession {
+
+struct SimulationConfig {
+    /// Master seed; every random stream in the deployment derives from it.
+    std::uint64_t seed = 1;
+
+    /// Peer population size. The paper's deployment has 26M installations;
+    /// synthetic runs are ~10^3 smaller and EXPERIMENTS.md compares shapes
+    /// and shares, not absolute totals.
+    int peers = 10000;
+
+    net::AsGraphConfig as_graph;
+    edge::EdgeNetworkConfig edge;
+    control::ControlPlaneConfig control;
+    peer::ClientConfig client;
+    workload::BehaviorConfig behavior;
+    workload::PopulationConfig population;
+
+    /// Minor content providers beyond the ten majors of Tables 2/4.
+    int tail_providers = 10;
+    /// Upper bound on pieces per object (coarsened swarming, DESIGN.md §4.3).
+    std::uint32_t max_pieces = 64;
+
+    /// Forces every object to infrastructure-only delivery — the
+    /// "infrastructure CDN" baseline of the architecture ablation.
+    bool disable_p2p = false;
+};
+
+class Simulation {
+public:
+    explicit Simulation(SimulationConfig config);
+
+    Simulation(const Simulation&) = delete;
+    Simulation& operator=(const Simulation&) = delete;
+
+    /// Creates the population and runs the full measurement window.
+    void run();
+
+    // --- results -----------------------------------------------------------
+    [[nodiscard]] const trace::TraceLog& trace() const noexcept { return trace_; }
+    [[nodiscard]] trace::TraceLog& trace() noexcept { return trace_; }
+    [[nodiscard]] const net::GeoDatabase& geodb() const noexcept { return world_->geodb(); }
+    [[nodiscard]] const net::AsGraph& as_graph() const noexcept { return world_->as_graph(); }
+
+    // --- live components (for examples, tests, failure injection) -----------
+    [[nodiscard]] sim::Simulator& simulator() noexcept { return sim_; }
+    [[nodiscard]] net::World& world() noexcept { return *world_; }
+    [[nodiscard]] edge::EdgeNetwork& edges() noexcept { return *edges_; }
+    [[nodiscard]] control::ControlPlane& control_plane() noexcept { return *plane_; }
+    [[nodiscard]] accounting::AccountingService& accounting() noexcept { return accounting_; }
+    [[nodiscard]] workload::UserDriver& driver() noexcept { return *driver_; }
+    [[nodiscard]] const workload::CatalogBundle& bundle() const noexcept { return *bundle_; }
+    [[nodiscard]] const SimulationConfig& config() const noexcept { return config_; }
+
+private:
+    SimulationConfig config_;
+    sim::Simulator sim_;
+    std::unique_ptr<net::World> world_;
+    edge::Catalog catalog_;
+    std::unique_ptr<workload::CatalogBundle> bundle_;
+    std::unique_ptr<edge::EdgeNetwork> edges_;
+    trace::TraceLog trace_;
+    accounting::AccountingService accounting_;
+    std::unique_ptr<control::ControlPlane> plane_;
+    peer::PeerRegistry registry_;
+    std::unique_ptr<workload::PopulationGenerator> population_;
+    std::unique_ptr<workload::UserDriver> driver_;
+};
+
+}  // namespace netsession

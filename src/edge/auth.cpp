@@ -1,0 +1,21 @@
+#include "edge/auth.hpp"
+
+namespace netsession::edge {
+
+Digest256 TokenAuthority::compute_mac(Guid guid, ObjectId object, sim::SimTime expiry) const {
+    const std::uint64_t msg[5] = {guid.hi, guid.lo, object.hi, object.lo,
+                                  static_cast<std::uint64_t>(expiry.us)};
+    return hmac_sha256(secret_,
+                       std::string_view(reinterpret_cast<const char*>(msg), sizeof(msg)));
+}
+
+AuthToken TokenAuthority::issue(Guid guid, ObjectId object, sim::SimTime expiry) const {
+    return AuthToken{guid, object, expiry, compute_mac(guid, object, expiry)};
+}
+
+bool TokenAuthority::validate(const AuthToken& token, sim::SimTime now) const {
+    if (now > token.expiry) return false;
+    return compute_mac(token.guid, token.object, token.expiry) == token.mac;
+}
+
+}  // namespace netsession::edge

@@ -1,0 +1,45 @@
+// Peer authorization tokens.
+//
+// "Before a peer can receive content from other peers, it must authenticate
+// to an edge server over the HTTP(S) connection; this yields an encrypted
+// token that can be used to search for peers. This is done to prevent users
+// from downloading files from peers that they are not authorized to obtain
+// from the infrastructure." (paper §3.5)
+//
+// Tokens are HMAC-SHA256 over (guid, object id, expiry) under a key shared
+// between the edge infrastructure and the control plane.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/sha256.hpp"
+#include "common/types.hpp"
+#include "sim/time.hpp"
+
+namespace netsession::edge {
+
+struct AuthToken {
+    Guid guid;
+    ObjectId object;
+    sim::SimTime expiry;
+    Digest256 mac;
+};
+
+/// Issues and validates tokens under one shared secret.
+class TokenAuthority {
+public:
+    explicit TokenAuthority(std::string secret) : secret_(std::move(secret)) {}
+
+    [[nodiscard]] AuthToken issue(Guid guid, ObjectId object, sim::SimTime expiry) const;
+
+    /// True iff the MAC is genuine and the token has not expired at `now`.
+    [[nodiscard]] bool validate(const AuthToken& token, sim::SimTime now) const;
+
+private:
+    [[nodiscard]] Digest256 compute_mac(Guid guid, ObjectId object, sim::SimTime expiry) const;
+
+    std::string secret_;
+};
+
+}  // namespace netsession::edge

@@ -1,0 +1,19 @@
+#include "edge/catalog.hpp"
+
+#include <cassert>
+
+namespace netsession::edge {
+
+void Catalog::publish(swarm::ContentObject object, ObjectPolicy policy) {
+    assert(by_id_.find(object.id()) == by_id_.end() && "object ids must be unique per version");
+    auto entry = std::make_unique<CatalogEntry>(CatalogEntry{std::move(object), policy});
+    by_id_[entry->object.id()] = entry.get();
+    entries_.push_back(std::move(entry));
+}
+
+const CatalogEntry* Catalog::find(ObjectId id) const {
+    const auto it = by_id_.find(id);
+    return it == by_id_.end() ? nullptr : it->second;
+}
+
+}  // namespace netsession::edge

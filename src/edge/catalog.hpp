@@ -1,0 +1,41 @@
+// The content catalog: every object NetSession can deliver, with its piece
+// table and per-object policy. Owned by the edge infrastructure; the control
+// plane and peers reference objects by id.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "edge/policy.hpp"
+#include "swarm/content.hpp"
+
+namespace netsession::edge {
+
+/// One published object: metadata plus delivery options.
+struct CatalogEntry {
+    swarm::ContentObject object;
+    ObjectPolicy policy;
+};
+
+class Catalog {
+public:
+    /// Publishes an object. The id must be fresh.
+    void publish(swarm::ContentObject object, ObjectPolicy policy);
+
+    [[nodiscard]] const CatalogEntry* find(ObjectId id) const;
+    [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+
+    /// Iteration support for workload generation and analysis.
+    [[nodiscard]] const std::vector<std::unique_ptr<CatalogEntry>>& entries() const noexcept {
+        return entries_;
+    }
+
+private:
+    std::vector<std::unique_ptr<CatalogEntry>> entries_;
+    std::unordered_map<ObjectId, const CatalogEntry*> by_id_;
+};
+
+}  // namespace netsession::edge

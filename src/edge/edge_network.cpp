@@ -1,0 +1,63 @@
+#include "edge/edge_network.hpp"
+
+#include <cassert>
+#include <limits>
+
+#include "net/world_data.hpp"
+
+namespace netsession::edge {
+
+EdgeNetwork::EdgeNetwork(net::World& world, const Catalog& catalog,
+                         const EdgeNetworkConfig& config)
+    : world_(&world), authority_(config.shared_secret) {
+    // For each region, find its heaviest country and host the region's edge
+    // servers at that country's center, attached to the country's largest AS.
+    Rng placement_rng(0xED6E5EEDULL);
+    for (const auto& region : net::regions()) {
+        const net::CountryInfo* anchor = nullptr;
+        for (const auto& c : net::countries()) {
+            if (c.region != region.id) continue;
+            if (anchor == nullptr || c.peer_weight > anchor->peer_weight) anchor = &c;
+        }
+        if (anchor == nullptr) continue;  // region without modelled countries
+        for (int k = 0; k < config.servers_per_region; ++k) {
+            const Asn asn = world.as_graph().pick_for_country(anchor->id, placement_rng);
+            net::HostInfo info;
+            info.attach.location = net::Location{anchor->id, 0, anchor->center};
+            info.attach.asn = asn;
+            info.attach.nat = net::NatType::open;
+            info.up = config.server_uplink;
+            info.down = net::kUnlimited;
+            info.is_server = true;
+            const HostId host = world.create_host(info);
+            const auto id = EdgeId{static_cast<std::uint16_t>(servers_.size())};
+            servers_.push_back(std::make_unique<EdgeServer>(id, world, catalog, authority_, host,
+                                                            config.per_connection_cap));
+        }
+    }
+    assert(!servers_.empty());
+}
+
+EdgeServer& EdgeNetwork::nearest(HostId client) {
+    const auto client_point = world_->host(client).attach.location.point;
+    EdgeServer* best = nullptr;
+    double best_km = std::numeric_limits<double>::infinity();
+    for (const auto& s : servers_) {
+        const double km =
+            net::haversine_km(client_point, world_->host(s->host()).attach.location.point);
+        if (km < best_km) {
+            best_km = km;
+            best = s.get();
+        }
+    }
+    assert(best != nullptr);
+    return *best;
+}
+
+Bytes EdgeNetwork::total_bytes_served() const {
+    Bytes total = 0;
+    for (const auto& s : servers_) total += s->total_bytes_served();
+    return total;
+}
+
+}  // namespace netsession::edge

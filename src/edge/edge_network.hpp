@@ -1,0 +1,46 @@
+// The edge-server deployment: a set of edge servers placed across network
+// regions, with DNS-style nearest-server mapping (paper §3.2, §3.7: peers
+// are "mapped to the closest available CN by Akamai's DNS system" — the same
+// mechanism maps clients to edge servers).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "edge/edge_server.hpp"
+
+namespace netsession::edge {
+
+struct EdgeNetworkConfig {
+    int servers_per_region = 1;
+    Rate per_connection_cap = 50e6 / 8.0;  // 50 Mbps per client connection
+    /// Aggregate uplink per edge server. Unlimited by default (Akamai's
+    /// serving capacity is not the bottleneck of a client download); set a
+    /// finite value to study an under-provisioned infrastructure — the
+    /// regime where the peers' scalability benefit (§2.3) dominates.
+    Rate server_uplink = net::kUnlimited;
+    std::string shared_secret = "netsession-edge-secret";
+};
+
+class EdgeNetwork {
+public:
+    /// Creates one or more edge servers per region, hosted in the region's
+    /// heaviest country's backbone AS.
+    EdgeNetwork(net::World& world, const Catalog& catalog, const EdgeNetworkConfig& config);
+
+    /// DNS mapping: the geographically nearest edge server for the client.
+    [[nodiscard]] EdgeServer& nearest(HostId client);
+
+    [[nodiscard]] const TokenAuthority& authority() const noexcept { return authority_; }
+    [[nodiscard]] const std::vector<std::unique_ptr<EdgeServer>>& servers() const noexcept {
+        return servers_;
+    }
+    [[nodiscard]] Bytes total_bytes_served() const;
+
+private:
+    net::World* world_;
+    TokenAuthority authority_;
+    std::vector<std::unique_ptr<EdgeServer>> servers_;
+};
+
+}  // namespace netsession::edge

@@ -1,0 +1,45 @@
+#include "edge/edge_server.hpp"
+
+#include <cassert>
+
+namespace netsession::edge {
+
+EdgeServer::EdgeServer(EdgeId id, net::World& world, const Catalog& catalog,
+                       const TokenAuthority& authority, HostId host, Rate per_connection_cap)
+    : id_(id),
+      world_(&world),
+      catalog_(&catalog),
+      authority_(&authority),
+      host_(host),
+      per_connection_cap_(per_connection_cap) {}
+
+AuthToken EdgeServer::authorize(Guid guid, ObjectId object) const {
+    return authority_->issue(guid, object, world_->simulator().now() + sim::hours(1.0));
+}
+
+net::FlowId EdgeServer::serve_piece(HostId client, Guid client_guid,
+                                    const swarm::ContentObject& object, swarm::PieceIndex piece,
+                                    std::function<void(Digest256)> on_done) {
+    assert(catalog_->find(object.id()) != nullptr && "cannot serve unpublished content");
+    const Bytes len = object.piece_length(piece);
+    const DownloadKey key{client_guid, object.id()};
+    const ObjectId oid = object.id();
+    const Digest256 digest = object.correct_transfer_digest(piece);
+    return world_->flows().start_flow(
+        host_, client, len, per_connection_cap_,
+        [this, key, len, digest, oid, done = std::move(on_done)](net::FlowId) {
+            (void)oid;
+            ledger_[key] += len;
+            total_served_ += len;
+            if (done) done(digest);
+        });
+}
+
+Bytes EdgeServer::abort(net::FlowId flow) { return world_->flows().cancel_flow(flow); }
+
+Bytes EdgeServer::bytes_served(Guid guid, ObjectId object) const {
+    const auto it = ledger_.find(DownloadKey{guid, object});
+    return it == ledger_.end() ? 0 : it->second;
+}
+
+}  // namespace netsession::edge

@@ -1,0 +1,51 @@
+// Content-provider delivery policies.
+//
+// "A policy defined by the content provider is used to decide whether a
+// particular file may be downloaded and uploaded; in addition, various
+// configurable options apply to each download and upload. These policies and
+// options are securely communicated to the peers through the trusted
+// edge-server infrastructure." (paper §3.5)
+#pragma once
+
+#include "common/types.hpp"
+
+namespace netsession::edge {
+
+/// Options a content provider configures for its account. The defaults
+/// reflect the production behaviours the paper describes.
+struct ProviderPolicy {
+    CpCode provider{};
+
+    /// Whether the NetSession binary this provider bundles ships with peer
+    /// uploads initially enabled (paper §5.1, Tables 3/4: the initial setting
+    /// is chosen by the content provider).
+    bool uploads_enabled_by_default = false;
+
+    /// Whether p2p delivery may be enabled on this provider's objects at all.
+    bool allow_p2p = true;
+
+    /// Fraction of this provider's *large* objects that have p2p enabled
+    /// (content providers "tend to enable it on such objects", §4.4).
+    double p2p_enabled_fraction_large = 0.9;
+
+    /// Objects at or above this size count as large for the rule above.
+    Bytes large_object_threshold = 100 * 1000 * 1000;
+};
+
+/// Per-object delivery options, derived from the provider policy when the
+/// object is published.
+struct ObjectPolicy {
+    bool p2p_enabled = false;
+
+    /// Globally configurable limit on upload connections per peer (§3.4).
+    int max_upload_connections = 6;
+
+    /// "peers upload each object at most a limited number of times" (§3.9).
+    int max_uploads_per_object = 16;
+
+    /// Upload rate cap per connection — uploads are intentionally limited
+    /// (§3.9). Bytes/second.
+    double upload_rate_cap = 1.5e6 / 8.0 * 8.0;  // ~1.5 MB/s
+};
+
+}  // namespace netsession::edge

@@ -1,0 +1,301 @@
+#include "net/flow.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace netsession::net {
+
+namespace {
+// Rates are clamped to a large finite value so that `rate * dt` stays finite.
+constexpr Rate kRateClamp = 1e15;
+// Residual smaller than one byte counts as completed (fluid-model rounding).
+constexpr double kResidual = 1.0;
+
+double naive_share(Rate capacity, std::size_t degree) noexcept {
+    if (capacity == kUnlimited) return kUnlimited;
+    return capacity / static_cast<double>(std::max<std::size_t>(1, degree));
+}
+}  // namespace
+
+HostId FlowNetwork::add_host(Rate up, Rate down) {
+    hosts_.push_back(Host{up, down, {}, {}, false});
+    return HostId{static_cast<std::uint32_t>(hosts_.size() - 1)};
+}
+
+const FlowNetwork::Flow* FlowNetwork::find(FlowId id) const {
+    const auto slot = static_cast<std::uint32_t>(id.value & 0xFFFFFFFFu);
+    const auto gen = static_cast<std::uint32_t>(id.value >> 32);
+    if (slot >= flows_.size()) return nullptr;
+    const Flow& f = flows_[slot];
+    if (!f.active || f.generation != gen) return nullptr;
+    return &f;
+}
+
+FlowNetwork::Flow* FlowNetwork::find(FlowId id) {
+    return const_cast<Flow*>(static_cast<const FlowNetwork*>(this)->find(id));
+}
+
+FlowId FlowNetwork::start_flow(HostId src, HostId dst, Bytes size, Rate cap,
+                               CompletionFn on_complete) {
+    assert(src.value < hosts_.size() && dst.value < hosts_.size());
+    assert(src != dst);
+    assert(size > 0);
+
+    std::uint32_t slot;
+    if (!free_slots_.empty()) {
+        slot = free_slots_.back();
+        free_slots_.pop_back();
+    } else {
+        slot = static_cast<std::uint32_t>(flows_.size());
+        flows_.emplace_back();
+    }
+    Flow& f = flows_[slot];
+    const std::uint32_t gen = f.generation;  // preserved across reuse
+    f = Flow{};
+    f.generation = gen;
+    f.src = src;
+    f.dst = dst;
+    f.cap = cap;
+    f.remaining = size;
+    f.last_settle = sim_->now();
+    f.on_complete = std::move(on_complete);
+    f.active = true;
+
+    hosts_[src.value].out.push_back(slot);
+    hosts_[dst.value].in.push_back(slot);
+
+    // Hosts whose water-fills involve the changed naive shares: the two
+    // endpoints themselves, plus every host with a flow adjacent to them.
+    mark_dirty(src);
+    mark_dirty(dst);
+    for (const auto s : hosts_[src.value].out) mark_dirty(flows_[s].dst);
+    for (const auto s : hosts_[src.value].in) mark_dirty(flows_[s].src);
+    for (const auto s : hosts_[dst.value].out) mark_dirty(flows_[s].dst);
+    for (const auto s : hosts_[dst.value].in) mark_dirty(flows_[s].src);
+    process_dirty();
+
+    // If neither endpoint has a finite constraint the refills never touched
+    // the flow; give it its cap.
+    if (flows_[slot].active && flows_[slot].rate == 0.0) apply_rate(slot);
+    return make_id(slot);
+}
+
+Bytes FlowNetwork::cancel_flow(FlowId id) {
+    Flow* f = find(id);
+    if (f == nullptr) return 0;
+    const auto slot = static_cast<std::uint32_t>(id.value & 0xFFFFFFFFu);
+    settle(slot);
+    const auto moved = static_cast<Bytes>(std::llround(f->done));
+    remove(slot);
+    process_dirty();
+    return moved;
+}
+
+bool FlowNetwork::active(FlowId id) const { return find(id) != nullptr; }
+
+Bytes FlowNetwork::transferred(FlowId id) {
+    Flow* f = find(id);
+    if (f == nullptr) return 0;
+    settle(static_cast<std::uint32_t>(id.value & 0xFFFFFFFFu));
+    return static_cast<Bytes>(std::llround(f->done));
+}
+
+Rate FlowNetwork::current_rate(FlowId id) const {
+    const Flow* f = find(id);
+    return f == nullptr ? 0.0 : f->rate;
+}
+
+int FlowNetwork::out_degree(HostId h) const {
+    return static_cast<int>(hosts_[h.value].out.size());
+}
+int FlowNetwork::in_degree(HostId h) const { return static_cast<int>(hosts_[h.value].in.size()); }
+
+void FlowNetwork::set_up_capacity(HostId h, Rate up) {
+    if (hosts_[h.value].up == up) return;
+    hosts_[h.value].up = up;
+    if (up == kUnlimited) {
+        // mark_dirty skips unconstrained hosts, so lift the stale finite
+        // allocations explicitly.
+        for (const auto s : hosts_[h.value].out) {
+            flows_[s].alloc_src = kUnlimited;
+            apply_rate(s);
+        }
+    }
+    mark_dirty(h);
+    for (const auto s : hosts_[h.value].out) mark_dirty(flows_[s].dst);
+    process_dirty();
+}
+
+void FlowNetwork::set_down_capacity(HostId h, Rate down) {
+    if (hosts_[h.value].down == down) return;
+    hosts_[h.value].down = down;
+    if (down == kUnlimited) {
+        for (const auto s : hosts_[h.value].in) {
+            flows_[s].alloc_dst = kUnlimited;
+            apply_rate(s);
+        }
+    }
+    mark_dirty(h);
+    for (const auto s : hosts_[h.value].in) mark_dirty(flows_[s].src);
+    process_dirty();
+}
+
+void FlowNetwork::settle(std::uint32_t slot) {
+    Flow& f = flows_[slot];
+    const sim::SimTime now = sim_->now();
+    const double dt = (now - f.last_settle).seconds();
+    f.last_settle = now;
+    if (dt <= 0.0 || f.rate <= 0.0) return;
+    const double moved = std::min(f.remaining, f.rate * dt);
+    f.remaining -= moved;
+    f.done += moved;
+    total_delivered_ += static_cast<Bytes>(std::llround(moved));
+}
+
+void FlowNetwork::reschedule(std::uint32_t slot) {
+    Flow& f = flows_[slot];
+    if (f.completion.valid()) {
+        sim_->cancel(f.completion);
+        f.completion = sim::EventHandle{};
+    }
+    if (!f.active) return;
+    if (f.remaining <= kResidual) {
+        f.completion = sim_->schedule_after(sim::Duration{0}, [this, slot] { complete(slot); });
+        return;
+    }
+    if (f.rate <= 0.0) return;  // stalled; will be rescheduled on reallocation
+    const double dt_s = f.remaining / f.rate;
+    const auto dt_us = static_cast<std::int64_t>(std::ceil(dt_s * 1e6)) + 1;
+    f.completion = sim_->schedule_after(sim::Duration{dt_us}, [this, slot] { complete(slot); });
+}
+
+void FlowNetwork::complete(std::uint32_t slot) {
+    Flow& f = flows_[slot];
+    if (!f.active) return;
+    f.completion = sim::EventHandle{};
+    settle(slot);
+    if (f.remaining > kResidual) {
+        // Rates dropped since this event was scheduled; keep going.
+        reschedule(slot);
+        return;
+    }
+    // Credit the sub-byte residual so byte totals match the flow size.
+    f.done += f.remaining;
+    total_delivered_ += static_cast<Bytes>(std::llround(f.remaining));
+    f.remaining = 0.0;
+    CompletionFn cb = std::move(f.on_complete);
+    const FlowId id = make_id(slot);
+    remove(slot);
+    process_dirty();
+    if (cb) cb(id);
+}
+
+void FlowNetwork::remove(std::uint32_t slot) {
+    Flow& f = flows_[slot];
+    assert(f.active);
+    if (f.completion.valid()) {
+        sim_->cancel(f.completion);
+        f.completion = sim::EventHandle{};
+    }
+    auto erase_from = [slot](std::vector<std::uint32_t>& v) {
+        v.erase(std::remove(v.begin(), v.end(), slot), v.end());
+    };
+    erase_from(hosts_[f.src.value].out);
+    erase_from(hosts_[f.dst.value].in);
+
+    mark_dirty(f.src);
+    mark_dirty(f.dst);
+    for (const auto s : hosts_[f.src.value].out) mark_dirty(flows_[s].dst);
+    for (const auto s : hosts_[f.src.value].in) mark_dirty(flows_[s].src);
+    for (const auto s : hosts_[f.dst.value].out) mark_dirty(flows_[s].dst);
+    for (const auto s : hosts_[f.dst.value].in) mark_dirty(flows_[s].src);
+
+    f.active = false;
+    f.on_complete = nullptr;
+    ++f.generation;
+    free_slots_.push_back(slot);
+}
+
+void FlowNetwork::mark_dirty(HostId h) {
+    Host& host = hosts_[h.value];
+    // Hosts with no finite capacity never constrain anyone; skip them.
+    if (host.up == kUnlimited && host.down == kUnlimited) return;
+    if (host.queued) return;
+    host.queued = true;
+    dirty_.push_back(h);
+}
+
+void FlowNetwork::process_dirty() {
+    if (processing_) return;  // the outermost mutator drains the queue
+    processing_ = true;
+    while (!dirty_.empty()) {
+        const HostId h = dirty_.back();
+        dirty_.pop_back();
+        hosts_[h.value].queued = false;
+        refill_host(h);
+    }
+    processing_ = false;
+}
+
+void FlowNetwork::refill_host(HostId h) {
+    Host& host = hosts_[h.value];
+
+    // Water-fills `capacity` over the given flows; bound of each flow is its
+    // cap combined with the naive fair share at its other endpoint. Writes
+    // the per-flow allocation and applies the resulting rates.
+    const auto fill_side = [this](Rate capacity, const std::vector<std::uint32_t>& slots,
+                                  bool side_is_up) {
+        if (capacity == kUnlimited || slots.empty()) return;
+        fill_scratch_.clear();
+        for (const auto s : slots) {
+            const Flow& f = flows_[s];
+            const Host& other = side_is_up ? hosts_[f.dst.value] : hosts_[f.src.value];
+            const double other_share = side_is_up ? naive_share(other.down, other.in.size())
+                                                  : naive_share(other.up, other.out.size());
+            fill_scratch_.emplace_back(std::min(f.cap, other_share), s);
+        }
+        std::sort(fill_scratch_.begin(), fill_scratch_.end());
+        double remaining = capacity;
+        std::size_t k = fill_scratch_.size();
+        double level = 0.0;
+        std::size_t i = 0;
+        for (; i < fill_scratch_.size(); ++i) {
+            const double share = remaining / static_cast<double>(k);
+            if (fill_scratch_[i].first <= share) {
+                const double a = fill_scratch_[i].first;
+                Flow& f = flows_[fill_scratch_[i].second];
+                (side_is_up ? f.alloc_src : f.alloc_dst) = a;
+                remaining -= a;
+                --k;
+            } else {
+                level = share;
+                break;
+            }
+        }
+        for (; i < fill_scratch_.size(); ++i) {
+            Flow& f = flows_[fill_scratch_[i].second];
+            (side_is_up ? f.alloc_src : f.alloc_dst) = level;
+        }
+        for (const auto s : slots) apply_rate(s);
+    };
+
+    fill_side(host.up, host.out, /*side_is_up=*/true);
+    fill_side(host.down, host.in, /*side_is_up=*/false);
+}
+
+void FlowNetwork::apply_rate(std::uint32_t slot) {
+    Flow& f = flows_[slot];
+    if (!f.active) return;
+    double r = std::min({f.cap, f.alloc_src, f.alloc_dst});
+    r = std::min(r, kRateClamp);
+    if (r < 0.0) r = 0.0;
+    const double old = f.rate;
+    const double diff = std::fabs(r - old);
+    if (diff <= epsilon_ * std::max(old, r) && f.completion.valid()) return;
+    settle(slot);
+    f.rate = r;
+    reschedule(slot);
+}
+
+}  // namespace netsession::net

@@ -1,0 +1,144 @@
+// Flow-level bandwidth sharing.
+//
+// Transfers are modelled as fluid flows between hosts. Each host has an
+// uplink and a downlink capacity; the network assigns each flow a rate and
+// recomputes affected rates when flows start, finish, or capacities change.
+//
+// Allocation model: per-host *water-filling*. For each host side, capacity is
+// divided max-min-fairly among its flows, where each flow is bounded by its
+// own cap and by the naive fair share it can get at its other endpoint. A
+// flow's rate is the minimum of the allocations of its two endpoints (and its
+// cap). Rate changes propagate to neighbouring hosts until they attenuate
+// below a relative epsilon. This is the standard flow-level approximation of
+// global max-min fairness: exact on single-bottleneck topologies (see tests)
+// and within a few percent elsewhere, at per-event cost proportional to the
+// degree of the affected hosts rather than to the number of flows in the
+// system.
+//
+// Edge servers are modelled with unlimited uplinks plus a per-connection cap,
+// which matches reality (Akamai's serving capacity is not the bottleneck of a
+// client download) and keeps their degree from coupling thousands of flows.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/simulator.hpp"
+
+namespace netsession::net {
+
+/// Capacity value meaning "not a constraint".
+inline constexpr Rate kUnlimited = std::numeric_limits<double>::infinity();
+
+/// Identifies a flow; stale ids (after completion/cancel) are safely ignored.
+struct FlowId {
+    std::uint64_t value = 0;
+    [[nodiscard]] bool valid() const noexcept { return value != 0; }
+    friend constexpr auto operator<=>(const FlowId&, const FlowId&) = default;
+};
+
+class FlowNetwork {
+public:
+    using CompletionFn = std::function<void(FlowId)>;
+
+    /// `sim` must outlive the network.
+    explicit FlowNetwork(sim::Simulator& sim) : sim_(&sim) {}
+
+    FlowNetwork(const FlowNetwork&) = delete;
+    FlowNetwork& operator=(const FlowNetwork&) = delete;
+
+    /// Adds a host with the given link capacities; returns its index.
+    HostId add_host(Rate up, Rate down);
+
+    [[nodiscard]] std::size_t host_count() const noexcept { return hosts_.size(); }
+
+    /// Changes a host's uplink capacity (used for upload throttling and
+    /// user-traffic backoff) and reallocates affected flows.
+    void set_up_capacity(HostId h, Rate up);
+    void set_down_capacity(HostId h, Rate down);
+    [[nodiscard]] Rate up_capacity(HostId h) const { return hosts_[h.value].up; }
+    [[nodiscard]] Rate down_capacity(HostId h) const { return hosts_[h.value].down; }
+
+    /// Starts a flow of `size` bytes from src to dst with a per-flow rate cap
+    /// (kUnlimited for none). `on_complete` fires when the last byte arrives.
+    FlowId start_flow(HostId src, HostId dst, Bytes size, Rate cap, CompletionFn on_complete);
+
+    /// Cancels a flow; returns the bytes it transferred. No-op (returns 0)
+    /// for stale ids.
+    Bytes cancel_flow(FlowId id);
+
+    /// True if the flow is still running.
+    [[nodiscard]] bool active(FlowId id) const;
+    /// Bytes moved so far (settled to the current instant).
+    [[nodiscard]] Bytes transferred(FlowId id);
+    /// The current allocated rate.
+    [[nodiscard]] Rate current_rate(FlowId id) const;
+
+    /// Concurrent flows on a host side (for tests and peer logic).
+    [[nodiscard]] int out_degree(HostId h) const;
+    [[nodiscard]] int in_degree(HostId h) const;
+
+    /// Total bytes delivered by completed+cancelled+running flows.
+    [[nodiscard]] Bytes total_delivered() const noexcept { return total_delivered_; }
+
+    /// Relative rate change below which updates do not propagate.
+    void set_epsilon(double eps) noexcept { epsilon_ = eps; }
+
+private:
+    struct Host {
+        Rate up = kUnlimited;
+        Rate down = kUnlimited;
+        std::vector<std::uint32_t> out;  // flow slots
+        std::vector<std::uint32_t> in;
+        bool queued = false;  // already in the dirty work queue
+    };
+
+    struct Flow {
+        HostId src;
+        HostId dst;
+        Rate cap = kUnlimited;
+        Rate rate = 0.0;
+        Rate alloc_src = kUnlimited;  // last allocation from src's uplink fill
+        Rate alloc_dst = kUnlimited;  // last allocation from dst's downlink fill
+        double remaining = 0.0;  // fluid-model fractional bytes
+        double done = 0.0;
+        sim::SimTime last_settle{};
+        sim::EventHandle completion;
+        CompletionFn on_complete;
+        std::uint32_t generation = 1;
+        bool active = false;
+    };
+
+    [[nodiscard]] FlowId make_id(std::uint32_t slot) const {
+        return FlowId{(static_cast<std::uint64_t>(flows_[slot].generation) << 32) | slot};
+    }
+    [[nodiscard]] const Flow* find(FlowId id) const;
+    [[nodiscard]] Flow* find(FlowId id);
+
+    void settle(std::uint32_t slot);
+    void reschedule(std::uint32_t slot);
+    void complete(std::uint32_t slot);
+    void remove(std::uint32_t slot);
+    void mark_dirty(HostId h);
+    void process_dirty();
+    /// Recomputes one side's water-fill and applies new rates; marks
+    /// neighbours whose allocation changed materially.
+    void refill_host(HostId h);
+    void apply_rate(std::uint32_t slot);
+
+    sim::Simulator* sim_;
+    std::vector<Host> hosts_;
+    std::vector<Flow> flows_;
+    std::vector<std::uint32_t> free_slots_;
+    std::vector<HostId> dirty_;
+    bool processing_ = false;
+    double epsilon_ = 0.02;
+    Bytes total_delivered_ = 0;
+    // Scratch buffers for water-filling (avoid per-call allocation).
+    std::vector<std::pair<double, std::uint32_t>> fill_scratch_;
+};
+
+}  // namespace netsession::net

@@ -1,0 +1,19 @@
+#include "net/geo.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace netsession::net {
+
+double haversine_km(GeoPoint a, GeoPoint b) noexcept {
+    constexpr double kEarthRadiusKm = 6371.0;
+    constexpr double deg = std::numbers::pi / 180.0;
+    const double dlat = (b.lat - a.lat) * deg;
+    const double dlon = (b.lon - a.lon) * deg;
+    const double s = std::sin(dlat / 2) * std::sin(dlat / 2) +
+                     std::cos(a.lat * deg) * std::cos(b.lat * deg) * std::sin(dlon / 2) *
+                         std::sin(dlon / 2);
+    return 2.0 * kEarthRadiusKm * std::asin(std::min(1.0, std::sqrt(s)));
+}
+
+}  // namespace netsession::net

@@ -1,0 +1,32 @@
+// Geographic primitives: coordinates and great-circle distance.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace netsession::net {
+
+/// A point on the globe, degrees.
+struct GeoPoint {
+    double lat = 0.0;
+    double lon = 0.0;
+
+    friend bool operator==(const GeoPoint&, const GeoPoint&) = default;
+};
+
+/// Great-circle distance in kilometres (haversine formula). Used for the
+/// mobility analysis (§6.2: "77% remained within 10 km") and the latency
+/// model.
+[[nodiscard]] double haversine_km(GeoPoint a, GeoPoint b) noexcept;
+
+/// A named place a peer can be located at: a country plus a synthetic
+/// city-granularity location index with coordinates (EdgeScape resolves IPs
+/// to roughly city granularity, paper §4.1).
+struct Location {
+    CountryId country;
+    std::uint32_t city = 0;  // index of the synthetic city within the country
+    GeoPoint point;
+
+    friend bool operator==(const Location&, const Location&) = default;
+};
+
+}  // namespace netsession::net

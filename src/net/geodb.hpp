@@ -1,0 +1,49 @@
+// Geolocation database — the EdgeScape substitute (paper §4.1).
+//
+// As client IPs are allocated, the deployment registers each address with the
+// location and AS it belongs to; the analysis pipeline later resolves IPs
+// from the (anonymised) logs exactly like the paper resolves them through
+// Akamai's EdgeScape service.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+
+#include "common/types.hpp"
+#include "net/geo.hpp"
+#include "net/ipv4.hpp"
+
+namespace netsession::net {
+
+/// One geolocation record: what EdgeScape returns for an IP.
+struct GeoRecord {
+    Location location;
+    Asn asn;
+};
+
+/// IP → geolocation registry.
+class GeoDatabase {
+public:
+    /// Registers (or overwrites) the record for an address.
+    void register_ip(IpAddr ip, const GeoRecord& record) { records_[ip] = record; }
+
+    /// Resolves an address; empty if unknown.
+    [[nodiscard]] std::optional<GeoRecord> lookup(IpAddr ip) const {
+        const auto it = records_.find(ip);
+        if (it == records_.end()) return std::nullopt;
+        return it->second;
+    }
+
+    [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+
+    /// Visits every (ip, record) pair — used for serialisation.
+    template <typename Fn>
+    void for_each(Fn&& fn) const {
+        for (const auto& [ip, record] : records_) fn(ip, record);
+    }
+
+private:
+    std::unordered_map<IpAddr, GeoRecord> records_;
+};
+
+}  // namespace netsession::net

@@ -1,0 +1,49 @@
+// IPv4 address model. Addresses are allocated from per-AS blocks by the
+// population generator; the geo database (EdgeScape substitute) resolves them
+// back to location and AS.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace netsession::net {
+
+/// An IPv4 address as a host-order 32-bit integer.
+struct IpAddr {
+    std::uint32_t value = 0;
+
+    friend constexpr auto operator<=>(const IpAddr&, const IpAddr&) = default;
+
+    [[nodiscard]] std::string to_string() const {
+        return std::to_string((value >> 24) & 0xFF) + "." + std::to_string((value >> 16) & 0xFF) +
+               "." + std::to_string((value >> 8) & 0xFF) + "." + std::to_string(value & 0xFF);
+    }
+};
+
+/// A CIDR prefix.
+struct Prefix {
+    std::uint32_t base = 0;
+    int length = 0;  // 0..32
+
+    [[nodiscard]] constexpr bool contains(IpAddr a) const noexcept {
+        if (length <= 0) return true;
+        const std::uint32_t mask = length >= 32 ? ~0u : ~((1u << (32 - length)) - 1u);
+        return (a.value & mask) == (base & mask);
+    }
+    [[nodiscard]] constexpr std::uint32_t size() const noexcept {
+        return length >= 32 ? 1u : (1u << (32 - length));
+    }
+};
+
+}  // namespace netsession::net
+
+namespace std {
+template <>
+struct hash<netsession::net::IpAddr> {
+    size_t operator()(const netsession::net::IpAddr& a) const noexcept {
+        // Fibonacci hashing; IPs cluster in prefixes so identity hash is poor.
+        return static_cast<size_t>(a.value * 0x9E3779B97F4A7C15ULL);
+    }
+};
+}  // namespace std

@@ -1,0 +1,39 @@
+#include "net/nat.hpp"
+
+namespace netsession::net {
+
+namespace {
+constexpr std::size_t idx(NatType t) noexcept { return static_cast<std::size_t>(t); }
+
+// success[a][b]: probability that coordinated hole punching succeeds between
+// NAT types a and b. Zero means "incompatible in principle". The matrix is
+// symmetric. Values reflect the usual punching folklore: cone NATs punch
+// reliably; symmetric NATs only talk to cone types (port prediction), and
+// symmetric<->port_restricted or symmetric<->symmetric fails; udp_blocked
+// endpoints can only connect out to 'open' endpoints over TCP.
+constexpr double kSuccess[kNatTypeCount][kNatTypeCount] = {
+    //               open  fcone rcone prest symm  blocked
+    /* open    */ {0.99, 0.98, 0.98, 0.97, 0.95, 0.90},
+    /* fcone   */ {0.98, 0.96, 0.95, 0.94, 0.85, 0.00},
+    /* rcone   */ {0.98, 0.95, 0.93, 0.92, 0.75, 0.00},
+    /* prest   */ {0.97, 0.94, 0.92, 0.90, 0.00, 0.00},
+    /* symm    */ {0.95, 0.85, 0.75, 0.00, 0.00, 0.00},
+    /* blocked */ {0.90, 0.00, 0.00, 0.00, 0.00, 0.00},
+};
+}  // namespace
+
+bool can_traverse(NatType a, NatType b) noexcept { return kSuccess[idx(a)][idx(b)] > 0.0; }
+
+double traversal_success_probability(NatType a, NatType b) noexcept {
+    return kSuccess[idx(a)][idx(b)];
+}
+
+const std::array<double, kNatTypeCount>& default_nat_mix() noexcept {
+    // Roughly: ~12% public/open, the bulk behind cone-style home NATs, a
+    // significant symmetric share (carrier-grade and enterprise NATs), and a
+    // small strictly-firewalled share.
+    static const std::array<double, kNatTypeCount> mix = {0.12, 0.22, 0.20, 0.28, 0.13, 0.05};
+    return mix;
+}
+
+}  // namespace netsession::net

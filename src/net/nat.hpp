@@ -1,0 +1,57 @@
+// NAT and middlebox model.
+//
+// The paper (§3.7) notes that NAT hole punching is "a complex issue" and that
+// the necessary code is a large fraction of the NetSession codebase; the DN
+// "selects only peers that are likely to be able to establish a connection
+// with each other, e.g., based on the type of their NAT or firewall". This
+// module provides the NAT taxonomy, the pairwise traversal-compatibility
+// matrix the DN filters with, and per-attempt success probabilities used when
+// peers actually try to connect.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace netsession::net {
+
+/// Classic STUN-style NAT classification (cf. RFC 5389 context; NetSession
+/// uses a custom protocol with similar goals, paper §3.6).
+enum class NatType : std::uint8_t {
+    open,             // public IP, no NAT/firewall
+    full_cone,
+    restricted_cone,
+    port_restricted,
+    symmetric,
+    udp_blocked,      // firewall drops unsolicited and UDP; inbound impossible
+};
+
+inline constexpr int kNatTypeCount = 6;
+
+[[nodiscard]] constexpr std::string_view to_string(NatType t) noexcept {
+    switch (t) {
+        case NatType::open: return "open";
+        case NatType::full_cone: return "full_cone";
+        case NatType::restricted_cone: return "restricted_cone";
+        case NatType::port_restricted: return "port_restricted";
+        case NatType::symmetric: return "symmetric";
+        case NatType::udp_blocked: return "udp_blocked";
+    }
+    return "unknown";
+}
+
+/// Whether a direct connection between two endpoints behind the given NAT
+/// types is possible *in principle* with control-plane-coordinated hole
+/// punching. This is the predicate the DN uses to pre-filter candidates.
+[[nodiscard]] bool can_traverse(NatType a, NatType b) noexcept;
+
+/// Probability that a coordinated connection attempt between two such
+/// endpoints actually succeeds. Real-world punching is flaky even for
+/// compatible pairs; incompatible pairs have probability 0.
+[[nodiscard]] double traversal_success_probability(NatType a, NatType b) noexcept;
+
+/// A realistic NAT-type mix for consumer broadband populations; index by
+/// NatType cast to size_t. Sums to 1.
+[[nodiscard]] const std::array<double, kNatTypeCount>& default_nat_mix() noexcept;
+
+}  // namespace netsession::net

@@ -1,0 +1,37 @@
+#include "net/world.hpp"
+
+namespace netsession::net {
+
+HostId World::create_host(HostInfo info) {
+    if (info.attach.ip.value == 0) info.attach.ip = as_graph_.allocate_ip(info.attach.asn);
+    geodb_.register_ip(info.attach.ip, GeoRecord{info.attach.location, info.attach.asn});
+    const HostId h = flows_.add_host(info.up, info.down);
+    hosts_.push_back(std::move(info));
+    return h;
+}
+
+void World::reattach(HostId h, Location location, Asn asn, NatType nat) {
+    HostInfo& info = hosts_[h.value];
+    info.attach.location = location;
+    info.attach.asn = asn;
+    info.attach.nat = nat;
+    info.attach.ip = as_graph_.allocate_ip(asn);
+    geodb_.register_ip(info.attach.ip, GeoRecord{location, asn});
+}
+
+sim::Duration World::latency(HostId a, HostId b) const {
+    const Attachment& aa = hosts_[a.value].attach;
+    const Attachment& ab = hosts_[b.value].attach;
+    const double km = haversine_km(aa.location.point, ab.location.point);
+    // ~1 ms of processing, 0.01 ms/km propagation+routing (fibre detours),
+    // and a few ms extra when crossing AS boundaries.
+    double ms = 1.0 + km * 0.01;
+    if (aa.asn != ab.asn) ms += 4.0;
+    return sim::milliseconds(ms);
+}
+
+void World::send(HostId from, HostId to, std::function<void()> fn) {
+    sim_->schedule_after(latency(from, to), std::move(fn));
+}
+
+}  // namespace netsession::net

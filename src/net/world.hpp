@@ -1,0 +1,87 @@
+// The simulated internet: hosts with network attachment (location, AS, IP,
+// NAT), a latency model, message passing, and the flow-level data plane.
+// Everything above this layer (edge servers, control plane, peers) addresses
+// other parties by HostId and communicates through World.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "net/as_graph.hpp"
+#include "net/flow.hpp"
+#include "net/geo.hpp"
+#include "net/geodb.hpp"
+#include "net/nat.hpp"
+#include "net/world_data.hpp"
+#include "sim/simulator.hpp"
+
+namespace netsession::net {
+
+/// Network attachment of a host at a point in time. Peers can re-attach
+/// (mobility, §6.2); servers never do.
+struct Attachment {
+    Location location;
+    Asn asn{};
+    IpAddr ip;
+    NatType nat = NatType::open;
+};
+
+/// Everything the network layer knows about a host.
+struct HostInfo {
+    Attachment attach;
+    Rate up = kUnlimited;
+    Rate down = kUnlimited;
+    bool is_server = false;
+};
+
+class World {
+public:
+    World(sim::Simulator& sim, AsGraph as_graph)
+        : sim_(&sim), flows_(sim), as_graph_(std::move(as_graph)) {}
+
+    World(const World&) = delete;
+    World& operator=(const World&) = delete;
+
+    /// Creates a host; allocates an IP in the attachment's AS if none given
+    /// and registers it with the geo database.
+    HostId create_host(HostInfo info);
+
+    /// Re-attaches a host elsewhere (user mobility / IP churn). A fresh IP is
+    /// allocated from the new AS and registered with the geo database.
+    void reattach(HostId h, Location location, Asn asn, NatType nat);
+
+    [[nodiscard]] const HostInfo& host(HostId h) const { return hosts_[h.value]; }
+    [[nodiscard]] std::size_t host_count() const noexcept { return hosts_.size(); }
+
+    [[nodiscard]] RegionId region_of(HostId h) const {
+        return country(hosts_[h.value].attach.location.country).region;
+    }
+
+    /// One-way control-message latency between two hosts: propagation from
+    /// great-circle distance plus processing/queueing, with an inter-AS hop
+    /// penalty. Deterministic; callers add jitter where it matters.
+    [[nodiscard]] sim::Duration latency(HostId a, HostId b) const;
+
+    /// Delivers `fn` at the destination after one-way latency. The caller is
+    /// responsible for the destination object outliving delivery.
+    void send(HostId from, HostId to, std::function<void()> fn);
+
+    [[nodiscard]] sim::Simulator& simulator() noexcept { return *sim_; }
+    [[nodiscard]] FlowNetwork& flows() noexcept { return flows_; }
+    [[nodiscard]] const FlowNetwork& flows() const noexcept { return flows_; }
+    [[nodiscard]] AsGraph& as_graph() noexcept { return as_graph_; }
+    [[nodiscard]] const AsGraph& as_graph() const noexcept { return as_graph_; }
+    [[nodiscard]] GeoDatabase& geodb() noexcept { return geodb_; }
+    [[nodiscard]] const GeoDatabase& geodb() const noexcept { return geodb_; }
+
+private:
+    sim::Simulator* sim_;
+    FlowNetwork flows_;
+    AsGraph as_graph_;
+    GeoDatabase geodb_;
+    std::vector<HostInfo> hosts_;
+};
+
+}  // namespace netsession::net

@@ -1,0 +1,197 @@
+#include "net/world_data.hpp"
+
+#include <array>
+#include <cassert>
+
+namespace netsession::net {
+
+namespace {
+
+constexpr RegionId R(std::uint16_t v) { return RegionId{v}; }
+constexpr CountryId C(std::uint16_t v) { return CountryId{v}; }
+
+// 19 network regions, consistent with "the current deployment has less than
+// 20 network regions" (paper §3.7).
+constexpr std::array<RegionInfo, 19> kRegions = {{
+    {R(0), "US-East", Continent::north_america},
+    {R(1), "US-Central", Continent::north_america},
+    {R(2), "US-West", Continent::north_america},
+    {R(3), "Canada", Continent::north_america},
+    {R(4), "Mexico-CentralAm", Continent::north_america},
+    {R(5), "SouthAm-North", Continent::south_america},
+    {R(6), "Brazil-SouthCone", Continent::south_america},
+    {R(7), "EU-West", Continent::europe},
+    {R(8), "EU-North", Continent::europe},
+    {R(9), "EU-East", Continent::europe},
+    {R(10), "EU-South", Continent::europe},
+    {R(11), "Russia-CIS", Continent::europe},
+    {R(12), "MiddleEast", Continent::asia},
+    {R(13), "India", Continent::asia},
+    {R(14), "China", Continent::asia},
+    {R(15), "Asia-SE", Continent::asia},
+    {R(16), "Asia-NE", Continent::asia},
+    {R(17), "Oceania", Continent::oceania},
+    {R(18), "Africa", Continent::africa},
+}};
+
+// Broadband shorthands. The "fast" profiles pair high downstream medians with
+// strong down/up asymmetry — this is what makes peer-assisted downloads lag
+// edge-only ones most in the fastest networks (paper §5.2, Fig 4).
+constexpr BroadbandProfile kFiberFast{55.0, 0.7, 10.0};
+constexpr BroadbandProfile kCableFast{30.0, 0.7, 9.0};
+constexpr BroadbandProfile kDslGood{16.0, 0.6, 6.0};
+constexpr BroadbandProfile kDslMid{8.0, 0.6, 5.0};
+constexpr BroadbandProfile kDslSlow{4.0, 0.6, 4.0};
+constexpr BroadbandProfile kEmerging{2.0, 0.7, 3.0};
+
+// Peer weights are proportional shares of the synthetic population, shaped to
+// Fig 2 (≈27% North America, ≈35% Europe, sizable South America and Asia).
+// They are normalised at use, so they need not sum to exactly 1.
+// Note the United States appears as three entries (East/Central/West) so that
+// region granularity matches Table 2's split; they share the alpha-2 code.
+constexpr std::array<CountryInfo, 120> kCountries = {{
+    // id, alpha2, name, continent, region, center{lat,lon}, spread, weight, broadband
+    {C(0), "US", "United States (East)", Continent::north_america, R(0), {39.0, -77.5}, 6.0, 0.090, kCableFast},
+    {C(1), "US", "United States (Central)", Continent::north_america, R(1), {41.0, -93.0}, 7.0, 0.050, kCableFast},
+    {C(2), "US", "United States (West)", Continent::north_america, R(2), {37.5, -120.0}, 6.0, 0.070, kCableFast},
+    {C(3), "CA", "Canada", Continent::north_america, R(3), {45.5, -75.0}, 8.0, 0.030, kCableFast},
+    {C(4), "MX", "Mexico", Continent::north_america, R(4), {19.4, -99.1}, 5.0, 0.020, kDslMid},
+    {C(5), "GT", "Guatemala", Continent::north_america, R(4), {14.6, -90.5}, 1.5, 0.002, kEmerging},
+    {C(6), "CR", "Costa Rica", Continent::north_america, R(4), {9.9, -84.1}, 1.0, 0.0015, kDslSlow},
+    {C(7), "PA", "Panama", Continent::north_america, R(4), {9.0, -79.5}, 1.0, 0.0015, kDslSlow},
+    {C(8), "DO", "Dominican Republic", Continent::north_america, R(4), {18.5, -69.9}, 1.0, 0.002, kDslSlow},
+    {C(9), "BR", "Brazil", Continent::south_america, R(6), {-15.8, -47.9}, 10.0, 0.045, kDslMid},
+    {C(10), "AR", "Argentina", Continent::south_america, R(6), {-34.6, -58.4}, 6.0, 0.015, kDslMid},
+    {C(11), "CL", "Chile", Continent::south_america, R(6), {-33.5, -70.7}, 5.0, 0.008, kDslMid},
+    {C(12), "CO", "Colombia", Continent::south_america, R(5), {4.7, -74.1}, 4.0, 0.010, kDslSlow},
+    {C(13), "PE", "Peru", Continent::south_america, R(5), {-12.0, -77.0}, 4.0, 0.006, kDslSlow},
+    {C(14), "VE", "Venezuela", Continent::south_america, R(5), {10.5, -66.9}, 3.0, 0.005, kDslSlow},
+    {C(15), "EC", "Ecuador", Continent::south_america, R(5), {-0.2, -78.5}, 2.0, 0.003, kDslSlow},
+    {C(16), "UY", "Uruguay", Continent::south_america, R(6), {-34.9, -56.2}, 1.5, 0.002, kDslMid},
+    {C(17), "DE", "Germany", Continent::europe, R(7), {51.0, 10.0}, 3.5, 0.050, kDslGood},
+    {C(18), "FR", "France", Continent::europe, R(7), {46.6, 2.5}, 3.5, 0.040, kDslGood},
+    {C(19), "GB", "United Kingdom", Continent::europe, R(7), {52.5, -1.5}, 3.0, 0.040, kDslGood},
+    {C(20), "IT", "Italy", Continent::europe, R(10), {42.8, 12.5}, 3.5, 0.030, kDslMid},
+    {C(21), "ES", "Spain", Continent::europe, R(10), {40.3, -3.7}, 3.5, 0.030, kDslMid},
+    {C(22), "PL", "Poland", Continent::europe, R(9), {52.0, 19.3}, 3.0, 0.025, kDslMid},
+    {C(23), "NL", "Netherlands", Continent::europe, R(7), {52.2, 5.3}, 1.2, 0.015, kFiberFast},
+    {C(24), "SE", "Sweden", Continent::europe, R(8), {59.5, 16.5}, 3.5, 0.010, kFiberFast},
+    {C(25), "NO", "Norway", Continent::europe, R(8), {60.5, 9.0}, 3.0, 0.006, kFiberFast},
+    {C(26), "DK", "Denmark", Continent::europe, R(8), {55.9, 10.5}, 1.5, 0.006, kCableFast},
+    {C(27), "FI", "Finland", Continent::europe, R(8), {61.5, 25.0}, 3.0, 0.005, kCableFast},
+    {C(28), "BE", "Belgium", Continent::europe, R(7), {50.7, 4.6}, 1.2, 0.008, kCableFast},
+    {C(29), "AT", "Austria", Continent::europe, R(7), {47.6, 14.1}, 1.5, 0.007, kDslGood},
+    {C(30), "CH", "Switzerland", Continent::europe, R(7), {46.9, 8.2}, 1.2, 0.007, kCableFast},
+    {C(31), "PT", "Portugal", Continent::europe, R(10), {39.6, -8.0}, 1.5, 0.008, kDslMid},
+    {C(32), "GR", "Greece", Continent::europe, R(10), {38.5, 23.0}, 2.0, 0.007, kDslMid},
+    {C(33), "CZ", "Czechia", Continent::europe, R(9), {49.8, 15.5}, 1.5, 0.008, kDslGood},
+    {C(34), "RO", "Romania", Continent::europe, R(9), {45.9, 25.0}, 2.0, 0.010, kFiberFast},
+    {C(35), "HU", "Hungary", Continent::europe, R(9), {47.2, 19.5}, 1.5, 0.006, kDslGood},
+    {C(36), "UA", "Ukraine", Continent::europe, R(11), {49.0, 31.5}, 3.5, 0.010, kDslMid},
+    {C(37), "RU", "Russia", Continent::europe, R(11), {55.8, 37.6}, 12.0, 0.025, kDslGood},
+    {C(38), "TR", "Turkey", Continent::europe, R(12), {39.9, 32.9}, 4.0, 0.015, kDslMid},
+    {C(39), "CN", "China", Continent::asia, R(14), {34.0, 108.9}, 10.0, 0.040, kDslMid},
+    {C(40), "IN", "India", Continent::asia, R(13), {21.0, 78.0}, 9.0, 0.035, kEmerging},
+    {C(41), "JP", "Japan", Continent::asia, R(16), {36.0, 138.0}, 4.0, 0.025, kFiberFast},
+    {C(42), "KR", "South Korea", Continent::asia, R(16), {36.5, 127.8}, 2.0, 0.015, kFiberFast},
+    {C(43), "TW", "Taiwan", Continent::asia, R(16), {23.8, 121.0}, 1.2, 0.010, kCableFast},
+    {C(44), "TH", "Thailand", Continent::asia, R(15), {15.0, 101.0}, 4.0, 0.010, kDslMid},
+    {C(45), "VN", "Vietnam", Continent::asia, R(15), {16.0, 107.8}, 4.0, 0.010, kDslSlow},
+    {C(46), "ID", "Indonesia", Continent::asia, R(15), {-6.2, 106.8}, 6.0, 0.015, kEmerging},
+    {C(47), "MY", "Malaysia", Continent::asia, R(15), {3.1, 101.7}, 3.0, 0.008, kDslMid},
+    {C(48), "PH", "Philippines", Continent::asia, R(15), {14.6, 121.0}, 4.0, 0.010, kEmerging},
+    {C(49), "SG", "Singapore", Continent::asia, R(15), {1.35, 103.8}, 0.3, 0.004, kFiberFast},
+    {C(50), "HK", "Hong Kong", Continent::asia, R(14), {22.3, 114.2}, 0.3, 0.005, kFiberFast},
+    {C(51), "SA", "Saudi Arabia", Continent::asia, R(12), {24.7, 46.7}, 4.0, 0.008, kDslMid},
+    {C(52), "AE", "United Arab Emirates", Continent::asia, R(12), {24.5, 54.4}, 1.5, 0.004, kCableFast},
+    {C(53), "IL", "Israel", Continent::asia, R(12), {32.0, 34.8}, 1.0, 0.005, kCableFast},
+    {C(54), "PK", "Pakistan", Continent::asia, R(13), {31.5, 74.3}, 4.0, 0.005, kEmerging},
+    {C(55), "AU", "Australia", Continent::oceania, R(17), {-33.9, 151.2}, 10.0, 0.020, kDslMid},
+    {C(56), "NZ", "New Zealand", Continent::oceania, R(17), {-41.3, 174.8}, 3.0, 0.005, kDslMid},
+    {C(57), "EG", "Egypt", Continent::africa, R(18), {30.0, 31.2}, 3.0, 0.008, kEmerging},
+    {C(58), "ZA", "South Africa", Continent::africa, R(18), {-26.2, 28.0}, 5.0, 0.008, kDslSlow},
+    {C(59), "NG", "Nigeria", Continent::africa, R(18), {6.5, 3.4}, 4.0, 0.005, kEmerging},
+    {C(60), "MA", "Morocco", Continent::africa, R(18), {33.6, -7.6}, 3.0, 0.005, kEmerging},
+    {C(61), "IE", "Ireland", Continent::europe, R(7), {53.3, -7.5}, 1.5, 0.004, kCableFast},
+    {C(62), "HR", "Croatia", Continent::europe, R(10), {45.5, 16.0}, 1.5, 0.003, kDslMid},
+    {C(63), "RS", "Serbia", Continent::europe, R(9), {44.3, 20.8}, 1.5, 0.004, kDslMid},
+    {C(64), "BG", "Bulgaria", Continent::europe, R(9), {42.8, 25.2}, 1.5, 0.004, kFiberFast},
+    {C(65), "SK", "Slovakia", Continent::europe, R(9), {48.7, 19.5}, 1.2, 0.003, kDslGood},
+    {C(66), "SI", "Slovenia", Continent::europe, R(10), {46.1, 14.8}, 0.8, 0.002, kDslGood},
+    {C(67), "LT", "Lithuania", Continent::europe, R(8), {55.2, 23.9}, 1.0, 0.002, kFiberFast},
+    {C(68), "LV", "Latvia", Continent::europe, R(8), {56.9, 24.6}, 1.0, 0.0015, kFiberFast},
+    {C(69), "EE", "Estonia", Continent::europe, R(8), {58.7, 25.5}, 1.0, 0.001, kFiberFast},
+    {C(70), "IS", "Iceland", Continent::europe, R(8), {64.9, -19.0}, 1.0, 0.0004, kFiberFast},
+    {C(71), "LU", "Luxembourg", Continent::europe, R(7), {49.7, 6.1}, 0.3, 0.0006, kCableFast},
+    {C(72), "CY", "Cyprus", Continent::europe, R(10), {35.1, 33.2}, 0.5, 0.0008, kDslMid},
+    {C(73), "MT", "Malta", Continent::europe, R(10), {35.9, 14.4}, 0.1, 0.0004, kCableFast},
+    {C(74), "BY", "Belarus", Continent::europe, R(11), {53.6, 27.9}, 2.0, 0.003, kDslMid},
+    {C(75), "MD", "Moldova", Continent::europe, R(11), {47.2, 28.5}, 1.0, 0.001, kFiberFast},
+    {C(76), "AL", "Albania", Continent::europe, R(10), {41.2, 20.1}, 1.0, 0.001, kDslSlow},
+    {C(77), "BA", "Bosnia and Herzegovina", Continent::europe, R(10), {44.2, 17.8}, 1.0, 0.0012, kDslMid},
+    {C(78), "MK", "North Macedonia", Continent::europe, R(10), {41.6, 21.7}, 0.8, 0.0008, kDslMid},
+    {C(79), "GE", "Georgia", Continent::europe, R(11), {42.0, 43.5}, 1.2, 0.001, kDslMid},
+    {C(80), "AM", "Armenia", Continent::europe, R(11), {40.3, 44.9}, 0.8, 0.0008, kDslMid},
+    {C(81), "AZ", "Azerbaijan", Continent::europe, R(11), {40.4, 47.8}, 1.2, 0.0012, kDslSlow},
+    {C(82), "KZ", "Kazakhstan", Continent::asia, R(11), {48.2, 67.0}, 6.0, 0.002, kDslMid},
+    {C(83), "UZ", "Uzbekistan", Continent::asia, R(11), {41.5, 64.5}, 3.0, 0.0012, kEmerging},
+    {C(84), "BD", "Bangladesh", Continent::asia, R(13), {23.7, 90.4}, 2.5, 0.002, kEmerging},
+    {C(85), "LK", "Sri Lanka", Continent::asia, R(13), {7.5, 80.7}, 1.2, 0.001, kEmerging},
+    {C(86), "NP", "Nepal", Continent::asia, R(13), {28.2, 84.1}, 1.5, 0.0006, kEmerging},
+    {C(87), "MM", "Myanmar", Continent::asia, R(15), {19.8, 96.1}, 3.0, 0.0006, kEmerging},
+    {C(88), "KH", "Cambodia", Continent::asia, R(15), {11.6, 104.9}, 1.5, 0.0005, kEmerging},
+    {C(89), "LA", "Laos", Continent::asia, R(15), {18.0, 103.0}, 1.5, 0.0003, kEmerging},
+    {C(90), "MN", "Mongolia", Continent::asia, R(16), {47.9, 106.9}, 2.0, 0.0003, kDslSlow},
+    {C(91), "JO", "Jordan", Continent::asia, R(12), {31.3, 36.4}, 1.0, 0.001, kDslSlow},
+    {C(92), "LB", "Lebanon", Continent::asia, R(12), {33.9, 35.8}, 0.6, 0.0008, kDslSlow},
+    {C(93), "KW", "Kuwait", Continent::asia, R(12), {29.3, 47.6}, 0.5, 0.0008, kDslMid},
+    {C(94), "QA", "Qatar", Continent::asia, R(12), {25.3, 51.2}, 0.3, 0.0006, kCableFast},
+    {C(95), "BH", "Bahrain", Continent::asia, R(12), {26.1, 50.6}, 0.2, 0.0004, kCableFast},
+    {C(96), "OM", "Oman", Continent::asia, R(12), {21.0, 57.0}, 1.5, 0.0005, kDslMid},
+    {C(97), "IQ", "Iraq", Continent::asia, R(12), {33.2, 43.7}, 2.0, 0.0008, kEmerging},
+    {C(98), "BO", "Bolivia", Continent::south_america, R(5), {-16.5, -68.1}, 2.5, 0.0015, kEmerging},
+    {C(99), "PY", "Paraguay", Continent::south_america, R(6), {-25.3, -57.6}, 1.5, 0.001, kEmerging},
+    {C(100), "HN", "Honduras", Continent::north_america, R(4), {14.1, -87.2}, 1.2, 0.0006, kEmerging},
+    {C(101), "SV", "El Salvador", Continent::north_america, R(4), {13.7, -89.2}, 0.8, 0.0006, kEmerging},
+    {C(102), "NI", "Nicaragua", Continent::north_america, R(4), {12.1, -86.3}, 1.2, 0.0004, kEmerging},
+    {C(103), "JM", "Jamaica", Continent::north_america, R(4), {18.0, -76.8}, 0.6, 0.0005, kDslSlow},
+    {C(104), "TT", "Trinidad and Tobago", Continent::north_america, R(4), {10.7, -61.3}, 0.4, 0.0004, kDslMid},
+    {C(105), "GH", "Ghana", Continent::africa, R(18), {6.7, -1.6}, 2.0, 0.0008, kEmerging},
+    {C(106), "CI", "Ivory Coast", Continent::africa, R(18), {6.8, -5.3}, 2.0, 0.0006, kEmerging},
+    {C(107), "SN", "Senegal", Continent::africa, R(18), {14.7, -17.4}, 1.5, 0.0005, kEmerging},
+    {C(108), "CM", "Cameroon", Continent::africa, R(18), {4.6, 11.5}, 2.0, 0.0004, kEmerging},
+    {C(109), "UG", "Uganda", Continent::africa, R(18), {0.3, 32.6}, 1.5, 0.0004, kEmerging},
+    {C(110), "TZ", "Tanzania", Continent::africa, R(18), {-6.4, 35.0}, 2.5, 0.0004, kEmerging},
+    {C(111), "ET", "Ethiopia", Continent::africa, R(18), {9.0, 38.8}, 2.5, 0.0003, kEmerging},
+    {C(112), "ZM", "Zambia", Continent::africa, R(18), {-15.4, 28.3}, 2.0, 0.0003, kEmerging},
+    {C(113), "MZ", "Mozambique", Continent::africa, R(18), {-25.9, 32.6}, 2.5, 0.0002, kEmerging},
+    {C(114), "AO", "Angola", Continent::africa, R(18), {-8.8, 13.2}, 2.5, 0.0003, kEmerging},
+    {C(115), "TN", "Tunisia", Continent::africa, R(18), {36.8, 10.2}, 1.5, 0.0012, kEmerging},
+    {C(116), "DZ", "Algeria", Continent::africa, R(18), {36.7, 3.1}, 3.0, 0.0015, kEmerging},
+    {C(117), "KE", "Kenya", Continent::africa, R(18), {-1.3, 36.8}, 2.0, 0.0008, kEmerging},
+    {C(118), "FJ", "Fiji", Continent::oceania, R(17), {-18.1, 178.4}, 1.0, 0.0002, kDslSlow},
+    {C(119), "PG", "Papua New Guinea", Continent::oceania, R(17), {-9.4, 147.2}, 2.0, 0.0002, kEmerging},
+}};
+
+}  // namespace
+
+std::span<const RegionInfo> regions() noexcept { return kRegions; }
+std::span<const CountryInfo> countries() noexcept { return kCountries; }
+
+const CountryInfo& country(CountryId id) noexcept {
+    assert(id.value < kCountries.size());
+    return kCountries[id.value];
+}
+
+const RegionInfo& region(RegionId id) noexcept {
+    assert(id.value < kRegions.size());
+    return kRegions[id.value];
+}
+
+const CountryInfo* find_country(std::string_view alpha2) noexcept {
+    for (const auto& c : kCountries)
+        if (c.alpha2 == alpha2) return &c;
+    return nullptr;
+}
+
+}  // namespace netsession::net

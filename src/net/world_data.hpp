@@ -1,0 +1,84 @@
+// Static world data: continents, NetSession network regions, and a country
+// table with geographic coordinates, population weights for the synthetic
+// peer deployment, and broadband characteristics.
+//
+// The region list substitutes for NetSession's "fewer than 20 network
+// regions" (paper §3.7); the country weights are shaped to the paper's
+// observed peer distribution (Fig 2: ~27% North America, ~35% Europe,
+// sizable South America and Asia, 239 countries/territories total — we model
+// the ~60 largest, which carry almost all traffic).
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "common/types.hpp"
+#include "net/geo.hpp"
+
+namespace netsession::net {
+
+enum class Continent : std::uint8_t {
+    north_america,
+    south_america,
+    europe,
+    africa,
+    asia,
+    oceania,
+};
+inline constexpr int kContinentCount = 6;
+
+[[nodiscard]] constexpr std::string_view to_string(Continent c) noexcept {
+    switch (c) {
+        case Continent::north_america: return "North America";
+        case Continent::south_america: return "South America";
+        case Continent::europe: return "Europe";
+        case Continent::africa: return "Africa";
+        case Continent::asia: return "Asia";
+        case Continent::oceania: return "Oceania";
+    }
+    return "unknown";
+}
+
+/// One NetSession network region ("defined by proximity to particular groups
+/// of servers", §3.7). The deployment has fewer than 20; we define 19.
+struct RegionInfo {
+    RegionId id;
+    std::string_view name;
+    Continent continent;
+};
+
+/// Broadband access profile of a country. Download/upload are medians of a
+/// log-normal; asymmetry (down/up ratio) is what drives the Fig 4 gap in
+/// fast networks.
+struct BroadbandProfile {
+    double down_mbps_median = 10.0;
+    double down_sigma = 0.6;   // sigma of the underlying normal
+    double asymmetry = 6.0;    // down/up ratio
+};
+
+/// Static per-country record.
+struct CountryInfo {
+    CountryId id;
+    std::string_view alpha2;
+    std::string_view name;
+    Continent continent;
+    RegionId region;
+    GeoPoint center;
+    double spread_deg;    // how widely cities scatter around the center
+    double peer_weight;   // share of the global peer population
+    BroadbandProfile broadband;
+};
+
+/// All regions, indexed by RegionId::value.
+[[nodiscard]] std::span<const RegionInfo> regions() noexcept;
+
+/// All countries, indexed by CountryId::value.
+[[nodiscard]] std::span<const CountryInfo> countries() noexcept;
+
+[[nodiscard]] const CountryInfo& country(CountryId id) noexcept;
+[[nodiscard]] const RegionInfo& region(RegionId id) noexcept;
+
+/// Looks up a country by its ISO alpha-2 code; returns nullptr if unknown.
+[[nodiscard]] const CountryInfo* find_country(std::string_view alpha2) noexcept;
+
+}  // namespace netsession::net

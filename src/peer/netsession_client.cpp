@@ -1,0 +1,890 @@
+#include "peer/netsession_client.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace netsession::peer {
+
+namespace {
+std::uint64_t intro_key(Guid guid, ObjectId object) noexcept {
+    return (guid.hi ^ guid.lo) * 0x9E3779B97F4A7C15ULL ^ (object.hi ^ object.lo);
+}
+
+Digest256 corrupted(Digest256 d) noexcept {
+    d.bytes[0] ^= 0xFF;  // any bit flip fails verification
+    return d;
+}
+}  // namespace
+
+NetSessionClient::NetSessionClient(net::World& world, control::ControlPlane& plane,
+                                   edge::EdgeNetwork& edges, const edge::Catalog& catalog,
+                                   PeerRegistry& registry, Guid guid, HostId host,
+                                   ClientConfig config, Rng rng)
+    : world_(&world),
+      plane_(&plane),
+      edges_(&edges),
+      catalog_(&catalog),
+      registry_(&registry),
+      guid_(guid),
+      host_(host),
+      config_(config),
+      rng_(rng),
+      uploads_enabled_(config.uploads_enabled),
+      version_(config.software_version),
+      reconnect_delay_s_(config.reconnect_base_s),
+      base_up_(world.flows().up_capacity(host)) {
+    registry_->add(guid_, this);
+}
+
+NetSessionClient::~NetSessionClient() {
+    if (registry_->find(guid_) == this) registry_->remove(guid_);
+}
+
+control::PeerDescriptor NetSessionClient::descriptor() const {
+    const net::Attachment& a = world_->host(host_).attach;
+    const net::CountryInfo& c = net::country(a.location.country);
+    return control::PeerDescriptor{guid_, host_,      a.ip,     a.nat,
+                                   a.asn, c.id,       c.continent, c.region};
+}
+
+control::LoginInfo NetSessionClient::make_login_info() const {
+    control::LoginInfo info;
+    info.desc = descriptor();
+    info.software_version = version_;
+    info.uploads_enabled = uploads_enabled_;
+    // Last five secondary GUIDs, newest first (§6.2).
+    for (std::size_t i = 0; i < info.secondary_guids.size() && i < chain_.size(); ++i)
+        info.secondary_guids[i] = chain_[chain_.size() - 1 - i];
+    info.cached_objects = cached_objects();
+    return info;
+}
+
+std::vector<ObjectId> NetSessionClient::cached_objects() const {
+    std::vector<ObjectId> out;
+    out.reserve(cache_.size());
+    for (const auto& [object, when] : cache_) out.push_back(object);
+    return out;
+}
+
+// --- lifecycle ---------------------------------------------------------------
+
+void NetSessionClient::start() {
+    if (running_) return;
+    running_ = true;
+    // A fresh secondary GUID is chosen every time the software starts (§6.2).
+    chain_.push_back(SecondaryGuid{rng_.next(), rng_.next()});
+
+    // Lazy cache eviction for retention that elapsed while offline.
+    const auto now = world_->simulator().now();
+    for (auto it = cache_.begin(); it != cache_.end();) {
+        if (now - it->second > config_.cache_retention)
+            it = cache_.erase(it);
+        else
+            ++it;
+    }
+
+    // Connectivity discovery, then the persistent control connection.
+    plane_->closest_stun(host_).probe(host_, [this](control::ConnectivityReport) {
+        if (!running_) return;
+        connect_control_plane();
+    });
+
+    if (config_.resume_on_start)
+        for (auto& [object, d] : downloads_)
+            if (d.paused) resume_download(object);
+}
+
+void NetSessionClient::stop() {
+    if (!running_) return;
+    running_ = false;
+
+    // Active downloads pause; they can be continued later (§3.3).
+    for (auto& [object, d] : downloads_) {
+        if (!d.paused) {
+            d.paused = true;
+            stop_transfers(d, /*notify_remotes=*/true);
+        }
+    }
+    // Downloads we were serving break off.
+    for (const auto& [downloader, object] : upload_conns_) {
+        if (NetSessionClient* remote = registry_->find(downloader)) {
+            const Guid self = guid_;
+            world_->send(host_, remote->host(),
+                         [remote, self, object] { remote->on_source_lost(self, object); });
+        }
+    }
+    upload_conns_.clear();
+    introductions_.clear();
+
+    if (cn_ != nullptr) {
+        control::ConnectionNode* cn = cn_;
+        const Guid self = guid_;
+        world_->send(host_, cn->host(), [cn, self] { cn->logout(self); });
+        cn_ = nullptr;
+    }
+    login_in_flight_ = false;
+}
+
+// --- control-plane connectivity ------------------------------------------------
+
+void NetSessionClient::connect_control_plane() {
+    if (!running_ || cn_ != nullptr || login_in_flight_) return;
+    control::ConnectionNode* cn = plane_->closest_cn(host_);
+    if (cn == nullptr) {
+        // Entire control plane unreachable; keep retrying in the background.
+        // Downloads keep working straight off the edge servers (§3.8).
+        schedule_reconnect();
+        return;
+    }
+    login_in_flight_ = true;
+    const control::LoginInfo info = make_login_info();
+    world_->send(host_, cn->host(), [this, cn, info] {
+        if (!cn->login(*this, info)) {
+            // CN down or its admission limiter deferred us; back off.
+            world_->send(cn->host(), host_, [this] { on_login_failed(); });
+            return;
+        }
+        world_->send(cn->host(), host_, [this, cn] { on_login_ok(cn); });
+    });
+}
+
+void NetSessionClient::on_login_ok(control::ConnectionNode* cn) {
+    login_in_flight_ = false;
+    if (!running_) {
+        const Guid self = guid_;
+        world_->send(host_, cn->host(), [cn, self] { cn->logout(self); });
+        return;
+    }
+    cn_ = cn;
+    reconnect_delay_s_ = config_.reconnect_base_s;
+    flush_pending_reports();
+    kick_downloads();
+}
+
+void NetSessionClient::on_login_failed() {
+    login_in_flight_ = false;
+    schedule_reconnect();
+}
+
+void NetSessionClient::schedule_reconnect() {
+    if (!running_) return;
+    // Exponential backoff with jitter keeps reconnection storms smooth when
+    // a CN dies with >150k peers attached (§3.8).
+    const double delay = reconnect_delay_s_ * (1.0 + rng_.uniform());
+    reconnect_delay_s_ = std::min(reconnect_delay_s_ * 2.0, config_.reconnect_max_s);
+    world_->simulator().schedule_after(sim::seconds(delay), [this] {
+        if (running_ && cn_ == nullptr) connect_control_plane();
+    });
+}
+
+void NetSessionClient::on_disconnected() {
+    cn_ = nullptr;
+    if (running_) schedule_reconnect();
+}
+
+void NetSessionClient::on_re_add_request() {
+    if (!running_ || cn_ == nullptr || !uploads_enabled_) return;
+    for (const auto& [object, when] : cache_) announce_object(object, /*readd=*/true);
+}
+
+void NetSessionClient::on_introduction(const control::PeerDescriptor& downloader,
+                                       ObjectId object) {
+    if (!running_) return;
+    introductions_.insert(intro_key(downloader.guid, object));
+}
+
+void NetSessionClient::on_upgrade_available(std::uint32_t version) {
+    if (version <= version_) return;
+    // Automated background upgrade, spread over several minutes so the
+    // whole population does not restart at once (§3.8).
+    const double delay_s = rng_.uniform(30.0, 900.0);
+    world_->simulator().schedule_after(sim::seconds(delay_s), [this, version] {
+        if (version > version_) version_ = version;
+    });
+}
+
+// --- downloads ------------------------------------------------------------------
+
+void NetSessionClient::begin_download(ObjectId object, DownloadCallback on_finish,
+                                      DownloadOptions options) {
+    const edge::CatalogEntry* entry = catalog_->find(object);
+    assert(entry != nullptr && "download of unpublished object");
+
+    if (const auto it = downloads_.find(object); it != downloads_.end()) {
+        // Already known (paused or running): treat as user-initiated resume.
+        it->second.on_finish = std::move(on_finish);
+        resume_download(object);
+        return;
+    }
+    if (cache_.contains(object)) {
+        // Stale copy: the DLM re-downloads (versions must not mix, §3.5).
+        cache_.erase(object);
+        withdraw_object(object);
+    }
+
+    Download d;
+    d.entry = entry;
+    d.have = swarm::PieceMap(entry->object.piece_count());
+    d.full = swarm::PieceMap::full(entry->object.piece_count());
+    d.picker = swarm::PiecePicker(entry->object.piece_count());
+    d.edge = &edges_->nearest(host_);
+    d.start_time = world_->simulator().now();
+    d.on_finish = std::move(on_finish);
+    d.options = std::move(options);
+    const std::uint32_t epoch = d.epoch;
+    downloads_.emplace(object, std::move(d));
+
+    request_from_edge(object);
+
+    // Authenticate to the edge for the p2p search token (§3.5), then query.
+    Download& stored = downloads_.at(object);
+    const sim::Duration rtt =
+        world_->latency(host_, stored.edge->host()) + world_->latency(stored.edge->host(), host_);
+    world_->simulator().schedule_after(rtt, [this, object, epoch] {
+        const auto it = downloads_.find(object);
+        if (it == downloads_.end() || it->second.epoch != epoch || it->second.paused) return;
+        Download& dl = it->second;
+        dl.token = dl.edge->authorize(guid_, object);
+        dl.has_token = true;
+        if (dl.entry->policy.p2p_enabled) query_for_peers(object);
+    });
+}
+
+std::vector<ObjectId> NetSessionClient::paused_downloads() const {
+    std::vector<ObjectId> out;
+    for (const auto& [object, d] : downloads_)
+        if (d.paused) out.push_back(object);
+    return out;
+}
+
+bool NetSessionClient::download_active(ObjectId object) const {
+    const auto it = downloads_.find(object);
+    return it != downloads_.end() && !it->second.paused;
+}
+
+void NetSessionClient::pause_download(ObjectId object) {
+    const auto it = downloads_.find(object);
+    if (it == downloads_.end() || it->second.paused) return;
+    it->second.paused = true;
+    stop_transfers(it->second, /*notify_remotes=*/true);
+}
+
+void NetSessionClient::resume_download(ObjectId object) {
+    const auto it = downloads_.find(object);
+    if (it == downloads_.end()) return;
+    Download& d = it->second;
+    if (running_ && !d.paused && !d.edge_transferring) {
+        // Not paused, but possibly idle (e.g. freshly re-begun): kick it.
+        request_from_edge(object);
+        return;
+    }
+    if (!running_ || !d.paused) return;
+    d.paused = false;
+    d.has_token = false;
+    const std::uint32_t epoch = d.epoch;
+    request_from_edge(object);
+    const sim::Duration rtt =
+        world_->latency(host_, d.edge->host()) + world_->latency(d.edge->host(), host_);
+    world_->simulator().schedule_after(rtt, [this, object, epoch] {
+        const auto dit = downloads_.find(object);
+        if (dit == downloads_.end() || dit->second.epoch != epoch || dit->second.paused) return;
+        Download& dl = dit->second;
+        dl.token = dl.edge->authorize(guid_, object);
+        dl.has_token = true;
+        if (dl.entry->policy.p2p_enabled) query_for_peers(object);
+    });
+}
+
+void NetSessionClient::abort_download(ObjectId object, trace::DownloadOutcome outcome) {
+    if (!downloads_.contains(object)) return;
+    finish_download(object, outcome);
+}
+
+void NetSessionClient::kick_downloads() {
+    std::vector<ObjectId> objects;
+    objects.reserve(downloads_.size());
+    for (const auto& [object, d] : downloads_)
+        if (!d.paused) objects.push_back(object);
+    for (const auto object : objects) {
+        Download& d = downloads_.at(object);
+        if (!d.edge_transferring) request_from_edge(object);
+        if (d.entry->policy.p2p_enabled && d.has_token && d.sources.empty()) query_for_peers(object);
+    }
+}
+
+// --- edge transfer loop -----------------------------------------------------------
+
+void NetSessionClient::request_from_edge(ObjectId object) {
+    const auto it = downloads_.find(object);
+    if (it == downloads_.end()) return;
+    Download& d = it->second;
+    if (!running_ || d.paused || d.edge_transferring) return;
+    std::optional<swarm::PieceIndex> piece;
+    if (d.options.sequential) {
+        // Streaming: the edge owns the urgent window and may *duplicate* a
+        // piece a slow peer is still transferring — the first verified copy
+        // wins, so the play head never blocks on a peer's uplink.
+        for (swarm::PieceIndex i = 0; i < d.have.size(); ++i)
+            if (!d.have.has(i)) {
+                piece = i;
+                break;
+            }
+    } else {
+        piece = d.picker.pick_from_edge(d.have, rng_);
+    }
+    if (!piece) return;  // everything left is in flight from peers
+    if (!d.options.sequential) d.picker.set_in_flight(*piece, true);
+    d.edge_piece = *piece;
+    d.edge_transferring = true;
+    const std::uint32_t epoch = d.epoch;
+    edge::EdgeServer* edge = d.edge;
+    // The HTTP request crosses the network before the transfer starts.
+    world_->send(host_, edge->host(), [this, object, epoch, edge, piece = *piece] {
+        const auto dit = downloads_.find(object);
+        if (dit == downloads_.end() || dit->second.epoch != epoch) return;
+        dit->second.edge_flow = edge->serve_piece(
+            host_, guid_, dit->second.entry->object, piece,
+            [this, object, epoch, piece](Digest256 digest) {
+                on_edge_piece(object, epoch, piece, digest);
+            });
+    });
+}
+
+void NetSessionClient::on_edge_piece(ObjectId object, std::uint32_t epoch,
+                                     swarm::PieceIndex piece, Digest256 digest) {
+    const auto it = downloads_.find(object);
+    if (it == downloads_.end() || it->second.epoch != epoch) return;
+    Download& d = it->second;
+    d.edge_transferring = false;
+    d.edge_flow = net::FlowId{};
+    if (!d.options.sequential) d.picker.set_in_flight(piece, false);
+
+    if (rng_.chance(config_.corruption_prob_edge)) digest = corrupted(digest);
+    if (!d.entry->object.verify(piece, digest)) {
+        ++d.corrupt_pieces;
+        plane_->monitoring().report_problem(guid_, control::ProblemKind::piece_corruption);
+        if (d.corrupt_pieces > config_.max_corrupt_pieces) {
+            finish_download(object, trace::DownloadOutcome::failed_system);
+            return;
+        }
+        request_from_edge(object);
+        return;
+    }
+
+    d.bytes_infra += d.entry->object.piece_length(piece);
+    if (d.have.set(piece)) {
+        // (A duplicate of a piece a peer delivered meanwhile is paid for but
+        // announced only once.)
+        if (d.options.on_piece) d.options.on_piece(piece);
+    }
+    if (d.have.complete()) {
+        finish_download(object, trace::DownloadOutcome::completed);
+        return;
+    }
+    request_from_edge(object);
+}
+
+// --- p2p side -----------------------------------------------------------------------
+
+void NetSessionClient::query_for_peers(ObjectId object) {
+    const auto it = downloads_.find(object);
+    if (it == downloads_.end()) return;
+    Download& d = it->second;
+    if (!running_ || d.paused || cn_ == nullptr || !d.has_token || d.query_outstanding) return;
+    d.query_outstanding = true;
+    const std::uint32_t epoch = d.epoch;
+    control::ConnectionNode* cn = cn_;
+    const Guid self = guid_;
+    const edge::AuthToken token = d.token;
+    world_->send(host_, cn->host(), [this, cn, self, object, token, epoch] {
+        cn->query(self, object, token, /*want=*/40,
+                  [this, object, epoch](std::vector<control::PeerDescriptor> peers) {
+                      on_query_reply(object, epoch, std::move(peers));
+                  });
+    });
+}
+
+void NetSessionClient::on_query_reply(ObjectId object, std::uint32_t epoch,
+                                      std::vector<control::PeerDescriptor> peers) {
+    const auto it = downloads_.find(object);
+    if (it == downloads_.end() || it->second.epoch != epoch) return;
+    Download& d = it->second;
+    d.query_outstanding = false;
+    if (d.peers_initially_returned < 0)
+        d.peers_initially_returned = static_cast<int>(peers.size());
+    if (d.paused) return;
+    for (const auto& remote : peers) attempt_connection(object, remote);
+
+    // Swarms warm up over time; keep looking while under-sourced
+    // ("additional queries are issued until a sufficient number of peer
+    // connections succeed", §3.7).
+    Download& after = downloads_.at(object);
+    if (static_cast<int>(after.sources.size()) + after.pending_attempts <
+            config_.target_peer_sources &&
+        after.additional_queries < config_.max_additional_queries) {
+        ++after.additional_queries;
+        const std::uint32_t requery_epoch = after.epoch;
+        world_->simulator().schedule_after(sim::seconds(config_.requery_interval_s),
+                                           [this, object, requery_epoch] {
+                                               const auto dit = downloads_.find(object);
+                                               if (dit == downloads_.end() ||
+                                                   dit->second.epoch != requery_epoch)
+                                                   return;
+                                               // Allow previously-failed peers another try.
+                                               dit->second.attempted.clear();
+                                               query_for_peers(object);
+                                           });
+    }
+}
+
+void NetSessionClient::attempt_connection(ObjectId object, const control::PeerDescriptor& remote) {
+    const auto it = downloads_.find(object);
+    if (it == downloads_.end()) return;
+    Download& d = it->second;
+    if (static_cast<int>(d.sources.size()) + d.pending_attempts >= config_.max_peer_sources)
+        return;
+    if (remote.guid == guid_) return;
+    if (std::find(d.attempted.begin(), d.attempted.end(), remote.guid) != d.attempted.end())
+        return;
+    if (std::find_if(d.sources.begin(), d.sources.end(), [&](const PeerSource& s) {
+            return s.desc.guid == remote.guid;
+        }) != d.sources.end())
+        return;
+    d.attempted.push_back(remote.guid);
+
+    NetSessionClient* target = registry_->find(remote.guid);
+    if (target == nullptr) {
+        maybe_need_more_sources(object);
+        return;
+    }
+
+    // Coordinated NAT traversal: the CN told both endpoints to connect
+    // (§3.7); the punch itself still fails with some probability.
+    const net::NatType my_nat = world_->host(host_).attach.nat;
+    if (!rng_.chance(net::traversal_success_probability(my_nat, remote.nat))) {
+        plane_->monitoring().report_problem(guid_, control::ProblemKind::connect_failure);
+        maybe_need_more_sources(object);
+        return;
+    }
+
+    ++d.pending_attempts;
+    const std::uint32_t epoch = d.epoch;
+    const control::PeerDescriptor me = descriptor();
+    world_->send(host_, remote.host, [this, target, me, object, remote, epoch] {
+        target->handle_upload_request(me, object, [this, object, remote, epoch](bool accepted) {
+            on_connection_result(object, epoch, remote, accepted);
+        });
+    });
+}
+
+void NetSessionClient::on_connection_result(ObjectId object, std::uint32_t epoch,
+                                            const control::PeerDescriptor& remote, bool accepted) {
+    const auto it = downloads_.find(object);
+    if (it == downloads_.end() || it->second.epoch != epoch) {
+        // The download moved on; release the remote's upload slot.
+        if (accepted) {
+            if (NetSessionClient* target = registry_->find(remote.guid)) {
+                const Guid self = guid_;
+                world_->send(host_, remote.host,
+                             [target, self, object] { target->on_upload_closed(self, object); });
+            }
+        }
+        return;
+    }
+    Download& d = it->second;
+    if (d.pending_attempts > 0) --d.pending_attempts;
+    if (!accepted) {
+        maybe_need_more_sources(object);
+        return;
+    }
+    if (d.paused || static_cast<int>(d.sources.size()) >= config_.max_peer_sources) {
+        if (NetSessionClient* target = registry_->find(remote.guid)) {
+            const Guid self = guid_;
+            world_->send(host_, remote.host,
+                         [target, self, object] { target->on_upload_closed(self, object); });
+        }
+        return;
+    }
+    d.sources.push_back(PeerSource{remote, net::FlowId{}, 0, false, 0});
+    request_from_source(object, remote.guid);
+}
+
+void NetSessionClient::maybe_need_more_sources(ObjectId object) {
+    const auto it = downloads_.find(object);
+    if (it == downloads_.end()) return;
+    Download& d = it->second;
+    if (!running_ || d.paused || cn_ == nullptr || !d.entry->policy.p2p_enabled) return;
+    const int live = static_cast<int>(d.sources.size()) + d.pending_attempts;
+    if (live >= config_.target_peer_sources) return;
+    if (d.additional_queries >= config_.max_additional_queries) return;
+    if (d.query_outstanding) return;
+    ++d.additional_queries;
+    query_for_peers(object);
+}
+
+void NetSessionClient::request_from_source(ObjectId object, Guid source_guid) {
+    const auto it = downloads_.find(object);
+    if (it == downloads_.end()) return;
+    Download& d = it->second;
+    if (!running_ || d.paused) return;
+    const auto sit = std::find_if(d.sources.begin(), d.sources.end(),
+                                  [&](const PeerSource& s) { return s.desc.guid == source_guid; });
+    if (sit == d.sources.end() || sit->transferring) return;
+    PeerSource& src = *sit;
+
+    // Streaming: peers prefetch ahead of the urgent window, which belongs to
+    // the (fast, reliable) edge connection.
+    auto piece = d.options.sequential
+                     ? d.picker.pick_sequential(d.have, &d.full, /*skip_urgent=*/2)
+                     : d.picker.pick_from_peer(d.have, d.full, rng_);
+    if (!piece && d.options.sequential) piece = d.picker.pick_sequential(d.have, &d.full);
+    if (!piece) return;  // all remaining pieces are in flight; source idles
+    d.picker.set_in_flight(*piece, true);
+    src.piece = *piece;
+    src.transferring = true;
+    const Bytes len = d.entry->object.piece_length(*piece);
+    const Digest256 digest = d.entry->object.correct_transfer_digest(*piece);
+    const std::uint32_t epoch = d.epoch;
+    const Guid from = src.desc.guid;
+    src.flow = world_->flows().start_flow(
+        src.desc.host, host_, len, d.entry->policy.upload_rate_cap,
+        [this, object, epoch, from, piece = *piece, digest](net::FlowId) {
+            on_peer_piece(object, epoch, from, piece, digest);
+        });
+}
+
+void NetSessionClient::on_peer_piece(ObjectId object, std::uint32_t epoch, Guid from,
+                                     swarm::PieceIndex piece, Digest256 digest) {
+    const auto it = downloads_.find(object);
+    if (it == downloads_.end() || it->second.epoch != epoch) return;
+    Download& d = it->second;
+    const auto sit = std::find_if(d.sources.begin(), d.sources.end(),
+                                  [&](const PeerSource& s) { return s.desc.guid == from; });
+    if (sit == d.sources.end()) return;
+    PeerSource& src = *sit;
+    src.transferring = false;
+    src.flow = net::FlowId{};
+    d.picker.set_in_flight(piece, false);
+
+    const Bytes len = d.entry->object.piece_length(piece);
+    NetSessionClient* uploader = registry_->find(from);
+    if (uploader != nullptr && uploader->corrupt_uploads()) digest = corrupted(digest);
+    if (rng_.chance(config_.corruption_prob_peer)) digest = corrupted(digest);
+    if (!d.entry->object.verify(piece, digest)) {
+        // Discard the piece; it is never passed on to other peers (§3.5).
+        ++d.corrupt_pieces;
+        ++src.corrupt_pieces;
+        plane_->monitoring().report_problem(guid_, control::ProblemKind::piece_corruption);
+        if (d.corrupt_pieces > config_.max_corrupt_pieces) {
+            finish_download(object, trace::DownloadOutcome::failed_system);
+            return;
+        }
+        if (src.corrupt_pieces >= 3) {
+            // A source that repeatedly fails verification has bad data;
+            // disconnect it and fill in from elsewhere.
+            drop_source(d, from, /*notify_remote=*/true);
+            maybe_need_more_sources(object);
+            if (!d.edge_transferring) request_from_edge(object);
+            return;
+        }
+        request_from_source(object, from);
+        return;
+    }
+
+    d.bytes_peers += len;
+    src.bytes += len;
+    auto& [ip, total] = d.per_source_bytes[from];
+    ip = src.desc.ip;
+    total += len;
+    if (uploader != nullptr) uploader->note_uploaded(object, len);
+    if (d.have.set(piece)) {
+        if (d.options.on_piece) d.options.on_piece(piece);
+    }
+
+    if (d.have.complete()) {
+        finish_download(object, trace::DownloadOutcome::completed);
+        return;
+    }
+    request_from_source(object, from);
+    // A completed piece may unblock idle connections (the piece they were
+    // waiting on is no longer the only one missing).
+    if (!d.edge_transferring) request_from_edge(object);
+}
+
+// --- upload side ---------------------------------------------------------------------
+
+void NetSessionClient::handle_upload_request(const control::PeerDescriptor& downloader,
+                                             ObjectId object, std::function<void(bool)> reply) {
+    bool accept = running_ && uploads_enabled_ && cache_.contains(object);
+    // Connections come through CN coordination only (hole punching needs it).
+    if (accept && !introductions_.contains(intro_key(downloader.guid, object))) accept = false;
+    if (accept &&
+        static_cast<int>(upload_conns_.size()) >= config_.max_upload_connections)
+        accept = false;
+    // "peers upload each object at most a limited number of times" (§3.9):
+    // the budget is full-object equivalents of uploaded bytes.
+    if (accept) {
+        const edge::CatalogEntry* entry = catalog_->find(object);
+        const Bytes budget =
+            entry == nullptr ? 0
+                             : entry->object.size() *
+                                   static_cast<Bytes>(config_.max_uploads_per_object);
+        if (uploaded_per_object_[object] >= budget) {
+            accept = false;
+            withdraw_object(object);
+        }
+    }
+    if (accept) upload_conns_.emplace_back(downloader.guid, object);
+    world_->send(host_, downloader.host, [reply = std::move(reply), accept] { reply(accept); });
+}
+
+void NetSessionClient::on_upload_closed(Guid downloader, ObjectId object) {
+    const auto it = std::find(upload_conns_.begin(), upload_conns_.end(),
+                              std::make_pair(downloader, object));
+    if (it != upload_conns_.end()) upload_conns_.erase(it);
+}
+
+void NetSessionClient::drop_source(Download& d, Guid source_guid, bool notify_remote) {
+    const auto sit = std::find_if(d.sources.begin(), d.sources.end(),
+                                  [&](const PeerSource& s) { return s.desc.guid == source_guid; });
+    if (sit == d.sources.end()) return;
+    if (sit->transferring) {
+        world_->flows().cancel_flow(sit->flow);
+        d.picker.set_in_flight(sit->piece, false);
+    }
+    if (notify_remote) {
+        if (NetSessionClient* remote = registry_->find(source_guid)) {
+            const Guid self = guid_;
+            const ObjectId object = d.entry->object.id();
+            world_->send(host_, sit->desc.host, [remote, self, object] {
+                remote->on_upload_closed(self, object);
+            });
+        }
+    }
+    d.sources.erase(sit);
+}
+
+void NetSessionClient::on_source_lost(Guid uploader, ObjectId object) {
+    const auto it = downloads_.find(object);
+    if (it == downloads_.end()) return;
+    Download& d = it->second;
+    const auto sit = std::find_if(d.sources.begin(), d.sources.end(),
+                                  [&](const PeerSource& s) { return s.desc.guid == uploader; });
+    if (sit == d.sources.end()) return;
+    if (sit->transferring) {
+        world_->flows().cancel_flow(sit->flow);  // partial piece is lost
+        d.picker.set_in_flight(sit->piece, false);
+    }
+    d.sources.erase(sit);
+    if (!d.paused) {
+        maybe_need_more_sources(object);
+        if (!d.edge_transferring) request_from_edge(object);
+    }
+}
+
+// --- terminal handling ------------------------------------------------------------------
+
+void NetSessionClient::stop_transfers(Download& d, bool notify_remotes) {
+    ++d.epoch;  // invalidates every async callback of this download
+    if (d.edge_transferring) {
+        if (d.edge_flow.valid()) d.edge->abort(d.edge_flow);
+        if (!d.options.sequential) d.picker.set_in_flight(d.edge_piece, false);
+        d.edge_transferring = false;
+        d.edge_flow = net::FlowId{};
+    }
+    for (PeerSource& src : d.sources) {
+        if (src.transferring) {
+            world_->flows().cancel_flow(src.flow);
+            d.picker.set_in_flight(src.piece, false);
+            src.transferring = false;
+        }
+        if (notify_remotes) {
+            if (NetSessionClient* remote = registry_->find(src.desc.guid)) {
+                const Guid self = guid_;
+                const ObjectId object = d.entry->object.id();
+                world_->send(host_, src.desc.host, [remote, self, object] {
+                    remote->on_upload_closed(self, object);
+                });
+            }
+        }
+    }
+    d.sources.clear();
+    d.attempted.clear();
+    d.pending_attempts = 0;
+    d.additional_queries = 0;
+    d.query_outstanding = false;
+    d.has_token = false;
+}
+
+void NetSessionClient::finish_download(ObjectId object, trace::DownloadOutcome outcome) {
+    const auto it = downloads_.find(object);
+    assert(it != downloads_.end());
+    Download& d = it->second;
+    stop_transfers(d, /*notify_remotes=*/true);
+
+    trace::DownloadRecord rec;
+    rec.guid = guid_;
+    rec.object = object;
+    rec.url_hash = d.entry->object.url_hash();
+    rec.cp_code = d.entry->object.provider();
+    rec.object_size = d.entry->object.size();
+    rec.start = d.start_time;
+    rec.end = world_->simulator().now();
+    rec.bytes_from_infrastructure = d.bytes_infra;
+    rec.bytes_from_peers = d.bytes_peers;
+    rec.p2p_enabled = d.entry->policy.p2p_enabled;
+    rec.peers_initially_returned = std::max(0, d.peers_initially_returned);
+    rec.outcome = outcome;
+
+    std::vector<trace::TransferRecord> transfers;
+    const net::IpAddr my_ip = world_->host(host_).attach.ip;
+    transfers.reserve(d.per_source_bytes.size());
+    for (const auto& [from, detail] : d.per_source_bytes) {
+        if (detail.second <= 0) continue;
+        transfers.push_back(
+            trace::TransferRecord{object, from, guid_, detail.first, my_ip, detail.second, rec.end});
+    }
+
+    DownloadCallback cb = std::move(d.on_finish);
+    downloads_.erase(it);
+
+    if (outcome == trace::DownloadOutcome::completed) cache_object(object);
+    if (tamper_) tamper_(rec);
+    submit_report(rec, std::move(transfers));
+    if (cb) cb(rec);
+}
+
+void NetSessionClient::submit_report(trace::DownloadRecord record,
+                                     std::vector<trace::TransferRecord> transfers) {
+    if (cn_ == nullptr) {
+        // Usage statistics are batched and uploaded on the next login.
+        pending_.emplace_back(record, std::move(transfers));
+        return;
+    }
+    control::ConnectionNode* cn = cn_;
+    world_->send(host_, cn->host(), [cn, record, transfers = std::move(transfers)] {
+        cn->report_download(record);
+        for (const auto& t : transfers) cn->report_transfer(t);
+    });
+}
+
+void NetSessionClient::flush_pending_reports() {
+    if (cn_ == nullptr) return;
+    auto pending = std::move(pending_);
+    pending_.clear();
+    for (auto& [record, transfers] : pending) submit_report(record, std::move(transfers));
+}
+
+void NetSessionClient::flush_unfinished() {
+    for (auto& [object, d] : downloads_) {
+        trace::DownloadRecord rec;
+        rec.guid = guid_;
+        rec.object = object;
+        rec.url_hash = d.entry->object.url_hash();
+        rec.cp_code = d.entry->object.provider();
+        rec.object_size = d.entry->object.size();
+        rec.start = d.start_time;
+        rec.end = world_->simulator().now();
+        rec.bytes_from_infrastructure = d.bytes_infra;
+        rec.bytes_from_peers = d.bytes_peers;
+        rec.p2p_enabled = d.entry->policy.p2p_enabled;
+        rec.peers_initially_returned = std::max(0, d.peers_initially_returned);
+        rec.outcome = d.paused ? trace::DownloadOutcome::aborted_by_user
+                               : trace::DownloadOutcome::in_progress;
+        plane_->trace_log().add(rec);
+    }
+}
+
+// --- cache -----------------------------------------------------------------------------
+
+void NetSessionClient::cache_object(ObjectId object) {
+    cache_[object] = world_->simulator().now();
+    uploaded_per_object_[object] = 0;  // a fresh copy resets the upload budget
+    announce_object(object, /*readd=*/false);
+    schedule_eviction(object);
+
+    // Disk budget: evict the oldest copies beyond the cap.
+    while (static_cast<int>(cache_.size()) > config_.max_cached_objects) {
+        auto oldest = cache_.begin();
+        for (auto it = cache_.begin(); it != cache_.end(); ++it)
+            if (it->second < oldest->second) oldest = it;
+        const ObjectId victim = oldest->first;
+        cache_.erase(oldest);
+        withdraw_object(victim);
+    }
+}
+
+void NetSessionClient::schedule_eviction(ObjectId object) {
+    world_->simulator().schedule_after(config_.cache_retention, [this, object] {
+        const auto it = cache_.find(object);
+        if (it == cache_.end()) return;
+        if (world_->simulator().now() - it->second < config_.cache_retention) return;  // renewed
+        cache_.erase(it);
+        withdraw_object(object);
+    });
+}
+
+void NetSessionClient::announce_object(ObjectId object, bool readd) {
+    if (cn_ == nullptr || !uploads_enabled_) return;
+    control::ConnectionNode* cn = cn_;
+    const Guid self = guid_;
+    world_->send(host_, cn->host(),
+                 [cn, self, object, readd] { cn->register_copy(self, object, readd); });
+}
+
+void NetSessionClient::withdraw_object(ObjectId object) {
+    if (cn_ == nullptr) return;
+    control::ConnectionNode* cn = cn_;
+    const Guid self = guid_;
+    world_->send(host_, cn->host(), [cn, self, object] { cn->unregister_copy(self, object); });
+}
+
+// --- settings, traffic, mobility, install state -------------------------------------------
+
+void NetSessionClient::set_uploads_enabled(bool enabled) {
+    if (uploads_enabled_ == enabled) return;
+    uploads_enabled_ = enabled;
+    if (cn_ == nullptr) return;
+    if (enabled) {
+        for (const auto& [object, when] : cache_) announce_object(object, /*readd=*/false);
+    } else {
+        for (const auto& [object, when] : cache_) withdraw_object(object);
+    }
+}
+
+void NetSessionClient::set_user_traffic(bool active) {
+    if (user_traffic_ == active) return;
+    user_traffic_ = active;
+    // Uploads back off while the user's own traffic needs the link (§3.9);
+    // downloads are user-initiated and keep their full share.
+    world_->flows().set_up_capacity(host_,
+                                    active ? base_up_ * config_.user_traffic_upload_factor
+                                           : base_up_);
+}
+
+void NetSessionClient::move_to(net::Location location, Asn asn, net::NatType nat) {
+    world_->reattach(host_, location, asn, nat);
+    if (cn_ != nullptr) {
+        // The TCP connection does not survive the move; log in again so the
+        // control plane sees the new address.
+        control::ConnectionNode* cn = cn_;
+        const Guid self = guid_;
+        world_->send(host_, cn->host(), [cn, self] { cn->logout(self); });
+        cn_ = nullptr;
+    }
+    if (running_) connect_control_plane();
+}
+
+NetSessionClient::InstallState NetSessionClient::snapshot_state() const {
+    return InstallState{guid_, chain_, uploads_enabled_};
+}
+
+void NetSessionClient::restore_state(InstallState state) {
+    if (registry_->find(guid_) == this) registry_->remove(guid_);
+    guid_ = state.guid;
+    chain_ = std::move(state.chain);
+    uploads_enabled_ = state.uploads_enabled;
+    registry_->add(guid_, this);
+}
+
+}  // namespace netsession::peer

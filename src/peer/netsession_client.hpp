@@ -1,0 +1,250 @@
+// The NetSession Interface — the client software installed on user machines
+// (paper §3.4). A persistent background application that maintains a control
+// connection to a CN, runs the Download Manager (parallel edge + p2p
+// delivery, §3.3), verifies piece hashes, caches completed objects and
+// serves them to other peers (subject to the user's upload setting and the
+// §3.9 best-practice limits), reports usage statistics, and survives control
+// plane failures by falling back to edge-only delivery (§3.8).
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "control/control_plane.hpp"
+#include "edge/edge_network.hpp"
+#include "peer/client_config.hpp"
+#include "peer/registry.hpp"
+#include "swarm/picker.hpp"
+#include "trace/records.hpp"
+
+namespace netsession::peer {
+
+class NetSessionClient final : public control::PeerEndpoint {
+public:
+    /// Invoked when a download reaches a terminal state, with the usage
+    /// record the client reported (or tried to report) to the control plane.
+    using DownloadCallback = std::function<void(const trace::DownloadRecord&)>;
+
+    /// Per-download delivery options.
+    struct DownloadOptions {
+        /// In-order piece delivery (video streaming mode, §3.4). Bulk
+        /// downloads use rarest-first/gap-filling selection instead.
+        bool sequential = false;
+        /// Fires for every piece that verifies (streaming playback hooks).
+        std::function<void(swarm::PieceIndex)> on_piece;
+    };
+
+    NetSessionClient(net::World& world, control::ControlPlane& plane, edge::EdgeNetwork& edges,
+                     const edge::Catalog& catalog, PeerRegistry& registry, Guid guid, HostId host,
+                     ClientConfig config, Rng rng);
+    ~NetSessionClient() override;
+
+    NetSessionClient(const NetSessionClient&) = delete;
+    NetSessionClient& operator=(const NetSessionClient&) = delete;
+
+    // --- lifecycle (driven by the user-session model) -----------------------
+    /// The user logged in / the machine came up: fresh secondary GUID, STUN
+    /// probe, CN connect, paused downloads resume.
+    void start();
+    /// The user logged out: active downloads pause (resumable), uploads stop.
+    void stop();
+    [[nodiscard]] bool running() const noexcept { return running_; }
+    [[nodiscard]] bool connected() const noexcept { return cn_ != nullptr; }
+
+    // --- identity ------------------------------------------------------------
+    [[nodiscard]] Guid guid() const noexcept override { return guid_; }
+    [[nodiscard]] HostId host() const noexcept override { return host_; }
+    [[nodiscard]] const std::vector<SecondaryGuid>& secondary_chain() const noexcept {
+        return chain_;
+    }
+
+    // --- user actions ----------------------------------------------------------
+    void begin_download(ObjectId object, DownloadCallback on_finish, DownloadOptions options);
+    void begin_download(ObjectId object, DownloadCallback on_finish = {}) {
+        begin_download(object, std::move(on_finish), DownloadOptions());
+    }
+    [[nodiscard]] bool download_active(ObjectId object) const;
+    void pause_download(ObjectId object);
+    void resume_download(ObjectId object);
+    void abort_download(ObjectId object, trace::DownloadOutcome outcome);
+    /// Number of downloads in any non-terminal state (incl. paused).
+    [[nodiscard]] int open_downloads() const noexcept { return static_cast<int>(downloads_.size()); }
+    /// Objects whose downloads are currently paused (resumable).
+    [[nodiscard]] std::vector<ObjectId> paused_downloads() const;
+
+    /// The GUI preference toggle (§3.4: users can turn uploads off
+    /// "permanently or temporarily ... without adverse effects").
+    void set_uploads_enabled(bool enabled);
+    [[nodiscard]] bool uploads_enabled() const noexcept { return uploads_enabled_; }
+
+    /// The user's own applications started/stopped using the connection;
+    /// NetSession throttles its uploads accordingly (§3.9).
+    void set_user_traffic(bool active);
+
+    // --- cache -----------------------------------------------------------------
+    [[nodiscard]] bool has_cached(ObjectId object) const { return cache_.contains(object); }
+    [[nodiscard]] std::vector<ObjectId> cached_objects() const;
+
+    // --- mobility & install-state modelling (§6.2) ------------------------------
+    /// The machine moved: new attachment, fresh IP, re-login.
+    void move_to(net::Location location, Asn asn, net::NatType nat);
+
+    /// Install state that cloning/re-imaging duplicates or rolls back.
+    struct InstallState {
+        Guid guid;
+        std::vector<SecondaryGuid> chain;
+        bool uploads_enabled = false;
+    };
+    [[nodiscard]] InstallState snapshot_state() const;
+    void restore_state(InstallState state);
+
+    // --- PeerEndpoint (control-plane callbacks) ---------------------------------
+    void on_disconnected() override;
+    void on_re_add_request() override;
+    void on_introduction(const control::PeerDescriptor& downloader, ObjectId object) override;
+    void on_upgrade_available(std::uint32_t version) override;
+
+    /// The currently installed client version (starts at
+    /// ClientConfig::software_version; centrally-released upgrades move it).
+    [[nodiscard]] std::uint32_t software_version() const noexcept { return version_; }
+
+    // --- data-plane, called by other clients (after transport latency) ----------
+    /// A downloader (introduced by the CN) asks to fetch `object` from us.
+    void handle_upload_request(const control::PeerDescriptor& downloader, ObjectId object,
+                               std::function<void(bool)> reply);
+    /// A downloader closed its connection to us.
+    void on_upload_closed(Guid downloader, ObjectId object);
+    /// An uploader we were fetching from went offline.
+    void on_source_lost(Guid uploader, ObjectId object);
+    /// Byte accounting on the uploading side (drives the per-object upload
+    /// cap, §3.9).
+    void note_uploaded(ObjectId object, Bytes bytes) {
+        uploaded_bytes_ += bytes;
+        uploaded_per_object_[object] += bytes;
+    }
+
+    // --- experimentation hooks ---------------------------------------------------
+    /// Tamper with outgoing usage reports (accounting-attack experiments).
+    void set_report_tamper(std::function<void(trace::DownloadRecord&)> fn) {
+        tamper_ = std::move(fn);
+    }
+
+    /// Marks this peer's cached data as silently corrupted (bad disk/RAM):
+    /// every piece it uploads fails hash verification at the downloader.
+    /// Receivers discard such pieces and never pass them on (§3.5).
+    void set_corrupt_uploads(bool v) noexcept { corrupt_uploads_ = v; }
+    [[nodiscard]] bool corrupt_uploads() const noexcept { return corrupt_uploads_; }
+
+    [[nodiscard]] Bytes uploaded_bytes() const noexcept { return uploaded_bytes_; }
+    [[nodiscard]] int active_upload_connections() const noexcept {
+        return static_cast<int>(upload_conns_.size());
+    }
+
+    /// Terminal flush at the end of a measurement window: emits records for
+    /// never-finished downloads (outcome aborted_by_user for paused ones,
+    /// in_progress for live ones) directly into the trace.
+    void flush_unfinished();
+
+private:
+    struct PeerSource {
+        control::PeerDescriptor desc;
+        net::FlowId flow;
+        swarm::PieceIndex piece = 0;
+        bool transferring = false;
+        Bytes bytes = 0;       // completed-piece bytes received from this source
+        int corrupt_pieces = 0;  // repeated offenders get disconnected
+    };
+
+    struct Download {
+        const edge::CatalogEntry* entry = nullptr;
+        swarm::PieceMap have;
+        swarm::PieceMap full;  // remote seeds' map (uploaders hold complete copies)
+        swarm::PiecePicker picker;
+        edge::EdgeServer* edge = nullptr;
+        edge::AuthToken token{};
+        bool has_token = false;
+        net::FlowId edge_flow;
+        swarm::PieceIndex edge_piece = 0;
+        bool edge_transferring = false;
+        std::vector<PeerSource> sources;
+        std::vector<Guid> attempted;  // peers we already tried this epoch
+        Bytes bytes_infra = 0;
+        Bytes bytes_peers = 0;
+        std::unordered_map<Guid, std::pair<net::IpAddr, Bytes>> per_source_bytes;
+        sim::SimTime start_time;
+        int peers_initially_returned = -1;
+        int additional_queries = 0;
+        int corrupt_pieces = 0;
+        int pending_attempts = 0;  // connection handshakes in flight
+        bool query_outstanding = false;
+        bool paused = false;
+        std::uint32_t epoch = 0;  // invalidates in-flight async callbacks
+        DownloadCallback on_finish;
+        DownloadOptions options;
+    };
+
+    [[nodiscard]] control::PeerDescriptor descriptor() const;
+    [[nodiscard]] control::LoginInfo make_login_info() const;
+    void connect_control_plane();
+    void on_login_ok(control::ConnectionNode* cn);
+    void on_login_failed();
+    void schedule_reconnect();
+    void kick_downloads();
+
+    void request_from_edge(ObjectId object);
+    void on_edge_piece(ObjectId object, std::uint32_t epoch, swarm::PieceIndex piece,
+                       Digest256 digest);
+    void query_for_peers(ObjectId object);
+    void on_query_reply(ObjectId object, std::uint32_t epoch,
+                        std::vector<control::PeerDescriptor> peers);
+    void attempt_connection(ObjectId object, const control::PeerDescriptor& remote);
+    void on_connection_result(ObjectId object, std::uint32_t epoch,
+                              const control::PeerDescriptor& remote, bool accepted);
+    void request_from_source(ObjectId object, Guid source_guid);
+    void on_peer_piece(ObjectId object, std::uint32_t epoch, Guid from, swarm::PieceIndex piece,
+                       Digest256 digest);
+    void drop_source(Download& d, Guid source_guid, bool notify_remote);
+    void maybe_need_more_sources(ObjectId object);
+    void stop_transfers(Download& d, bool notify_remotes);
+    void finish_download(ObjectId object, trace::DownloadOutcome outcome);
+    void submit_report(trace::DownloadRecord record, std::vector<trace::TransferRecord> transfers);
+    void flush_pending_reports();
+    void cache_object(ObjectId object);
+    void schedule_eviction(ObjectId object);
+    void announce_object(ObjectId object, bool readd);
+    void withdraw_object(ObjectId object);
+
+    net::World* world_;
+    control::ControlPlane* plane_;
+    edge::EdgeNetwork* edges_;
+    const edge::Catalog* catalog_;
+    PeerRegistry* registry_;
+    Guid guid_;
+    HostId host_;
+    ClientConfig config_;
+    Rng rng_;
+
+    bool running_ = false;
+    bool uploads_enabled_ = false;
+    std::uint32_t version_ = 0;
+    bool user_traffic_ = false;
+    control::ConnectionNode* cn_ = nullptr;
+    bool login_in_flight_ = false;
+    double reconnect_delay_s_;
+    std::vector<SecondaryGuid> chain_;
+    std::unordered_map<ObjectId, sim::SimTime> cache_;  // object -> cached_at
+    std::unordered_map<ObjectId, Download> downloads_;
+    std::unordered_map<ObjectId, Bytes> uploaded_per_object_;
+    std::vector<std::pair<Guid, ObjectId>> upload_conns_;  // active upload connections
+    std::unordered_set<std::uint64_t> introductions_;  // CN-coordinated (guid, object) pairs
+    Bytes uploaded_bytes_ = 0;
+    bool corrupt_uploads_ = false;
+    Rate base_up_;
+    std::vector<std::pair<trace::DownloadRecord, std::vector<trace::TransferRecord>>> pending_;
+    std::function<void(trace::DownloadRecord&)> tamper_;
+};
+
+}  // namespace netsession::peer

@@ -1,0 +1,35 @@
+// Data-plane peer registry.
+//
+// The simulator needs to route a p2p connection attempt to the remote
+// client object. In the real system this is the downloader opening a TCP/UDP
+// connection to the address the control plane handed it; here it is a lookup
+// by GUID. (Control-plane routing uses control::ControlPlane::find_endpoint;
+// this registry is the *data-plane* equivalent and also covers peers that
+// are currently not connected to any CN.)
+#pragma once
+
+#include <unordered_map>
+
+#include "common/types.hpp"
+
+namespace netsession::peer {
+
+class NetSessionClient;
+
+class PeerRegistry {
+public:
+    void add(Guid guid, NetSessionClient* client) { clients_[guid] = client; }
+    void remove(Guid guid) { clients_.erase(guid); }
+
+    [[nodiscard]] NetSessionClient* find(Guid guid) const {
+        const auto it = clients_.find(guid);
+        return it == clients_.end() ? nullptr : it->second;
+    }
+
+    [[nodiscard]] std::size_t size() const noexcept { return clients_.size(); }
+
+private:
+    std::unordered_map<Guid, NetSessionClient*> clients_;
+};
+
+}  // namespace netsession::peer

@@ -1,0 +1,64 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+
+namespace netsession::sim {
+
+EventHandle Simulator::schedule_at(SimTime at, Callback cb) {
+    if (at < now_) at = now_;
+    const std::uint64_t seq = next_seq_++;
+    queue_.push(Event{at, seq, std::move(cb)});
+    ++live_;
+    return EventHandle{seq};
+}
+
+bool Simulator::cancel(EventHandle h) {
+    if (!h.valid() || h.id_ >= next_seq_) return false;
+    // We cannot remove from the middle of a binary heap; record the seq and
+    // skip the event when it surfaces. Entries drain out of the set as their
+    // events reach the top of the heap.
+    if (!cancelled_.insert(h.id_).second) return false;
+    if (live_ > 0) --live_;
+    return true;
+}
+
+void Simulator::dispatch(Event& e) {
+    now_ = e.at;
+    ++dispatched_;
+    if (live_ > 0) --live_;
+    Callback cb = std::move(e.cb);
+    cb();
+}
+
+bool Simulator::purge_cancelled_top() {
+    while (!queue_.empty()) {
+        if (!cancelled_.empty() && cancelled_.erase(queue_.top().seq) > 0) {
+            queue_.pop();
+            continue;
+        }
+        return true;
+    }
+    return false;
+}
+
+bool Simulator::step() {
+    if (!purge_cancelled_top()) return false;
+    Event e = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    dispatch(e);
+    return true;
+}
+
+void Simulator::run() {
+    while (step()) {
+    }
+}
+
+void Simulator::run_until(SimTime until) {
+    // The bound must be checked against the next *live* event — a cancelled
+    // event at the top must not let a far-future event slip through.
+    while (purge_cancelled_top() && queue_.top().at <= until) step();
+    if (now_ < until) now_ = until;
+}
+
+}  // namespace netsession::sim

@@ -1,0 +1,93 @@
+// Discrete-event simulation engine.
+//
+// A binary-heap event queue with cancellable events and deterministic
+// FIFO tie-breaking for same-timestamp events. Everything in the NetSession
+// reproduction — control-plane messages, flow completions, user behaviour —
+// runs as events on one Simulator.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace netsession::sim {
+
+/// Handle to a scheduled event; can be used to cancel it. Default-constructed
+/// handles are inert.
+class EventHandle {
+public:
+    EventHandle() = default;
+
+    [[nodiscard]] bool valid() const noexcept { return id_ != 0; }
+
+private:
+    friend class Simulator;
+    explicit EventHandle(std::uint64_t id) noexcept : id_(id) {}
+    std::uint64_t id_ = 0;
+};
+
+/// The event loop. Not thread-safe by design — simulations are
+/// single-threaded and deterministic.
+class Simulator {
+public:
+    using Callback = std::function<void()>;
+
+    /// Current simulated time.
+    [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+    /// Schedules `cb` to run at absolute time `at` (clamped to now()).
+    EventHandle schedule_at(SimTime at, Callback cb);
+
+    /// Schedules `cb` to run after `delay`.
+    EventHandle schedule_after(Duration delay, Callback cb) {
+        return schedule_at(now_ + delay, std::move(cb));
+    }
+
+    /// Cancels a pending event. Returns true if it was still pending.
+    /// Cancelling an already-run or already-cancelled event is a no-op.
+    bool cancel(EventHandle h);
+
+    /// Runs events until the queue is empty.
+    void run();
+
+    /// Runs events with timestamp <= `until`, then sets now() to `until`.
+    void run_until(SimTime until);
+
+    /// Runs at most one event. Returns false if the queue was empty.
+    bool step();
+
+    /// Number of events dispatched so far (for tests and stats).
+    [[nodiscard]] std::uint64_t events_dispatched() const noexcept { return dispatched_; }
+    /// Number of events currently pending (including cancelled-but-queued).
+    [[nodiscard]] std::size_t pending() const noexcept { return live_; }
+
+private:
+    struct Event {
+        SimTime at;
+        std::uint64_t seq;  // FIFO tie-break and cancellation id
+        Callback cb;
+    };
+    struct Later {
+        bool operator()(const Event& a, const Event& b) const noexcept {
+            if (a.at != b.at) return a.at > b.at;
+            return a.seq > b.seq;
+        }
+    };
+
+    void dispatch(Event& e);
+    /// Pops cancelled events off the top; returns true if a live event remains.
+    bool purge_cancelled_top();
+
+    std::priority_queue<Event, std::vector<Event>, Later> queue_;
+    std::unordered_set<std::uint64_t> cancelled_;  // seqs of cancelled, still-queued events
+    SimTime now_{};
+    std::uint64_t next_seq_ = 1;
+    std::uint64_t dispatched_ = 0;
+    std::size_t live_ = 0;
+};
+
+}  // namespace netsession::sim

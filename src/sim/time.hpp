@@ -1,0 +1,42 @@
+// Simulated time. Microsecond resolution, 64-bit — enough for centuries.
+#pragma once
+
+#include <cstdint>
+
+namespace netsession::sim {
+
+/// A point in simulated time, microseconds since simulation start.
+struct SimTime {
+    std::int64_t us = 0;
+
+    friend constexpr auto operator<=>(const SimTime&, const SimTime&) = default;
+
+    [[nodiscard]] constexpr double seconds() const noexcept { return static_cast<double>(us) / 1e6; }
+    [[nodiscard]] constexpr double hours() const noexcept { return seconds() / 3600.0; }
+    [[nodiscard]] constexpr double days() const noexcept { return seconds() / 86400.0; }
+};
+
+/// A span of simulated time.
+struct Duration {
+    std::int64_t us = 0;
+
+    friend constexpr auto operator<=>(const Duration&, const Duration&) = default;
+    [[nodiscard]] constexpr double seconds() const noexcept { return static_cast<double>(us) / 1e6; }
+};
+
+constexpr Duration microseconds(std::int64_t v) noexcept { return Duration{v}; }
+constexpr Duration milliseconds(double v) noexcept { return Duration{static_cast<std::int64_t>(v * 1e3)}; }
+constexpr Duration seconds(double v) noexcept { return Duration{static_cast<std::int64_t>(v * 1e6)}; }
+constexpr Duration minutes(double v) noexcept { return seconds(v * 60.0); }
+constexpr Duration hours(double v) noexcept { return seconds(v * 3600.0); }
+constexpr Duration days(double v) noexcept { return seconds(v * 86400.0); }
+
+constexpr SimTime operator+(SimTime t, Duration d) noexcept { return SimTime{t.us + d.us}; }
+constexpr SimTime operator-(SimTime t, Duration d) noexcept { return SimTime{t.us - d.us}; }
+constexpr Duration operator-(SimTime a, SimTime b) noexcept { return Duration{a.us - b.us}; }
+constexpr Duration operator+(Duration a, Duration b) noexcept { return Duration{a.us + b.us}; }
+constexpr Duration operator*(Duration d, double k) noexcept {
+    return Duration{static_cast<std::int64_t>(static_cast<double>(d.us) * k)};
+}
+
+}  // namespace netsession::sim

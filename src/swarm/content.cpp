@@ -1,0 +1,46 @@
+#include "swarm/content.hpp"
+
+#include <cassert>
+
+namespace netsession::swarm {
+
+namespace {
+Digest256 derive_piece_digest(ObjectId id, PieceIndex i) {
+    Sha256 h;
+    h.update("netsession-piece");
+    const std::uint64_t parts[3] = {id.hi, id.lo, i};
+    h.update(std::span<const std::uint8_t>(reinterpret_cast<const std::uint8_t*>(parts),
+                                           sizeof(parts)));
+    return h.finish();
+}
+}  // namespace
+
+ContentObject::ContentObject(ObjectId id, CpCode provider, std::uint64_t url_hash, Bytes size,
+                             std::uint32_t max_pieces, Bytes min_piece_size)
+    : id_(id), provider_(provider), url_hash_(url_hash), size_(size) {
+    assert(size > 0);
+    assert(max_pieces > 0);
+    piece_size_ = (size + max_pieces - 1) / max_pieces;
+    if (piece_size_ < min_piece_size) piece_size_ = min_piece_size;
+    const auto count = static_cast<PieceIndex>((size + piece_size_ - 1) / piece_size_);
+    piece_hashes_.reserve(count);
+    for (PieceIndex i = 0; i < count; ++i) piece_hashes_.push_back(derive_piece_digest(id_, i));
+}
+
+Bytes ContentObject::piece_length(PieceIndex i) const noexcept {
+    assert(i < piece_count());
+    if (i + 1 < piece_count()) return piece_size_;
+    const Bytes tail = size_ - piece_size_ * (piece_count() - 1);
+    return tail > 0 ? tail : piece_size_;
+}
+
+Digest256 ContentObject::correct_transfer_digest(PieceIndex i) const {
+    return derive_piece_digest(id_, i);
+}
+
+bool ContentObject::verify(PieceIndex i, const Digest256& received) const {
+    if (i >= piece_count()) return false;
+    return piece_hashes_[i] == received;
+}
+
+}  // namespace netsession::swarm

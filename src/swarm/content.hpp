@@ -1,0 +1,63 @@
+// Content objects and their piece tables.
+//
+// As in BitTorrent, objects are broken into pieces that can be downloaded
+// and hash-verified independently (paper §3.4); the edge servers generate and
+// maintain the secure per-version object IDs and the per-piece hashes
+// (paper §3.5). Since simulated transfers carry no real payload, a piece's
+// "correct data" is represented by a deterministic digest derived from the
+// object id and piece index; a corrupted transfer delivers a digest that does
+// not verify.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/sha256.hpp"
+#include "common/types.hpp"
+
+namespace netsession::swarm {
+
+using PieceIndex = std::uint32_t;
+
+/// Immutable metadata of one version of one distributable object.
+class ContentObject {
+public:
+    /// Builds the piece table for an object. The piece size is chosen so the
+    /// object has at most `max_pieces` pieces but pieces are never smaller
+    /// than `min_piece_size` (a documented coarsening of BitTorrent-style
+    /// fixed-size pieces; see DESIGN.md §4.3).
+    ContentObject(ObjectId id, CpCode provider, std::uint64_t url_hash, Bytes size,
+                  std::uint32_t max_pieces = 128, Bytes min_piece_size = 256 * 1024);
+
+    [[nodiscard]] ObjectId id() const noexcept { return id_; }
+    [[nodiscard]] CpCode provider() const noexcept { return provider_; }
+    /// Anonymised URL/file-name token (the paper's logs hash file names).
+    [[nodiscard]] std::uint64_t url_hash() const noexcept { return url_hash_; }
+    [[nodiscard]] Bytes size() const noexcept { return size_; }
+    [[nodiscard]] Bytes piece_size() const noexcept { return piece_size_; }
+    [[nodiscard]] PieceIndex piece_count() const noexcept {
+        return static_cast<PieceIndex>(piece_hashes_.size());
+    }
+    /// Size of one specific piece (the last piece may be shorter).
+    [[nodiscard]] Bytes piece_length(PieceIndex i) const noexcept;
+
+    /// The authoritative hash of a piece, as published by the edge servers.
+    [[nodiscard]] const Digest256& piece_hash(PieceIndex i) const { return piece_hashes_[i]; }
+
+    /// The digest an uncorrupted transfer of piece `i` delivers.
+    [[nodiscard]] Digest256 correct_transfer_digest(PieceIndex i) const;
+
+    /// Verifies a received transfer digest against the piece table.
+    [[nodiscard]] bool verify(PieceIndex i, const Digest256& received) const;
+
+private:
+    ObjectId id_;
+    CpCode provider_;
+    std::uint64_t url_hash_;
+    Bytes size_;
+    Bytes piece_size_;
+    std::vector<Digest256> piece_hashes_;
+};
+
+}  // namespace netsession::swarm

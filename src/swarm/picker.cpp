@@ -1,0 +1,86 @@
+#include "swarm/picker.hpp"
+
+#include <cassert>
+
+namespace netsession::swarm {
+
+void PiecePicker::add_source(const PieceMap& map) {
+    assert(map.size() == size());
+    for (PieceIndex i = 0; i < map.size(); ++i)
+        if (map.has(i)) ++availability_[i];
+}
+
+void PiecePicker::remove_source(const PieceMap& map) {
+    assert(map.size() == size());
+    for (PieceIndex i = 0; i < map.size(); ++i)
+        if (map.has(i)) {
+            assert(availability_[i] > 0);
+            --availability_[i];
+        }
+}
+
+void PiecePicker::set_in_flight(PieceIndex i, bool v) {
+    if (in_flight_.size() < availability_.size()) in_flight_.resize(availability_.size(), false);
+    in_flight_[i] = v;
+}
+
+std::optional<PieceIndex> PiecePicker::pick_from_peer(const PieceMap& local, const PieceMap& remote,
+                                                      Rng& rng) const {
+    std::optional<PieceIndex> best;
+    std::uint32_t best_avail = 0;
+    std::uint32_t ties = 0;
+    for (PieceIndex i = 0; i < size(); ++i) {
+        if (local.has(i) || !remote.has(i) || in_flight(i)) continue;
+        const std::uint32_t a = availability_[i];
+        if (!best || a < best_avail) {
+            best = i;
+            best_avail = a;
+            ties = 1;
+        } else if (a == best_avail) {
+            // Reservoir sampling over equally-rare pieces.
+            ++ties;
+            if (rng.below(ties) == 0) best = i;
+        }
+    }
+    return best;
+}
+
+std::optional<PieceIndex> PiecePicker::pick_sequential(const PieceMap& local,
+                                                       const PieceMap* remote,
+                                                       int skip_urgent) const {
+    int skipped = 0;
+    for (PieceIndex i = 0; i < size(); ++i) {
+        if (local.has(i)) continue;
+        if (skipped < skip_urgent) {
+            // Leave the earliest missing pieces (in flight or not) to the
+            // urgent-window fetcher.
+            ++skipped;
+            continue;
+        }
+        if (in_flight(i)) continue;
+        if (remote != nullptr && !remote->has(i)) continue;
+        return i;
+    }
+    return std::nullopt;
+}
+
+std::optional<PieceIndex> PiecePicker::pick_from_edge(const PieceMap& local, Rng& rng) const {
+    std::optional<PieceIndex> best;
+    std::uint32_t best_avail = 0;
+    std::uint32_t ties = 0;
+    for (PieceIndex i = 0; i < size(); ++i) {
+        if (local.has(i) || in_flight(i)) continue;
+        const std::uint32_t a = availability_[i];
+        if (!best || a < best_avail) {
+            best = i;
+            best_avail = a;
+            ties = 1;
+        } else if (a == best_avail) {
+            ++ties;
+            if (rng.below(ties) == 0) best = i;
+        }
+    }
+    return best;
+}
+
+}  // namespace netsession::swarm

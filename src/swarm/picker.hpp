@@ -1,0 +1,63 @@
+// Piece selection for swarming downloads.
+//
+// Peers download rarest-first (like BitTorrent) so swarms spread pieces
+// evenly; the always-present edge connection is steered towards the pieces
+// the connected peers *cannot* provide, which is how the infrastructure
+// "covers the difference" (paper §3.3).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "swarm/piece_map.hpp"
+
+namespace netsession::swarm {
+
+class PiecePicker {
+public:
+    PiecePicker() = default;
+    explicit PiecePicker(PieceIndex piece_count) : availability_(piece_count, 0) {}
+
+    [[nodiscard]] PieceIndex size() const noexcept {
+        return static_cast<PieceIndex>(availability_.size());
+    }
+
+    /// Tracks availability as sources come and go or announce new pieces.
+    void add_source(const PieceMap& map);
+    void remove_source(const PieceMap& map);
+    void source_gained(PieceIndex i) { ++availability_[i]; }
+
+    [[nodiscard]] std::uint32_t availability(PieceIndex i) const { return availability_[i]; }
+
+    /// Marks a piece as requested / no longer requested from some source, so
+    /// concurrent connections do not fetch duplicates.
+    void set_in_flight(PieceIndex i, bool v);
+    [[nodiscard]] bool in_flight(PieceIndex i) const { return in_flight_.size() > i && in_flight_[i]; }
+
+    /// Chooses the rarest piece that `remote` has, `local` misses, and is not
+    /// in flight. Ties are broken uniformly at random.
+    [[nodiscard]] std::optional<PieceIndex> pick_from_peer(const PieceMap& local,
+                                                           const PieceMap& remote, Rng& rng) const;
+
+    /// Chooses the piece with the *lowest* peer availability that `local`
+    /// misses and is not in flight — the edge connection fills the gaps the
+    /// swarm cannot.
+    [[nodiscard]] std::optional<PieceIndex> pick_from_edge(const PieceMap& local, Rng& rng) const;
+
+    /// In-order selection for streaming delivery: the lowest-index missing
+    /// piece that is not in flight (optionally only pieces `remote` has).
+    /// `skip_urgent` skips that many of the earliest missing pieces — slow
+    /// peer sources prefetch *ahead* of the play head while the edge
+    /// connection covers the urgent window (avoids head-of-line blocking).
+    [[nodiscard]] std::optional<PieceIndex> pick_sequential(const PieceMap& local,
+                                                            const PieceMap* remote = nullptr,
+                                                            int skip_urgent = 0) const;
+
+private:
+    std::vector<std::uint32_t> availability_;
+    std::vector<bool> in_flight_;
+};
+
+}  // namespace netsession::swarm

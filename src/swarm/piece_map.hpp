@@ -1,0 +1,49 @@
+// Piece possession bitfield, exchanged between peers during swarming
+// ("peers exchange information about which pieces of the file they have
+// locally available", paper §3.4).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "swarm/content.hpp"
+
+namespace netsession::swarm {
+
+class PieceMap {
+public:
+    PieceMap() = default;
+    explicit PieceMap(PieceIndex count) : bits_(count, false) {}
+
+    /// A map with every piece present (a seed / completed download).
+    static PieceMap full(PieceIndex count) {
+        PieceMap m(count);
+        m.bits_.assign(count, true);
+        m.have_ = count;
+        return m;
+    }
+
+    [[nodiscard]] PieceIndex size() const noexcept { return static_cast<PieceIndex>(bits_.size()); }
+    [[nodiscard]] PieceIndex have_count() const noexcept { return have_; }
+    [[nodiscard]] bool complete() const noexcept { return have_ == size() && size() > 0; }
+    [[nodiscard]] bool has(PieceIndex i) const { return bits_[i]; }
+
+    /// Marks a piece present; returns false if it was already present.
+    bool set(PieceIndex i) {
+        if (bits_[i]) return false;
+        bits_[i] = true;
+        ++have_;
+        return true;
+    }
+
+    /// Fraction of pieces present, in [0,1].
+    [[nodiscard]] double completion() const noexcept {
+        return size() == 0 ? 0.0 : static_cast<double>(have_) / static_cast<double>(size());
+    }
+
+private:
+    std::vector<bool> bits_;
+    PieceIndex have_ = 0;
+};
+
+}  // namespace netsession::swarm

@@ -1,0 +1,59 @@
+#include "trace/anonymize.hpp"
+
+#include "common/sha256.hpp"
+
+namespace netsession::trace {
+
+namespace {
+Digest256 keyed(const std::string& key, const void* data, std::size_t n) {
+    return hmac_sha256(key, std::string_view(static_cast<const char*>(data), n));
+}
+}  // namespace
+
+Guid Anonymizer::scramble(Guid g) const {
+    if (g.is_nil()) return g;
+    const std::uint64_t in[2] = {g.hi, g.lo};
+    const Digest256 d = keyed(key_, in, sizeof(in));
+    Guid out;
+    out.hi = d.prefix64();
+    for (int i = 8; i < 16; ++i) out.lo = (out.lo << 8) | d.bytes[static_cast<std::size_t>(i)];
+    return out;
+}
+
+SecondaryGuid Anonymizer::scramble(SecondaryGuid g) const {
+    if (g.is_nil()) return g;
+    const Guid tmp = scramble(Guid{g.hi, g.lo});
+    return SecondaryGuid{tmp.hi, tmp.lo};
+}
+
+net::IpAddr Anonymizer::scramble(net::IpAddr ip) const {
+    const std::uint32_t in = ip.value;
+    const Digest256 d = keyed(key_, &in, sizeof(in));
+    return net::IpAddr{static_cast<std::uint32_t>(d.prefix64())};
+}
+
+std::uint64_t Anonymizer::scramble_url(std::uint64_t url_hash) const {
+    const Digest256 d = keyed(key_, &url_hash, sizeof(url_hash));
+    return d.prefix64();
+}
+
+void Anonymizer::anonymize(TraceLog& log) const {
+    for (auto& d : log.downloads()) {
+        d.guid = scramble(d.guid);
+        d.url_hash = scramble_url(d.url_hash);
+    }
+    for (auto& r : log.logins()) {
+        r.guid = scramble(r.guid);
+        r.ip = scramble(r.ip);
+        for (auto& s : r.secondary_guids) s = scramble(s);
+    }
+    for (auto& r : log.transfers()) {
+        r.from_guid = scramble(r.from_guid);
+        r.to_guid = scramble(r.to_guid);
+        r.from_ip = scramble(r.from_ip);
+        r.to_ip = scramble(r.to_ip);
+    }
+    for (auto& r : log.registrations()) r.guid = scramble(r.guid);
+}
+
+}  // namespace netsession::trace

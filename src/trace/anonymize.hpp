@@ -1,0 +1,33 @@
+// Trace anonymisation.
+//
+// "To protect the privacy of users and content providers, the data in our
+// logs have been anonymized by hashing the file names, IP addresses, and
+// GUIDs." (paper §4.1) The keyed permutation below preserves equality (so
+// grouping analyses still work) while making original identifiers
+// unrecoverable without the key.
+#pragma once
+
+#include <string_view>
+
+#include "trace/trace_log.hpp"
+
+namespace netsession::trace {
+
+/// Keyed, equality-preserving identifier scrambler.
+class Anonymizer {
+public:
+    explicit Anonymizer(std::string_view key) : key_(key) {}
+
+    [[nodiscard]] Guid scramble(Guid g) const;
+    [[nodiscard]] SecondaryGuid scramble(SecondaryGuid g) const;
+    [[nodiscard]] net::IpAddr scramble(net::IpAddr ip) const;
+    [[nodiscard]] std::uint64_t scramble_url(std::uint64_t url_hash) const;
+
+    /// Rewrites every identifier in the log in place.
+    void anonymize(TraceLog& log) const;
+
+private:
+    std::string key_;
+};
+
+}  // namespace netsession::trace

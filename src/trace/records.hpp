@@ -1,0 +1,111 @@
+// Control-plane log records — the schema of the paper's data set (§4.1).
+//
+// "When a peer downloads a file from NetSession, the CN records information
+// about the download, including the GUID of the peer, the name and size of
+// the file, the CP code, the time the download started and ended, and the
+// number of bytes downloaded from the infrastructure and from peers. [...]
+// when a peer opens a connection to the control plane, the CN records the
+// peer's current IP address, its software version, and whether or not
+// uploads are enabled on that peer."
+//
+// Additional record kinds cover the DN registration log (used by Fig 5), the
+// per-source transfer detail (used by the §6.1 traffic-balance study), and
+// the secondary-GUID reports (§6.2 / Fig 12).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+#include "net/ipv4.hpp"
+#include "sim/time.hpp"
+
+namespace netsession::trace {
+
+/// Eventual outcome of a download (§5.2: complete, fail — split into
+/// system-related and other causes — or aborted/paused and never resumed).
+enum class DownloadOutcome : std::uint8_t {
+    completed,
+    failed_system,   // e.g. too many corrupted content blocks
+    failed_other,    // e.g. the user's disk is full
+    aborted_by_user, // paused/terminated and never resumed
+    in_progress,     // still running when the trace window closed
+};
+
+[[nodiscard]] constexpr std::string_view to_string(DownloadOutcome o) noexcept {
+    switch (o) {
+        case DownloadOutcome::completed: return "completed";
+        case DownloadOutcome::failed_system: return "failed_system";
+        case DownloadOutcome::failed_other: return "failed_other";
+        case DownloadOutcome::aborted_by_user: return "aborted_by_user";
+        case DownloadOutcome::in_progress: return "in_progress";
+    }
+    return "unknown";
+}
+
+/// One download, as recorded by the CN for accounting and billing.
+struct DownloadRecord {
+    Guid guid;
+    ObjectId object;
+    std::uint64_t url_hash = 0;  // hashed file name/URL (logs are anonymised)
+    CpCode cp_code;
+    Bytes object_size = 0;
+    sim::SimTime start;
+    sim::SimTime end;
+    Bytes bytes_from_infrastructure = 0;
+    Bytes bytes_from_peers = 0;
+    bool p2p_enabled = false;
+    int peers_initially_returned = 0;  // size of the DN's first answer
+    DownloadOutcome outcome = DownloadOutcome::in_progress;
+
+    /// Peer efficiency of this download (0 for infrastructure-only ones).
+    [[nodiscard]] double peer_efficiency() const noexcept {
+        const Bytes total = bytes_from_infrastructure + bytes_from_peers;
+        return total <= 0 ? 0.0
+                          : static_cast<double>(bytes_from_peers) / static_cast<double>(total);
+    }
+    [[nodiscard]] Bytes total_bytes() const noexcept {
+        return bytes_from_infrastructure + bytes_from_peers;
+    }
+    /// Mean download speed over the download's lifetime, bytes/second.
+    [[nodiscard]] double mean_speed() const noexcept {
+        const double dt = (end - start).seconds();
+        return dt <= 0.0 ? 0.0 : static_cast<double>(total_bytes()) / dt;
+    }
+};
+
+/// One control-plane login.
+struct LoginRecord {
+    Guid guid;
+    net::IpAddr ip;
+    std::uint32_t software_version = 0;
+    bool uploads_enabled = false;
+    CnId cn;
+    sim::SimTime time;
+    /// The last five secondary GUIDs, newest first; nil entries unused
+    /// (§6.2: reported to the control plane upon login).
+    std::array<SecondaryGuid, 5> secondary_guids{};
+};
+
+/// One peer-to-peer content transfer within a download: who sent how many
+/// content bytes to whom (drives the §6.1 AS traffic matrix).
+struct TransferRecord {
+    ObjectId object;
+    Guid from_guid;
+    Guid to_guid;
+    net::IpAddr from_ip;
+    net::IpAddr to_ip;
+    Bytes bytes = 0;
+    sim::SimTime time;
+};
+
+/// One DN directory registration: a peer announced a locally cached copy
+/// (Fig 5 counts these per file).
+struct DnRegistrationRecord {
+    ObjectId object;
+    Guid guid;
+    sim::SimTime time;
+};
+
+}  // namespace netsession::trace

@@ -1,0 +1,123 @@
+#include "trace/serialize.hpp"
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+namespace netsession::trace {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x4E53545243455231ULL;  // "NSTRCE" v1
+constexpr std::uint32_t kVersion = 3;
+
+struct FileCloser {
+    void operator()(std::FILE* f) const noexcept {
+        if (f != nullptr) std::fclose(f);
+    }
+};
+using File = std::unique_ptr<std::FILE, FileCloser>;
+
+template <typename T>
+bool write_pod(std::FILE* f, const T& v) {
+    return std::fwrite(&v, sizeof(T), 1, f) == 1;
+}
+
+template <typename T>
+bool read_pod(std::FILE* f, T& v) {
+    return std::fread(&v, sizeof(T), 1, f) == 1;
+}
+
+template <typename T>
+bool write_vec(std::FILE* f, const std::vector<T>& v) {
+    const std::uint64_t n = v.size();
+    if (!write_pod(f, n)) return false;
+    if (n == 0) return true;
+    return std::fwrite(v.data(), sizeof(T), v.size(), f) == v.size();
+}
+
+template <typename T>
+bool read_vec(std::FILE* f, std::vector<T>& v) {
+    std::uint64_t n = 0;
+    if (!read_pod(f, n)) return false;
+    v.resize(n);
+    if (n == 0) return true;
+    return std::fread(v.data(), sizeof(T), v.size(), f) == v.size();
+}
+
+/// Flat on-disk form of one geo entry.
+struct GeoEntry {
+    std::uint32_t ip = 0;
+    std::uint16_t country = 0;
+    std::uint32_t city = 0;
+    double lat = 0, lon = 0;
+    std::uint32_t asn = 0;
+};
+
+// The record structs are trivially copyable (ids, ints, times); guard the
+// dump format against accidental changes.
+static_assert(std::is_trivially_copyable_v<DownloadRecord>);
+static_assert(std::is_trivially_copyable_v<LoginRecord>);
+static_assert(std::is_trivially_copyable_v<TransferRecord>);
+static_assert(std::is_trivially_copyable_v<DnRegistrationRecord>);
+
+}  // namespace
+
+bool save_dataset(const Dataset& dataset, const std::string& path) {
+    File f(std::fopen(path.c_str(), "wb"));
+    if (!f) return false;
+    if (!write_pod(f.get(), kMagic) || !write_pod(f.get(), kVersion)) return false;
+    if (!write_vec(f.get(), dataset.log.downloads())) return false;
+    if (!write_vec(f.get(), dataset.log.logins())) return false;
+    if (!write_vec(f.get(), dataset.log.transfers())) return false;
+    if (!write_vec(f.get(), dataset.log.registrations())) return false;
+
+    std::vector<GeoEntry> geo;
+    geo.reserve(dataset.geodb.size());
+    dataset.geodb.for_each([&](net::IpAddr ip, const net::GeoRecord& rec) {
+        GeoEntry e;
+        e.ip = ip.value;
+        e.country = rec.location.country.value;
+        e.city = rec.location.city;
+        e.lat = rec.location.point.lat;
+        e.lon = rec.location.point.lon;
+        e.asn = rec.asn.value;
+        geo.push_back(e);
+    });
+    return write_vec(f.get(), geo);
+}
+
+bool load_dataset(Dataset& dataset, const std::string& path) {
+    File f(std::fopen(path.c_str(), "rb"));
+    if (!f) return false;
+    std::uint64_t magic = 0;
+    std::uint32_t version = 0;
+    if (!read_pod(f.get(), magic) || !read_pod(f.get(), version)) return false;
+    if (magic != kMagic || version != kVersion) return false;
+
+    dataset.log.clear();
+    std::vector<DownloadRecord> downloads;
+    std::vector<LoginRecord> logins;
+    std::vector<TransferRecord> transfers;
+    std::vector<DnRegistrationRecord> registrations;
+    if (!read_vec(f.get(), downloads) || !read_vec(f.get(), logins) ||
+        !read_vec(f.get(), transfers) || !read_vec(f.get(), registrations))
+        return false;
+    for (const auto& r : downloads) dataset.log.add(r);
+    for (const auto& r : logins) dataset.log.add(r);
+    for (const auto& r : transfers) dataset.log.add(r);
+    for (const auto& r : registrations) dataset.log.add(r);
+
+    std::vector<GeoEntry> geo;
+    if (!read_vec(f.get(), geo)) return false;
+    for (const auto& e : geo) {
+        net::GeoRecord rec;
+        rec.location = net::Location{CountryId{e.country}, e.city, net::GeoPoint{e.lat, e.lon}};
+        rec.asn = Asn{e.asn};
+        dataset.geodb.register_ip(net::IpAddr{e.ip}, rec);
+    }
+    return true;
+}
+
+}  // namespace netsession::trace

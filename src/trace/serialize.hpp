@@ -1,0 +1,30 @@
+// Binary (de)serialisation of a trace data set: the control-plane logs plus
+// the geolocation database needed to analyse them. Lets one expensive
+// scenario run feed every table/figure bench (and supports exporting traces
+// for offline analysis).
+//
+// Format: little-endian host dump with a magic/version header; intended for
+// same-machine round trips, not as an interchange format.
+#pragma once
+
+#include <string>
+
+#include "net/geodb.hpp"
+#include "trace/trace_log.hpp"
+
+namespace netsession::trace {
+
+/// Everything an analysis needs from one measurement run.
+struct Dataset {
+    TraceLog log;
+    net::GeoDatabase geodb;
+};
+
+/// Writes the data set; returns false on I/O failure.
+bool save_dataset(const Dataset& dataset, const std::string& path);
+
+/// Reads a data set previously written by save_dataset; returns false on
+/// I/O failure, bad magic, or version mismatch.
+bool load_dataset(Dataset& dataset, const std::string& path);
+
+}  // namespace netsession::trace

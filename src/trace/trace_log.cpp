@@ -1,0 +1,27 @@
+#include "trace/trace_log.hpp"
+
+#include <cstdio>
+
+namespace netsession::trace {
+
+std::size_t TraceLog::write_downloads_tsv(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return 0;
+    std::fprintf(f,
+                 "guid\turl_hash\tcp_code\tsize\tstart_s\tend_s\tbytes_infra\tbytes_peers\t"
+                 "p2p_enabled\tpeers_returned\toutcome\n");
+    std::size_t rows = 0;
+    for (const auto& d : downloads_) {
+        std::fprintf(f, "%s\t%016llx\t%u\t%lld\t%.3f\t%.3f\t%lld\t%lld\t%d\t%d\t%s\n",
+                     d.guid.to_string().c_str(), static_cast<unsigned long long>(d.url_hash),
+                     d.cp_code.value, static_cast<long long>(d.object_size), d.start.seconds(),
+                     d.end.seconds(), static_cast<long long>(d.bytes_from_infrastructure),
+                     static_cast<long long>(d.bytes_from_peers), d.p2p_enabled ? 1 : 0,
+                     d.peers_initially_returned, std::string(to_string(d.outcome)).c_str());
+        ++rows;
+    }
+    std::fclose(f);
+    return rows;
+}
+
+}  // namespace netsession::trace

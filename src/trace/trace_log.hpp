@@ -1,0 +1,61 @@
+// The trace store: append-only logs the simulated control plane writes and
+// the analysis pipeline reads, mirroring the paper's one-month data set.
+#pragma once
+
+#include <vector>
+
+#include "trace/records.hpp"
+
+namespace netsession::trace {
+
+class TraceLog {
+public:
+    void add(DownloadRecord r) { downloads_.push_back(r); }
+    void add(const LoginRecord& r) { logins_.push_back(r); }
+    void add(const TransferRecord& r) { transfers_.push_back(r); }
+    void add(const DnRegistrationRecord& r) { registrations_.push_back(r); }
+
+    [[nodiscard]] const std::vector<DownloadRecord>& downloads() const noexcept {
+        return downloads_;
+    }
+    [[nodiscard]] std::vector<DownloadRecord>& downloads() noexcept { return downloads_; }
+    [[nodiscard]] const std::vector<LoginRecord>& logins() const noexcept { return logins_; }
+    [[nodiscard]] std::vector<LoginRecord>& logins() noexcept { return logins_; }
+    [[nodiscard]] const std::vector<TransferRecord>& transfers() const noexcept {
+        return transfers_;
+    }
+    [[nodiscard]] std::vector<TransferRecord>& transfers() noexcept { return transfers_; }
+    [[nodiscard]] const std::vector<DnRegistrationRecord>& registrations() const noexcept {
+        return registrations_;
+    }
+    [[nodiscard]] std::vector<DnRegistrationRecord>& registrations() noexcept {
+        return registrations_;
+    }
+
+    /// Drops everything (used at the end of a warm-up phase: the paper's
+    /// trace is a one-month window of a system that had been running for
+    /// years).
+    void clear() {
+        downloads_.clear();
+        logins_.clear();
+        transfers_.clear();
+        registrations_.clear();
+    }
+
+    /// Total log entries across record kinds (Table 1's "log entries" row).
+    [[nodiscard]] std::size_t total_entries() const noexcept {
+        return downloads_.size() + logins_.size() + transfers_.size() + registrations_.size();
+    }
+
+    /// Emits the download log as TSV (one line per record) for offline
+    /// plotting; returns the number of rows written.
+    std::size_t write_downloads_tsv(const std::string& path) const;
+
+private:
+    std::vector<DownloadRecord> downloads_;
+    std::vector<LoginRecord> logins_;
+    std::vector<TransferRecord> transfers_;
+    std::vector<DnRegistrationRecord> registrations_;
+};
+
+}  // namespace netsession::trace

@@ -1,0 +1,52 @@
+#include "workload/distributions.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace netsession::workload {
+
+ZipfSampler::ZipfSampler(std::size_t n, double alpha) {
+    assert(n > 0);
+    cumulative_.reserve(n);
+    double acc = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+        acc += 1.0 / std::pow(static_cast<double>(k + 1), alpha);
+        cumulative_.push_back(acc);
+    }
+}
+
+std::size_t ZipfSampler::sample(Rng& rng) const {
+    const double x = rng.uniform(0.0, cumulative_.back());
+    const auto it = std::lower_bound(cumulative_.begin(), cumulative_.end(), x);
+    return std::min(static_cast<std::size_t>(it - cumulative_.begin()), cumulative_.size() - 1);
+}
+
+double ZipfSampler::pmf(std::size_t rank) const {
+    assert(rank < cumulative_.size());
+    const double lo = rank == 0 ? 0.0 : cumulative_[rank - 1];
+    return (cumulative_[rank] - lo) / cumulative_.back();
+}
+
+double diurnal_intensity(double local_hour) {
+    // Hourly residential-traffic shape (deep 04:00 trough, evening peak near
+    // 20:00), linearly interpolated; mean ~1 over the day.
+    static constexpr double kByHour[24] = {0.55, 0.45, 0.38, 0.33, 0.30, 0.32, 0.40, 0.55,
+                                           0.72, 0.85, 0.95, 1.05, 1.15, 1.18, 1.20, 1.22,
+                                           1.30, 1.45, 1.60, 1.75, 1.80, 1.70, 1.30, 0.85};
+    double h = std::fmod(local_hour, 24.0);
+    if (h < 0) h += 24.0;
+    const int lo = static_cast<int>(h) % 24;
+    const int hi = (lo + 1) % 24;
+    const double frac = h - std::floor(h);
+    return kByHour[lo] * (1.0 - frac) + kByHour[hi] * frac;
+}
+
+double diurnal_peak() {
+    double peak = 0.0;
+    for (int i = 0; i < 240; ++i) peak = std::max(peak, diurnal_intensity(i / 10.0));
+    return peak;
+}
+
+}  // namespace netsession::workload

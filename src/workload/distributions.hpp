@@ -1,0 +1,33 @@
+// Workload distributions: Zipf popularity (Fig 3b's "nearly ubiquitous power
+// law") and the diurnal activity pattern (Fig 3c).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace netsession::workload {
+
+/// Samples ranks 0..n-1 with P(rank k) ∝ 1/(k+1)^alpha.
+class ZipfSampler {
+public:
+    ZipfSampler(std::size_t n, double alpha);
+
+    [[nodiscard]] std::size_t sample(Rng& rng) const;
+    [[nodiscard]] std::size_t size() const noexcept { return cumulative_.size(); }
+    /// Probability mass of one rank.
+    [[nodiscard]] double pmf(std::size_t rank) const;
+
+private:
+    std::vector<double> cumulative_;
+};
+
+/// Relative activity intensity at a local hour of day, normalised to mean 1
+/// over 24h: low at night, ramping through the day, peaking in the evening
+/// (the usual residential traffic shape).
+[[nodiscard]] double diurnal_intensity(double local_hour);
+
+/// The maximum of diurnal_intensity over the day (for thinning samplers).
+[[nodiscard]] double diurnal_peak();
+
+}  // namespace netsession::workload

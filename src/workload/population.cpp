@@ -1,0 +1,94 @@
+#include "workload/population.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace netsession::workload {
+
+PopulationGenerator::PopulationGenerator(const PopulationConfig& config, net::AsGraph& as_graph,
+                                         Rng rng)
+    : as_graph_(&as_graph), rng_(rng), config_(config) {
+    const auto world = net::countries();
+    double acc = 0.0;
+    country_cum_.reserve(world.size());
+    double max_weight = 0.0;
+    for (const auto& c : world) max_weight = std::max(max_weight, c.peer_weight);
+    cities_.resize(world.size());
+    for (std::size_t i = 0; i < world.size(); ++i) {
+        acc += world[i].peer_weight;
+        country_cum_.push_back(acc);
+        // City count scales with the country's share of the population.
+        const int n = std::clamp(
+            static_cast<int>(world[i].peer_weight / max_weight * config_.max_cities_per_country),
+            config_.min_cities_per_country, config_.max_cities_per_country);
+        auto& cities = cities_[i];
+        cities.reserve(static_cast<std::size_t>(n));
+        for (int k = 0; k < n; ++k) {
+            // Cities scatter around the country centre; density concentrates
+            // towards it (normal rather than uniform offsets).
+            const double dlat = rng_.normal(0.0, world[i].spread_deg / 2.0);
+            const double dlon = rng_.normal(0.0, world[i].spread_deg / 1.5);
+            cities.push_back(net::GeoPoint{world[i].center.lat + dlat, world[i].center.lon + dlon});
+        }
+    }
+}
+
+CountryId PopulationGenerator::sample_country() {
+    const double x = rng_.uniform(0.0, country_cum_.back());
+    const auto it = std::lower_bound(country_cum_.begin(), country_cum_.end(), x);
+    const auto idx = std::min(static_cast<std::size_t>(it - country_cum_.begin()),
+                              country_cum_.size() - 1);
+    return CountryId{static_cast<std::uint16_t>(idx)};
+}
+
+net::Location PopulationGenerator::location_in(CountryId country) {
+    const auto& cities = cities_[country.value];
+    const auto city = static_cast<std::uint32_t>(rng_.below(cities.size()));
+    return net::Location{country, city, cities[city]};
+}
+
+net::Location PopulationGenerator::location_near(const net::Location& base, double radius_km) {
+    // A synthetic "suburb" point near the base city (not in the city list —
+    // location identity is (country, city), so keep the same city id and
+    // jitter the coordinates only).
+    const double dlat = rng_.normal(0.0, radius_km / 111.0 / 2.0);
+    const double dlon = rng_.normal(0.0, radius_km / 111.0 / 2.0);
+    net::Location out = base;
+    out.point.lat += dlat;
+    out.point.lon += dlon;
+    return out;
+}
+
+net::NatType PopulationGenerator::sample_nat() {
+    const auto& mix = net::default_nat_mix();
+    double x = rng_.uniform();
+    for (int i = 0; i < net::kNatTypeCount; ++i) {
+        x -= mix[static_cast<std::size_t>(i)];
+        if (x <= 0.0) return static_cast<net::NatType>(i);
+    }
+    return net::NatType::port_restricted;
+}
+
+std::pair<Rate, Rate> PopulationGenerator::sample_bandwidth(CountryId country) {
+    const auto& bb = net::country(country).broadband;
+    // Log-normal around the country median with the configured spread,
+    // clamped to a plausible broadband range.
+    const double mu = std::log(bb.down_mbps_median);
+    const double down_mbps = std::clamp(rng_.lognormal(mu, bb.down_sigma), 0.25, 1000.0);
+    // Asymmetry varies by user too (different products of one ISP).
+    const double asym = std::max(1.0, bb.asymmetry * rng_.lognormal(0.0, 0.25));
+    const double up_mbps = std::max(0.1, down_mbps / asym);
+    return {mbps(up_mbps), mbps(down_mbps)};
+}
+
+PeerSpec PopulationGenerator::next() {
+    PeerSpec spec;
+    const CountryId country = sample_country();
+    spec.location = location_in(country);
+    spec.asn = as_graph_->pick_for_country(country, rng_);
+    spec.nat = sample_nat();
+    std::tie(spec.up, spec.down) = sample_bandwidth(country);
+    return spec;
+}
+
+}  // namespace netsession::workload

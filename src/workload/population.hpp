@@ -1,0 +1,64 @@
+// Synthetic global peer population.
+//
+// Peers are placed by country weight (shaped to the paper's Fig 2
+// distribution), assigned to heavy-tailed ASes within the country, given a
+// synthetic city-granularity location, an asymmetric broadband profile, and
+// a NAT type. This substitutes for the production deployment's 26M real
+// installations (see DESIGN.md §1).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/as_graph.hpp"
+#include "net/nat.hpp"
+#include "net/world_data.hpp"
+
+namespace netsession::workload {
+
+/// Everything needed to create one peer's host.
+struct PeerSpec {
+    net::Location location;
+    Asn asn;
+    net::NatType nat = net::NatType::port_restricted;
+    Rate up = 0;
+    Rate down = 0;
+};
+
+struct PopulationConfig {
+    int peers = 10000;
+    /// Synthetic cities generated per country, scaled by country weight.
+    int min_cities_per_country = 3;
+    int max_cities_per_country = 400;
+};
+
+class PopulationGenerator {
+public:
+    /// `as_graph` must outlive the generator; peers are assigned into it.
+    PopulationGenerator(const PopulationConfig& config, net::AsGraph& as_graph, Rng rng);
+
+    /// Generates one peer spec.
+    [[nodiscard]] PeerSpec next();
+
+    /// Generates a location within a given country (used for mobility: the
+    /// "alternate" places a peer moves between).
+    [[nodiscard]] net::Location location_in(CountryId country);
+    /// A nearby location: same country, within ~`radius_km` of `base`.
+    [[nodiscard]] net::Location location_near(const net::Location& base, double radius_km);
+
+    [[nodiscard]] net::NatType sample_nat();
+
+    /// Draw a broadband profile for a country (asymmetric up/down).
+    [[nodiscard]] std::pair<Rate, Rate> sample_bandwidth(CountryId country);
+
+    [[nodiscard]] CountryId sample_country();
+
+private:
+    net::AsGraph* as_graph_;
+    Rng rng_;
+    PopulationConfig config_;
+    std::vector<double> country_cum_;
+    std::vector<std::vector<net::GeoPoint>> cities_;  // per country
+};
+
+}  // namespace netsession::workload

@@ -1,0 +1,144 @@
+#include "workload/providers.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace netsession::workload {
+
+namespace {
+/// Table 2 rows (percent; '-' entries are zero), columns: US East, US West,
+/// Americas other, India, China, Asia other, Europe, Africa, Oceania.
+constexpr std::array<std::array<double, kRegionColumns>, 10> kTable2 = {{
+    /* A */ {0, 0, 12, 6, 6, 18, 51, 4, 3},
+    /* B */ {2, 1, 1, 11, 0, 61, 6, 17, 1},
+    /* C */ {13, 6, 15, 1, 0, 8, 55, 1, 2},
+    /* D */ {22, 21, 6, 0, 0, 3, 45, 0, 3},
+    /* E */ {5, 3, 8, 2, 1, 29, 48, 2, 3},
+    /* F */ {0, 0, 0, 0, 0, 0, 100, 0, 0},
+    /* G */ {8, 3, 12, 2, 8, 20, 45, 2, 2},
+    /* H */ {6, 4, 7, 4, 2, 20, 53, 2, 2},
+    /* I */ {5, 2, 18, 0, 0, 15, 57, 1, 1},
+    /* J */ {42, 24, 14, 0, 0, 5, 11, 1, 3},
+}};
+
+/// Table 4: fraction of each customer's peers with uploads enabled.
+constexpr std::array<double, 10> kTable4 = {0.005, 0.20, 0.02, 0.94, 0.02,
+                                            0.45,  0.47, 0.005, 0.91, 0.005};
+
+/// Global download weight of each major customer (they are "the ten largest
+/// content providers"); shaped so the weighted column sums resemble the
+/// paper's "All customers" row and the overall upload-enabled share is ~31%.
+constexpr std::array<double, 10> kWeights = {0.12, 0.08, 0.07, 0.14, 0.09,
+                                             0.05, 0.15, 0.07, 0.11, 0.12};
+}  // namespace
+
+std::vector<ProviderProfile> default_providers(int tail) {
+    std::vector<ProviderProfile> out;
+    out.reserve(10 + static_cast<std::size_t>(tail));
+    for (int i = 0; i < 10; ++i) {
+        ProviderProfile p;
+        p.code = CpCode{static_cast<std::uint32_t>(1000 + i)};
+        p.name = std::string("Customer ") + static_cast<char>('A' + i);
+        p.download_weight = kWeights[static_cast<std::size_t>(i)];
+        for (int r = 0; r < kRegionColumns; ++r)
+            p.region_mix[static_cast<std::size_t>(r)] =
+                kTable2[static_cast<std::size_t>(i)][static_cast<std::size_t>(r)] / 100.0;
+        p.default_uploads_enabled = kTable4[static_cast<std::size_t>(i)];
+        // Big game/software publishers have bigger catalogs and more large
+        // objects than download-manager-only customers.
+        p.objects = 250 + 60 * i;
+        p.fraction_large = (i == 3 || i == 6 || i == 8) ? 0.10 : 0.04;
+        out.push_back(std::move(p));
+    }
+    // A tail of minor customers: mostly small content, uploads disabled,
+    // globally uniform-ish popularity.
+    Rng mix_rng(0x7A11);
+    for (int i = 0; i < tail; ++i) {
+        ProviderProfile p;
+        p.code = CpCode{static_cast<std::uint32_t>(2000 + i)};
+        p.name = "Minor customer " + std::to_string(i);
+        p.download_weight = 0.012;
+        for (auto& m : p.region_mix) m = 0.5 + mix_rng.uniform();  // mild regional texture
+        p.default_uploads_enabled = mix_rng.chance(0.2) ? 0.6 : 0.01;
+        p.objects = 120;
+        p.fraction_large = 0.02;
+        p.allow_p2p = mix_rng.chance(0.5);
+        out.push_back(std::move(p));
+    }
+    return out;
+}
+
+CatalogBundle::CatalogBundle(std::vector<ProviderProfile> profiles, edge::Catalog& catalog,
+                             Rng rng, std::uint32_t max_pieces)
+    : profiles_(std::move(profiles)), catalog_(&catalog) {
+    objects_.resize(profiles_.size());
+    std::uint64_t next_url = 1;
+    for (std::size_t p = 0; p < profiles_.size(); ++p) {
+        const ProviderProfile& prof = profiles_[p];
+        auto& ids = objects_[p];
+        ids.reserve(static_cast<std::size_t>(prof.objects));
+        for (int k = 0; k < prof.objects; ++k) {
+            // Popularity rank == catalog index. Flagship releases (games, OS
+            // images) are both large and popular, so the large-object
+            // probability is strongly boosted for the top ranks — this is
+            // what makes 1-2% of files carry >50% of the bytes (§5.1) and
+            // what gives p2p-enabled objects real swarms.
+            const double large_prob = k < 3    ? std::max(0.7, prof.fraction_large)
+                                      : k < 12 ? std::max(0.3, prof.fraction_large)
+                                               : prof.fraction_large;
+            const bool large = rng.chance(large_prob);
+            // Log-normal sizes around the class median; clamp to sane ranges.
+            const double size_bytes =
+                large ? std::clamp(rng.lognormal(std::log(prof.large_median_gb * 1e9), 0.6), 3e8,
+                                   2e10)
+                      : std::clamp(rng.lognormal(std::log(prof.small_median_mb * 1e6), 1.0), 3e5,
+                                   2.9e8);
+            const ObjectId id{rng.next(), rng.next()};
+            swarm::ContentObject object(id, prof.code, next_url++,
+                                        static_cast<Bytes>(size_bytes), max_pieces);
+            edge::ObjectPolicy policy;
+            policy.p2p_enabled = prof.allow_p2p && large && k < prof.p2p_rank_cutoff &&
+                                 rng.chance(prof.p2p_fraction_large);
+            catalog_->publish(std::move(object), policy);
+            ids.push_back(id);
+        }
+        popularity_.emplace_back(static_cast<std::size_t>(prof.objects), prof.zipf_alpha);
+    }
+
+    // Per-region provider sampling tables: P(provider | region) ∝
+    // download_weight x region_mix[region].
+    for (int r = 0; r < kRegionColumns; ++r) {
+        auto& cum = provider_cum_[static_cast<std::size_t>(r)];
+        cum.reserve(profiles_.size());
+        double acc = 0.0;
+        for (const auto& prof : profiles_) {
+            acc += prof.download_weight * std::max(1e-6, prof.region_mix[static_cast<std::size_t>(r)]);
+            cum.push_back(acc);
+        }
+    }
+}
+
+std::size_t CatalogBundle::sample_provider_index(int region, Rng& rng) const {
+    assert(region >= 0 && region < kRegionColumns);
+    const auto& cum = provider_cum_[static_cast<std::size_t>(region)];
+    const double x = rng.uniform(0.0, cum.back());
+    const auto it = std::lower_bound(cum.begin(), cum.end(), x);
+    return std::min(static_cast<std::size_t>(it - cum.begin()), cum.size() - 1);
+}
+
+ObjectId CatalogBundle::sample_object(int region, Rng& rng) const {
+    return sample_object_of(sample_provider_index(region, rng), rng);
+}
+
+ObjectId CatalogBundle::sample_object_of(std::size_t provider_index, Rng& rng) const {
+    assert(provider_index < objects_.size());
+    const std::size_t rank = popularity_[provider_index].sample(rng);
+    return objects_[provider_index][rank];
+}
+
+const ProviderProfile& CatalogBundle::sample_install_provider(int region, Rng& rng) const {
+    return profiles_[sample_provider_index(region, rng)];
+}
+
+}  // namespace netsession::workload

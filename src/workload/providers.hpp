@@ -1,0 +1,97 @@
+// Content-provider profiles and catalog generation.
+//
+// Ten major customers (A..J) shaped to the paper's Table 2 (regional
+// download mix) and Table 4 (fraction of peers with uploads enabled — the
+// dominant factor is which default the provider's bundled binary ships
+// with). NetSession's typical use case is the distribution of software
+// installers, biased to large objects for p2p-enabled content (§4.4).
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "edge/catalog.hpp"
+#include "workload/distributions.hpp"
+
+namespace netsession::workload {
+
+/// The paper's nine report-region columns (same order as
+/// analysis::ReportRegion; duplicated here to keep workload independent of
+/// the analysis library).
+inline constexpr int kRegionColumns = 9;
+
+struct ProviderProfile {
+    CpCode code;
+    std::string name;
+    /// Global share of downloads attributable to this provider.
+    double download_weight = 0.1;
+    /// Regional popularity (Table 2 row), columns: US East, US West,
+    /// Americas other, India, China, Asia other, Europe, Africa, Oceania.
+    std::array<double, kRegionColumns> region_mix{};
+    /// Probability the bundled binary ships with uploads enabled (Table 4).
+    double default_uploads_enabled = 0.0;
+    /// Catalog shape.
+    int objects = 400;
+    double fraction_large = 0.05;   // large installers (GB scale)
+    double small_median_mb = 35.0;  // log-normal median of small objects
+    double large_median_gb = 1.5;
+    double zipf_alpha = 1.1;        // within-provider popularity skew
+    bool allow_p2p = true;
+    double p2p_fraction_large = 0.9;  // §4.4: providers enable p2p on large files
+    /// Providers enable p2p on the large objects they expect heavy demand
+    /// for (their flagship releases) — only ranks below this cutoff qualify.
+    int p2p_rank_cutoff = 16;
+};
+
+/// The ten named customers of Tables 2/4 plus `tail` minor providers.
+[[nodiscard]] std::vector<ProviderProfile> default_providers(int tail = 10);
+
+/// A generated catalog plus the sampling machinery the user model draws
+/// download requests from.
+class CatalogBundle {
+public:
+    /// Publishes every provider's objects into `catalog` (which must outlive
+    /// the bundle). `max_pieces` bounds per-object piece counts (see
+    /// DESIGN.md §4.3).
+    CatalogBundle(std::vector<ProviderProfile> profiles, edge::Catalog& catalog, Rng rng,
+                  std::uint32_t max_pieces = 64);
+
+    /// Draws a download request for a user in report-region column `region`:
+    /// provider by weight x regional affinity, object by Zipf popularity.
+    [[nodiscard]] ObjectId sample_object(int region, Rng& rng) const;
+
+    /// Draws an object from one specific provider (index into profiles()).
+    [[nodiscard]] ObjectId sample_object_of(std::size_t provider_index, Rng& rng) const;
+
+    /// Index of the provider a fresh install in `region` came from.
+    [[nodiscard]] std::size_t sample_install_provider_index(int region, Rng& rng) const {
+        return sample_provider_index(region, rng);
+    }
+
+    [[nodiscard]] const std::vector<ProviderProfile>& profiles() const noexcept {
+        return profiles_;
+    }
+    [[nodiscard]] const std::vector<std::vector<ObjectId>>& objects() const noexcept {
+        return objects_;
+    }
+    [[nodiscard]] const edge::Catalog& catalog() const noexcept { return *catalog_; }
+
+    /// The provider profile that a fresh install in `region` most likely
+    /// came from (used to attribute the binary's default upload setting):
+    /// sampled with the same regional affinity as downloads.
+    [[nodiscard]] const ProviderProfile& sample_install_provider(int region, Rng& rng) const;
+
+private:
+    [[nodiscard]] std::size_t sample_provider_index(int region, Rng& rng) const;
+
+    std::vector<ProviderProfile> profiles_;
+    edge::Catalog* catalog_;
+    std::vector<std::vector<ObjectId>> objects_;
+    std::vector<ZipfSampler> popularity_;
+    /// Per region column: cumulative provider weights.
+    std::array<std::vector<double>, kRegionColumns> provider_cum_;
+};
+
+}  // namespace netsession::workload

@@ -1,0 +1,128 @@
+// Accounting attack filter and billing rollups.
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "accounting/accounting.hpp"
+
+namespace netsession::accounting {
+namespace {
+
+trace::DownloadRecord honest_record() {
+    trace::DownloadRecord r;
+    r.guid = Guid{1, 1};
+    r.object = ObjectId{2, 2};
+    r.cp_code = CpCode{1000};
+    r.object_size = 100_MB;
+    r.bytes_from_infrastructure = 30_MB;
+    r.bytes_from_peers = 70_MB;
+    r.outcome = trace::DownloadOutcome::completed;
+    return r;
+}
+
+struct Fixture {
+    trace::TraceLog log;
+    AccountingService service{log};
+    std::unordered_map<std::uint64_t, Bytes> truth;  // guid.hi -> served bytes
+
+    Fixture() {
+        service.set_ground_truth([this](Guid guid, ObjectId) {
+            const auto it = truth.find(guid.hi);
+            return it == truth.end() ? 0 : it->second;
+        });
+    }
+};
+
+TEST(Accounting, AcceptsHonestReport) {
+    Fixture f;
+    f.truth[1] = 30_MB;
+    EXPECT_EQ(f.service.submit(honest_record()), RejectReason::none);
+    EXPECT_EQ(f.service.accepted(), 1);
+    EXPECT_EQ(f.service.rejected(), 0);
+    EXPECT_EQ(f.log.downloads().size(), 1u);
+}
+
+TEST(Accounting, RejectsInflatedInfraBytes) {
+    Fixture f;
+    f.truth[1] = 30_MB;
+    auto r = honest_record();
+    r.bytes_from_infrastructure = 90_MB;  // claims 3x the edge's count
+    EXPECT_EQ(f.service.submit(r), RejectReason::infra_bytes_exceed_ground_truth);
+    EXPECT_EQ(f.service.rejected(), 1);
+    EXPECT_TRUE(f.log.downloads().empty()) << "rejected reports never reach the billing log";
+}
+
+TEST(Accounting, ToleranceAllowsMinorOverrun) {
+    Fixture f;
+    f.truth[1] = 30_MB;
+    auto r = honest_record();
+    r.bytes_from_infrastructure = 30_MB + 1_MB;  // re-fetched corrupt piece
+    EXPECT_EQ(f.service.submit(r), RejectReason::none);
+}
+
+TEST(Accounting, RejectsNegativeBytes) {
+    Fixture f;
+    auto r = honest_record();
+    r.bytes_from_peers = -5;
+    EXPECT_EQ(f.service.submit(r), RejectReason::negative_bytes);
+}
+
+TEST(Accounting, RejectsImplausiblyLargeTotal) {
+    Fixture f;
+    f.truth[1] = 200_MB;
+    auto r = honest_record();
+    r.bytes_from_infrastructure = 150_MB;
+    r.bytes_from_peers = 150_MB;  // 3x the object size in total
+    EXPECT_EQ(f.service.submit(r), RejectReason::total_exceeds_plausible_size);
+}
+
+TEST(Accounting, NoGroundTruthSkipsInfraCheck) {
+    trace::TraceLog log;
+    AccountingService service(log);  // no ground truth installed
+    auto r = honest_record();
+    r.bytes_from_infrastructure = 99_MB;
+    r.bytes_from_peers = 0;
+    EXPECT_EQ(service.submit(r), RejectReason::none);
+}
+
+TEST(Accounting, BillingAggregatesPerProvider) {
+    Fixture f;
+    f.truth[1] = 30_MB;
+    f.service.submit(honest_record());
+    f.service.submit(honest_record());
+    auto other = honest_record();
+    other.cp_code = CpCode{2000};
+    other.outcome = trace::DownloadOutcome::aborted_by_user;
+    f.service.submit(other);
+
+    const auto& billing = f.service.billing();
+    ASSERT_TRUE(billing.contains(1000));
+    ASSERT_TRUE(billing.contains(2000));
+    EXPECT_EQ(billing.at(1000).downloads, 2);
+    EXPECT_EQ(billing.at(1000).completed, 2);
+    EXPECT_EQ(billing.at(1000).infra_bytes, 60_MB);
+    EXPECT_EQ(billing.at(1000).peer_bytes, 140_MB);
+    EXPECT_EQ(billing.at(2000).completed, 0);
+}
+
+TEST(Accounting, ToleranceIsConfigurable) {
+    Fixture f;
+    f.truth[1] = 30_MB;
+    f.service.set_tolerance(2.0);
+    auto r = honest_record();
+    r.bytes_from_infrastructure = 55_MB;  // < 2x truth
+    EXPECT_EQ(f.service.submit(r), RejectReason::none);
+}
+
+TEST(Accounting, ZeroSizeRecordSkipsPlausibilityCheck) {
+    Fixture f;
+    f.truth[1] = 1_MB;
+    auto r = honest_record();
+    r.object_size = 0;
+    r.bytes_from_infrastructure = 1_MB;
+    r.bytes_from_peers = 0;
+    EXPECT_EQ(f.service.submit(r), RejectReason::none);
+}
+
+}  // namespace
+}  // namespace netsession::accounting

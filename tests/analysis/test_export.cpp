@@ -1,0 +1,74 @@
+// Figure-data exporter.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "analysis/export.hpp"
+
+namespace netsession::analysis {
+namespace {
+
+trace::Dataset tiny_dataset() {
+    trace::Dataset d;
+    const net::IpAddr ip{0x0A000001};
+    d.geodb.register_ip(ip, net::GeoRecord{net::Location{CountryId{17}, 0, {48.1, 11.5}}, Asn{5}});
+    trace::LoginRecord login;
+    login.guid = Guid{1, 1};
+    login.ip = ip;
+    login.time = sim::SimTime{0};
+    d.log.add(login);
+    for (int i = 0; i < 5; ++i) {
+        trace::DownloadRecord dl;
+        dl.guid = Guid{1, 1};
+        dl.object = ObjectId{static_cast<std::uint64_t>(i), 1};
+        dl.url_hash = static_cast<std::uint64_t>(i % 2);
+        dl.cp_code = CpCode{1000};
+        dl.object_size = (i + 1) * 10_MB;
+        dl.start = sim::SimTime{0};
+        dl.end = sim::SimTime{100'000'000};
+        dl.bytes_from_infrastructure = dl.object_size / 2;
+        dl.bytes_from_peers = dl.object_size / 2;
+        dl.p2p_enabled = true;
+        dl.peers_initially_returned = i;
+        dl.outcome = trace::DownloadOutcome::completed;
+        d.log.add(dl);
+    }
+    trace::TransferRecord t;
+    t.from_ip = ip;
+    t.to_ip = ip;
+    t.from_guid = Guid{2, 2};
+    t.to_guid = Guid{1, 1};
+    t.bytes = 1000;
+    d.log.add(t);
+    return d;
+}
+
+TEST(Export, WritesAllFigureFilesAndScript) {
+    const std::string dir = ::testing::TempDir() + "/export_test";
+    std::filesystem::remove_all(dir);
+    const auto files = export_figure_data(tiny_dataset(), nullptr, dir);
+    EXPECT_GE(files, 15u);
+    for (const char* name :
+         {"fig3a_all.dat", "fig3b.dat", "fig3c.dat", "fig4_asx_edge.dat", "fig5.dat", "fig6.dat",
+          "fig7.dat", "fig9a.dat", "fig10.dat", "fig11.dat", "plot_all.gp"}) {
+        EXPECT_TRUE(std::filesystem::exists(dir + "/" + name)) << name;
+    }
+    // Data files have a header comment and parseable rows.
+    std::ifstream fig6(dir + "/fig6.dat");
+    std::string line;
+    ASSERT_TRUE(std::getline(fig6, line));
+    EXPECT_EQ(line[0], '#');
+    int rows = 0;
+    while (std::getline(fig6, line))
+        if (!line.empty() && line[0] != '#') ++rows;
+    EXPECT_GT(rows, 0);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Export, FailsCleanlyOnUnwritableDir) {
+    EXPECT_EQ(export_figure_data(tiny_dataset(), nullptr, "/proc/definitely/not/writable"), 0u);
+}
+
+}  // namespace
+}  // namespace netsession::analysis

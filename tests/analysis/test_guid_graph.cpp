@@ -1,0 +1,135 @@
+// Fig 12: secondary-GUID graph construction and pattern classification.
+#include <gtest/gtest.h>
+
+#include "analysis/guid_graph.hpp"
+
+namespace netsession::analysis {
+namespace {
+
+SecondaryGuid sg(std::uint64_t v) { return SecondaryGuid{v, v}; }
+
+/// Builds a login record reporting the last-5 window ending at chain
+/// position `end` (newest first), for chain values `chain`.
+trace::LoginRecord login_at(Guid guid, const std::vector<std::uint64_t>& chain, std::size_t end) {
+    trace::LoginRecord r;
+    r.guid = guid;
+    for (std::size_t i = 0; i < 5 && i < end; ++i) r.secondary_guids[i] = sg(chain[end - 1 - i]);
+    return r;
+}
+
+/// Simulates a client whose chain evolves; report after every start.
+void report_chain(trace::TraceLog& log, Guid guid, const std::vector<std::uint64_t>& chain,
+                  std::size_t from = 1) {
+    for (std::size_t end = from; end <= chain.size(); ++end)
+        log.add(login_at(guid, chain, end));
+}
+
+TEST(GuidGraph, LinearChainClassified) {
+    trace::TraceLog log;
+    report_chain(log, Guid{1, 1}, {1, 2, 3, 4, 5, 6});
+    const auto stats = classify_guid_graphs(log);
+    EXPECT_EQ(stats.graphs, 1);
+    EXPECT_EQ(stats.linear_chains, 1);
+    EXPECT_EQ(stats.trees(), 0);
+}
+
+TEST(GuidGraph, TwoVertexGraphsAreIgnored) {
+    trace::TraceLog log;
+    report_chain(log, Guid{1, 1}, {1, 2});
+    const auto stats = classify_guid_graphs(log);
+    EXPECT_EQ(stats.graphs, 0) << "the paper considers graphs with >= 3 vertices";
+}
+
+TEST(GuidGraph, OverlappingWindowsStillLinear) {
+    trace::TraceLog log;
+    // 5 4 3 2 1 then 6 5 4 3 2 etc — exactly the paper's example.
+    report_chain(log, Guid{1, 1}, {1, 2, 3, 4, 5, 6, 7, 8}, /*from=*/5);
+    const auto stats = classify_guid_graphs(log);
+    EXPECT_EQ(stats.graphs, 1);
+    EXPECT_EQ(stats.linear_chains, 1);
+}
+
+TEST(GuidGraph, RollbackByOneGivesLongPlusShortBranch) {
+    trace::TraceLog log;
+    const Guid g{2, 2};
+    // Chain 1-2-3, then rollback to after 2 and continue 4-5-6:
+    // 2 -> {3, 4}, with the 3-branch one vertex long.
+    report_chain(log, g, {1, 2, 3});
+    report_chain(log, g, {1, 2, 4, 5, 6}, /*from=*/3);
+    const auto stats = classify_guid_graphs(log);
+    EXPECT_EQ(stats.graphs, 1);
+    EXPECT_EQ(stats.long_plus_short, 1) << "failed-update pattern (46.2% of trees)";
+}
+
+TEST(GuidGraph, DeepRollbackGivesTwoLongBranches) {
+    trace::TraceLog log;
+    const Guid g{3, 3};
+    report_chain(log, g, {1, 2, 3, 4, 5});
+    report_chain(log, g, {1, 2, 6, 7, 8}, /*from=*/3);
+    const auto stats = classify_guid_graphs(log);
+    EXPECT_EQ(stats.graphs, 1);
+    EXPECT_EQ(stats.two_long_branches, 1) << "restored-backup pattern (6.2% of trees)";
+}
+
+TEST(GuidGraph, RepeatedReimagingGivesSeveralBranches) {
+    trace::TraceLog log;
+    const Guid g{4, 4};
+    // Golden image ends at 2; every night a fresh start branches off it.
+    report_chain(log, g, {1, 2, 3});
+    report_chain(log, g, {1, 2, 4}, /*from=*/3);
+    report_chain(log, g, {1, 2, 5}, /*from=*/3);
+    report_chain(log, g, {1, 2, 6}, /*from=*/3);
+    const auto stats = classify_guid_graphs(log);
+    EXPECT_EQ(stats.graphs, 1);
+    EXPECT_EQ(stats.several_branches, 1) << "internet-cafe / cloning pattern";
+}
+
+TEST(GuidGraph, MergedLineageIsIrregular) {
+    trace::TraceLog log;
+    const Guid g{5, 5};
+    // Two parents converging on one child (in-degree 2): impossible from
+    // rollbacks alone; classified irregular.
+    trace::LoginRecord a;
+    a.guid = g;
+    a.secondary_guids[0] = sg(3);
+    a.secondary_guids[1] = sg(1);
+    log.add(a);
+    trace::LoginRecord b;
+    b.guid = g;
+    b.secondary_guids[0] = sg(3);
+    b.secondary_guids[1] = sg(2);
+    log.add(b);
+    trace::LoginRecord c;
+    c.guid = g;
+    c.secondary_guids[0] = sg(4);
+    c.secondary_guids[1] = sg(3);
+    log.add(c);
+    const auto stats = classify_guid_graphs(log);
+    EXPECT_EQ(stats.graphs, 1);
+    EXPECT_EQ(stats.irregular, 1);
+}
+
+TEST(GuidGraph, GraphsGroupedByPrimaryGuid) {
+    trace::TraceLog log;
+    report_chain(log, Guid{1, 1}, {1, 2, 3, 4});
+    report_chain(log, Guid{2, 2}, {10, 11, 12});
+    const auto stats = classify_guid_graphs(log);
+    EXPECT_EQ(stats.graphs, 2);
+    EXPECT_EQ(stats.linear_chains, 2);
+    EXPECT_DOUBLE_EQ(stats.linear_fraction(), 1.0);
+}
+
+TEST(GuidGraph, NilEntriesIgnored) {
+    trace::TraceLog log;
+    trace::LoginRecord r;
+    r.guid = Guid{6, 6};
+    r.secondary_guids[0] = sg(2);
+    r.secondary_guids[1] = sg(1);
+    // entries 2..4 nil (fresh install, short history)
+    log.add(r);
+    const auto stats = classify_guid_graphs(log);
+    EXPECT_EQ(stats.graphs, 0);
+}
+
+}  // namespace
+}  // namespace netsession::analysis

@@ -1,0 +1,363 @@
+// Measurement pipeline on hand-crafted logs with known answers.
+#include <gtest/gtest.h>
+
+#include "analysis/login_index.hpp"
+#include "analysis/measurement.hpp"
+
+namespace netsession::analysis {
+namespace {
+
+struct LogBuilder {
+    trace::TraceLog log;
+    net::GeoDatabase geodb;
+    std::uint32_t next_ip = 100;
+
+    /// Registers an IP located in `alpha2`, AS `asn`.
+    net::IpAddr ip_in(std::string_view alpha2, std::uint32_t asn, std::uint32_t city = 0) {
+        const net::CountryInfo* c = net::find_country(alpha2);
+        EXPECT_NE(c, nullptr);
+        const net::IpAddr ip{next_ip++};
+        geodb.register_ip(ip, net::GeoRecord{net::Location{c->id, city, c->center}, Asn{asn}});
+        return ip;
+    }
+
+    void login(Guid guid, net::IpAddr ip, sim::SimTime at, bool uploads = false) {
+        trace::LoginRecord r;
+        r.guid = guid;
+        r.ip = ip;
+        r.uploads_enabled = uploads;
+        r.time = at;
+        log.add(r);
+    }
+
+    trace::DownloadRecord& download(Guid guid, std::uint64_t url, std::uint32_t cp, Bytes size,
+                                    Bytes infra, Bytes peers, bool p2p,
+                                    trace::DownloadOutcome outcome,
+                                    sim::SimTime start = sim::SimTime{0},
+                                    sim::Duration dur = sim::seconds(100)) {
+        trace::DownloadRecord d;
+        d.guid = guid;
+        d.object = ObjectId{url, url};
+        d.url_hash = url;
+        d.cp_code = CpCode{cp};
+        d.object_size = size;
+        d.start = start;
+        d.end = start + dur;
+        d.bytes_from_infrastructure = infra;
+        d.bytes_from_peers = peers;
+        d.p2p_enabled = p2p;
+        d.outcome = outcome;
+        log.add(d);
+        return log.downloads().back();
+    }
+
+    void transfer(Guid from, Guid to, net::IpAddr from_ip, net::IpAddr to_ip, Bytes bytes) {
+        trace::TransferRecord t;
+        t.object = ObjectId{1, 1};
+        t.from_guid = from;
+        t.to_guid = to;
+        t.from_ip = from_ip;
+        t.to_ip = to_ip;
+        t.bytes = bytes;
+        log.add(t);
+    }
+};
+
+constexpr auto kDone = trace::DownloadOutcome::completed;
+constexpr auto kAborted = trace::DownloadOutcome::aborted_by_user;
+
+TEST(Measurement, OverallStatsCountDistinctEntities) {
+    LogBuilder b;
+    const auto ip1 = b.ip_in("DE", 10, 0);
+    const auto ip2 = b.ip_in("DE", 10, 1);
+    const auto ip3 = b.ip_in("FR", 11);
+    b.login(Guid{1, 1}, ip1, sim::SimTime{0});
+    b.login(Guid{1, 1}, ip2, sim::SimTime{10});  // same GUID, new IP
+    b.login(Guid{2, 2}, ip3, sim::SimTime{20});
+    b.download(Guid{1, 1}, 100, 1000, 1_MB, 1_MB, 0, false, kDone);
+    b.download(Guid{1, 1}, 101, 1000, 1_MB, 1_MB, 0, false, kDone);
+    b.download(Guid{2, 2}, 100, 1000, 1_MB, 1_MB, 0, false, kDone);
+
+    const auto stats = overall_stats(b.log, b.geodb);
+    EXPECT_EQ(stats.guids, 2u);
+    EXPECT_EQ(stats.distinct_ips, 3u);
+    EXPECT_EQ(stats.distinct_urls, 2u);
+    EXPECT_EQ(stats.downloads_initiated, 3u);
+    EXPECT_EQ(stats.distinct_countries, 2u);
+    EXPECT_EQ(stats.distinct_ases, 2u);
+    EXPECT_EQ(stats.distinct_locations, 3u);
+    EXPECT_EQ(stats.log_entries, 6u);
+}
+
+TEST(Measurement, ReportRegionMapping) {
+    const auto geo = [](std::string_view alpha2) {
+        const net::CountryInfo* c = net::find_country(alpha2);
+        return net::GeoRecord{net::Location{c->id, 0, c->center}, Asn{1}};
+    };
+    EXPECT_EQ(report_region(geo("DE")), ReportRegion::europe);
+    EXPECT_EQ(report_region(geo("IN")), ReportRegion::india);
+    EXPECT_EQ(report_region(geo("CN")), ReportRegion::china);
+    EXPECT_EQ(report_region(geo("BR")), ReportRegion::americas_other);
+    EXPECT_EQ(report_region(geo("JP")), ReportRegion::asia_other);
+    EXPECT_EQ(report_region(geo("EG")), ReportRegion::africa);
+    EXPECT_EQ(report_region(geo("AU")), ReportRegion::oceania);
+    EXPECT_EQ(report_region(geo("CA")), ReportRegion::americas_other);
+}
+
+TEST(Measurement, DownloadsByRegionSharesSumToOne) {
+    LogBuilder b;
+    const auto de = b.ip_in("DE", 10);
+    const auto in = b.ip_in("IN", 11);
+    b.login(Guid{1, 1}, de, sim::SimTime{0});
+    b.login(Guid{2, 2}, in, sim::SimTime{0});
+    for (int i = 0; i < 3; ++i)
+        b.download(Guid{1, 1}, 100, 1000, 1_MB, 1_MB, 0, false, kDone, sim::SimTime{100});
+    b.download(Guid{2, 2}, 100, 1000, 1_MB, 1_MB, 0, false, kDone, sim::SimTime{100});
+
+    const LoginIndex logins(b.log);
+    const auto shares = downloads_by_region(b.log, logins, b.geodb);
+    ASSERT_TRUE(shares.contains(1000));
+    const auto& row = shares.at(1000);
+    EXPECT_DOUBLE_EQ(row[static_cast<int>(ReportRegion::europe)], 0.75);
+    EXPECT_DOUBLE_EQ(row[static_cast<int>(ReportRegion::india)], 0.25);
+    double sum = 0;
+    for (const double v : row) sum += v;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Measurement, SettingChangesTable3) {
+    LogBuilder b;
+    const auto ip = b.ip_in("DE", 10);
+    // GUID 1: disabled, never changes (two logins).
+    b.login(Guid{1, 1}, ip, sim::SimTime{0}, false);
+    b.login(Guid{1, 1}, ip, sim::SimTime{10}, false);
+    // GUID 2: enabled -> disabled (one change).
+    b.login(Guid{2, 2}, ip, sim::SimTime{0}, true);
+    b.login(Guid{2, 2}, ip, sim::SimTime{10}, false);
+    // GUID 3: disabled -> enabled -> disabled (two changes).
+    b.login(Guid{3, 3}, ip, sim::SimTime{0}, false);
+    b.login(Guid{3, 3}, ip, sim::SimTime{10}, true);
+    b.login(Guid{3, 3}, ip, sim::SimTime{20}, false);
+
+    const LoginIndex logins(b.log);
+    const auto t3 = upload_setting_changes(logins);
+    EXPECT_EQ(t3.initially_disabled[0], 1);
+    EXPECT_EQ(t3.initially_disabled[2], 1);
+    EXPECT_EQ(t3.initially_enabled[1], 1);
+    EXPECT_EQ(t3.initially_enabled[0], 0);
+}
+
+TEST(Measurement, UploadEnabledByProviderAttributesFirstDownload) {
+    LogBuilder b;
+    const auto ip = b.ip_in("DE", 10);
+    b.login(Guid{1, 1}, ip, sim::SimTime{0}, true);
+    b.login(Guid{2, 2}, ip, sim::SimTime{0}, false);
+    // GUID 1's first download is provider 1000; a later one is 2000.
+    b.download(Guid{1, 1}, 100, 1000, 1_MB, 1_MB, 0, false, kDone, sim::SimTime{10});
+    b.download(Guid{1, 1}, 101, 2000, 1_MB, 1_MB, 0, false, kDone, sim::SimTime{99});
+    b.download(Guid{2, 2}, 100, 1000, 1_MB, 1_MB, 0, false, kDone, sim::SimTime{10});
+
+    const LoginIndex logins(b.log);
+    const auto t4 = upload_enabled_by_provider(b.log, logins);
+    ASSERT_TRUE(t4.contains(1000));
+    EXPECT_DOUBLE_EQ(t4.at(1000), 0.5);  // guid1 enabled, guid2 disabled
+    EXPECT_FALSE(t4.contains(2000)) << "only first downloads attribute peers";
+}
+
+TEST(Measurement, PeerDistributionUsesFirstConnection) {
+    LogBuilder b;
+    const auto de = b.ip_in("DE", 10);
+    const auto jp = b.ip_in("JP", 11);
+    b.login(Guid{1, 1}, de, sim::SimTime{0});
+    b.login(Guid{1, 1}, jp, sim::SimTime{100});  // moved later; counted as DE
+    b.login(Guid{2, 2}, de, sim::SimTime{50});
+    const LoginIndex logins(b.log);
+    const auto dist = peer_distribution(logins, b.geodb);
+    ASSERT_EQ(dist.size(), 1u);
+    EXPECT_EQ(net::country(dist[0].country).alpha2, "DE");
+    EXPECT_EQ(dist[0].peers, 2);
+    EXPECT_DOUBLE_EQ(dist[0].fraction, 1.0);
+}
+
+TEST(Measurement, SpeedComparisonSplitsEdgeOnlyAndMostlyP2p) {
+    LogBuilder b;
+    const auto as_x_ip = b.ip_in("DE", 10);
+    const auto as_y_ip = b.ip_in("FR", 20);
+    b.login(Guid{1, 1}, as_x_ip, sim::SimTime{0});
+    b.login(Guid{2, 2}, as_y_ip, sim::SimTime{0});
+    // AS 10 gets 3 downloads (the top AS), AS 20 gets 2.
+    b.download(Guid{1, 1}, 1, 1000, 10_MB, 10_MB, 0, false, kDone);      // edge-only
+    b.download(Guid{1, 1}, 2, 1000, 10_MB, 2_MB, 8_MB, true, kDone);     // 80% p2p
+    b.download(Guid{1, 1}, 3, 1000, 10_MB, 6_MB, 4_MB, true, kDone);     // 40% p2p: neither class
+    b.download(Guid{2, 2}, 4, 1000, 10_MB, 10_MB, 0, false, kDone);
+    b.download(Guid{2, 2}, 5, 1000, 10_MB, 5_MB, 5_MB, true, kDone);     // 50% p2p counts
+
+    const LoginIndex logins(b.log);
+    const auto cmp = speed_comparison(b.log, logins, b.geodb);
+    EXPECT_EQ(cmp.as_x, 10u);
+    EXPECT_EQ(cmp.as_y, 20u);
+    EXPECT_EQ(cmp.edge_only_x.size(), 1u);
+    EXPECT_EQ(cmp.p2p_x.size(), 1u);
+    EXPECT_EQ(cmp.edge_only_y.size(), 1u);
+    EXPECT_EQ(cmp.p2p_y.size(), 1u);
+    // 10 MB in 100 s = 0.8 Mbps.
+    EXPECT_NEAR(cmp.edge_only_x.mean(), 0.8, 1e-9);
+}
+
+TEST(Measurement, EfficiencyVsPeersGroups) {
+    LogBuilder b;
+    auto& d0 = b.download(Guid{1, 1}, 1, 1000, 10_MB, 10_MB, 0, true, kDone);
+    d0.peers_initially_returned = 0;
+    auto& d1 = b.download(Guid{1, 1}, 2, 1000, 10_MB, 2_MB, 8_MB, true, kDone);
+    d1.peers_initially_returned = 10;
+    auto& d2 = b.download(Guid{1, 1}, 3, 1000, 10_MB, 4_MB, 6_MB, true, kDone);
+    d2.peers_initially_returned = 10;
+    const auto fig6 = efficiency_vs_peers_returned(b.log);
+    EXPECT_EQ(fig6.groups[0].downloads, 1);
+    EXPECT_DOUBLE_EQ(fig6.groups[0].mean_efficiency, 0.0);
+    EXPECT_EQ(fig6.groups[10].downloads, 2);
+    EXPECT_NEAR(fig6.groups[10].mean_efficiency, 0.7, 1e-9);
+}
+
+TEST(Measurement, EfficiencyVsCopiesBinsByDistinctRegistrants) {
+    LogBuilder b;
+    // Object A: 4 distinct registrants; object B: 1.
+    for (std::uint64_t i = 1; i <= 4; ++i)
+        b.log.add(trace::DnRegistrationRecord{ObjectId{1, 1}, Guid{i, i}, sim::SimTime{0}});
+    b.log.add(trace::DnRegistrationRecord{ObjectId{1, 1}, Guid{1, 1}, sim::SimTime{9}});  // dup
+    b.log.add(trace::DnRegistrationRecord{ObjectId{2, 2}, Guid{9, 9}, sim::SimTime{0}});
+    b.download(Guid{5, 5}, 1, 1000, 10_MB, 2_MB, 8_MB, true, kDone);
+    b.download(Guid{5, 5}, 2, 1000, 10_MB, 10_MB, 0, true, kDone);
+
+    const auto fig5 = efficiency_vs_copies(b.log, 4);
+    int objects = 0;
+    for (const auto& bin : fig5.bins) objects += bin.objects;
+    EXPECT_EQ(objects, 2);
+    // The high-copy bin should hold the high-efficiency object.
+    EXPECT_GT(fig5.bins.back().copies_lo, fig5.bins.front().copies_lo);
+    EXPECT_NEAR(fig5.bins.back().mean, 0.8, 1e-9);
+    EXPECT_NEAR(fig5.bins.front().mean, 0.0, 1e-9);
+}
+
+TEST(Measurement, OutcomeStatsAndPauseRates) {
+    LogBuilder b;
+    // Small infra-only downloads: 3 complete, 1 aborted.
+    for (int i = 0; i < 3; ++i) b.download(Guid{1, 1}, 1, 1000, 5_MB, 5_MB, 0, false, kDone);
+    b.download(Guid{1, 1}, 1, 1000, 5_MB, 1_MB, 0, false, kAborted);
+    // Huge p2p downloads: 1 complete, 1 aborted.
+    b.download(Guid{1, 1}, 2, 1000, 2_GB, 1_GB, 1_GB, true, kDone);
+    b.download(Guid{1, 1}, 2, 1000, 2_GB, 100_MB, 0, true, kAborted);
+    // An in-progress record is excluded everywhere.
+    b.download(Guid{1, 1}, 3, 1000, 1_MB, 0, 0, false, trace::DownloadOutcome::in_progress);
+
+    const auto stats = outcome_stats(b.log);
+    EXPECT_EQ(stats.all.n, 6);
+    EXPECT_NEAR(stats.infra_only.completed, 0.75, 1e-9);
+    EXPECT_NEAR(stats.infra_only.aborted, 0.25, 1e-9);
+    EXPECT_NEAR(stats.peer_assisted.completed, 0.5, 1e-9);
+    // Pause rate by size: bucket 0 (<10MB) infra-only = 1/4; bucket 3 (>1GB)
+    // peer-assisted = 1/2.
+    EXPECT_NEAR(stats.pause_rate_by_size[0][0], 0.25, 1e-9);
+    EXPECT_NEAR(stats.pause_rate_by_size[1][3], 0.5, 1e-9);
+    EXPECT_EQ(stats.downloads_by_size[2][0], 4);
+}
+
+TEST(Measurement, CoverageClassifiesCountries) {
+    LogBuilder b;
+    const auto de = b.ip_in("DE", 10);
+    const auto br = b.ip_in("BR", 11);
+    const auto jp = b.ip_in("JP", 12);
+    b.login(Guid{1, 1}, de, sim::SimTime{0});
+    b.login(Guid{2, 2}, br, sim::SimTime{0});
+    b.login(Guid{3, 3}, jp, sim::SimTime{0});
+    // DE: infra-dominated; BR: peers dominate strongly; JP: in between.
+    b.download(Guid{1, 1}, 1, 1000, 10_MB, 8_MB, 2_MB, true, kDone, sim::SimTime{10});
+    b.download(Guid{2, 2}, 1, 1000, 10_MB, 2_MB, 8_MB, true, kDone, sim::SimTime{10});
+    b.download(Guid{3, 3}, 1, 1000, 10_MB, 4_MB, 6_MB, true, kDone, sim::SimTime{10});
+
+    const LoginIndex logins(b.log);
+    const auto cov = coverage_by_country(b.log, logins, b.geodb, CpCode{1000});
+    ASSERT_EQ(cov.size(), 3u);
+    for (const auto& c : cov) {
+        const auto alpha2 = net::country(c.country).alpha2;
+        if (alpha2 == "DE") { EXPECT_EQ(c.cls, 0); }
+        if (alpha2 == "BR") { EXPECT_EQ(c.cls, 2); }
+        if (alpha2 == "JP") { EXPECT_EQ(c.cls, 1); }
+    }
+}
+
+TEST(Measurement, TrafficBalanceSeparatesIntraAndInterAs) {
+    LogBuilder b;
+    const auto a1 = b.ip_in("DE", 10);
+    const auto a2 = b.ip_in("DE", 10);
+    const auto b1 = b.ip_in("FR", 20);
+    b.login(Guid{1, 1}, a1, sim::SimTime{0});
+    b.login(Guid{2, 2}, a2, sim::SimTime{0});
+    b.login(Guid{3, 3}, b1, sim::SimTime{0});
+    b.transfer(Guid{1, 1}, Guid{2, 2}, a1, a2, 100);  // intra-AS
+    b.transfer(Guid{1, 1}, Guid{3, 3}, a1, b1, 300);  // AS10 -> AS20
+    b.transfer(Guid{3, 3}, Guid{1, 1}, b1, a1, 200);  // AS20 -> AS10
+
+    const auto tb = traffic_balance(b.log, b.geodb, nullptr);
+    EXPECT_EQ(tb.total_p2p_bytes, 600);
+    EXPECT_EQ(tb.intra_as_bytes, 100);
+    EXPECT_EQ(tb.inter_as_bytes, 500);
+    ASSERT_GE(tb.ases.size(), 2u);
+    EXPECT_EQ(tb.ases[0].asn, 10u);  // biggest sender first
+    EXPECT_EQ(tb.ases[0].sent, 300);
+    EXPECT_EQ(tb.ases[0].received, 200);
+    EXPECT_EQ(tb.ases[0].ips_observed, 2);
+    EXPECT_EQ(tb.ases_with_traffic, 2u);
+}
+
+TEST(Measurement, MobilityStats) {
+    LogBuilder b;
+    const auto de1 = b.ip_in("DE", 10);
+    const auto de2 = b.ip_in("DE", 10, 1);
+    const auto jp = b.ip_in("JP", 20);
+    // GUID 1: one AS, within 10 km (same city point).
+    b.login(Guid{1, 1}, de1, sim::SimTime{0});
+    b.login(Guid{1, 1}, de1, sim::SimTime{60'000'000});
+    // GUID 2: two ASes, far apart.
+    b.login(Guid{2, 2}, de2, sim::SimTime{0});
+    b.login(Guid{2, 2}, jp, sim::SimTime{60'000'000});
+
+    const LoginIndex logins(b.log);
+    const auto m = mobility_stats(b.log, logins, b.geodb);
+    EXPECT_EQ(m.guids, 2);
+    EXPECT_DOUBLE_EQ(m.frac_single_as, 0.5);
+    EXPECT_DOUBLE_EQ(m.frac_two_as, 0.5);
+    EXPECT_DOUBLE_EQ(m.frac_within_10km, 0.5);
+    EXPECT_NEAR(m.new_connections_per_minute, 4.0, 1e-9);
+}
+
+TEST(Measurement, HeadlineOffload) {
+    LogBuilder b;
+    // 1 p2p file of 3 distinct files; p2p download carries most bytes.
+    b.download(Guid{1, 1}, 1, 1000, 1_GB, 300_MB, 700_MB, true, kDone);
+    b.download(Guid{1, 1}, 2, 1000, 50_MB, 50_MB, 0, false, kDone);
+    b.download(Guid{1, 1}, 3, 1000, 50_MB, 50_MB, 0, false, kDone);
+
+    const auto h = headline_offload(b.log);
+    EXPECT_NEAR(h.p2p_enabled_file_fraction, 1.0 / 3.0, 1e-9);
+    EXPECT_NEAR(h.p2p_enabled_byte_fraction, 10.0 / 11.0, 1e-9);
+    EXPECT_NEAR(h.mean_peer_efficiency, 0.7, 1e-9);
+    EXPECT_NEAR(h.overall_offload, 0.7, 1e-9);
+}
+
+TEST(LoginIndex, AtPicksLatestBeforeTime) {
+    LogBuilder b;
+    const auto ip1 = b.ip_in("DE", 10);
+    const auto ip2 = b.ip_in("FR", 11);
+    b.login(Guid{1, 1}, ip1, sim::SimTime{100});
+    b.login(Guid{1, 1}, ip2, sim::SimTime{200});
+    const LoginIndex logins(b.log);
+    EXPECT_EQ(logins.at(Guid{1, 1}, sim::SimTime{150})->ip, ip1);
+    EXPECT_EQ(logins.at(Guid{1, 1}, sim::SimTime{250})->ip, ip2);
+    EXPECT_EQ(logins.at(Guid{1, 1}, sim::SimTime{50})->ip, ip1) << "earliest as fallback";
+    EXPECT_EQ(logins.at(Guid{9, 9}, sim::SimTime{0}), nullptr);
+    EXPECT_EQ(logins.first(Guid{1, 1})->ip, ip1);
+}
+
+}  // namespace
+}  // namespace netsession::analysis

@@ -1,0 +1,133 @@
+// Statistical primitives: CDFs, binning, regression.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/stats.hpp"
+#include "analysis/table.hpp"
+#include "common/rng.hpp"
+
+namespace netsession::analysis {
+namespace {
+
+TEST(Cdf, BasicProperties) {
+    const Cdf cdf({1, 2, 3, 4, 5});
+    EXPECT_EQ(cdf.size(), 5u);
+    EXPECT_DOUBLE_EQ(cdf.at(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(cdf.at(3.0), 0.6);
+    EXPECT_DOUBLE_EQ(cdf.at(10.0), 1.0);
+    EXPECT_DOUBLE_EQ(cdf.mean(), 3.0);
+    EXPECT_DOUBLE_EQ(cdf.min(), 1.0);
+    EXPECT_DOUBLE_EQ(cdf.max(), 5.0);
+}
+
+TEST(Cdf, IsMonotone) {
+    Rng rng(3);
+    std::vector<double> xs;
+    for (int i = 0; i < 500; ++i) xs.push_back(rng.lognormal(0, 2));
+    const Cdf cdf(xs);
+    double prev = -1;
+    for (double x = 0.01; x < 100; x *= 1.3) {
+        const double v = cdf.at(x);
+        EXPECT_GE(v, prev);
+        EXPECT_GE(v, 0.0);
+        EXPECT_LE(v, 1.0);
+        prev = v;
+    }
+}
+
+TEST(Cdf, QuantileInterpolates) {
+    const Cdf cdf({0, 10});
+    EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 5.0);
+    EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 10.0);
+}
+
+TEST(Cdf, QuantileAndAtAreConsistent) {
+    Rng rng(5);
+    std::vector<double> xs;
+    for (int i = 0; i < 1000; ++i) xs.push_back(rng.uniform(0, 100));
+    const Cdf cdf(xs);
+    for (double q = 0.1; q < 1.0; q += 0.2)
+        EXPECT_NEAR(cdf.at(cdf.quantile(q)), q, 0.01);
+}
+
+TEST(Cdf, LogSweepCoversRange) {
+    const Cdf cdf({1, 10, 100, 1000});
+    const auto sweep = cdf.log_sweep(10);
+    ASSERT_EQ(sweep.size(), 10u);
+    EXPECT_NEAR(sweep.front().first, 1.0, 1e-9);
+    EXPECT_NEAR(sweep.back().first, 1000.0, 1e-6);
+    EXPECT_DOUBLE_EQ(sweep.back().second, 1.0);
+    for (std::size_t i = 1; i < sweep.size(); ++i) {
+        EXPECT_GT(sweep[i].first, sweep[i - 1].first);
+        EXPECT_GE(sweep[i].second, sweep[i - 1].second);
+    }
+}
+
+TEST(Cdf, EmptyIsSafe) {
+    const Cdf cdf;
+    EXPECT_TRUE(cdf.empty());
+    EXPECT_DOUBLE_EQ(cdf.at(5.0), 0.0);
+    EXPECT_TRUE(cdf.log_sweep(5).empty());
+}
+
+TEST(LogBins, EdgesAndBinning) {
+    const auto edges = log_edges(1.0, 1000.0, 3);
+    ASSERT_EQ(edges.size(), 4u);
+    EXPECT_NEAR(edges[0], 1.0, 1e-9);
+    EXPECT_NEAR(edges[1], 10.0, 1e-9);
+    EXPECT_NEAR(edges[2], 100.0, 1e-9);
+    EXPECT_NEAR(edges[3], 1000.0, 1e-9);
+    EXPECT_EQ(log_bin(5.0, 1.0, 1000.0, 3), 0);
+    EXPECT_EQ(log_bin(50.0, 1.0, 1000.0, 3), 1);
+    EXPECT_EQ(log_bin(500.0, 1.0, 1000.0, 3), 2);
+    EXPECT_EQ(log_bin(0.1, 1.0, 1000.0, 3), 0) << "clamped below";
+    EXPECT_EQ(log_bin(1e9, 1.0, 1000.0, 3), 2) << "clamped above";
+}
+
+TEST(Stats, MeanAndPercentile) {
+    EXPECT_DOUBLE_EQ(mean_of({1, 2, 3}), 2.0);
+    EXPECT_DOUBLE_EQ(mean_of({}), 0.0);
+    std::vector<double> xs;
+    for (int i = 1; i <= 100; ++i) xs.push_back(i);
+    EXPECT_NEAR(percentile(xs, 20), 20, 1.5);
+    EXPECT_NEAR(percentile(xs, 80), 80, 1.5);
+    EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0);
+}
+
+TEST(LogLogFit, RecoversPowerLawExponent) {
+    // y = 100 * x^-0.9 — the Fig 3b shape.
+    std::vector<std::pair<double, double>> xy;
+    for (double x = 1; x < 10000; x *= 1.5) xy.emplace_back(x, 100.0 * std::pow(x, -0.9));
+    const auto fit = fit_loglog(xy);
+    EXPECT_NEAR(fit.slope, -0.9, 1e-6);
+    EXPECT_NEAR(fit.intercept, 2.0, 1e-6);
+}
+
+TEST(LogLogFit, SkipsNonPositiveValues) {
+    const auto fit = fit_loglog({{1, 10}, {0, 5}, {10, 1}, {5, -2}});
+    EXPECT_EQ(fit.n, 2u);
+    EXPECT_NEAR(fit.slope, -1.0, 1e-9);
+}
+
+TEST(LogLogFit, DegenerateInputs) {
+    EXPECT_EQ(fit_loglog({}).n, 0u);
+    EXPECT_EQ(fit_loglog({{1, 1}}).n, 1u);
+    EXPECT_DOUBLE_EQ(fit_loglog({{1, 1}}).slope, 0.0);
+}
+
+TEST(TextTable, RendersAlignedColumns) {
+    TextTable table({"name", "value"});
+    table.add_row({"alpha", "1"});
+    table.add_row({"b", "20000"});
+    const std::string out = table.render();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("20000"), std::string::npos);
+    // Header, separator, two rows.
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+}  // namespace
+}  // namespace netsession::analysis

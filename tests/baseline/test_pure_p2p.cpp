@@ -1,0 +1,147 @@
+// Pure-P2P (BitTorrent-style) baseline: swarm dynamics, tit-for-tat, and
+// the failure modes a hybrid CDN avoids.
+#include <gtest/gtest.h>
+
+#include "baseline/pure_p2p.hpp"
+
+namespace netsession::baseline {
+namespace {
+
+struct Harness {
+    sim::Simulator sim;
+    net::World world;
+    swarm::ContentObject object{ObjectId{1, 1}, CpCode{1}, 1, 200_MB, 32};
+    Rng rng{21};
+
+    Harness() : world(sim, make_graph()) {}
+
+    static net::AsGraph make_graph() {
+        net::AsGraphConfig config;
+        config.total_ases = 200;
+        return net::AsGraph::generate(config, Rng(9));
+    }
+
+    HostId host(double up_mbps = 4.0, double down_mbps = 24.0,
+                net::NatType nat = net::NatType::open) {
+        const net::CountryInfo* de = net::find_country("DE");
+        net::HostInfo info;
+        info.attach.location = net::Location{de->id, 0, de->center};
+        info.attach.asn = world.as_graph().pick_for_country(de->id, rng);
+        info.attach.nat = nat;
+        info.up = mbps(up_mbps);
+        info.down = mbps(down_mbps);
+        return world.create_host(info);
+    }
+};
+
+TEST(PureP2p, LeechersCompleteFromOneSeed) {
+    Harness h;
+    TorrentConfig config;
+    Swarm swarm(h.world, h.object, config, h.rng.child("swarm"));
+    swarm.add_peer(h.host(20.0, 50.0), /*seed=*/true);
+    int completed = 0;
+    for (int i = 0; i < 6; ++i)
+        swarm.add_peer(h.host(), false, [&](TorrentPeer&) { ++completed; });
+    h.sim.run_until(sim::SimTime{} + sim::hours(12.0));
+    EXPECT_EQ(completed, 6);
+    EXPECT_EQ(swarm.seeds(), 7);
+}
+
+TEST(PureP2p, PeersExchangePiecesWithEachOther) {
+    Harness h;
+    TorrentConfig config;
+    Swarm swarm(h.world, h.object, config, h.rng.child("swarm"));
+    TorrentPeer& seed = swarm.add_peer(h.host(8.0, 50.0), true);
+    std::vector<TorrentPeer*> leeches;
+    int completed = 0;
+    for (int i = 0; i < 5; ++i)
+        leeches.push_back(&swarm.add_peer(h.host(), false, [&](TorrentPeer&) { ++completed; }));
+    h.sim.run_until(sim::SimTime{} + sim::hours(12.0));
+    ASSERT_EQ(completed, 5);
+    Bytes leech_uploads = 0;
+    for (const auto* p : leeches) leech_uploads += p->uploaded();
+    EXPECT_GT(leech_uploads, 0) << "swarming means leechers serve each other";
+    EXPECT_GT(seed.uploaded(), 0);
+}
+
+TEST(PureP2p, NoSeedMeansNobodyFinishes) {
+    Harness h;
+    TorrentConfig config;
+    Swarm swarm(h.world, h.object, config, h.rng.child("swarm"));
+    int completed = 0;
+    for (int i = 0; i < 5; ++i)
+        swarm.add_peer(h.host(), false, [&](TorrentPeer&) { ++completed; });
+    h.sim.run_until(sim::SimTime{} + sim::hours(12.0));
+    EXPECT_EQ(completed, 0) << "a pure p2p CDN has no backstop (§2.3)";
+}
+
+TEST(PureP2p, SeedDepartureStrandsTheSwarm) {
+    Harness h;
+    TorrentConfig config;
+    Swarm swarm(h.world, h.object, config, h.rng.child("swarm"));
+    TorrentPeer& seed = swarm.add_peer(h.host(20.0, 50.0), true);
+    int completed = 0;
+    for (int i = 0; i < 4; ++i)
+        swarm.add_peer(h.host(), false, [&](TorrentPeer&) { ++completed; });
+    // Kill the seed early: rarest-first means the leechers hold largely the
+    // same subset and cannot finish.
+    h.sim.run_until(sim::SimTime{} + sim::seconds(20.0));
+    swarm.remove_peer(seed);
+    h.sim.run_until(sim::SimTime{} + sim::hours(12.0));
+    EXPECT_LT(completed, 4);
+}
+
+TEST(PureP2p, DepartingLeecherBreaksTransfersSafely) {
+    Harness h;
+    TorrentConfig config;
+    Swarm swarm(h.world, h.object, config, h.rng.child("swarm"));
+    swarm.add_peer(h.host(20.0, 50.0), true);
+    TorrentPeer& quitter = swarm.add_peer(h.host(), false);
+    int completed = 0;
+    swarm.add_peer(h.host(), false, [&](TorrentPeer&) { ++completed; });
+    h.sim.run_until(sim::SimTime{} + sim::minutes(2.0));
+    swarm.remove_peer(quitter);
+    h.sim.run_until(sim::SimTime{} + sim::hours(12.0));
+    EXPECT_EQ(completed, 1) << "remaining peers keep downloading";
+}
+
+TEST(PureP2p, TitForTatFavoursReciprocators) {
+    Harness h;
+    TorrentConfig config;
+    config.unchoke_slots = 2;
+    config.optimistic_slots = 1;
+    Swarm swarm(h.world, h.object, config, h.rng.child("swarm"));
+    swarm.add_peer(h.host(4.0, 50.0), true);
+    // One free-rider (no upload bandwidth worth anything) among contributors.
+    std::optional<sim::SimTime> contributor_done, freerider_done;
+    for (int i = 0; i < 4; ++i)
+        swarm.add_peer(h.host(6.0, 30.0), false, [&](TorrentPeer& p) {
+            if (!contributor_done) contributor_done = p.finished_at();
+        });
+    swarm.add_peer(h.host(0.05, 30.0), false,
+                   [&](TorrentPeer& p) { freerider_done = p.finished_at(); });
+    h.sim.run_until(sim::SimTime{} + sim::hours(24.0));
+    ASSERT_TRUE(contributor_done.has_value());
+    if (freerider_done.has_value()) {
+        EXPECT_GT(freerider_done->us, contributor_done->us)
+            << "choking slows down non-reciprocating peers";
+    }
+    // (If the free-rider never finished at all, the incentive worked even
+    // more strongly; both outcomes are acceptable.)
+}
+
+TEST(PureP2p, TrackerReturnsRandomSubsetWithoutSelf) {
+    Harness h;
+    TorrentConfig config;
+    Swarm swarm(h.world, h.object, config, h.rng.child("swarm"));
+    std::vector<TorrentPeer*> peers;
+    for (int i = 0; i < 10; ++i) peers.push_back(&swarm.add_peer(h.host(), i == 0));
+    const auto announce = swarm.announce(*peers[0], 5);
+    EXPECT_EQ(announce.size(), 5u);
+    for (const auto* p : announce) EXPECT_NE(p, peers[0]);
+    const auto all = swarm.announce(*peers[0], 50);
+    EXPECT_EQ(all.size(), 9u) << "capped at swarm size minus self";
+}
+
+}  // namespace
+}  // namespace netsession::baseline

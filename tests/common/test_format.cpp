@@ -1,0 +1,43 @@
+#include <gtest/gtest.h>
+
+#include "common/format.hpp"
+
+namespace netsession {
+namespace {
+
+TEST(Format, Bytes) {
+    EXPECT_EQ(format_bytes(17), "17 B");
+    EXPECT_EQ(format_bytes(12'000), "12.00 kB");
+    EXPECT_EQ(format_bytes(240'000'000), "240.00 MB");
+    EXPECT_EQ(format_bytes(1'500'000'000), "1.50 GB");
+    EXPECT_EQ(format_bytes(34'200'000'000'000), "34.20 TB");
+    EXPECT_EQ(format_bytes(2'000'000'000'000'000), "2.00 PB");
+}
+
+TEST(Format, Rate) { EXPECT_EQ(format_rate(mbps(4.21)), "4.21 Mbps"); }
+
+TEST(Format, Percent) {
+    EXPECT_EQ(format_percent(0.714), "71.4%");
+    EXPECT_EQ(format_percent(0.0), "0.0%");
+    EXPECT_EQ(format_percent(1.0), "100.0%");
+}
+
+TEST(Format, Count) {
+    EXPECT_EQ(format_count(0), "0");
+    EXPECT_EQ(format_count(999), "999");
+    EXPECT_EQ(format_count(1000), "1,000");
+    EXPECT_EQ(format_count(25'941'122), "25,941,122");
+    EXPECT_EQ(format_count(-1234567), "-1,234,567");
+}
+
+TEST(Format, Duration) {
+    EXPECT_EQ(format_duration_s(3661), "01:01:01");
+    EXPECT_EQ(format_duration_s(3 * 86400 + 4 * 3600 + 5 * 60 + 6), "3d 04:05:06");
+}
+
+TEST(Format, RateRoundTrip) {
+    EXPECT_DOUBLE_EQ(to_mbps(mbps(17.5)), 17.5);
+}
+
+}  // namespace
+}  // namespace netsession

@@ -1,0 +1,122 @@
+// Deterministic RNG: reproducibility, stream independence, and first-moment
+// sanity for every distribution.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.hpp"
+
+namespace netsession {
+namespace {
+
+TEST(Rng, DeterministicBySeed) {
+    Rng a(123), b(123), c(124);
+    for (int i = 0; i < 100; ++i) {
+        const auto va = a.next();
+        EXPECT_EQ(va, b.next());
+        (void)c.next();
+    }
+    Rng a2(123), c2(124);
+    EXPECT_NE(a2.next(), c2.next());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+    Rng r(7);
+    double sum = 0;
+    for (int i = 0; i < 20000; ++i) {
+        const double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 20000, 0.5, 0.01);
+}
+
+TEST(Rng, BelowIsBoundedAndCoversRange) {
+    Rng r(9);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = r.below(7);
+        ASSERT_LT(v, 7u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, RangeInclusive) {
+    Rng r(11);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = r.range(-3, 3);
+        ASSERT_GE(v, -3);
+        ASSERT_LE(v, 3);
+        saw_lo |= v == -3;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ChanceEdgeCases) {
+    Rng r(13);
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i) hits += r.chance(0.3) ? 1 : 0;
+    EXPECT_NEAR(hits / 10000.0, 0.3, 0.02);
+}
+
+TEST(Rng, ExponentialMean) {
+    Rng r(17);
+    double sum = 0;
+    for (int i = 0; i < 50000; ++i) sum += r.exponential(4.0);
+    EXPECT_NEAR(sum / 50000, 4.0, 0.1);
+}
+
+TEST(Rng, NormalMoments) {
+    Rng r(19);
+    double sum = 0, sq = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        const double v = r.normal(10.0, 2.0);
+        sum += v;
+        sq += v * v;
+    }
+    const double mean = sum / n;
+    EXPECT_NEAR(mean, 10.0, 0.05);
+    EXPECT_NEAR(std::sqrt(sq / n - mean * mean), 2.0, 0.05);
+}
+
+TEST(Rng, LognormalMedian) {
+    Rng r(23);
+    std::vector<double> xs;
+    for (int i = 0; i < 20001; ++i) xs.push_back(r.lognormal(std::log(5.0), 0.8));
+    std::nth_element(xs.begin(), xs.begin() + 10000, xs.end());
+    EXPECT_NEAR(xs[10000], 5.0, 0.25);
+}
+
+TEST(Rng, ParetoBoundedBelow) {
+    Rng r(29);
+    for (int i = 0; i < 1000; ++i) ASSERT_GE(r.pareto(2.0, 1.1), 2.0);
+}
+
+TEST(Rng, ChildStreamsAreIndependentOfParentDraws) {
+    Rng parent1(42);
+    const auto c1 = parent1.child("stream");
+    Rng parent2(42);
+    for (int i = 0; i < 10; ++i) (void)parent2.next();  // drain the parent
+    auto c2 = parent2.child("stream");
+    Rng c1_copy = c1;
+    EXPECT_EQ(c1_copy.next(), c2.next()) << "children depend only on (seed, label)";
+}
+
+TEST(Rng, ChildStreamsDifferByLabel) {
+    Rng parent(42);
+    auto a = parent.child("a");
+    auto b = parent.child("b");
+    EXPECT_NE(a.next(), b.next());
+}
+
+}  // namespace
+}  // namespace netsession

@@ -1,0 +1,85 @@
+// SHA-256 / HMAC-SHA256 against FIPS-180-4 and RFC 4231 test vectors.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/sha256.hpp"
+
+namespace netsession {
+namespace {
+
+TEST(Sha256, EmptyString) {
+    EXPECT_EQ(Sha256::hash("").to_hex(),
+              "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+    EXPECT_EQ(Sha256::hash("abc").to_hex(),
+              "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+    EXPECT_EQ(Sha256::hash("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq").to_hex(),
+              "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+    Sha256 h;
+    const std::string chunk(1000, 'a');
+    for (int i = 0; i < 1000; ++i) h.update(chunk);
+    EXPECT_EQ(h.finish().to_hex(),
+              "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+    const std::string msg = "The quick brown fox jumps over the lazy dog";
+    for (std::size_t split = 0; split <= msg.size(); ++split) {
+        Sha256 h;
+        h.update(msg.substr(0, split));
+        h.update(msg.substr(split));
+        EXPECT_EQ(h.finish(), Sha256::hash(msg)) << "split at " << split;
+    }
+}
+
+TEST(Sha256, ExactBlockBoundaries) {
+    // 55/56/64/65 bytes straddle the padding boundary cases.
+    for (const std::size_t n : {55u, 56u, 63u, 64u, 65u, 119u, 128u}) {
+        const std::string msg(n, 'x');
+        Sha256 a;
+        a.update(msg);
+        Sha256 b;
+        for (const char c : msg) b.update(std::string(1, c));
+        EXPECT_EQ(a.finish(), b.finish()) << "length " << n;
+    }
+}
+
+TEST(Sha256, Prefix64IsBigEndianPrefix) {
+    const Digest256 d = Sha256::hash("abc");
+    EXPECT_EQ(d.prefix64(), 0xba7816bf8f01cfeaULL);
+}
+
+TEST(HmacSha256, Rfc4231Case1) {
+    const std::string key(20, '\x0b');
+    EXPECT_EQ(hmac_sha256(key, "Hi There").to_hex(),
+              "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacSha256, Rfc4231Case2) {
+    EXPECT_EQ(hmac_sha256("Jefe", "what do ya want for nothing?").to_hex(),
+              "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacSha256, Rfc4231LongKey) {
+    const std::string key(131, '\xaa');
+    EXPECT_EQ(hmac_sha256(key, "Test Using Larger Than Block-Size Key - Hash Key First").to_hex(),
+              "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacSha256, KeySensitivity) {
+    EXPECT_NE(hmac_sha256("key1", "message"), hmac_sha256("key2", "message"));
+    EXPECT_NE(hmac_sha256("key", "message1"), hmac_sha256("key", "message2"));
+    EXPECT_EQ(hmac_sha256("key", "message"), hmac_sha256("key", "message"));
+}
+
+}  // namespace
+}  // namespace netsession

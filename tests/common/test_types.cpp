@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "common/result.hpp"
+#include "common/types.hpp"
+
+namespace netsession {
+namespace {
+
+TEST(Uid128, NilAndComparison) {
+    Guid nil;
+    EXPECT_TRUE(nil.is_nil());
+    Guid a{1, 2}, b{1, 3};
+    EXPECT_FALSE(a.is_nil());
+    EXPECT_LT(a, b);
+    EXPECT_NE(a, b);
+    EXPECT_EQ(a, (Guid{1, 2}));
+}
+
+TEST(Uid128, ToStringIsStableHex) {
+    const Guid g{0x0123456789abcdefULL, 0xfedcba9876543210ULL};
+    EXPECT_EQ(g.to_string(), "0123456789abcdeffedcba9876543210");
+}
+
+TEST(Uid128, TagTypesAreDistinct) {
+    static_assert(!std::is_same_v<Guid, ObjectId>);
+    static_assert(!std::is_same_v<Guid, SecondaryGuid>);
+}
+
+TEST(Uid128, HashableDistinct) {
+    std::unordered_set<Guid> set;
+    for (std::uint64_t i = 0; i < 1000; ++i) set.insert(Guid{i, i * 31});
+    EXPECT_EQ(set.size(), 1000u);
+}
+
+TEST(IntId, ComparisonAndHash) {
+    Asn a{7}, b{8};
+    EXPECT_LT(a, b);
+    std::unordered_set<Asn> set{a, b, Asn{7}};
+    EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(Units, ByteLiterals) {
+    EXPECT_EQ(5_KB, 5000);
+    EXPECT_EQ(2_MB, 2'000'000);
+    EXPECT_EQ(3_GB, 3'000'000'000LL);
+}
+
+TEST(Units, MbpsConversion) {
+    EXPECT_DOUBLE_EQ(mbps(8.0), 1e6);  // 8 Mbit/s == 1 MB/s
+}
+
+TEST(Result, ValueAndError) {
+    Result<int> ok(42);
+    EXPECT_TRUE(ok.ok());
+    EXPECT_EQ(ok.value(), 42);
+
+    Result<int> err(Error{Error::Code::not_found, "missing"});
+    EXPECT_FALSE(err.ok());
+    EXPECT_EQ(err.error().code, Error::Code::not_found);
+    EXPECT_EQ(err.value_or(-1), -1);
+    EXPECT_EQ(ok.value_or(-1), 42);
+}
+
+TEST(Result, StatusDefaultsOk) {
+    Status s;
+    EXPECT_TRUE(s.ok());
+    Status bad{Error{Error::Code::unauthorized, "nope"}};
+    EXPECT_FALSE(bad.ok());
+    EXPECT_EQ(to_string(bad.error().code), "unauthorized");
+}
+
+}  // namespace
+}  // namespace netsession

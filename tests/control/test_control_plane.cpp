@@ -1,0 +1,398 @@
+// Control plane: CN sessions, authorized queries, introductions, usage
+// reporting, STUN, monitoring, and the §3.8 failure/recovery behaviours.
+#include <gtest/gtest.h>
+
+#include "accounting/accounting.hpp"
+#include "control/control_plane.hpp"
+#include "edge/edge_network.hpp"
+
+namespace netsession::control {
+namespace {
+
+/// Minimal scripted peer endpoint for control-plane tests.
+class FakePeer final : public PeerEndpoint {
+public:
+    FakePeer(Guid guid, HostId host) : guid_(guid), host_(host) {}
+
+    [[nodiscard]] Guid guid() const noexcept override { return guid_; }
+    [[nodiscard]] HostId host() const noexcept override { return host_; }
+    void on_disconnected() override { ++disconnects; }
+    void on_re_add_request() override { ++re_adds; }
+    void on_introduction(const PeerDescriptor& downloader, ObjectId object) override {
+        ++introductions;
+        last_downloader = downloader.guid;
+        last_object = object;
+    }
+    void on_upgrade_available(std::uint32_t version) override { upgraded_to = version; }
+
+    int disconnects = 0;
+    int re_adds = 0;
+    int introductions = 0;
+    std::uint32_t upgraded_to = 0;
+    Guid last_downloader;
+    ObjectId last_object;
+
+private:
+    Guid guid_;
+    HostId host_;
+};
+
+struct Fixture {
+    sim::Simulator sim;
+    net::World world;
+    edge::Catalog catalog;
+    ObjectId oid{4, 4};  // must precede `edges`: publish() reads it
+    edge::EdgeNetwork edges;
+    trace::TraceLog log;
+    accounting::AccountingService accounting{log};
+    ControlPlane plane;
+    Rng rng{99};
+
+    static net::AsGraph graph() {
+        net::AsGraphConfig config;
+        config.total_ases = 200;
+        return net::AsGraph::generate(config, Rng(2));
+    }
+
+    explicit Fixture(ControlPlaneConfig config = {})
+        : world(sim, graph()),
+          edges((publish(catalog, oid), world), catalog, edge::EdgeNetworkConfig{}),
+          plane(world, edges.authority(), log, accounting, config, Rng(5)) {}
+
+    static edge::Catalog& publish(edge::Catalog& catalog, ObjectId oid) {
+        swarm::ContentObject object(oid, CpCode{1000}, 7, 50_MB, 8);
+        edge::ObjectPolicy policy;
+        policy.p2p_enabled = true;
+        catalog.publish(std::move(object), policy);
+        return catalog;
+    }
+
+    HostId host_in(std::string_view alpha2) {
+        const net::CountryInfo* c = net::find_country(alpha2);
+        net::HostInfo info;
+        info.attach.location = net::Location{c->id, 0, c->center};
+        info.attach.asn = world.as_graph().pick_for_country(c->id, rng);
+        info.up = mbps(2.0);
+        info.down = mbps(16.0);
+        return world.create_host(info);
+    }
+
+    LoginInfo login_info(const FakePeer& peer, bool uploads, std::vector<ObjectId> cached = {}) {
+        LoginInfo info;
+        const auto& attach = world.host(peer.host()).attach;
+        const net::CountryInfo& c = net::country(attach.location.country);
+        info.desc = PeerDescriptor{peer.guid(), peer.host(), attach.ip, attach.nat,
+                                   attach.asn,  c.id,        c.continent, c.region};
+        info.uploads_enabled = uploads;
+        info.software_version = 80;
+        info.cached_objects = std::move(cached);
+        return info;
+    }
+};
+
+TEST(ControlPlane, PlacesServersPerRegion) {
+    Fixture f;
+    EXPECT_EQ(f.plane.cns().size(), net::regions().size());
+    EXPECT_EQ(f.plane.dns().size(), net::regions().size());
+    EXPECT_EQ(f.plane.stuns().size(), net::regions().size());
+}
+
+TEST(ControlPlane, ClosestCnSkipsFailedOnes) {
+    Fixture f;
+    const HostId client = f.host_in("DE");
+    ConnectionNode* first = f.plane.closest_cn(client);
+    ASSERT_NE(first, nullptr);
+    f.plane.fail_cn(first->id());
+    ConnectionNode* second = f.plane.closest_cn(client);
+    ASSERT_NE(second, nullptr);
+    EXPECT_NE(second, first);
+
+    for (auto& cn : f.plane.cns()) cn->fail();
+    EXPECT_EQ(f.plane.closest_cn(client), nullptr);
+}
+
+TEST(ConnectionNode, LoginRecordsAndRegistersCachedContent) {
+    Fixture f;
+    FakePeer peer(Guid{1, 1}, f.host_in("DE"));
+    ConnectionNode* cn = f.plane.closest_cn(peer.host());
+    cn->login(peer, f.login_info(peer, /*uploads=*/true, {f.oid}));
+
+    EXPECT_TRUE(cn->has_session(peer.guid()));
+    ASSERT_EQ(f.log.logins().size(), 1u);
+    EXPECT_EQ(f.log.logins()[0].guid, peer.guid());
+    EXPECT_TRUE(f.log.logins()[0].uploads_enabled);
+
+    DatabaseNode* dn = f.plane.local_dn(cn->region());
+    ASSERT_NE(dn, nullptr);
+    EXPECT_EQ(dn->copies(f.oid), 1);
+    EXPECT_EQ(f.log.registrations().size(), 1u);
+}
+
+TEST(ConnectionNode, UploadsDisabledPeersNeverEnterTheDirectory) {
+    Fixture f;
+    FakePeer peer(Guid{1, 1}, f.host_in("DE"));
+    ConnectionNode* cn = f.plane.closest_cn(peer.host());
+    cn->login(peer, f.login_info(peer, /*uploads=*/false, {f.oid}));
+    DatabaseNode* dn = f.plane.local_dn(cn->region());
+    EXPECT_EQ(dn->copies(f.oid), 0) << "§3.6: only uploads-enabled peers appear";
+}
+
+TEST(ConnectionNode, QueryReturnsPeersAndIntroducesBothSides) {
+    Fixture f;
+    FakePeer uploader(Guid{1, 1}, f.host_in("DE"));
+    FakePeer downloader(Guid{2, 2}, f.host_in("FR"));
+    ConnectionNode* cn_u = f.plane.closest_cn(uploader.host());
+    ConnectionNode* cn_d = f.plane.closest_cn(downloader.host());
+    cn_u->login(uploader, f.login_info(uploader, true, {f.oid}));
+    cn_d->login(downloader, f.login_info(downloader, false));
+
+    const auto token = f.edges.nearest(downloader.host()).authorize(downloader.guid(), f.oid);
+    std::vector<PeerDescriptor> got;
+    cn_d->query(downloader.guid(), f.oid, token, 40,
+                [&](std::vector<PeerDescriptor> peers) { got = std::move(peers); });
+    f.sim.run();
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0].guid, uploader.guid());
+    EXPECT_EQ(uploader.introductions, 1);
+    EXPECT_EQ(uploader.last_downloader, downloader.guid());
+    EXPECT_EQ(uploader.last_object, f.oid);
+}
+
+TEST(ConnectionNode, QueryWithBadTokenReturnsNothing) {
+    Fixture f;
+    FakePeer uploader(Guid{1, 1}, f.host_in("DE"));
+    FakePeer downloader(Guid{2, 2}, f.host_in("DE"));
+    ConnectionNode* cn = f.plane.closest_cn(downloader.host());
+    cn->login(uploader, f.login_info(uploader, true, {f.oid}));
+    cn->login(downloader, f.login_info(downloader, false));
+
+    // A token for a different peer: the authorization check (§3.5) rejects.
+    const auto stolen = f.edges.nearest(downloader.host()).authorize(Guid{9, 9}, f.oid);
+    bool replied = false;
+    std::vector<PeerDescriptor> got{PeerDescriptor{}};
+    cn->query(downloader.guid(), f.oid, stolen, 40, [&](std::vector<PeerDescriptor> peers) {
+        replied = true;
+        got = std::move(peers);
+    });
+    f.sim.run();
+    EXPECT_TRUE(replied);
+    EXPECT_TRUE(got.empty());
+    EXPECT_EQ(uploader.introductions, 0);
+}
+
+TEST(ConnectionNode, CrossRegionWideningFindsRemotePeers) {
+    Fixture f;
+    FakePeer uploader(Guid{1, 1}, f.host_in("JP"));
+    FakePeer downloader(Guid{2, 2}, f.host_in("DE"));
+    ConnectionNode* cn_u = f.plane.closest_cn(uploader.host());
+    ConnectionNode* cn_d = f.plane.closest_cn(downloader.host());
+    ASSERT_NE(cn_u->region(), cn_d->region());
+    cn_u->login(uploader, f.login_info(uploader, true, {f.oid}));
+    cn_d->login(downloader, f.login_info(downloader, false));
+
+    const auto token = f.edges.nearest(downloader.host()).authorize(downloader.guid(), f.oid);
+    std::vector<PeerDescriptor> got;
+    cn_d->query(downloader.guid(), f.oid, token, 40,
+                [&](std::vector<PeerDescriptor> peers) { got = std::move(peers); });
+    f.sim.run();
+    ASSERT_EQ(got.size(), 1u) << "interconnected CN/DN system searches other regions (§3.7)";
+}
+
+TEST(ConnectionNode, LocalOnlyConfigDisablesWidening) {
+    ControlPlaneConfig config;
+    config.cross_region_threshold = 0;
+    Fixture f(config);
+    FakePeer uploader(Guid{1, 1}, f.host_in("JP"));
+    FakePeer downloader(Guid{2, 2}, f.host_in("DE"));
+    ConnectionNode* cn_u = f.plane.closest_cn(uploader.host());
+    ConnectionNode* cn_d = f.plane.closest_cn(downloader.host());
+    cn_u->login(uploader, f.login_info(uploader, true, {f.oid}));
+    cn_d->login(downloader, f.login_info(downloader, false));
+    const auto token = f.edges.nearest(downloader.host()).authorize(downloader.guid(), f.oid);
+    std::vector<PeerDescriptor> got{PeerDescriptor{}};
+    cn_d->query(downloader.guid(), f.oid, token, 40,
+                [&](std::vector<PeerDescriptor> peers) { got = std::move(peers); });
+    f.sim.run();
+    EXPECT_TRUE(got.empty());
+}
+
+TEST(ConnectionNode, FailDropsSessionsAndNotifiesPeers) {
+    Fixture f;
+    FakePeer peer(Guid{1, 1}, f.host_in("DE"));
+    ConnectionNode* cn = f.plane.closest_cn(peer.host());
+    cn->login(peer, f.login_info(peer, true, {f.oid}));
+    EXPECT_EQ(cn->session_count(), 1u);
+
+    f.plane.fail_cn(cn->id());
+    f.sim.run();
+    EXPECT_EQ(cn->session_count(), 0u);
+    EXPECT_EQ(peer.disconnects, 1);
+    EXPECT_FALSE(cn->up());
+    EXPECT_EQ(f.plane.find_endpoint(peer.guid()), nullptr);
+}
+
+TEST(ControlPlane, DnRestartTriggersReAddThroughCns) {
+    Fixture f;
+    FakePeer peer(Guid{1, 1}, f.host_in("DE"));
+    ConnectionNode* cn = f.plane.closest_cn(peer.host());
+    cn->login(peer, f.login_info(peer, true, {f.oid}));
+    DatabaseNode* dn = f.plane.local_dn(cn->region());
+    EXPECT_EQ(dn->copies(f.oid), 1);
+
+    f.plane.fail_dn(dn->id());
+    EXPECT_EQ(dn->copies(f.oid), 0) << "DN soft state is lost on failure (§3.8)";
+    f.plane.restart_dn(dn->id());
+    f.sim.run();
+    EXPECT_EQ(peer.re_adds, 1) << "CNs send RE-ADD to their peers (§3.8)";
+    // The FakePeer does not re-announce; the real client does (see peer tests).
+}
+
+TEST(ControlPlane, ReAddRegistrationDoesNotInflateDnLog) {
+    Fixture f;
+    FakePeer peer(Guid{1, 1}, f.host_in("DE"));
+    ConnectionNode* cn = f.plane.closest_cn(peer.host());
+    cn->login(peer, f.login_info(peer, true, {f.oid}));
+    const auto logged_before = f.log.registrations().size();
+    cn->register_copy(peer.guid(), f.oid, /*readd=*/true);
+    EXPECT_EQ(f.log.registrations().size(), logged_before)
+        << "RE-ADD restores soft state without new DN log entries";
+    cn->register_copy(peer.guid(), f.oid, /*readd=*/false);
+    EXPECT_EQ(f.log.registrations().size(), logged_before + 1);
+}
+
+TEST(ConnectionNode, ReportsFlowIntoAccountingAndTrace) {
+    Fixture f;
+    FakePeer peer(Guid{1, 1}, f.host_in("DE"));
+    ConnectionNode* cn = f.plane.closest_cn(peer.host());
+    cn->login(peer, f.login_info(peer, false));
+
+    trace::DownloadRecord record;
+    record.guid = peer.guid();
+    record.object = f.oid;
+    record.cp_code = CpCode{1000};
+    record.object_size = 50_MB;
+    record.bytes_from_infrastructure = 50_MB;
+    record.outcome = trace::DownloadOutcome::completed;
+    cn->report_download(record);
+    EXPECT_EQ(f.accounting.accepted(), 1);
+    EXPECT_EQ(f.log.downloads().size(), 1u);
+
+    trace::TransferRecord transfer;
+    transfer.object = f.oid;
+    transfer.bytes = 1_MB;
+    cn->report_transfer(transfer);
+    EXPECT_EQ(f.log.transfers().size(), 1u);
+}
+
+TEST(StunService, ReportsAttachmentAfterTwoRoundTrips) {
+    Fixture f;
+    const HostId client = f.host_in("BR");
+    StunService& stun = f.plane.closest_stun(client);
+    bool got = false;
+    stun.probe(client, [&](ConnectivityReport report) {
+        got = true;
+        EXPECT_EQ(report.public_ip, f.world.host(client).attach.ip);
+        EXPECT_EQ(report.nat, f.world.host(client).attach.nat);
+    });
+    f.sim.run();
+    EXPECT_TRUE(got);
+    EXPECT_EQ(stun.probes_served(), 1);
+    EXPECT_GT(f.sim.now().us, 0);
+}
+
+TEST(ControlPlane, VersionReleasePushedToConnectedPeers) {
+    Fixture f;
+    FakePeer peer(Guid{1, 1}, f.host_in("DE"));
+    ConnectionNode* cn = f.plane.closest_cn(peer.host());
+    ASSERT_TRUE(cn->login(peer, f.login_info(peer, false)));
+    f.plane.release_client_version(81);
+    f.sim.run();
+    EXPECT_EQ(peer.upgraded_to, 81u);
+    EXPECT_EQ(f.plane.current_client_version(), 81u);
+}
+
+TEST(ControlPlane, VersionDeliveredAtNextLoginForOfflinePeers) {
+    Fixture f;
+    f.plane.release_client_version(81);
+    FakePeer late(Guid{2, 2}, f.host_in("FR"));
+    ConnectionNode* cn = f.plane.closest_cn(late.host());
+    auto info = f.login_info(late, false);
+    info.software_version = 80;  // still on the old version
+    ASSERT_TRUE(cn->login(late, info));
+    f.sim.run();
+    EXPECT_EQ(late.upgraded_to, 81u);
+}
+
+TEST(ControlPlane, UpToDatePeerGetsNoUpgradeNotice) {
+    Fixture f;
+    f.plane.release_client_version(81);
+    FakePeer fresh(Guid{3, 3}, f.host_in("FR"));
+    ConnectionNode* cn = f.plane.closest_cn(fresh.host());
+    auto info = f.login_info(fresh, false);
+    info.software_version = 81;
+    ASSERT_TRUE(cn->login(fresh, info));
+    f.sim.run();
+    EXPECT_EQ(fresh.upgraded_to, 0u);
+}
+
+TEST(ConnectionNode, LoginRateLimiterDefersStorms) {
+    ControlPlaneConfig config;
+    config.login_rate_per_s = 10.0;
+    config.login_burst = 5.0;
+    Fixture f(config);
+    ConnectionNode* cn = f.plane.cns().front().get();
+    std::vector<std::unique_ptr<FakePeer>> peers;
+    int admitted = 0;
+    for (std::uint64_t i = 1; i <= 20; ++i) {
+        peers.push_back(std::make_unique<FakePeer>(Guid{i, i}, f.host_in("DE")));
+        if (cn->login(*peers.back(), f.login_info(*peers.back(), false))) ++admitted;
+    }
+    // All 20 arrive at the same instant: only the burst depth gets through.
+    EXPECT_EQ(admitted, 5);
+    EXPECT_EQ(cn->logins_deferred(), 15);
+
+    // A second later the bucket has refilled, capped at the burst depth.
+    f.sim.run_until(f.sim.now() + sim::seconds(1.0));
+    int admitted_later = 0;
+    for (std::uint64_t i = 21; i <= 40; ++i) {
+        peers.push_back(std::make_unique<FakePeer>(Guid{i, i}, f.host_in("DE")));
+        if (cn->login(*peers.back(), f.login_info(*peers.back(), false))) ++admitted_later;
+    }
+    EXPECT_EQ(admitted_later, 5);
+}
+
+TEST(ConnectionNode, RateLimiterDisabledByDefaultZero) {
+    ControlPlaneConfig config;
+    config.login_rate_per_s = 0.0;
+    Fixture f(config);
+    ConnectionNode* cn = f.plane.cns().front().get();
+    std::vector<std::unique_ptr<FakePeer>> peers;
+    for (std::uint64_t i = 1; i <= 50; ++i) {
+        peers.push_back(std::make_unique<FakePeer>(Guid{i, i}, f.host_in("DE")));
+        EXPECT_TRUE(cn->login(*peers.back(), f.login_info(*peers.back(), false)));
+    }
+}
+
+TEST(Monitoring, AlertsOnLowSuccessRate) {
+    MonitoringNode mon(0.5);
+    int alerts = 0;
+    mon.set_alert_handler([&] { ++alerts; });
+    for (int i = 0; i < 200; ++i) mon.report_download_outcome(i % 10 == 0);  // 10% success
+    EXPECT_EQ(alerts, 1);
+    EXPECT_EQ(mon.alerts_raised(), 1);
+    for (int i = 0; i < 200; ++i) mon.report_download_outcome(true);
+    EXPECT_EQ(alerts, 1) << "healthy window raises no alert";
+}
+
+TEST(Monitoring, CountsProblemsByKind) {
+    MonitoringNode mon;
+    mon.report_problem(Guid{1, 1}, ProblemKind::crash);
+    mon.report_problem(Guid{1, 1}, ProblemKind::piece_corruption);
+    mon.report_problem(Guid{2, 2}, ProblemKind::piece_corruption);
+    EXPECT_EQ(mon.problems(ProblemKind::crash), 1);
+    EXPECT_EQ(mon.problems(ProblemKind::piece_corruption), 2);
+    EXPECT_EQ(mon.problems(ProblemKind::disk_full), 0);
+}
+
+}  // namespace
+}  // namespace netsession::control

@@ -1,0 +1,253 @@
+// DN directory: locality-ordered selection, fairness rotation, diversity,
+// NAT filtering, registration lifecycle.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "control/directory.hpp"
+
+namespace netsession::control {
+namespace {
+
+PeerDescriptor peer(std::uint64_t id, std::uint32_t asn, std::uint16_t country,
+                    net::Continent continent, net::NatType nat = net::NatType::open) {
+    PeerDescriptor d;
+    d.guid = Guid{id, id};
+    d.host = HostId{static_cast<std::uint32_t>(id)};
+    d.ip = net::IpAddr{static_cast<std::uint32_t>(id)};
+    d.nat = nat;
+    d.asn = Asn{asn};
+    d.country = CountryId{country};
+    d.continent = continent;
+    d.region = RegionId{0};
+    return d;
+}
+
+const ObjectId kObj{1, 1};
+
+TEST(Directory, AddRemoveAndCopies) {
+    Directory dir;
+    EXPECT_EQ(dir.copies(kObj), 0);
+    dir.add(kObj, peer(1, 10, 1, net::Continent::europe));
+    dir.add(kObj, peer(2, 10, 1, net::Continent::europe));
+    EXPECT_EQ(dir.copies(kObj), 2);
+    dir.remove(kObj, Guid{1, 1});
+    EXPECT_EQ(dir.copies(kObj), 1);
+    dir.remove(kObj, Guid{1, 1});  // idempotent
+    EXPECT_EQ(dir.copies(kObj), 1);
+}
+
+TEST(Directory, ReregistrationDoesNotDuplicate) {
+    Directory dir;
+    dir.add(kObj, peer(1, 10, 1, net::Continent::europe));
+    dir.add(kObj, peer(1, 10, 1, net::Continent::europe));
+    EXPECT_EQ(dir.copies(kObj), 1);
+    EXPECT_EQ(dir.registration_count(), 1u);
+}
+
+TEST(Directory, ReregistrationAfterMoveUpdatesBuckets) {
+    Directory dir;
+    dir.add(kObj, peer(1, 10, 1, net::Continent::europe));
+    // Same GUID, new AS + country (the peer moved).
+    dir.add(kObj, peer(1, 20, 2, net::Continent::asia));
+    EXPECT_EQ(dir.copies(kObj), 1);
+
+    SelectionPolicy policy;
+    Rng rng(1);
+    // Requester in the old AS no longer finds it at AS level but does at
+    // world level.
+    const auto result = dir.select(kObj, peer(99, 10, 1, net::Continent::europe), 5, policy, rng);
+    ASSERT_EQ(result.size(), 1u);
+    EXPECT_EQ(result[0].asn.value, 20u);
+}
+
+TEST(Directory, RemovePeerClearsAllObjects) {
+    Directory dir;
+    const ObjectId other{2, 2};
+    dir.add(kObj, peer(1, 10, 1, net::Continent::europe));
+    dir.add(other, peer(1, 10, 1, net::Continent::europe));
+    dir.remove_peer(Guid{1, 1});
+    EXPECT_EQ(dir.copies(kObj), 0);
+    EXPECT_EQ(dir.copies(other), 0);
+    EXPECT_EQ(dir.object_count(), 0u);
+}
+
+TEST(Directory, SelectPrefersSameAsThenCountryThenContinent) {
+    Directory dir;
+    dir.add(kObj, peer(1, 10, 1, net::Continent::europe));  // same AS
+    dir.add(kObj, peer(2, 11, 1, net::Continent::europe));  // same country
+    dir.add(kObj, peer(3, 12, 2, net::Continent::europe));  // same continent
+    dir.add(kObj, peer(4, 13, 3, net::Continent::asia));    // world
+
+    SelectionPolicy policy;
+    for (auto& d : policy.diversity) d = 0.0;  // deterministic ordering
+    Rng rng(1);
+    const auto result = dir.select(kObj, peer(99, 10, 1, net::Continent::europe), 4, policy, rng);
+    ASSERT_EQ(result.size(), 4u);
+    EXPECT_EQ(result[0].guid, (Guid{1, 1})) << "most specific set first (§3.7)";
+    EXPECT_EQ(result[1].guid, (Guid{2, 2}));
+    EXPECT_EQ(result[2].guid, (Guid{3, 3}));
+    EXPECT_EQ(result[3].guid, (Guid{4, 4}));
+}
+
+TEST(Directory, SelectNeverReturnsRequesterOrDuplicates) {
+    Directory dir;
+    for (std::uint64_t i = 1; i <= 20; ++i)
+        dir.add(kObj, peer(i, 10, 1, net::Continent::europe));
+    SelectionPolicy policy;
+    Rng rng(2);
+    const auto requester = peer(5, 10, 1, net::Continent::europe);
+    const auto result = dir.select(kObj, requester, 40, policy, rng);
+    EXPECT_EQ(result.size(), 19u);
+    std::set<Guid> guids;
+    for (const auto& p : result) {
+        EXPECT_NE(p.guid, requester.guid);
+        EXPECT_TRUE(guids.insert(p.guid).second);
+    }
+}
+
+TEST(Directory, NatFilterExcludesUntraversablePairs) {
+    Directory dir;
+    dir.add(kObj, peer(1, 10, 1, net::Continent::europe, net::NatType::symmetric));
+    dir.add(kObj, peer(2, 10, 1, net::Continent::europe, net::NatType::open));
+    SelectionPolicy policy;
+    Rng rng(3);
+    const auto requester = peer(99, 10, 1, net::Continent::europe, net::NatType::symmetric);
+    const auto result = dir.select(kObj, requester, 10, policy, rng);
+    ASSERT_EQ(result.size(), 1u);
+    EXPECT_EQ(result[0].nat, net::NatType::open)
+        << "symmetric-symmetric cannot punch; the DN pre-filters (§3.7)";
+
+    policy.nat_compatibility_filter = false;
+    const auto unfiltered = dir.select(kObj, requester, 10, policy, rng);
+    EXPECT_EQ(unfiltered.size(), 2u);
+}
+
+TEST(Directory, FairnessRotatesThroughSwarm) {
+    Directory dir;
+    for (std::uint64_t i = 1; i <= 12; ++i)
+        dir.add(kObj, peer(i, 10, 1, net::Continent::europe));
+    SelectionPolicy policy;
+    for (auto& d : policy.diversity) d = 0.0;
+    Rng rng(4);
+    const auto requester = peer(99, 10, 1, net::Continent::europe);
+
+    // Three queries of 4 should cycle all 12 peers before repeating anyone
+    // ("when a peer is selected, it is placed at the end of a peer selection
+    // list for fairness", §3.7).
+    std::set<Guid> seen;
+    for (int q = 0; q < 3; ++q) {
+        const auto result = dir.select(kObj, requester, 4, policy, rng);
+        ASSERT_EQ(result.size(), 4u);
+        for (const auto& p : result) EXPECT_TRUE(seen.insert(p.guid).second) << "premature repeat";
+    }
+    EXPECT_EQ(seen.size(), 12u);
+}
+
+TEST(Directory, DiversityOccasionallyPullsFromLessSpecificSet) {
+    Directory dir;
+    for (std::uint64_t i = 1; i <= 30; ++i)
+        dir.add(kObj, peer(i, 10, 1, net::Continent::europe));  // same-AS pool
+    for (std::uint64_t i = 31; i <= 60; ++i)
+        dir.add(kObj, peer(i, 11, 1, net::Continent::europe));  // same-country pool
+    SelectionPolicy policy;  // default diversity: 15% at AS level
+    Rng rng(5);
+    const auto requester = peer(99, 10, 1, net::Continent::europe);
+    int foreign_as = 0, total = 0;
+    for (int q = 0; q < 50; ++q) {
+        const auto result = dir.select(kObj, requester, 10, policy, rng);
+        for (const auto& p : result) {
+            ++total;
+            if (p.asn.value != 10) ++foreign_as;
+        }
+    }
+    const double frac = static_cast<double>(foreign_as) / total;
+    EXPECT_GT(frac, 0.05) << "diversity draws from less specific sets";
+    EXPECT_LT(frac, 0.35) << "but locality still dominates";
+}
+
+TEST(Directory, RandomStrategyIgnoresLocality) {
+    Directory dir;
+    for (std::uint64_t i = 1; i <= 10; ++i)
+        dir.add(kObj, peer(i, 10, 1, net::Continent::europe));
+    for (std::uint64_t i = 11; i <= 400; ++i)
+        dir.add(kObj, peer(i, 99, 9, net::Continent::asia));
+    SelectionPolicy policy;
+    policy.strategy = SelectionPolicy::Strategy::random;
+    Rng rng(6);
+    const auto requester = peer(999, 10, 1, net::Continent::europe);
+    int same_as = 0, total = 0;
+    for (int q = 0; q < 30; ++q) {
+        for (const auto& p : dir.select(kObj, requester, 10, policy, rng)) {
+            ++total;
+            if (p.asn.value == 10) ++same_as;
+        }
+    }
+    // Same-AS peers are 10/409 of the swarm; random selection should pick
+    // them rarely (locality-aware would pick them always).
+    EXPECT_LT(static_cast<double>(same_as) / total, 0.15);
+}
+
+TEST(Directory, ClearDropsEverything) {
+    Directory dir;
+    dir.add(kObj, peer(1, 10, 1, net::Continent::europe));
+    dir.clear();
+    EXPECT_EQ(dir.copies(kObj), 0);
+    EXPECT_EQ(dir.registration_count(), 0u);
+}
+
+TEST(Directory, CompactionPreservesLiveEntries) {
+    Directory dir;
+    for (std::uint64_t i = 1; i <= 300; ++i)
+        dir.add(kObj, peer(i, 10, 1, net::Continent::europe));
+    for (std::uint64_t i = 1; i <= 200; ++i) dir.remove(kObj, Guid{i, i});
+    EXPECT_EQ(dir.copies(kObj), 100);
+    SelectionPolicy policy;
+    Rng rng(7);
+    const auto result = dir.select(kObj, peer(999, 10, 1, net::Continent::europe), 40, policy, rng);
+    EXPECT_EQ(result.size(), 40u);
+    for (const auto& p : result) EXPECT_GT(p.guid.hi, 200u) << "removed peers must not reappear";
+}
+
+class DirectoryPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DirectoryPropertyTest, SelectionInvariants) {
+    Rng rng(static_cast<std::uint64_t>(GetParam()));
+    Directory dir;
+    std::map<std::uint64_t, PeerDescriptor> added;
+    for (std::uint64_t i = 1; i <= 150; ++i) {
+        const auto d = peer(i, 10 + static_cast<std::uint32_t>(rng.below(6)),
+                            static_cast<std::uint16_t>(rng.below(4)),
+                            static_cast<net::Continent>(rng.below(6)),
+                            static_cast<net::NatType>(rng.below(net::kNatTypeCount)));
+        dir.add(kObj, d);
+        added[i] = d;
+    }
+    // Random removals.
+    for (std::uint64_t i = 1; i <= 150; ++i)
+        if (rng.chance(0.3)) {
+            dir.remove(kObj, Guid{i, i});
+            added.erase(i);
+        }
+
+    SelectionPolicy policy;
+    const auto requester = peer(999, 12, 1, net::Continent::europe,
+                                static_cast<net::NatType>(rng.below(net::kNatTypeCount)));
+    for (int q = 0; q < 10; ++q) {
+        const int want = static_cast<int>(1 + rng.below(40));
+        const auto result = dir.select(kObj, requester, want, policy, rng);
+        EXPECT_LE(static_cast<int>(result.size()), want);
+        std::set<Guid> seen;
+        for (const auto& p : result) {
+            EXPECT_TRUE(seen.insert(p.guid).second);
+            EXPECT_TRUE(added.contains(p.guid.hi)) << "only live registrations returned";
+            EXPECT_TRUE(net::can_traverse(requester.nat, p.nat));
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DirectoryPropertyTest, ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace netsession::control

@@ -1,0 +1,156 @@
+// Edge infrastructure: catalog, auth tokens, piece serving with trusted byte
+// accounting, DNS-style nearest mapping.
+#include <gtest/gtest.h>
+
+#include "edge/edge_network.hpp"
+#include "net/world.hpp"
+
+namespace netsession::edge {
+namespace {
+
+struct Fixture {
+    sim::Simulator sim;
+    net::World world;
+    Catalog catalog;
+    ObjectId oid{5, 5};
+
+    Fixture() : world(sim, make_graph()) {
+        swarm::ContentObject object(oid, CpCode{1000}, 99, 100_MB, 16);
+        ObjectPolicy policy;
+        policy.p2p_enabled = true;
+        catalog.publish(std::move(object), policy);
+    }
+
+    static net::AsGraph make_graph() {
+        net::AsGraphConfig config;
+        config.total_ases = 200;
+        return net::AsGraph::generate(config, Rng(1));
+    }
+
+    HostId client_in(std::string_view alpha2, Rng& rng) {
+        const net::CountryInfo* c = net::find_country(alpha2);
+        net::HostInfo info;
+        info.attach.location = net::Location{c->id, 0, c->center};
+        info.attach.asn = world.as_graph().pick_for_country(c->id, rng);
+        info.up = mbps(2.0);
+        info.down = mbps(20.0);
+        return world.create_host(info);
+    }
+};
+
+TEST(Catalog, PublishAndFind) {
+    Fixture f;
+    EXPECT_EQ(f.catalog.size(), 1u);
+    const CatalogEntry* entry = f.catalog.find(f.oid);
+    ASSERT_NE(entry, nullptr);
+    EXPECT_EQ(entry->object.size(), 100_MB);
+    EXPECT_TRUE(entry->policy.p2p_enabled);
+    EXPECT_EQ(f.catalog.find(ObjectId{1, 1}), nullptr);
+}
+
+TEST(TokenAuthority, IssueAndValidate) {
+    TokenAuthority authority("secret");
+    const Guid guid{1, 2};
+    const ObjectId object{3, 4};
+    const auto token = authority.issue(guid, object, sim::SimTime{1'000'000});
+    EXPECT_TRUE(authority.validate(token, sim::SimTime{500'000}));
+    EXPECT_FALSE(authority.validate(token, sim::SimTime{1'000'001})) << "expired";
+}
+
+TEST(TokenAuthority, TamperedTokenRejected) {
+    TokenAuthority authority("secret");
+    auto token = authority.issue(Guid{1, 2}, ObjectId{3, 4}, sim::SimTime{1'000'000});
+    token.guid = Guid{9, 9};  // claim a different identity
+    EXPECT_FALSE(authority.validate(token, sim::SimTime{0}));
+    auto token2 = authority.issue(Guid{1, 2}, ObjectId{3, 4}, sim::SimTime{1'000'000});
+    token2.expiry = sim::SimTime{99'000'000};  // extend the lifetime
+    EXPECT_FALSE(authority.validate(token2, sim::SimTime{2'000'000}));
+}
+
+TEST(TokenAuthority, DifferentSecretsDontValidate) {
+    TokenAuthority a("secret-a");
+    TokenAuthority b("secret-b");
+    const auto token = a.issue(Guid{1, 2}, ObjectId{3, 4}, sim::SimTime{1'000'000});
+    EXPECT_FALSE(b.validate(token, sim::SimTime{0}));
+}
+
+TEST(EdgeNetwork, OneServerPerModelledRegion) {
+    Fixture f;
+    EdgeNetworkConfig config;
+    EdgeNetwork edges(f.world, f.catalog, config);
+    EXPECT_EQ(edges.servers().size(), net::regions().size());
+}
+
+TEST(EdgeNetwork, NearestIsGeographicallyClosest) {
+    Fixture f;
+    EdgeNetworkConfig config;
+    EdgeNetwork edges(f.world, f.catalog, config);
+    Rng rng(2);
+    const HostId client = f.client_in("DE", rng);
+    EdgeServer& nearest = edges.nearest(client);
+    const auto client_pt = f.world.host(client).attach.location.point;
+    const double chosen =
+        net::haversine_km(client_pt, f.world.host(nearest.host()).attach.location.point);
+    for (const auto& s : edges.servers()) {
+        const double km =
+            net::haversine_km(client_pt, f.world.host(s->host()).attach.location.point);
+        EXPECT_GE(km + 1e-9, chosen);
+    }
+}
+
+TEST(EdgeServer, ServesPieceAndCountsBytes) {
+    Fixture f;
+    EdgeNetworkConfig config;
+    EdgeNetwork edges(f.world, f.catalog, config);
+    Rng rng(3);
+    const HostId client = f.client_in("FR", rng);
+    EdgeServer& server = edges.nearest(client);
+    const auto& object = f.catalog.find(f.oid)->object;
+    const Guid guid{7, 7};
+
+    Digest256 got{};
+    server.serve_piece(client, guid, object, 0, [&](Digest256 d) { got = d; });
+    f.sim.run();
+    EXPECT_TRUE(object.verify(0, got)) << "edge data is authentic";
+    EXPECT_EQ(server.bytes_served(guid, f.oid), object.piece_length(0));
+    EXPECT_EQ(server.total_bytes_served(), object.piece_length(0));
+    EXPECT_EQ(server.bytes_served(Guid{8, 8}, f.oid), 0);
+}
+
+TEST(EdgeServer, AbortedDeliveryDoesNotCount) {
+    Fixture f;
+    EdgeNetworkConfig config;
+    config.per_connection_cap = 1000.0;  // slow, so we can abort mid-flight
+    EdgeNetwork edges(f.world, f.catalog, config);
+    Rng rng(4);
+    const HostId client = f.client_in("BR", rng);
+    EdgeServer& server = edges.nearest(client);
+    const auto& object = f.catalog.find(f.oid)->object;
+
+    bool delivered = false;
+    const auto flow = server.serve_piece(client, Guid{7, 7}, object, 1,
+                                         [&](Digest256) { delivered = true; });
+    f.sim.run_until(sim::SimTime{} + sim::seconds(1.0));
+    const Bytes partial = server.abort(flow);
+    f.sim.run();
+    EXPECT_FALSE(delivered);
+    EXPECT_GT(partial, 0);
+    EXPECT_EQ(server.bytes_served(Guid{7, 7}, f.oid), 0)
+        << "the trusted ledger counts completed pieces only";
+}
+
+TEST(EdgeServer, TokenRoundTripThroughAuthority) {
+    Fixture f;
+    EdgeNetworkConfig config;
+    EdgeNetwork edges(f.world, f.catalog, config);
+    Rng rng(5);
+    const HostId client = f.client_in("JP", rng);
+    EdgeServer& server = edges.nearest(client);
+    const auto token = server.authorize(Guid{1, 1}, f.oid);
+    EXPECT_TRUE(edges.authority().validate(token, f.sim.now()));
+    EXPECT_TRUE(edges.authority().validate(token, f.sim.now() + sim::minutes(59.0)));
+    EXPECT_FALSE(edges.authority().validate(token, f.sim.now() + sim::minutes(61.0)));
+}
+
+}  // namespace
+}  // namespace netsession::edge

@@ -1,0 +1,143 @@
+// Synthetic AS topology: structure, heavy tail, sampling, IP allocation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "net/as_graph.hpp"
+
+namespace netsession::net {
+namespace {
+
+AsGraph make(int total = 300, std::uint64_t seed = 1) {
+    AsGraphConfig config;
+    config.total_ases = total;
+    return AsGraph::generate(config, Rng(seed));
+}
+
+TEST(AsGraph, GeneratesRequestedCount) {
+    const auto g = make(300);
+    EXPECT_EQ(g.size(), 300u);
+}
+
+TEST(AsGraph, EveryCountryHasAnAs) {
+    const auto g = make(200);
+    std::set<std::uint16_t> covered;
+    for (const auto& as : g.all()) covered.insert(as.country.value);
+    EXPECT_EQ(covered.size(), countries().size());
+}
+
+TEST(AsGraph, RejectsTooFewAses) {
+    AsGraphConfig config;
+    config.total_ases = 3;
+    EXPECT_THROW(AsGraph::generate(config, Rng(1)), std::invalid_argument);
+}
+
+TEST(AsGraph, Tier1Clique) {
+    const auto g = make(300);
+    std::vector<Asn> tier1;
+    for (const auto& as : g.all())
+        if (as.tier == 1) tier1.push_back(as.asn);
+    EXPECT_EQ(tier1.size(), 10u);
+    for (const auto a : tier1)
+        for (const auto b : tier1) EXPECT_TRUE(g.directly_connected(a, b));
+}
+
+TEST(AsGraph, SelfIsConnected) {
+    const auto g = make(200);
+    const Asn a = g.all().front().asn;
+    EXPECT_TRUE(g.directly_connected(a, a));
+}
+
+TEST(AsGraph, EveryAsHasAtLeastOneLink) {
+    const auto g = make(300);
+    for (const auto& as : g.all()) {
+        bool linked = false;
+        for (const auto& other : g.all()) {
+            if (other.asn == as.asn) continue;
+            if (g.directly_connected(as.asn, other.asn)) {
+                linked = true;
+                break;
+            }
+        }
+        EXPECT_TRUE(linked) << "AS " << as.asn.value << " is isolated";
+    }
+}
+
+TEST(AsGraph, SizeWeightsAreHeavyTailed) {
+    const auto g = make(600);
+    std::vector<double> weights;
+    for (const auto& as : g.all()) weights.push_back(as.size_weight);
+    std::sort(weights.begin(), weights.end(), std::greater<>());
+    double total = 0;
+    for (const double w : weights) total += w;
+    double top_decile = 0;
+    for (std::size_t i = 0; i < weights.size() / 10; ++i) top_decile += weights[i];
+    // A Pareto(1.08) population concentrates most mass in the top decile.
+    EXPECT_GT(top_decile / total, 0.4);
+}
+
+TEST(AsGraph, PickForCountryRespectsCountry) {
+    auto g = make(300);
+    Rng rng(7);
+    for (const auto& c : countries()) {
+        for (int i = 0; i < 5; ++i) {
+            const Asn asn = g.pick_for_country(c.id, rng);
+            EXPECT_EQ(g.info(asn).country, c.id);
+        }
+    }
+}
+
+TEST(AsGraph, PickForCountryPrefersLargeAses) {
+    auto g = make(600);
+    Rng rng(11);
+    const CountryInfo* de = find_country("DE");
+    ASSERT_NE(de, nullptr);
+    std::map<std::uint32_t, int> hits;
+    for (int i = 0; i < 3000; ++i) ++hits[g.pick_for_country(de->id, rng).value];
+    // The most-hit AS should be the largest one of the country.
+    const AsInfo* largest = nullptr;
+    for (const auto& as : g.all())
+        if (as.country == de->id && (largest == nullptr || as.size_weight > largest->size_weight))
+            largest = &as;
+    ASSERT_NE(largest, nullptr);
+    const auto most_hit =
+        std::max_element(hits.begin(), hits.end(),
+                         [](const auto& a, const auto& b) { return a.second < b.second; });
+    EXPECT_EQ(most_hit->first, largest->asn.value);
+}
+
+TEST(AsGraph, AllocatedIpsAreUniqueAndInPrefix) {
+    auto g = make(200);
+    const Asn asn = g.all().front().asn;
+    const Prefix prefix = g.info(asn).prefix;
+    std::set<std::uint32_t> seen;
+    for (int i = 0; i < 10000; ++i) {
+        const IpAddr ip = g.allocate_ip(asn);
+        EXPECT_TRUE(prefix.contains(ip));
+        EXPECT_TRUE(seen.insert(ip.value).second) << "duplicate IP";
+    }
+}
+
+TEST(AsGraph, PrefixesAreDisjoint) {
+    const auto g = make(300);
+    std::set<std::uint32_t> bases;
+    for (const auto& as : g.all()) {
+        EXPECT_TRUE(bases.insert(as.prefix.base).second);
+        EXPECT_EQ(as.prefix.length, 12);
+    }
+}
+
+TEST(AsGraph, DeterministicBySeed) {
+    const auto a = make(200, 5);
+    const auto b = make(200, 5);
+    const auto c = make(200, 6);
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_EQ(a.edge_count(), b.edge_count());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_DOUBLE_EQ(a.all()[i].size_weight, b.all()[i].size_weight);
+    EXPECT_NE(a.edge_count(), c.edge_count());
+}
+
+}  // namespace
+}  // namespace netsession::net

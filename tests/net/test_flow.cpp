@@ -1,0 +1,268 @@
+// Flow-level bandwidth sharing: exactness on single-bottleneck cases,
+// feasibility invariants on random topologies, rescheduling correctness.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "net/flow.hpp"
+
+namespace netsession::net {
+namespace {
+
+struct Fixture {
+    sim::Simulator sim;
+    FlowNetwork net{sim};
+};
+
+TEST(FlowNetwork, SingleFlowUsesBottleneck) {
+    Fixture f;
+    const HostId a = f.net.add_host(/*up=*/1000.0, /*down=*/kUnlimited);
+    const HostId b = f.net.add_host(kUnlimited, 500.0);
+    bool done = false;
+    f.net.start_flow(a, b, 5000, kUnlimited, [&](FlowId) { done = true; });
+    EXPECT_DOUBLE_EQ(f.net.current_rate(FlowId{}), 0.0);
+    f.sim.run();
+    EXPECT_TRUE(done);
+    // 5000 bytes at 500 B/s (receiver-bound) = 10 s.
+    EXPECT_NEAR(f.sim.now().seconds(), 10.0, 0.01);
+}
+
+TEST(FlowNetwork, PerFlowCapBinds) {
+    Fixture f;
+    const HostId a = f.net.add_host(kUnlimited, kUnlimited);
+    const HostId b = f.net.add_host(kUnlimited, kUnlimited);
+    bool done = false;
+    f.net.start_flow(a, b, 1000, 100.0, [&](FlowId) { done = true; });
+    f.sim.run();
+    EXPECT_TRUE(done);
+    EXPECT_NEAR(f.sim.now().seconds(), 10.0, 0.01);
+}
+
+TEST(FlowNetwork, EqualSharingOnSharedUplink) {
+    Fixture f;
+    const HostId src = f.net.add_host(1000.0, kUnlimited);
+    const HostId d1 = f.net.add_host(kUnlimited, kUnlimited);
+    const HostId d2 = f.net.add_host(kUnlimited, kUnlimited);
+    int done = 0;
+    f.net.start_flow(src, d1, 10000, kUnlimited, [&](FlowId) { ++done; });
+    const FlowId f2 = f.net.start_flow(src, d2, 10000, kUnlimited, [&](FlowId) { ++done; });
+    EXPECT_NEAR(f.net.current_rate(f2), 500.0, 1.0);
+    f.sim.run();
+    EXPECT_EQ(done, 2);
+    // Both at 500 B/s -> 20 s.
+    EXPECT_NEAR(f.sim.now().seconds(), 20.0, 0.05);
+}
+
+TEST(FlowNetwork, WaterFillingGivesSurplusToUnconstrainedFlow) {
+    Fixture f;
+    const HostId src = f.net.add_host(1000.0, kUnlimited);
+    const HostId slow = f.net.add_host(kUnlimited, 200.0);  // receiver-limited
+    const HostId fast = f.net.add_host(kUnlimited, kUnlimited);
+    const FlowId to_slow = f.net.start_flow(src, slow, 1_MB, kUnlimited, nullptr);
+    const FlowId to_fast = f.net.start_flow(src, fast, 1_MB, kUnlimited, nullptr);
+    // Water-filling: slow flow pinned at 200, fast flow gets the remaining 800.
+    EXPECT_NEAR(f.net.current_rate(to_slow), 200.0, 2.0);
+    EXPECT_NEAR(f.net.current_rate(to_fast), 800.0, 8.0);
+}
+
+TEST(FlowNetwork, CompletionFreesCapacityForRemainingFlows) {
+    Fixture f;
+    const HostId src = f.net.add_host(1000.0, kUnlimited);
+    const HostId d1 = f.net.add_host(kUnlimited, kUnlimited);
+    const HostId d2 = f.net.add_host(kUnlimited, kUnlimited);
+    sim::SimTime first{}, second{};
+    f.net.start_flow(src, d1, 5000, kUnlimited, [&](FlowId) { first = f.sim.now(); });
+    f.net.start_flow(src, d2, 10000, kUnlimited, [&](FlowId) { second = f.sim.now(); });
+    f.sim.run();
+    // Shared 500/500 until t=10 (first done), then 1000 for the remaining
+    // 5000 bytes -> t=15.
+    EXPECT_NEAR(first.seconds(), 10.0, 0.05);
+    EXPECT_NEAR(second.seconds(), 15.0, 0.1);
+}
+
+TEST(FlowNetwork, CancelReturnsTransferredBytes) {
+    Fixture f;
+    const HostId a = f.net.add_host(100.0, kUnlimited);
+    const HostId b = f.net.add_host(kUnlimited, kUnlimited);
+    bool done = false;
+    const FlowId id = f.net.start_flow(a, b, 10000, kUnlimited, [&](FlowId) { done = true; });
+    f.sim.run_until(sim::SimTime{} + sim::seconds(10.0));
+    const Bytes moved = f.net.cancel_flow(id);
+    EXPECT_NEAR(static_cast<double>(moved), 1000.0, 10.0);
+    f.sim.run();
+    EXPECT_FALSE(done);
+    EXPECT_FALSE(f.net.active(id));
+    EXPECT_EQ(f.net.cancel_flow(id), 0) << "stale cancel is a no-op";
+}
+
+TEST(FlowNetwork, CapacityChangeReschedulesCompletion) {
+    Fixture f;
+    const HostId a = f.net.add_host(100.0, kUnlimited);
+    const HostId b = f.net.add_host(kUnlimited, kUnlimited);
+    sim::SimTime done_at{};
+    f.net.start_flow(a, b, 2000, kUnlimited, [&](FlowId) { done_at = f.sim.now(); });
+    f.sim.run_until(sim::SimTime{} + sim::seconds(10.0));  // 1000 bytes moved
+    f.net.set_up_capacity(a, 500.0);                       // remaining 1000 at 500 B/s
+    f.sim.run();
+    EXPECT_NEAR(done_at.seconds(), 12.0, 0.05);
+}
+
+TEST(FlowNetwork, ThrottleToZeroStallsAndRecovers) {
+    Fixture f;
+    const HostId a = f.net.add_host(100.0, kUnlimited);
+    const HostId b = f.net.add_host(kUnlimited, kUnlimited);
+    bool done = false;
+    f.net.start_flow(a, b, 1000, kUnlimited, [&](FlowId) { done = true; });
+    f.sim.run_until(sim::SimTime{} + sim::seconds(5.0));
+    f.net.set_up_capacity(a, 0.0);
+    f.sim.run_until(sim::SimTime{} + sim::seconds(100.0));
+    EXPECT_FALSE(done);  // stalled
+    f.net.set_up_capacity(a, 100.0);
+    f.sim.run();
+    EXPECT_TRUE(done);
+    EXPECT_NEAR(f.sim.now().seconds(), 105.0, 0.1);
+}
+
+TEST(FlowNetwork, LiftingCapacityToUnlimitedReleasesFlows) {
+    Fixture f;
+    const HostId a = f.net.add_host(100.0, kUnlimited);
+    const HostId b = f.net.add_host(kUnlimited, kUnlimited);
+    const FlowId id = f.net.start_flow(a, b, 1'000'000, 2000.0, nullptr);
+    EXPECT_NEAR(f.net.current_rate(id), 100.0, 1.0);
+    f.net.set_up_capacity(a, kUnlimited);
+    EXPECT_NEAR(f.net.current_rate(id), 2000.0, 20.0) << "only the per-flow cap remains";
+}
+
+TEST(FlowNetwork, TotalDeliveredMatchesFlowSizes) {
+    Fixture f;
+    const HostId a = f.net.add_host(1000.0, kUnlimited);
+    const HostId b = f.net.add_host(kUnlimited, 800.0);
+    for (int i = 0; i < 10; ++i) f.net.start_flow(a, b, 12345, kUnlimited, nullptr);
+    f.sim.run();
+    EXPECT_NEAR(static_cast<double>(f.net.total_delivered()), 123450.0, 15.0);
+}
+
+TEST(FlowNetwork, TransferredSettlesMidFlight) {
+    Fixture f;
+    const HostId a = f.net.add_host(100.0, kUnlimited);
+    const HostId b = f.net.add_host(kUnlimited, kUnlimited);
+    const FlowId id = f.net.start_flow(a, b, 10000, kUnlimited, nullptr);
+    f.sim.run_until(sim::SimTime{} + sim::seconds(25.0));
+    EXPECT_NEAR(static_cast<double>(f.net.transferred(id)), 2500.0, 25.0);
+}
+
+TEST(FlowNetwork, UnlimitedEdgeDoesNotCoupleItsClients) {
+    Fixture f;
+    const HostId edge = f.net.add_host(kUnlimited, kUnlimited);
+    const HostId c1 = f.net.add_host(kUnlimited, 100.0);
+    const HostId c2 = f.net.add_host(kUnlimited, 400.0);
+    const FlowId f1 = f.net.start_flow(edge, c1, 1_MB, kUnlimited, nullptr);
+    const FlowId f2 = f.net.start_flow(edge, c2, 1_MB, kUnlimited, nullptr);
+    EXPECT_NEAR(f.net.current_rate(f1), 100.0, 1.0);
+    EXPECT_NEAR(f.net.current_rate(f2), 400.0, 4.0);
+}
+
+TEST(FlowNetwork, CompletionCallbackMayStartNewFlow) {
+    Fixture f;
+    const HostId a = f.net.add_host(100.0, kUnlimited);
+    const HostId b = f.net.add_host(kUnlimited, kUnlimited);
+    int completions = 0;
+    std::function<void(FlowId)> chain = [&](FlowId) {
+        if (++completions < 3) f.net.start_flow(a, b, 100, kUnlimited, chain);
+    };
+    f.net.start_flow(a, b, 100, kUnlimited, chain);
+    f.sim.run();
+    EXPECT_EQ(completions, 3);
+    EXPECT_NEAR(f.sim.now().seconds(), 3.0, 0.05);
+}
+
+// --- property suite over random topologies -----------------------------------------
+
+class FlowPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FlowPropertyTest, CapacityFeasibilityAndConservation) {
+    Rng rng(static_cast<std::uint64_t>(GetParam()));
+    sim::Simulator sim;
+    FlowNetwork net(sim);
+
+    const int hosts = 20;
+    std::vector<HostId> ids;
+    std::vector<double> up(hosts), down(hosts);
+    for (int i = 0; i < hosts; ++i) {
+        up[static_cast<std::size_t>(i)] = rng.uniform(50.0, 2000.0);
+        down[static_cast<std::size_t>(i)] = rng.uniform(50.0, 2000.0);
+        ids.push_back(net.add_host(up[static_cast<std::size_t>(i)], down[static_cast<std::size_t>(i)]));
+    }
+
+    struct Live {
+        FlowId id;
+        int src, dst;
+        Bytes size;
+    };
+    std::vector<Live> live;
+    Bytes expected_total = 0;
+    int completed = 0;
+    for (int i = 0; i < 60; ++i) {
+        const int s = static_cast<int>(rng.below(hosts));
+        int d = static_cast<int>(rng.below(hosts));
+        if (d == s) d = (d + 1) % hosts;
+        const Bytes size = rng.range(1000, 100000);
+        expected_total += size;
+        const double cap = rng.chance(0.3) ? rng.uniform(20.0, 500.0) : kUnlimited;
+        const FlowId id = net.start_flow(ids[static_cast<std::size_t>(s)],
+                                         ids[static_cast<std::size_t>(d)], size, cap,
+                                         [&](FlowId) { ++completed; });
+        live.push_back(Live{id, s, d, size});
+
+        // Invariant: per-host aggregate rates never exceed capacities
+        // (within the reallocation epsilon).
+        std::vector<double> out_rate(hosts, 0.0), in_rate(hosts, 0.0);
+        for (const auto& fl : live) {
+            if (!net.active(fl.id)) continue;
+            const double r = net.current_rate(fl.id);
+            ASSERT_GE(r, 0.0);
+            out_rate[static_cast<std::size_t>(fl.src)] += r;
+            in_rate[static_cast<std::size_t>(fl.dst)] += r;
+        }
+        for (int h = 0; h < hosts; ++h) {
+            EXPECT_LE(out_rate[static_cast<std::size_t>(h)],
+                      up[static_cast<std::size_t>(h)] * 1.08 + 1.0);
+            EXPECT_LE(in_rate[static_cast<std::size_t>(h)],
+                      down[static_cast<std::size_t>(h)] * 1.08 + 1.0);
+        }
+    }
+    sim.run();
+    EXPECT_EQ(completed, 60);
+    // Byte conservation: everything started was delivered.
+    EXPECT_NEAR(static_cast<double>(net.total_delivered()),
+                static_cast<double>(expected_total),
+                static_cast<double>(expected_total) * 0.001 + 100.0);
+}
+
+TEST_P(FlowPropertyTest, NoStarvationWithPositiveCapacities) {
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 977 + 3);
+    sim::Simulator sim;
+    FlowNetwork net(sim);
+    const HostId hub = net.add_host(rng.uniform(100.0, 1000.0), rng.uniform(100.0, 1000.0));
+    int completed = 0;
+    int flows = 0;
+    for (int i = 0; i < 15; ++i) {
+        const HostId other = net.add_host(rng.uniform(50.0, 500.0), rng.uniform(50.0, 500.0));
+        if (rng.chance(0.5)) {
+            net.start_flow(hub, other, rng.range(500, 20000), kUnlimited,
+                           [&](FlowId) { ++completed; });
+        } else {
+            net.start_flow(other, hub, rng.range(500, 20000), kUnlimited,
+                           [&](FlowId) { ++completed; });
+        }
+        ++flows;
+    }
+    sim.run();
+    EXPECT_EQ(completed, flows) << "every flow finishes when all capacities are positive";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlowPropertyTest, ::testing::Range(1, 13));
+
+}  // namespace
+}  // namespace netsession::net

@@ -1,0 +1,56 @@
+#include <gtest/gtest.h>
+
+#include "net/geo.hpp"
+#include "net/ipv4.hpp"
+
+namespace netsession::net {
+namespace {
+
+TEST(Haversine, ZeroDistance) {
+    const GeoPoint p{48.85, 2.35};
+    EXPECT_DOUBLE_EQ(haversine_km(p, p), 0.0);
+}
+
+TEST(Haversine, KnownCityPairs) {
+    const GeoPoint paris{48.8566, 2.3522};
+    const GeoPoint london{51.5074, -0.1278};
+    const GeoPoint new_york{40.7128, -74.0060};
+    const GeoPoint sydney{-33.8688, 151.2093};
+    EXPECT_NEAR(haversine_km(paris, london), 344, 10);
+    EXPECT_NEAR(haversine_km(paris, new_york), 5837, 50);
+    EXPECT_NEAR(haversine_km(london, sydney), 16994, 150);
+}
+
+TEST(Haversine, Symmetric) {
+    const GeoPoint a{10, 20}, b{-30, 140};
+    EXPECT_DOUBLE_EQ(haversine_km(a, b), haversine_km(b, a));
+}
+
+TEST(Haversine, AntipodalIsHalfCircumference) {
+    const GeoPoint a{0, 0}, b{0, 180};
+    EXPECT_NEAR(haversine_km(a, b), 6371 * 3.14159265, 5);
+}
+
+TEST(Ipv4, Formatting) {
+    EXPECT_EQ((IpAddr{0x01020304}).to_string(), "1.2.3.4");
+    EXPECT_EQ((IpAddr{0xFFFFFFFF}).to_string(), "255.255.255.255");
+    EXPECT_EQ((IpAddr{0}).to_string(), "0.0.0.0");
+}
+
+TEST(Ipv4, PrefixContains) {
+    const Prefix p{0x0A000000, 8};  // 10.0.0.0/8
+    EXPECT_TRUE(p.contains(IpAddr{0x0A123456}));
+    EXPECT_FALSE(p.contains(IpAddr{0x0B000001}));
+    EXPECT_EQ(p.size(), 1u << 24);
+
+    const Prefix host{0xC0A80101, 32};
+    EXPECT_TRUE(host.contains(IpAddr{0xC0A80101}));
+    EXPECT_FALSE(host.contains(IpAddr{0xC0A80102}));
+    EXPECT_EQ(host.size(), 1u);
+
+    const Prefix all{0, 0};
+    EXPECT_TRUE(all.contains(IpAddr{0xDEADBEEF}));
+}
+
+}  // namespace
+}  // namespace netsession::net

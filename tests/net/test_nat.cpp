@@ -1,0 +1,67 @@
+// NAT traversal matrix: the properties peer selection relies on.
+#include <gtest/gtest.h>
+
+#include "net/nat.hpp"
+
+namespace netsession::net {
+namespace {
+
+class NatPairTest : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(NatPairTest, MatrixIsSymmetric) {
+    const auto a = static_cast<NatType>(std::get<0>(GetParam()));
+    const auto b = static_cast<NatType>(std::get<1>(GetParam()));
+    EXPECT_DOUBLE_EQ(traversal_success_probability(a, b), traversal_success_probability(b, a));
+    EXPECT_EQ(can_traverse(a, b), can_traverse(b, a));
+}
+
+TEST_P(NatPairTest, ProbabilitiesAreValidAndConsistent) {
+    const auto a = static_cast<NatType>(std::get<0>(GetParam()));
+    const auto b = static_cast<NatType>(std::get<1>(GetParam()));
+    const double p = traversal_success_probability(a, b);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    EXPECT_EQ(can_traverse(a, b), p > 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPairs, NatPairTest,
+                         ::testing::Combine(::testing::Range(0, kNatTypeCount),
+                                            ::testing::Range(0, kNatTypeCount)));
+
+TEST(Nat, OpenReachesEverything) {
+    for (int i = 0; i < kNatTypeCount; ++i)
+        EXPECT_TRUE(can_traverse(NatType::open, static_cast<NatType>(i)))
+            << to_string(static_cast<NatType>(i));
+}
+
+TEST(Nat, ClassicImpossiblePairs) {
+    EXPECT_FALSE(can_traverse(NatType::symmetric, NatType::symmetric));
+    EXPECT_FALSE(can_traverse(NatType::symmetric, NatType::port_restricted));
+    EXPECT_FALSE(can_traverse(NatType::udp_blocked, NatType::udp_blocked));
+    EXPECT_FALSE(can_traverse(NatType::udp_blocked, NatType::full_cone));
+}
+
+TEST(Nat, ConeTypesInterconnect) {
+    EXPECT_TRUE(can_traverse(NatType::full_cone, NatType::full_cone));
+    EXPECT_TRUE(can_traverse(NatType::full_cone, NatType::port_restricted));
+    EXPECT_TRUE(can_traverse(NatType::restricted_cone, NatType::port_restricted));
+}
+
+TEST(Nat, MixSumsToOne) {
+    const auto& mix = default_nat_mix();
+    double sum = 0;
+    for (const double v : mix) {
+        EXPECT_GE(v, 0.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Nat, NamesAreDistinct) {
+    for (int i = 0; i < kNatTypeCount; ++i)
+        for (int j = i + 1; j < kNatTypeCount; ++j)
+            EXPECT_NE(to_string(static_cast<NatType>(i)), to_string(static_cast<NatType>(j)));
+}
+
+}  // namespace
+}  // namespace netsession::net

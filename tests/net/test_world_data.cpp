@@ -1,0 +1,108 @@
+// Static world data: structural invariants the generators rely on.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "net/world_data.hpp"
+
+namespace netsession::net {
+namespace {
+
+TEST(WorldData, FewerThanTwentyRegions) {
+    // Paper §3.7: "the current deployment has less than 20 network regions".
+    EXPECT_LT(regions().size(), 20u);
+    EXPECT_GE(regions().size(), 10u);
+}
+
+TEST(WorldData, RegionIdsAreTheirIndices) {
+    for (std::size_t i = 0; i < regions().size(); ++i)
+        EXPECT_EQ(regions()[i].id.value, i);
+}
+
+TEST(WorldData, CountryIdsAreTheirIndices) {
+    for (std::size_t i = 0; i < countries().size(); ++i)
+        EXPECT_EQ(countries()[i].id.value, i);
+}
+
+TEST(WorldData, EveryCountryHasAValidRegion) {
+    for (const auto& c : countries()) {
+        ASSERT_LT(c.region.value, regions().size()) << c.name;
+        // The US entries intentionally sit in US regions whose continent
+        // matches; other countries' regions may differ in continent only for
+        // cross-continental constructs (e.g. Turkey in MiddleEast).
+    }
+}
+
+TEST(WorldData, EveryRegionHasAtLeastOneCountry) {
+    std::set<std::uint16_t> covered;
+    for (const auto& c : countries()) covered.insert(c.region.value);
+    for (const auto& r : regions())
+        EXPECT_TRUE(covered.contains(r.id.value)) << r.name;
+}
+
+TEST(WorldData, WeightsArePositiveAndRoughlyNormalised) {
+    double sum = 0;
+    for (const auto& c : countries()) {
+        EXPECT_GT(c.peer_weight, 0.0) << c.name;
+        sum += c.peer_weight;
+    }
+    EXPECT_NEAR(sum, 1.0, 0.1);
+}
+
+TEST(WorldData, ContinentSharesMatchPaperShape) {
+    // Fig 2: most peers in Europe (~35%) and North America (~27%).
+    double by_continent[kContinentCount] = {};
+    double sum = 0;
+    for (const auto& c : countries()) {
+        by_continent[static_cast<int>(c.continent)] += c.peer_weight;
+        sum += c.peer_weight;
+    }
+    const double na = by_continent[static_cast<int>(Continent::north_america)] / sum;
+    const double eu = by_continent[static_cast<int>(Continent::europe)] / sum;
+    EXPECT_NEAR(na, 0.27, 0.06);
+    EXPECT_NEAR(eu, 0.35, 0.06);
+    EXPECT_GT(eu, na);
+}
+
+TEST(WorldData, CoordinatesAreOnTheGlobe) {
+    for (const auto& c : countries()) {
+        EXPECT_GE(c.center.lat, -60.0) << c.name;
+        EXPECT_LE(c.center.lat, 75.0) << c.name;
+        EXPECT_GE(c.center.lon, -180.0) << c.name;
+        EXPECT_LE(c.center.lon, 180.0) << c.name;
+    }
+}
+
+TEST(WorldData, BroadbandProfilesAreSane) {
+    for (const auto& c : countries()) {
+        EXPECT_GT(c.broadband.down_mbps_median, 0.5) << c.name;
+        EXPECT_LT(c.broadband.down_mbps_median, 200.0) << c.name;
+        EXPECT_GE(c.broadband.asymmetry, 1.0) << c.name;
+    }
+}
+
+TEST(WorldData, FindCountryByAlpha2) {
+    const CountryInfo* de = find_country("DE");
+    ASSERT_NE(de, nullptr);
+    EXPECT_EQ(de->name, "Germany");
+    EXPECT_EQ(find_country("ZZ"), nullptr);
+    // The US has multiple entries sharing the code; lookup returns one.
+    const CountryInfo* us = find_country("US");
+    ASSERT_NE(us, nullptr);
+    EXPECT_EQ(us->alpha2, "US");
+}
+
+TEST(WorldData, UnitedStatesSplitAcrossRegions) {
+    int us_entries = 0;
+    std::set<std::uint16_t> us_regions;
+    for (const auto& c : countries())
+        if (c.alpha2 == "US") {
+            ++us_entries;
+            us_regions.insert(c.region.value);
+        }
+    EXPECT_EQ(us_entries, 3);  // East / Central / West, as Table 2 needs
+    EXPECT_EQ(us_regions.size(), 3u);
+}
+
+}  // namespace
+}  // namespace netsession::net

@@ -1,0 +1,92 @@
+// Content objects: piece table construction and hash verification.
+#include <gtest/gtest.h>
+
+#include "swarm/content.hpp"
+#include "swarm/piece_map.hpp"
+
+namespace netsession::swarm {
+namespace {
+
+ContentObject make(Bytes size, std::uint32_t max_pieces = 128,
+                   Bytes min_piece = 256 * 1024) {
+    return ContentObject(ObjectId{7, 9}, CpCode{1000}, 42, size, max_pieces, min_piece);
+}
+
+TEST(ContentObject, PieceCountBounded) {
+    const auto obj = make(10_GB, 128);
+    EXPECT_LE(obj.piece_count(), 128u);
+    EXPECT_GE(obj.piece_count(), 100u);
+}
+
+TEST(ContentObject, SmallObjectRespectsMinPieceSize) {
+    const auto obj = make(1_MB, 128, 256 * 1024);
+    EXPECT_GE(obj.piece_size(), 256 * 1024);
+    EXPECT_LE(obj.piece_count(), 4u);
+}
+
+TEST(ContentObject, PieceLengthsSumToObjectSize) {
+    for (const Bytes size : {1_MB + 17, 100_MB, 1_GB + 1, 4_GB + 123456}) {
+        const auto obj = make(size);
+        Bytes total = 0;
+        for (PieceIndex i = 0; i < obj.piece_count(); ++i) {
+            EXPECT_GT(obj.piece_length(i), 0);
+            EXPECT_LE(obj.piece_length(i), obj.piece_size());
+            total += obj.piece_length(i);
+        }
+        EXPECT_EQ(total, size) << "size " << size;
+    }
+}
+
+TEST(ContentObject, CorrectTransferVerifies) {
+    const auto obj = make(500_MB);
+    for (PieceIndex i = 0; i < obj.piece_count(); ++i)
+        EXPECT_TRUE(obj.verify(i, obj.correct_transfer_digest(i)));
+}
+
+TEST(ContentObject, CorruptTransferFailsVerification) {
+    const auto obj = make(500_MB);
+    Digest256 d = obj.correct_transfer_digest(3);
+    d.bytes[0] ^= 0x01;
+    EXPECT_FALSE(obj.verify(3, d));
+}
+
+TEST(ContentObject, PieceHashesAreDistinctPerPieceAndObject) {
+    const auto a = make(100_MB);
+    const ContentObject b(ObjectId{7, 10}, CpCode{1000}, 43, 100_MB);
+    EXPECT_NE(a.piece_hash(0), a.piece_hash(1));
+    EXPECT_NE(a.piece_hash(0), b.piece_hash(0)) << "different versions must not mix (§3.5)";
+}
+
+TEST(ContentObject, OutOfRangeVerifyIsFalse) {
+    const auto obj = make(10_MB);
+    EXPECT_FALSE(obj.verify(obj.piece_count(), obj.correct_transfer_digest(0)));
+}
+
+TEST(PieceMap, SetAndCompletion) {
+    PieceMap m(4);
+    EXPECT_FALSE(m.complete());
+    EXPECT_DOUBLE_EQ(m.completion(), 0.0);
+    EXPECT_TRUE(m.set(0));
+    EXPECT_FALSE(m.set(0)) << "setting twice reports no change";
+    EXPECT_EQ(m.have_count(), 1u);
+    m.set(1);
+    m.set(2);
+    m.set(3);
+    EXPECT_TRUE(m.complete());
+    EXPECT_DOUBLE_EQ(m.completion(), 1.0);
+}
+
+TEST(PieceMap, FullFactory) {
+    const auto m = PieceMap::full(17);
+    EXPECT_TRUE(m.complete());
+    EXPECT_EQ(m.have_count(), 17u);
+    for (PieceIndex i = 0; i < 17; ++i) EXPECT_TRUE(m.has(i));
+}
+
+TEST(PieceMap, EmptyMapIsNotComplete) {
+    PieceMap m;
+    EXPECT_FALSE(m.complete());
+}
+
+}  // namespace
+}  // namespace netsession::swarm

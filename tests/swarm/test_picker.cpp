@@ -1,0 +1,126 @@
+// Piece picker: rarest-first semantics, in-flight exclusion, availability
+// bookkeeping — including a randomized property sweep.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "swarm/picker.hpp"
+
+namespace netsession::swarm {
+namespace {
+
+TEST(PiecePicker, PicksOnlyMissingPiecesRemoteHas) {
+    PiecePicker p(4);
+    PieceMap local(4);
+    local.set(0);
+    PieceMap remote(4);
+    remote.set(0);
+    remote.set(2);
+    Rng rng(1);
+    const auto pick = p.pick_from_peer(local, remote, rng);
+    ASSERT_TRUE(pick.has_value());
+    EXPECT_EQ(*pick, 2u);
+}
+
+TEST(PiecePicker, ReturnsNulloptWhenNothingAvailable) {
+    PiecePicker p(3);
+    PieceMap local = PieceMap::full(3);
+    PieceMap remote = PieceMap::full(3);
+    Rng rng(2);
+    EXPECT_FALSE(p.pick_from_peer(local, remote, rng).has_value());
+    EXPECT_FALSE(p.pick_from_edge(local, rng).has_value());
+}
+
+TEST(PiecePicker, RarestFirstPrefersLowAvailability) {
+    PiecePicker p(3);
+    PieceMap common(3);
+    common.set(0);
+    common.set(1);
+    p.add_source(common);
+    p.add_source(common);
+    PieceMap rare_holder(3);
+    rare_holder.set(1);
+    rare_holder.set(2);
+    p.add_source(rare_holder);
+    // availability: piece0=2, piece1=3, piece2=1.
+    PieceMap local(3);
+    PieceMap remote = PieceMap::full(3);
+    Rng rng(3);
+    EXPECT_EQ(*p.pick_from_peer(local, remote, rng), 2u);
+}
+
+TEST(PiecePicker, InFlightExcluded) {
+    PiecePicker p(2);
+    PieceMap local(2);
+    PieceMap remote = PieceMap::full(2);
+    Rng rng(4);
+    p.set_in_flight(0, true);
+    EXPECT_EQ(*p.pick_from_peer(local, remote, rng), 1u);
+    p.set_in_flight(1, true);
+    EXPECT_FALSE(p.pick_from_peer(local, remote, rng).has_value());
+    p.set_in_flight(0, false);
+    EXPECT_EQ(*p.pick_from_peer(local, remote, rng), 0u);
+}
+
+TEST(PiecePicker, AddRemoveSourceBalances) {
+    PiecePicker p(3);
+    PieceMap m(3);
+    m.set(1);
+    p.add_source(m);
+    EXPECT_EQ(p.availability(1), 1u);
+    p.remove_source(m);
+    EXPECT_EQ(p.availability(1), 0u);
+}
+
+TEST(PiecePicker, SourceGainedIncrementsAvailability) {
+    PiecePicker p(3);
+    p.source_gained(2);
+    p.source_gained(2);
+    EXPECT_EQ(p.availability(2), 2u);
+}
+
+TEST(PiecePicker, TieBreakIsRandomised) {
+    PiecePicker p(8);
+    PieceMap local(8);
+    PieceMap remote = PieceMap::full(8);
+    Rng rng(5);
+    std::set<PieceIndex> picked;
+    for (int i = 0; i < 200; ++i) picked.insert(*p.pick_from_peer(local, remote, rng));
+    EXPECT_GT(picked.size(), 4u) << "ties should spread across equally-rare pieces";
+}
+
+class PickerPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PickerPropertyTest, PickIsAlwaysValidAndRarest) {
+    Rng rng(static_cast<std::uint64_t>(GetParam()));
+    const PieceIndex n = 32;
+    PiecePicker p(n);
+    PieceMap local(n);
+    PieceMap remote(n);
+    // Random availability landscape, local and remote maps.
+    for (PieceIndex i = 0; i < n; ++i) {
+        for (std::uint64_t k = rng.below(5); k > 0; --k) p.source_gained(i);
+        if (rng.chance(0.3)) local.set(i);
+        if (rng.chance(0.7)) remote.set(i);
+        if (rng.chance(0.1)) p.set_in_flight(i, true);
+    }
+    for (int trial = 0; trial < 20; ++trial) {
+        const auto pick = p.pick_from_peer(local, remote, rng);
+        if (!pick) break;
+        ASSERT_LT(*pick, n);
+        EXPECT_FALSE(local.has(*pick));
+        EXPECT_TRUE(remote.has(*pick));
+        EXPECT_FALSE(p.in_flight(*pick));
+        // No eligible piece may be strictly rarer than the pick.
+        for (PieceIndex i = 0; i < n; ++i) {
+            if (local.has(i) || !remote.has(i) || p.in_flight(i)) continue;
+            EXPECT_GE(p.availability(i), p.availability(*pick));
+        }
+        p.set_in_flight(*pick, true);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PickerPropertyTest, ::testing::Range(1, 17));
+
+}  // namespace
+}  // namespace netsession::swarm

@@ -1,0 +1,137 @@
+// Dataset (de)serialisation round trips.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "trace/serialize.hpp"
+
+namespace netsession::trace {
+namespace {
+
+Dataset sample_dataset() {
+    Dataset d;
+    DownloadRecord dl;
+    dl.guid = Guid{1, 2};
+    dl.object = ObjectId{3, 4};
+    dl.url_hash = 99;
+    dl.cp_code = CpCode{1000};
+    dl.object_size = 123_MB;
+    dl.start = sim::SimTime{1};
+    dl.end = sim::SimTime{2};
+    dl.bytes_from_infrastructure = 23_MB;
+    dl.bytes_from_peers = 100_MB;
+    dl.p2p_enabled = true;
+    dl.peers_initially_returned = 7;
+    dl.outcome = DownloadOutcome::completed;
+    d.log.add(dl);
+
+    LoginRecord login;
+    login.guid = dl.guid;
+    login.ip = net::IpAddr{0x0A000001};
+    login.software_version = 80;
+    login.uploads_enabled = true;
+    login.cn = CnId{3};
+    login.time = sim::SimTime{5};
+    login.secondary_guids[0] = SecondaryGuid{7, 8};
+    d.log.add(login);
+
+    TransferRecord t;
+    t.object = dl.object;
+    t.from_guid = Guid{9, 9};
+    t.to_guid = dl.guid;
+    t.from_ip = net::IpAddr{0x0A000002};
+    t.to_ip = login.ip;
+    t.bytes = 55;
+    t.time = sim::SimTime{6};
+    d.log.add(t);
+
+    d.log.add(DnRegistrationRecord{dl.object, dl.guid, sim::SimTime{7}});
+
+    d.geodb.register_ip(login.ip,
+                        net::GeoRecord{net::Location{CountryId{17}, 4, {48.1, 11.5}}, Asn{1001}});
+    return d;
+}
+
+TEST(Serialize, RoundTripPreservesEverything) {
+    const Dataset original = sample_dataset();
+    const std::string path = ::testing::TempDir() + "/roundtrip.nstrace";
+    ASSERT_TRUE(save_dataset(original, path));
+
+    Dataset loaded;
+    ASSERT_TRUE(load_dataset(loaded, path));
+    ASSERT_EQ(loaded.log.downloads().size(), 1u);
+    const auto& dl = loaded.log.downloads()[0];
+    EXPECT_EQ(dl.guid, (Guid{1, 2}));
+    EXPECT_EQ(dl.object_size, 123_MB);
+    EXPECT_EQ(dl.bytes_from_peers, 100_MB);
+    EXPECT_EQ(dl.outcome, DownloadOutcome::completed);
+    EXPECT_EQ(dl.peers_initially_returned, 7);
+
+    ASSERT_EQ(loaded.log.logins().size(), 1u);
+    EXPECT_EQ(loaded.log.logins()[0].secondary_guids[0], (SecondaryGuid{7, 8}));
+    EXPECT_TRUE(loaded.log.logins()[0].uploads_enabled);
+    ASSERT_EQ(loaded.log.transfers().size(), 1u);
+    EXPECT_EQ(loaded.log.transfers()[0].bytes, 55);
+    ASSERT_EQ(loaded.log.registrations().size(), 1u);
+
+    ASSERT_EQ(loaded.geodb.size(), 1u);
+    const auto geo = loaded.geodb.lookup(net::IpAddr{0x0A000001});
+    ASSERT_TRUE(geo.has_value());
+    EXPECT_EQ(geo->asn.value, 1001u);
+    EXPECT_EQ(geo->location.country.value, 17);
+    EXPECT_DOUBLE_EQ(geo->location.point.lat, 48.1);
+    std::remove(path.c_str());
+}
+
+TEST(Serialize, LoadReplacesExistingContents) {
+    const std::string path = ::testing::TempDir() + "/replace.nstrace";
+    ASSERT_TRUE(save_dataset(sample_dataset(), path));
+    Dataset target = sample_dataset();  // already populated
+    ASSERT_TRUE(load_dataset(target, path));
+    EXPECT_EQ(target.log.downloads().size(), 1u) << "load clears previous records";
+    std::remove(path.c_str());
+}
+
+TEST(Serialize, MissingFileFails) {
+    Dataset d;
+    EXPECT_FALSE(load_dataset(d, "/nonexistent/definitely/missing.nstrace"));
+}
+
+TEST(Serialize, CorruptMagicRejected) {
+    const std::string path = ::testing::TempDir() + "/bad.nstrace";
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    const char junk[] = "not a trace file at all";
+    std::fwrite(junk, 1, sizeof(junk), f);
+    std::fclose(f);
+    Dataset d;
+    EXPECT_FALSE(load_dataset(d, path));
+    std::remove(path.c_str());
+}
+
+TEST(Serialize, TruncatedFileRejected) {
+    const std::string path = ::testing::TempDir() + "/trunc.nstrace";
+    ASSERT_TRUE(save_dataset(sample_dataset(), path));
+    // Chop the file in half.
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    std::fclose(f);
+    ASSERT_EQ(truncate(path.c_str(), size / 2), 0);
+    Dataset d;
+    EXPECT_FALSE(load_dataset(d, path));
+    std::remove(path.c_str());
+}
+
+TEST(Serialize, EmptyDatasetRoundTrips) {
+    const std::string path = ::testing::TempDir() + "/empty.nstrace";
+    ASSERT_TRUE(save_dataset(Dataset{}, path));
+    Dataset d;
+    ASSERT_TRUE(load_dataset(d, path));
+    EXPECT_EQ(d.log.total_entries(), 0u);
+    EXPECT_EQ(d.geodb.size(), 0u);
+    std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace netsession::trace

@@ -1,0 +1,132 @@
+// Trace store and anonymisation.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "trace/anonymize.hpp"
+#include "trace/trace_log.hpp"
+
+namespace netsession::trace {
+namespace {
+
+DownloadRecord sample_download() {
+    DownloadRecord d;
+    d.guid = Guid{10, 20};
+    d.object = ObjectId{1, 2};
+    d.url_hash = 777;
+    d.cp_code = CpCode{1000};
+    d.object_size = 42_MB;
+    d.start = sim::SimTime{1'000'000};
+    d.end = sim::SimTime{11'000'000};
+    d.bytes_from_infrastructure = 12_MB;
+    d.bytes_from_peers = 30_MB;
+    d.p2p_enabled = true;
+    d.outcome = DownloadOutcome::completed;
+    return d;
+}
+
+TEST(TraceLog, CountsAllRecordKinds) {
+    TraceLog log;
+    log.add(sample_download());
+    log.add(LoginRecord{});
+    log.add(LoginRecord{});
+    log.add(TransferRecord{});
+    log.add(DnRegistrationRecord{});
+    EXPECT_EQ(log.total_entries(), 5u);
+    EXPECT_EQ(log.downloads().size(), 1u);
+    EXPECT_EQ(log.logins().size(), 2u);
+    log.clear();
+    EXPECT_EQ(log.total_entries(), 0u);
+}
+
+TEST(DownloadRecord, DerivedMetrics) {
+    const auto d = sample_download();
+    EXPECT_EQ(d.total_bytes(), 42_MB);
+    EXPECT_NEAR(d.peer_efficiency(), 30.0 / 42.0, 1e-9);
+    EXPECT_NEAR(d.mean_speed(), 4.2e6, 1e3);  // 42 MB over 10 s
+}
+
+TEST(DownloadRecord, ZeroDurationHasZeroSpeed) {
+    DownloadRecord d;
+    d.start = d.end = sim::SimTime{5};
+    EXPECT_DOUBLE_EQ(d.mean_speed(), 0.0);
+    EXPECT_DOUBLE_EQ(d.peer_efficiency(), 0.0);
+}
+
+TEST(TraceLog, WritesTsv) {
+    TraceLog log;
+    log.add(sample_download());
+    const std::string path = ::testing::TempDir() + "/downloads.tsv";
+    EXPECT_EQ(log.write_downloads_tsv(path), 1u);
+    std::FILE* f = std::fopen(path.c_str(), "r");
+    ASSERT_NE(f, nullptr);
+    char header[256];
+    ASSERT_NE(std::fgets(header, sizeof(header), f), nullptr);
+    EXPECT_NE(std::string(header).find("bytes_peers"), std::string::npos);
+    char row[512];
+    ASSERT_NE(std::fgets(row, sizeof(row), f), nullptr);
+    EXPECT_NE(std::string(row).find("completed"), std::string::npos);
+    std::fclose(f);
+    std::remove(path.c_str());
+}
+
+TEST(Anonymizer, PreservesEqualityAndHidesIdentity) {
+    Anonymizer anon("key");
+    const Guid g{10, 20};
+    EXPECT_EQ(anon.scramble(g), anon.scramble(g));
+    EXPECT_NE(anon.scramble(g), g);
+    EXPECT_NE(anon.scramble(g), anon.scramble(Guid{10, 21}));
+    // Different keys give unlinkable outputs.
+    Anonymizer other("other-key");
+    EXPECT_NE(anon.scramble(g), other.scramble(g));
+    // Nil stays nil (absent entries stay absent).
+    EXPECT_TRUE(anon.scramble(Guid{}).is_nil());
+}
+
+TEST(Anonymizer, RewritesWholeLogConsistently) {
+    TraceLog log;
+    auto d = sample_download();
+    log.add(d);
+    LoginRecord login;
+    login.guid = d.guid;
+    login.ip = net::IpAddr{0x01020304};
+    login.secondary_guids[0] = SecondaryGuid{5, 6};
+    log.add(login);
+    TransferRecord t;
+    t.from_guid = Guid{30, 30};
+    t.to_guid = d.guid;
+    t.from_ip = net::IpAddr{0x05060708};
+    t.to_ip = login.ip;
+    log.add(t);
+    DnRegistrationRecord reg;
+    reg.guid = d.guid;
+    log.add(reg);
+
+    Anonymizer anon("key");
+    const Guid expected_guid = anon.scramble(d.guid);
+    anon.anonymize(log);
+
+    // The same original GUID maps to the same token across record kinds, so
+    // joins still work after anonymisation (§4.1).
+    EXPECT_EQ(log.downloads()[0].guid, expected_guid);
+    EXPECT_EQ(log.logins()[0].guid, expected_guid);
+    EXPECT_EQ(log.transfers()[0].to_guid, expected_guid);
+    EXPECT_EQ(log.registrations()[0].guid, expected_guid);
+    EXPECT_NE(log.logins()[0].ip, login.ip);
+    EXPECT_EQ(log.logins()[0].ip, log.transfers()[0].to_ip);
+    EXPECT_NE(log.downloads()[0].url_hash, 777u);
+    EXPECT_FALSE(log.logins()[0].secondary_guids[0].is_nil());
+    EXPECT_NE(log.logins()[0].secondary_guids[0], (SecondaryGuid{5, 6}));
+    EXPECT_TRUE(log.logins()[0].secondary_guids[1].is_nil());
+}
+
+TEST(OutcomeNames, AreDistinct) {
+    EXPECT_EQ(to_string(DownloadOutcome::completed), "completed");
+    EXPECT_EQ(to_string(DownloadOutcome::failed_system), "failed_system");
+    EXPECT_EQ(to_string(DownloadOutcome::failed_other), "failed_other");
+    EXPECT_EQ(to_string(DownloadOutcome::aborted_by_user), "aborted_by_user");
+    EXPECT_EQ(to_string(DownloadOutcome::in_progress), "in_progress");
+}
+
+}  // namespace
+}  // namespace netsession::trace

@@ -1,0 +1,223 @@
+// Workload generators: distributions, population, provider catalogs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "workload/behavior.hpp"
+#include "workload/distributions.hpp"
+#include "workload/population.hpp"
+#include "workload/providers.hpp"
+
+namespace netsession::workload {
+namespace {
+
+TEST(Zipf, PmfSumsToOneAndDecays) {
+    ZipfSampler z(100, 1.0);
+    double sum = 0;
+    for (std::size_t k = 0; k < 100; ++k) sum += z.pmf(k);
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+    EXPECT_GT(z.pmf(0), z.pmf(1));
+    EXPECT_GT(z.pmf(10), z.pmf(50));
+    EXPECT_NEAR(z.pmf(0) / z.pmf(9), 10.0, 1e-6);  // 1/k with alpha=1
+}
+
+TEST(Zipf, SamplingMatchesPmf) {
+    ZipfSampler z(50, 0.9);
+    Rng rng(3);
+    std::vector<int> counts(50, 0);
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) ++counts[z.sample(rng)];
+    EXPECT_NEAR(static_cast<double>(counts[0]) / n, z.pmf(0), 0.01);
+    EXPECT_NEAR(static_cast<double>(counts[10]) / n, z.pmf(10), 0.005);
+    EXPECT_GT(counts[0], counts[49]);
+}
+
+class ZipfAlphaTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfAlphaTest, RankPlotSlopeMatchesAlpha) {
+    const double alpha = GetParam();
+    ZipfSampler z(1000, alpha);
+    // The pmf itself is the ideal rank plot; its log-log slope is -alpha.
+    double sx = 0, sy = 0, sxx = 0, sxy = 0;
+    int n = 0;
+    for (std::size_t k = 0; k < 1000; k += 7) {
+        const double lx = std::log10(static_cast<double>(k + 1));
+        const double ly = std::log10(z.pmf(k));
+        sx += lx;
+        sy += ly;
+        sxx += lx * lx;
+        sxy += lx * ly;
+        ++n;
+    }
+    const double slope = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+    EXPECT_NEAR(slope, -alpha, 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, ZipfAlphaTest, ::testing::Values(0.7, 0.9, 1.1, 1.3));
+
+TEST(Diurnal, MeanIsAboutOneAndPeakInEvening) {
+    double sum = 0;
+    double peak = 0, peak_hour = 0;
+    for (int h = 0; h < 240; ++h) {
+        const double v = diurnal_intensity(h / 10.0);
+        EXPECT_GT(v, 0.0);
+        sum += v;
+        if (v > peak) {
+            peak = v;
+            peak_hour = h / 10.0;
+        }
+    }
+    EXPECT_NEAR(sum / 240, 1.0, 0.15);
+    EXPECT_GT(peak_hour, 16.0);
+    EXPECT_LT(peak_hour, 23.0);
+    EXPECT_LE(peak, diurnal_peak() + 1e-9);
+    // Night trough well below daytime.
+    EXPECT_LT(diurnal_intensity(4.0), 0.5 * diurnal_intensity(20.0));
+}
+
+struct PopFixture {
+    net::AsGraph graph;
+    PopulationGenerator gen;
+
+    PopFixture()
+        : graph(net::AsGraph::generate(make_config(), Rng(4))),
+          gen(PopulationConfig{}, graph, Rng(5)) {}
+
+    static net::AsGraphConfig make_config() {
+        net::AsGraphConfig c;
+        c.total_ases = 200;
+        return c;
+    }
+};
+
+TEST(Population, SpecsAreInternallyConsistent) {
+    PopFixture f;
+    for (int i = 0; i < 500; ++i) {
+        const PeerSpec spec = f.gen.next();
+        EXPECT_EQ(f.graph.info(spec.asn).country, spec.location.country);
+        EXPECT_GT(spec.up, 0.0);
+        EXPECT_GT(spec.down, 0.0);
+        EXPECT_GE(spec.down, spec.up) << "broadband is asymmetric";
+        const auto& country = net::country(spec.location.country);
+        EXPECT_LT(net::haversine_km(spec.location.point, country.center),
+                  country.spread_deg * 111.0 * 6.0);
+    }
+}
+
+TEST(Population, CountrySharesTrackWeights) {
+    PopFixture f;
+    std::map<std::uint16_t, int> counts;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) ++counts[f.gen.sample_country().value];
+    const net::CountryInfo* de = net::find_country("DE");
+    double weight_sum = 0;
+    for (const auto& c : net::countries()) weight_sum += c.peer_weight;
+    EXPECT_NEAR(static_cast<double>(counts[de->id.value]) / n, de->peer_weight / weight_sum, 0.01);
+}
+
+TEST(Population, NatMixMatchesDefaults) {
+    PopFixture f;
+    std::array<int, net::kNatTypeCount> counts{};
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) ++counts[static_cast<int>(f.gen.sample_nat())];
+    const auto& mix = net::default_nat_mix();
+    for (int t = 0; t < net::kNatTypeCount; ++t)
+        EXPECT_NEAR(static_cast<double>(counts[t]) / n, mix[t], 0.02);
+}
+
+TEST(Population, LocationNearStaysClose) {
+    PopFixture f;
+    const net::CountryInfo* de = net::find_country("DE");
+    const auto base = f.gen.location_in(de->id);
+    for (int i = 0; i < 50; ++i) {
+        const auto near = f.gen.location_near(base, 6.0);
+        EXPECT_EQ(near.country, base.country);
+        EXPECT_LT(net::haversine_km(near.point, base.point), 40.0);
+    }
+}
+
+TEST(Providers, DefaultProfilesMatchPaperTables) {
+    const auto profiles = default_providers(5);
+    ASSERT_EQ(profiles.size(), 15u);
+    // Customer F is 100% Europe (Table 2).
+    const auto& f = profiles[5];
+    EXPECT_EQ(f.name, "Customer F");
+    EXPECT_DOUBLE_EQ(f.region_mix[6], 1.0);
+    for (int r = 0; r < kRegionColumns; ++r)
+        if (r != 6) { EXPECT_DOUBLE_EQ(f.region_mix[r], 0.0); }
+    // Customer D ships uploads-enabled binaries (Table 4: 94%).
+    EXPECT_NEAR(profiles[3].default_uploads_enabled, 0.94, 1e-9);
+    EXPECT_LT(profiles[0].default_uploads_enabled, 0.01);
+    // Rows sum to ~1.
+    for (int i = 0; i < 10; ++i) {
+        double sum = 0;
+        for (const double v : profiles[static_cast<std::size_t>(i)].region_mix) sum += v;
+        // The paper's printed rows round to integers and can sum to 99-101.
+        EXPECT_NEAR(sum, 1.0, 0.025) << profiles[static_cast<std::size_t>(i)].name;
+    }
+}
+
+TEST(CatalogBundle, PublishesAllObjectsWithPolicies) {
+    edge::Catalog catalog;
+    const CatalogBundle bundle(default_providers(0), catalog, Rng(6));
+    std::size_t expected = 0;
+    for (const auto& p : bundle.profiles()) expected += static_cast<std::size_t>(p.objects);
+    EXPECT_EQ(catalog.size(), expected);
+
+    // p2p-enabled objects are a small share of files but they are large and
+    // top-ranked (§4.4, §5.1).
+    int p2p_files = 0;
+    Bytes p2p_bytes = 0, all_bytes = 0;
+    for (const auto& entry : catalog.entries()) {
+        all_bytes += entry->object.size();
+        if (entry->policy.p2p_enabled) {
+            ++p2p_files;
+            p2p_bytes += entry->object.size();
+            EXPECT_GE(entry->object.size(), 300_MB) << "p2p is enabled on large objects";
+        }
+    }
+    const double file_frac = static_cast<double>(p2p_files) / static_cast<double>(catalog.size());
+    EXPECT_LT(file_frac, 0.05);
+    EXPECT_GT(file_frac, 0.005);
+    // Unweighted by popularity; the download-weighted share (§5.1's 57.4%)
+    // is much higher because p2p objects occupy the top ranks.
+    EXPECT_GT(static_cast<double>(p2p_bytes) / static_cast<double>(all_bytes), 0.08);
+}
+
+TEST(CatalogBundle, SamplingIsRegionAffine) {
+    edge::Catalog catalog;
+    const CatalogBundle bundle(default_providers(0), catalog, Rng(7));
+    Rng rng(8);
+    // Customer J is US-heavy (Table 2 row J: 42% US East); sampling for the
+    // US-East column should hit J far more often than for the Europe column.
+    std::map<std::uint32_t, int> us_hits, eu_hits;
+    for (int i = 0; i < 5000; ++i) {
+        ++us_hits[catalog.find(bundle.sample_object(0, rng))->object.provider().value];
+        ++eu_hits[catalog.find(bundle.sample_object(6, rng))->object.provider().value];
+    }
+    const double j_us = static_cast<double>(us_hits[1009]) / 5000;
+    const double j_eu = static_cast<double>(eu_hits[1009]) / 5000;
+    EXPECT_GT(j_us, 2.0 * j_eu);
+}
+
+TEST(CatalogBundle, SampleObjectOfStaysWithinProvider) {
+    edge::Catalog catalog;
+    const CatalogBundle bundle(default_providers(0), catalog, Rng(9));
+    Rng rng(10);
+    for (int i = 0; i < 200; ++i) {
+        const ObjectId id = bundle.sample_object_of(3, rng);
+        EXPECT_EQ(catalog.find(id)->object.provider().value, 1003u);
+    }
+}
+
+TEST(Behavior, RegionColumnMapping) {
+    EXPECT_EQ(UserDriver::region_column(net::find_country("IN")->id), 3);
+    EXPECT_EQ(UserDriver::region_column(net::find_country("CN")->id), 4);
+    EXPECT_EQ(UserDriver::region_column(net::find_country("DE")->id), 6);
+    EXPECT_EQ(UserDriver::region_column(net::find_country("AU")->id), 8);
+    EXPECT_EQ(UserDriver::region_column(net::find_country("BR")->id), 2);
+}
+
+}  // namespace
+}  // namespace netsession::workload
