@@ -2,6 +2,8 @@
 // leans on at scale.
 #include <benchmark/benchmark.h>
 
+#include <array>
+
 #include "analysis/guid_graph.hpp"
 #include "common/rng.hpp"
 #include "common/sha256.hpp"
@@ -57,6 +59,72 @@ void BM_EventQueue(benchmark::State& state) {
     state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_EventQueue);
+
+void BM_EventChurn(benchmark::State& state) {
+    // The engine's worst case: a sustained schedule/cancel/dispatch mix, the
+    // pattern flow rescheduling produces at scale. One iteration churns 1M
+    // scheduled events with ~25% cancelled before they fire.
+    constexpr int kOps = 1'000'000;
+    for (auto _ : state) {
+        sim::Simulator sim;
+        Rng rng(11);
+        std::array<sim::EventHandle, 4096> ring{};
+        std::size_t head = 0;
+        std::int64_t t = 0;
+        std::uint64_t fired = 0;
+        for (int i = 0; i < kOps; ++i) {
+            const std::uint64_t r = rng.next();
+            if ((r & 3u) == 0 && ring[head].valid()) sim.cancel(ring[head]);
+            ring[head] = sim.schedule_at(sim::SimTime{t + static_cast<std::int64_t>(r % 10'000)},
+                                         [&fired] { ++fired; });
+            head = (head + 1) % ring.size();
+            if ((i & 1023) == 0) {
+                t += 1'000;
+                sim.run_until(sim::SimTime{t});
+            }
+        }
+        sim.run();
+        benchmark::DoNotOptimize(fired);
+        benchmark::DoNotOptimize(sim.events_dispatched());
+    }
+    state.SetItemsProcessed(state.iterations() * kOps);
+}
+BENCHMARK(BM_EventChurn);
+
+void BM_FlowLifecycle(benchmark::State& state) {
+    // Flow start/complete/cancel churn on a random mesh of constrained
+    // hosts — exercises adjacency maintenance and the water-fill refills.
+    constexpr int kFlows = 10'000;
+    for (auto _ : state) {
+        sim::Simulator sim;
+        net::FlowNetwork net(sim);
+        Rng rng(13);
+        std::vector<HostId> hosts;
+        for (int i = 0; i < 200; ++i)
+            hosts.push_back(net.add_host(rng.uniform(1e4, 1e6), rng.uniform(1e4, 1e6)));
+        std::vector<net::FlowId> live;
+        int done = 0;
+        for (int i = 0; i < kFlows; ++i) {
+            const auto s = rng.below(hosts.size());
+            auto d = rng.below(hosts.size());
+            if (d == s) d = (d + 1) % hosts.size();
+            live.push_back(net.start_flow(hosts[s], hosts[d],
+                                          static_cast<Bytes>(rng.range(10'000, 500'000)),
+                                          net::kUnlimited, [&](net::FlowId) { ++done; }));
+            if ((i & 3) == 0 && !live.empty()) {
+                const auto k = rng.below(live.size());
+                net.cancel_flow(live[k]);
+                live[k] = live.back();
+                live.pop_back();
+            }
+            if ((i & 63) == 0) sim.run_until(sim.now() + sim::seconds(1.0));
+        }
+        sim.run();
+        benchmark::DoNotOptimize(done);
+    }
+    state.SetItemsProcessed(state.iterations() * kFlows);
+}
+BENCHMARK(BM_FlowLifecycle);
 
 void BM_DirectorySelect(benchmark::State& state) {
     control::Directory dir;

@@ -1,5 +1,6 @@
 #include "bench/common.hpp"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -10,6 +11,54 @@ namespace {
 double env_double(const char* name, double fallback) {
     const char* v = std::getenv(name);
     return v == nullptr ? fallback : std::atof(v);
+}
+
+// Machine-readable record of a fresh standard-scenario run: wall-clock plus
+// the engine's hot-path counters. Written next to the dataset cache so perf
+// regressions show up as a diffable number, not a feeling. Only fresh runs
+// emit it — a cache load measures deserialization, not the simulator.
+void write_headline_json(const BenchArgs& args, double wall_seconds,
+                         const Simulation::PerfStats& perf, const trace::Dataset& dataset) {
+    const std::string path = args.cache_dir + "/BENCH_headline.json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return;
+    const double events_per_second =
+        wall_seconds > 0.0 ? static_cast<double>(perf.sim.dispatched) / wall_seconds : 0.0;
+    std::fprintf(f, "{\n");
+    std::fprintf(f,
+                 "  \"scenario\": {\"peers\": %d, \"days\": %.1f, \"warmup\": %.1f, "
+                 "\"seed\": %llu},\n",
+                 args.peers, args.days, args.warmup,
+                 static_cast<unsigned long long>(args.seed));
+    std::fprintf(f, "  \"wall_seconds\": %.3f,\n", wall_seconds);
+    std::fprintf(f,
+                 "  \"events\": {\"scheduled\": %llu, \"dispatched\": %llu, "
+                 "\"cancelled\": %llu, \"callback_heap_allocs\": %llu, "
+                 "\"dispatched_per_second\": %.0f},\n",
+                 static_cast<unsigned long long>(perf.sim.scheduled),
+                 static_cast<unsigned long long>(perf.sim.dispatched),
+                 static_cast<unsigned long long>(perf.sim.cancelled),
+                 static_cast<unsigned long long>(perf.sim.callback_heap_allocs),
+                 events_per_second);
+    std::fprintf(f,
+                 "  \"flows\": {\"started\": %llu, \"completed\": %llu, "
+                 "\"cancelled\": %llu, \"refills\": %llu, \"resort_hits\": %llu, "
+                 "\"resort_misses\": %llu},\n",
+                 static_cast<unsigned long long>(perf.flows.flows_started),
+                 static_cast<unsigned long long>(perf.flows.flows_completed),
+                 static_cast<unsigned long long>(perf.flows.flows_cancelled),
+                 static_cast<unsigned long long>(perf.flows.refills),
+                 static_cast<unsigned long long>(perf.flows.resort_hits),
+                 static_cast<unsigned long long>(perf.flows.resort_misses));
+    std::fprintf(f,
+                 "  \"log_entries\": {\"downloads\": %zu, \"logins\": %zu, "
+                 "\"transfers\": %zu, \"registrations\": %zu}\n",
+                 dataset.log.downloads().size(), dataset.log.logins().size(),
+                 dataset.log.transfers().size(), dataset.log.registrations().size());
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("[scenario] perf headline written to %s (%.1fs wall, %.0f events/s)\n",
+                path.c_str(), wall_seconds, events_per_second);
 }
 }  // namespace
 
@@ -60,14 +109,18 @@ trace::Dataset standard_dataset(const BenchArgs& args) {
                 args.peers, args.warmup, args.days,
                 static_cast<unsigned long long>(args.seed));
     std::fflush(stdout);
+    const auto t0 = std::chrono::steady_clock::now();
     Simulation sim(standard_config(args));
     sim.run();
+    const double wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
     dataset.log = sim.trace();
     sim.geodb().for_each([&](net::IpAddr ip, const net::GeoRecord& rec) {
         dataset.geodb.register_ip(ip, rec);
     });
     if (trace::save_dataset(dataset, name))
         std::printf("[scenario] cached to %s\n", name);
+    write_headline_json(args, wall_seconds, sim.perf_stats(), dataset);
     std::printf("[scenario] %zu downloads, %zu logins, %zu transfers, %zu registrations\n",
                 dataset.log.downloads().size(), dataset.log.logins().size(),
                 dataset.log.transfers().size(), dataset.log.registrations().size());

@@ -38,7 +38,11 @@ struct BenchArgs {
 [[nodiscard]] SimulationConfig standard_config(const BenchArgs& args);
 
 /// Loads the cached standard data set, or runs the scenario and caches it.
-/// Prints progress to stdout.
+/// Prints progress to stdout. A fresh run (cache miss) also writes
+/// `<cache_dir>/BENCH_headline.json` — wall-clock seconds plus the engine's
+/// perf counters (events dispatched/sec, callback heap allocations, flow
+/// refills and sort-cache hits) — so scenario throughput is tracked as a
+/// machine-readable artefact.
 [[nodiscard]] trace::Dataset standard_dataset(const BenchArgs& args);
 
 /// The AS graph of the standard scenario (regenerated deterministically from

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig7_pause_rate.cpp" "CMakeFiles/bench_fig7_pause_rate.dir/bench/bench_fig7_pause_rate.cpp.o" "gcc" "CMakeFiles/bench_fig7_pause_rate.dir/bench/bench_fig7_pause_rate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/CMakeFiles/bench_common.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/baseline/CMakeFiles/ns_baseline.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/core/CMakeFiles/ns_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/workload/CMakeFiles/ns_workload.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/peer/CMakeFiles/ns_peer.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/control/CMakeFiles/ns_control.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/edge/CMakeFiles/ns_edge.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/accounting/CMakeFiles/ns_accounting.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/analysis/CMakeFiles/ns_analysis.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/trace/CMakeFiles/ns_trace.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/net/CMakeFiles/ns_net.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/ns_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/swarm/CMakeFiles/ns_swarm.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/common/CMakeFiles/ns_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

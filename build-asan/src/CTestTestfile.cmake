@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-asan/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("net")
+subdirs("swarm")
+subdirs("edge")
+subdirs("control")
+subdirs("peer")
+subdirs("accounting")
+subdirs("trace")
+subdirs("analysis")
+subdirs("workload")
+subdirs("core")
+subdirs("baseline")

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/export.cpp" "src/analysis/CMakeFiles/ns_analysis.dir/export.cpp.o" "gcc" "src/analysis/CMakeFiles/ns_analysis.dir/export.cpp.o.d"
+  "/root/repo/src/analysis/guid_graph.cpp" "src/analysis/CMakeFiles/ns_analysis.dir/guid_graph.cpp.o" "gcc" "src/analysis/CMakeFiles/ns_analysis.dir/guid_graph.cpp.o.d"
+  "/root/repo/src/analysis/login_index.cpp" "src/analysis/CMakeFiles/ns_analysis.dir/login_index.cpp.o" "gcc" "src/analysis/CMakeFiles/ns_analysis.dir/login_index.cpp.o.d"
+  "/root/repo/src/analysis/measurement.cpp" "src/analysis/CMakeFiles/ns_analysis.dir/measurement.cpp.o" "gcc" "src/analysis/CMakeFiles/ns_analysis.dir/measurement.cpp.o.d"
+  "/root/repo/src/analysis/stats.cpp" "src/analysis/CMakeFiles/ns_analysis.dir/stats.cpp.o" "gcc" "src/analysis/CMakeFiles/ns_analysis.dir/stats.cpp.o.d"
+  "/root/repo/src/analysis/table.cpp" "src/analysis/CMakeFiles/ns_analysis.dir/table.cpp.o" "gcc" "src/analysis/CMakeFiles/ns_analysis.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/common/CMakeFiles/ns_common.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/trace/CMakeFiles/ns_trace.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/net/CMakeFiles/ns_net.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/ns_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/edge/auth.cpp" "src/edge/CMakeFiles/ns_edge.dir/auth.cpp.o" "gcc" "src/edge/CMakeFiles/ns_edge.dir/auth.cpp.o.d"
+  "/root/repo/src/edge/catalog.cpp" "src/edge/CMakeFiles/ns_edge.dir/catalog.cpp.o" "gcc" "src/edge/CMakeFiles/ns_edge.dir/catalog.cpp.o.d"
+  "/root/repo/src/edge/edge_network.cpp" "src/edge/CMakeFiles/ns_edge.dir/edge_network.cpp.o" "gcc" "src/edge/CMakeFiles/ns_edge.dir/edge_network.cpp.o.d"
+  "/root/repo/src/edge/edge_server.cpp" "src/edge/CMakeFiles/ns_edge.dir/edge_server.cpp.o" "gcc" "src/edge/CMakeFiles/ns_edge.dir/edge_server.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/common/CMakeFiles/ns_common.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/ns_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/net/CMakeFiles/ns_net.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/swarm/CMakeFiles/ns_swarm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

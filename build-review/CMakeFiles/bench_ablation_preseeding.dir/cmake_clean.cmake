@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_preseeding.dir/bench/bench_ablation_preseeding.cpp.o"
+  "CMakeFiles/bench_ablation_preseeding.dir/bench/bench_ablation_preseeding.cpp.o.d"
+  "bench/bench_ablation_preseeding"
+  "bench/bench_ablation_preseeding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_preseeding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

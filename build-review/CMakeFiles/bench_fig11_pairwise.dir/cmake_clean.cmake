@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_pairwise.dir/bench/bench_fig11_pairwise.cpp.o"
+  "CMakeFiles/bench_fig11_pairwise.dir/bench/bench_fig11_pairwise.cpp.o.d"
+  "bench/bench_fig11_pairwise"
+  "bench/bench_fig11_pairwise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_pairwise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

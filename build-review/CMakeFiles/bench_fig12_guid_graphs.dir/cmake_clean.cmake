@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_guid_graphs.dir/bench/bench_fig12_guid_graphs.cpp.o"
+  "CMakeFiles/bench_fig12_guid_graphs.dir/bench/bench_fig12_guid_graphs.cpp.o.d"
+  "bench/bench_fig12_guid_graphs"
+  "bench/bench_fig12_guid_graphs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_guid_graphs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

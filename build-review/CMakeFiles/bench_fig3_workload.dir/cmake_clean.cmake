@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_workload.dir/bench/bench_fig3_workload.cpp.o"
+  "CMakeFiles/bench_fig3_workload.dir/bench/bench_fig3_workload.cpp.o.d"
+  "bench/bench_fig3_workload"
+  "bench/bench_fig3_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_speed.dir/bench/bench_fig4_speed.cpp.o"
+  "CMakeFiles/bench_fig4_speed.dir/bench/bench_fig4_speed.cpp.o.d"
+  "bench/bench_fig4_speed"
+  "bench/bench_fig4_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_copies.dir/bench/bench_fig5_copies.cpp.o"
+  "CMakeFiles/bench_fig5_copies.dir/bench/bench_fig5_copies.cpp.o.d"
+  "bench/bench_fig5_copies"
+  "bench/bench_fig5_copies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_copies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

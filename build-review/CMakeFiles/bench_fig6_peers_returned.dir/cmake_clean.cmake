@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_peers_returned.dir/bench/bench_fig6_peers_returned.cpp.o"
+  "CMakeFiles/bench_fig6_peers_returned.dir/bench/bench_fig6_peers_returned.cpp.o.d"
+  "bench/bench_fig6_peers_returned"
+  "bench/bench_fig6_peers_returned.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_peers_returned.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

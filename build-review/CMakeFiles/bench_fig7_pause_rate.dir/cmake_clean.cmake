@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_pause_rate.dir/bench/bench_fig7_pause_rate.cpp.o"
+  "CMakeFiles/bench_fig7_pause_rate.dir/bench/bench_fig7_pause_rate.cpp.o.d"
+  "bench/bench_fig7_pause_rate"
+  "bench/bench_fig7_pause_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_pause_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_coverage.dir/bench/bench_fig8_coverage.cpp.o"
+  "CMakeFiles/bench_fig8_coverage.dir/bench/bench_fig8_coverage.cpp.o.d"
+  "bench/bench_fig8_coverage"
+  "bench/bench_fig8_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_providers.dir/bench/bench_table2_providers.cpp.o"
+  "CMakeFiles/bench_table2_providers.dir/bench/bench_table2_providers.cpp.o.d"
+  "bench/bench_table2_providers"
+  "bench/bench_table2_providers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_providers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_setting_changes.dir/bench/bench_table3_setting_changes.cpp.o"
+  "CMakeFiles/bench_table3_setting_changes.dir/bench/bench_table3_setting_changes.cpp.o.d"
+  "bench/bench_table3_setting_changes"
+  "bench/bench_table3_setting_changes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_setting_changes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

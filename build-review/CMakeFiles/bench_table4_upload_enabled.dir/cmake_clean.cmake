@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_upload_enabled.dir/bench/bench_table4_upload_enabled.cpp.o"
+  "CMakeFiles/bench_table4_upload_enabled.dir/bench/bench_table4_upload_enabled.cpp.o.d"
+  "bench/bench_table4_upload_enabled"
+  "bench/bench_table4_upload_enabled.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_upload_enabled.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_upgrade_rollout.dir/bench/bench_upgrade_rollout.cpp.o"
+  "CMakeFiles/bench_upgrade_rollout.dir/bench/bench_upgrade_rollout.cpp.o.d"
+  "bench/bench_upgrade_rollout"
+  "bench/bench_upgrade_rollout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_upgrade_rollout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

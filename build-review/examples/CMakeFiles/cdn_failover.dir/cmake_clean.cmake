@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdn_failover.dir/cdn_failover.cpp.o"
+  "CMakeFiles/cdn_failover.dir/cdn_failover.cpp.o.d"
+  "cdn_failover"
+  "cdn_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdn_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isp_traffic_study.dir/isp_traffic_study.cpp.o"
+  "CMakeFiles/isp_traffic_study.dir/isp_traffic_study.cpp.o.d"
+  "isp_traffic_study"
+  "isp_traffic_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isp_traffic_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/software_release.dir/software_release.cpp.o"
+  "CMakeFiles/software_release.dir/software_release.cpp.o.d"
+  "software_release"
+  "software_release.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/software_release.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ns_accounting.dir/accounting.cpp.o"
+  "CMakeFiles/ns_accounting.dir/accounting.cpp.o.d"
+  "libns_accounting.a"
+  "libns_accounting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ns_accounting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

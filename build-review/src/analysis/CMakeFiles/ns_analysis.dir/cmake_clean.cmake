@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ns_analysis.dir/export.cpp.o"
+  "CMakeFiles/ns_analysis.dir/export.cpp.o.d"
+  "CMakeFiles/ns_analysis.dir/guid_graph.cpp.o"
+  "CMakeFiles/ns_analysis.dir/guid_graph.cpp.o.d"
+  "CMakeFiles/ns_analysis.dir/login_index.cpp.o"
+  "CMakeFiles/ns_analysis.dir/login_index.cpp.o.d"
+  "CMakeFiles/ns_analysis.dir/measurement.cpp.o"
+  "CMakeFiles/ns_analysis.dir/measurement.cpp.o.d"
+  "CMakeFiles/ns_analysis.dir/stats.cpp.o"
+  "CMakeFiles/ns_analysis.dir/stats.cpp.o.d"
+  "CMakeFiles/ns_analysis.dir/table.cpp.o"
+  "CMakeFiles/ns_analysis.dir/table.cpp.o.d"
+  "libns_analysis.a"
+  "libns_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ns_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

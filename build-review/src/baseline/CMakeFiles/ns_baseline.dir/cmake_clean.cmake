@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ns_baseline.dir/pure_p2p.cpp.o"
+  "CMakeFiles/ns_baseline.dir/pure_p2p.cpp.o.d"
+  "libns_baseline.a"
+  "libns_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ns_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

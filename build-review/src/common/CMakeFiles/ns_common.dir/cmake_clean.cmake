@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ns_common.dir/format.cpp.o"
+  "CMakeFiles/ns_common.dir/format.cpp.o.d"
+  "CMakeFiles/ns_common.dir/rng.cpp.o"
+  "CMakeFiles/ns_common.dir/rng.cpp.o.d"
+  "CMakeFiles/ns_common.dir/sha256.cpp.o"
+  "CMakeFiles/ns_common.dir/sha256.cpp.o.d"
+  "libns_common.a"
+  "libns_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ns_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

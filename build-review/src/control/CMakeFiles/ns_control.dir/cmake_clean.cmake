@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ns_control.dir/connection_node.cpp.o"
+  "CMakeFiles/ns_control.dir/connection_node.cpp.o.d"
+  "CMakeFiles/ns_control.dir/control_plane.cpp.o"
+  "CMakeFiles/ns_control.dir/control_plane.cpp.o.d"
+  "CMakeFiles/ns_control.dir/database_node.cpp.o"
+  "CMakeFiles/ns_control.dir/database_node.cpp.o.d"
+  "CMakeFiles/ns_control.dir/directory.cpp.o"
+  "CMakeFiles/ns_control.dir/directory.cpp.o.d"
+  "CMakeFiles/ns_control.dir/monitoring.cpp.o"
+  "CMakeFiles/ns_control.dir/monitoring.cpp.o.d"
+  "CMakeFiles/ns_control.dir/stun.cpp.o"
+  "CMakeFiles/ns_control.dir/stun.cpp.o.d"
+  "libns_control.a"
+  "libns_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ns_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

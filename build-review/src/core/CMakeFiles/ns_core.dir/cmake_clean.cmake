@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ns_core.dir/scenario_io.cpp.o"
+  "CMakeFiles/ns_core.dir/scenario_io.cpp.o.d"
+  "CMakeFiles/ns_core.dir/simulation.cpp.o"
+  "CMakeFiles/ns_core.dir/simulation.cpp.o.d"
+  "libns_core.a"
+  "libns_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ns_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ns_edge.dir/auth.cpp.o"
+  "CMakeFiles/ns_edge.dir/auth.cpp.o.d"
+  "CMakeFiles/ns_edge.dir/catalog.cpp.o"
+  "CMakeFiles/ns_edge.dir/catalog.cpp.o.d"
+  "CMakeFiles/ns_edge.dir/edge_network.cpp.o"
+  "CMakeFiles/ns_edge.dir/edge_network.cpp.o.d"
+  "CMakeFiles/ns_edge.dir/edge_server.cpp.o"
+  "CMakeFiles/ns_edge.dir/edge_server.cpp.o.d"
+  "libns_edge.a"
+  "libns_edge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ns_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

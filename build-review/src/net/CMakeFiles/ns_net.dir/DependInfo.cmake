@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/as_graph.cpp" "src/net/CMakeFiles/ns_net.dir/as_graph.cpp.o" "gcc" "src/net/CMakeFiles/ns_net.dir/as_graph.cpp.o.d"
+  "/root/repo/src/net/flow.cpp" "src/net/CMakeFiles/ns_net.dir/flow.cpp.o" "gcc" "src/net/CMakeFiles/ns_net.dir/flow.cpp.o.d"
+  "/root/repo/src/net/geo.cpp" "src/net/CMakeFiles/ns_net.dir/geo.cpp.o" "gcc" "src/net/CMakeFiles/ns_net.dir/geo.cpp.o.d"
+  "/root/repo/src/net/nat.cpp" "src/net/CMakeFiles/ns_net.dir/nat.cpp.o" "gcc" "src/net/CMakeFiles/ns_net.dir/nat.cpp.o.d"
+  "/root/repo/src/net/world.cpp" "src/net/CMakeFiles/ns_net.dir/world.cpp.o" "gcc" "src/net/CMakeFiles/ns_net.dir/world.cpp.o.d"
+  "/root/repo/src/net/world_data.cpp" "src/net/CMakeFiles/ns_net.dir/world_data.cpp.o" "gcc" "src/net/CMakeFiles/ns_net.dir/world_data.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/ns_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/ns_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ns_net.dir/as_graph.cpp.o"
+  "CMakeFiles/ns_net.dir/as_graph.cpp.o.d"
+  "CMakeFiles/ns_net.dir/flow.cpp.o"
+  "CMakeFiles/ns_net.dir/flow.cpp.o.d"
+  "CMakeFiles/ns_net.dir/geo.cpp.o"
+  "CMakeFiles/ns_net.dir/geo.cpp.o.d"
+  "CMakeFiles/ns_net.dir/nat.cpp.o"
+  "CMakeFiles/ns_net.dir/nat.cpp.o.d"
+  "CMakeFiles/ns_net.dir/world.cpp.o"
+  "CMakeFiles/ns_net.dir/world.cpp.o.d"
+  "CMakeFiles/ns_net.dir/world_data.cpp.o"
+  "CMakeFiles/ns_net.dir/world_data.cpp.o.d"
+  "libns_net.a"
+  "libns_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ns_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ns_peer.dir/netsession_client.cpp.o"
+  "CMakeFiles/ns_peer.dir/netsession_client.cpp.o.d"
+  "CMakeFiles/ns_peer.dir/streaming.cpp.o"
+  "CMakeFiles/ns_peer.dir/streaming.cpp.o.d"
+  "libns_peer.a"
+  "libns_peer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ns_peer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ns_swarm.dir/content.cpp.o"
+  "CMakeFiles/ns_swarm.dir/content.cpp.o.d"
+  "CMakeFiles/ns_swarm.dir/picker.cpp.o"
+  "CMakeFiles/ns_swarm.dir/picker.cpp.o.d"
+  "libns_swarm.a"
+  "libns_swarm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ns_swarm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/anonymize.cpp" "src/trace/CMakeFiles/ns_trace.dir/anonymize.cpp.o" "gcc" "src/trace/CMakeFiles/ns_trace.dir/anonymize.cpp.o.d"
+  "/root/repo/src/trace/serialize.cpp" "src/trace/CMakeFiles/ns_trace.dir/serialize.cpp.o" "gcc" "src/trace/CMakeFiles/ns_trace.dir/serialize.cpp.o.d"
+  "/root/repo/src/trace/trace_log.cpp" "src/trace/CMakeFiles/ns_trace.dir/trace_log.cpp.o" "gcc" "src/trace/CMakeFiles/ns_trace.dir/trace_log.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/ns_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/ns_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/net/CMakeFiles/ns_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

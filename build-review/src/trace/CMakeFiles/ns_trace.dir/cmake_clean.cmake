@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ns_trace.dir/anonymize.cpp.o"
+  "CMakeFiles/ns_trace.dir/anonymize.cpp.o.d"
+  "CMakeFiles/ns_trace.dir/serialize.cpp.o"
+  "CMakeFiles/ns_trace.dir/serialize.cpp.o.d"
+  "CMakeFiles/ns_trace.dir/trace_log.cpp.o"
+  "CMakeFiles/ns_trace.dir/trace_log.cpp.o.d"
+  "libns_trace.a"
+  "libns_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ns_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ns_workload.dir/behavior.cpp.o"
+  "CMakeFiles/ns_workload.dir/behavior.cpp.o.d"
+  "CMakeFiles/ns_workload.dir/distributions.cpp.o"
+  "CMakeFiles/ns_workload.dir/distributions.cpp.o.d"
+  "CMakeFiles/ns_workload.dir/population.cpp.o"
+  "CMakeFiles/ns_workload.dir/population.cpp.o.d"
+  "CMakeFiles/ns_workload.dir/providers.cpp.o"
+  "CMakeFiles/ns_workload.dir/providers.cpp.o.d"
+  "libns_workload.a"
+  "libns_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ns_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analysis.dir/analysis/test_export.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_export.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/test_guid_graph.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_guid_graph.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/test_measurement.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_measurement.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/test_stats.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_stats.cpp.o.d"
+  "test_analysis"
+  "test_analysis.pdb"
+  "test_analysis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_common.dir/common/test_format.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_format.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_rng.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_rng.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_sha256.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_sha256.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_types.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_types.cpp.o.d"
+  "test_common"
+  "test_common.pdb"
+  "test_common[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/test_robustness.cpp" "tests/CMakeFiles/test_integration.dir/integration/test_robustness.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/test_robustness.cpp.o.d"
+  "/root/repo/tests/integration/test_simulation.cpp" "tests/CMakeFiles/test_integration.dir/integration/test_simulation.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/test_simulation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/core/CMakeFiles/ns_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/baseline/CMakeFiles/ns_baseline.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/workload/CMakeFiles/ns_workload.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/peer/CMakeFiles/ns_peer.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/control/CMakeFiles/ns_control.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/edge/CMakeFiles/ns_edge.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/accounting/CMakeFiles/ns_accounting.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/analysis/CMakeFiles/ns_analysis.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/trace/CMakeFiles/ns_trace.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/net/CMakeFiles/ns_net.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/ns_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/swarm/CMakeFiles/ns_swarm.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/common/CMakeFiles/ns_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net.dir/net/test_as_graph.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_as_graph.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_flow.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_flow.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_flow_maxmin.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_flow_maxmin.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_geo.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_geo.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_nat.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_nat.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_world.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_world.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_world_data.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_world_data.cpp.o.d"
+  "test_net"
+  "test_net.pdb"
+  "test_net[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_peer.dir/peer/test_client.cpp.o"
+  "CMakeFiles/test_peer.dir/peer/test_client.cpp.o.d"
+  "CMakeFiles/test_peer.dir/peer/test_streaming.cpp.o"
+  "CMakeFiles/test_peer.dir/peer/test_streaming.cpp.o.d"
+  "test_peer"
+  "test_peer.pdb"
+  "test_peer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_peer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_swarm.dir/swarm/test_content.cpp.o"
+  "CMakeFiles/test_swarm.dir/swarm/test_content.cpp.o.d"
+  "CMakeFiles/test_swarm.dir/swarm/test_picker.cpp.o"
+  "CMakeFiles/test_swarm.dir/swarm/test_picker.cpp.o.d"
+  "test_swarm"
+  "test_swarm.pdb"
+  "test_swarm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_swarm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-review/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-review/tests/test_common[1]_include.cmake")
+include("/root/repo/build-review/tests/test_sim[1]_include.cmake")
+include("/root/repo/build-review/tests/test_net[1]_include.cmake")
+include("/root/repo/build-review/tests/test_swarm[1]_include.cmake")
+include("/root/repo/build-review/tests/test_edge[1]_include.cmake")
+include("/root/repo/build-review/tests/test_control[1]_include.cmake")
+include("/root/repo/build-review/tests/test_peer[1]_include.cmake")
+include("/root/repo/build-review/tests/test_accounting[1]_include.cmake")
+include("/root/repo/build-review/tests/test_trace[1]_include.cmake")
+include("/root/repo/build-review/tests/test_analysis[1]_include.cmake")
+include("/root/repo/build-review/tests/test_workload[1]_include.cmake")
+include("/root/repo/build-review/tests/test_baseline[1]_include.cmake")
+include("/root/repo/build-review/tests/test_core[1]_include.cmake")
+include("/root/repo/build-review/tests/test_integration[1]_include.cmake")

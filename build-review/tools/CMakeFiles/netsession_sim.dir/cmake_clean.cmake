@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netsession_sim.dir/netsession_sim.cpp.o"
+  "CMakeFiles/netsession_sim.dir/netsession_sim.cpp.o.d"
+  "netsession_sim"
+  "netsession_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netsession_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nstrace.dir/nstrace.cpp.o"
+  "CMakeFiles/nstrace.dir/nstrace.cpp.o.d"
+  "nstrace"
+  "nstrace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nstrace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

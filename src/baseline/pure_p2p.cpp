@@ -64,12 +64,18 @@ TorrentPeer::TorrentPeer(Swarm& swarm, HostId host, bool seed,
       on_complete_(std::move(on_complete)),
       rng_(swarm.rng().child("torrent-peer-" + std::to_string(host.value))) {}
 
+TorrentPeer::~TorrentPeer() {
+    // The choke timer captures `this`; it must not outlive the peer (a peer
+    // can be erased from the swarm with its timer still queued).
+    swarm_->world().simulator().cancel(choke_timer_);
+}
+
 void TorrentPeer::start() {
     active_ = true;
     joined_at_ = swarm_->world().simulator().now();
     connect_to_more();
     const std::uint32_t epoch = epoch_;
-    swarm_->world().simulator().schedule_after(
+    choke_timer_ = swarm_->world().simulator().schedule_after(
         sim::seconds(swarm_->config().choke_interval_s), [this, epoch] {
             if (active_ && epoch_ == epoch) choke_round();
         });
@@ -79,6 +85,8 @@ void TorrentPeer::depart() {
     if (!active_) return;
     active_ = false;
     ++epoch_;
+    swarm_->world().simulator().cancel(choke_timer_);
+    choke_timer_ = sim::EventHandle{};
     for (auto& conn : conns_) {
         cancel_transfer(conn);
         conn.remote->close_connection(*this);
@@ -211,7 +219,7 @@ void TorrentPeer::choke_round() {
     connect_to_more();
 
     const std::uint32_t epoch = epoch_;
-    swarm_->world().simulator().schedule_after(
+    choke_timer_ = swarm_->world().simulator().schedule_after(
         sim::seconds(swarm_->config().choke_interval_s), [this, epoch] {
             if (active_ && epoch_ == epoch) choke_round();
         });

@@ -76,6 +76,7 @@ class TorrentPeer {
 public:
     TorrentPeer(Swarm& swarm, HostId host, bool seed,
                 std::function<void(TorrentPeer&)> on_complete);
+    ~TorrentPeer();
 
     [[nodiscard]] HostId host() const noexcept { return host_; }
     [[nodiscard]] bool complete() const noexcept { return have_.complete(); }
@@ -134,6 +135,11 @@ private:
     std::function<void(TorrentPeer&)> on_complete_;
     Rng rng_;
     std::uint32_t epoch_ = 0;  // invalidates scheduled choke rounds on depart
+    // Pending choke-round timer. Must be cancelled when the peer departs or
+    // is destroyed: the callback captures `this`, and a peer can be erased
+    // from the swarm while its timer is still queued (even the `active_`
+    // guard would read freed memory).
+    sim::EventHandle choke_timer_;
 };
 
 }  // namespace netsession::baseline

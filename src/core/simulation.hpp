@@ -65,6 +65,18 @@ public:
     /// Creates the population and runs the full measurement window.
     void run();
 
+    /// Hot-path counters from the event engine and the flow network
+    /// (scheduled/dispatched/cancelled events, callback heap allocations,
+    /// refills, sort-cache hits). Snapshot; cheap to copy. The bench harness
+    /// folds these into BENCH_headline.json.
+    struct PerfStats {
+        sim::Simulator::Stats sim;
+        net::FlowNetwork::Stats flows;
+    };
+    [[nodiscard]] PerfStats perf_stats() const noexcept {
+        return PerfStats{sim_.stats(), world_->flows().stats()};
+    }
+
     // --- results -----------------------------------------------------------
     [[nodiscard]] const trace::TraceLog& trace() const noexcept { return trace_; }
     [[nodiscard]] trace::TraceLog& trace() noexcept { return trace_; }

@@ -36,6 +36,34 @@ FlowNetwork::Flow* FlowNetwork::find(FlowId id) {
     return const_cast<Flow*>(static_cast<const FlowNetwork*>(this)->find(id));
 }
 
+void FlowNetwork::adj_push(AdjList& adj, std::uint32_t slot, std::uint32_t Flow::* pos_field) {
+    flows_[slot].*pos_field = static_cast<std::uint32_t>(adj.entries.size());
+    adj.entries.push_back(slot);
+    ++adj.epoch;
+}
+
+void FlowNetwork::adj_remove(AdjList& adj, std::uint32_t pos, std::uint32_t Flow::* pos_field) {
+    assert(pos < adj.entries.size() && adj.entries[pos] != kDeadSlot);
+    adj.entries[pos] = kDeadSlot;
+    ++adj.dead;
+    ++adj.epoch;
+    // Amortised compaction once at most half the entries are live. Live
+    // entries keep their relative order — the epsilon-gated relaxation is
+    // order-sensitive, so removal must never permute the survivors (a
+    // swap-with-back scheme would change which rate updates propagate and
+    // thereby the whole downstream event schedule).
+    if (adj.dead * 2 >= adj.entries.size()) {
+        std::uint32_t w = 0;
+        for (const auto s : adj.entries) {
+            if (s == kDeadSlot) continue;
+            flows_[s].*pos_field = w;
+            adj.entries[w++] = s;
+        }
+        adj.entries.resize(w);
+        adj.dead = 0;
+    }
+}
+
 FlowId FlowNetwork::start_flow(HostId src, HostId dst, Bytes size, Rate cap,
                                CompletionFn on_complete) {
     assert(src.value < hosts_.size() && dst.value < hosts_.size());
@@ -62,17 +90,22 @@ FlowId FlowNetwork::start_flow(HostId src, HostId dst, Bytes size, Rate cap,
     f.on_complete = std::move(on_complete);
     f.active = true;
 
-    hosts_[src.value].out.push_back(slot);
-    hosts_[dst.value].in.push_back(slot);
+    adj_push(hosts_[src.value].out, slot, &Flow::src_pos);
+    adj_push(hosts_[dst.value].in, slot, &Flow::dst_pos);
+    ++stats_.flows_started;
 
     // Hosts whose water-fills involve the changed naive shares: the two
     // endpoints themselves, plus every host with a flow adjacent to them.
     mark_dirty(src);
     mark_dirty(dst);
-    for (const auto s : hosts_[src.value].out) mark_dirty(flows_[s].dst);
-    for (const auto s : hosts_[src.value].in) mark_dirty(flows_[s].src);
-    for (const auto s : hosts_[dst.value].out) mark_dirty(flows_[s].dst);
-    for (const auto s : hosts_[dst.value].in) mark_dirty(flows_[s].src);
+    for (const auto s : hosts_[src.value].out.entries)
+        if (s != kDeadSlot) mark_dirty(flows_[s].dst);
+    for (const auto s : hosts_[src.value].in.entries)
+        if (s != kDeadSlot) mark_dirty(flows_[s].src);
+    for (const auto s : hosts_[dst.value].out.entries)
+        if (s != kDeadSlot) mark_dirty(flows_[s].dst);
+    for (const auto s : hosts_[dst.value].in.entries)
+        if (s != kDeadSlot) mark_dirty(flows_[s].src);
     process_dirty();
 
     // If neither endpoint has a finite constraint the refills never touched
@@ -87,6 +120,8 @@ Bytes FlowNetwork::cancel_flow(FlowId id) {
     const auto slot = static_cast<std::uint32_t>(id.value & 0xFFFFFFFFu);
     settle(slot);
     const auto moved = static_cast<Bytes>(std::llround(f->done));
+    total_delivered_ += moved;
+    ++stats_.flows_cancelled;
     remove(slot);
     process_dirty();
     return moved;
@@ -107,9 +142,9 @@ Rate FlowNetwork::current_rate(FlowId id) const {
 }
 
 int FlowNetwork::out_degree(HostId h) const {
-    return static_cast<int>(hosts_[h.value].out.size());
+    return static_cast<int>(hosts_[h.value].out.live());
 }
-int FlowNetwork::in_degree(HostId h) const { return static_cast<int>(hosts_[h.value].in.size()); }
+int FlowNetwork::in_degree(HostId h) const { return static_cast<int>(hosts_[h.value].in.live()); }
 
 void FlowNetwork::set_up_capacity(HostId h, Rate up) {
     if (hosts_[h.value].up == up) return;
@@ -117,13 +152,15 @@ void FlowNetwork::set_up_capacity(HostId h, Rate up) {
     if (up == kUnlimited) {
         // mark_dirty skips unconstrained hosts, so lift the stale finite
         // allocations explicitly.
-        for (const auto s : hosts_[h.value].out) {
+        for (const auto s : hosts_[h.value].out.entries) {
+            if (s == kDeadSlot) continue;
             flows_[s].alloc_src = kUnlimited;
             apply_rate(s);
         }
     }
     mark_dirty(h);
-    for (const auto s : hosts_[h.value].out) mark_dirty(flows_[s].dst);
+    for (const auto s : hosts_[h.value].out.entries)
+        if (s != kDeadSlot) mark_dirty(flows_[s].dst);
     process_dirty();
 }
 
@@ -131,13 +168,15 @@ void FlowNetwork::set_down_capacity(HostId h, Rate down) {
     if (hosts_[h.value].down == down) return;
     hosts_[h.value].down = down;
     if (down == kUnlimited) {
-        for (const auto s : hosts_[h.value].in) {
+        for (const auto s : hosts_[h.value].in.entries) {
+            if (s == kDeadSlot) continue;
             flows_[s].alloc_dst = kUnlimited;
             apply_rate(s);
         }
     }
     mark_dirty(h);
-    for (const auto s : hosts_[h.value].in) mark_dirty(flows_[s].src);
+    for (const auto s : hosts_[h.value].in.entries)
+        if (s != kDeadSlot) mark_dirty(flows_[s].src);
     process_dirty();
 }
 
@@ -150,7 +189,10 @@ void FlowNetwork::settle(std::uint32_t slot) {
     const double moved = std::min(f.remaining, f.rate * dt);
     f.remaining -= moved;
     f.done += moved;
-    total_delivered_ += static_cast<Bytes>(std::llround(moved));
+    // total_delivered_ is credited once, at completion/cancel, from the exact
+    // accumulated `done` — rounding every partial settle would let the global
+    // counter drift from the sum of flow sizes by up to half a byte per
+    // settle, and long flows settle thousands of times.
 }
 
 void FlowNetwork::reschedule(std::uint32_t slot) {
@@ -182,8 +224,9 @@ void FlowNetwork::complete(std::uint32_t slot) {
     }
     // Credit the sub-byte residual so byte totals match the flow size.
     f.done += f.remaining;
-    total_delivered_ += static_cast<Bytes>(std::llround(f.remaining));
     f.remaining = 0.0;
+    total_delivered_ += static_cast<Bytes>(std::llround(f.done));
+    ++stats_.flows_completed;
     CompletionFn cb = std::move(f.on_complete);
     const FlowId id = make_id(slot);
     remove(slot);
@@ -198,18 +241,19 @@ void FlowNetwork::remove(std::uint32_t slot) {
         sim_->cancel(f.completion);
         f.completion = sim::EventHandle{};
     }
-    auto erase_from = [slot](std::vector<std::uint32_t>& v) {
-        v.erase(std::remove(v.begin(), v.end(), slot), v.end());
-    };
-    erase_from(hosts_[f.src.value].out);
-    erase_from(hosts_[f.dst.value].in);
+    adj_remove(hosts_[f.src.value].out, f.src_pos, &Flow::src_pos);
+    adj_remove(hosts_[f.dst.value].in, f.dst_pos, &Flow::dst_pos);
 
     mark_dirty(f.src);
     mark_dirty(f.dst);
-    for (const auto s : hosts_[f.src.value].out) mark_dirty(flows_[s].dst);
-    for (const auto s : hosts_[f.src.value].in) mark_dirty(flows_[s].src);
-    for (const auto s : hosts_[f.dst.value].out) mark_dirty(flows_[s].dst);
-    for (const auto s : hosts_[f.dst.value].in) mark_dirty(flows_[s].src);
+    for (const auto s : hosts_[f.src.value].out.entries)
+        if (s != kDeadSlot) mark_dirty(flows_[s].dst);
+    for (const auto s : hosts_[f.src.value].in.entries)
+        if (s != kDeadSlot) mark_dirty(flows_[s].src);
+    for (const auto s : hosts_[f.dst.value].out.entries)
+        if (s != kDeadSlot) mark_dirty(flows_[s].dst);
+    for (const auto s : hosts_[f.dst.value].in.entries)
+        if (s != kDeadSlot) mark_dirty(flows_[s].src);
 
     f.active = false;
     f.on_complete = nullptr;
@@ -240,48 +284,74 @@ void FlowNetwork::process_dirty() {
 
 void FlowNetwork::refill_host(HostId h) {
     Host& host = hosts_[h.value];
-
-    // Water-fills `capacity` over the given flows; bound of each flow is its
-    // cap combined with the naive fair share at its other endpoint. Writes
-    // the per-flow allocation and applies the resulting rates.
-    const auto fill_side = [this](Rate capacity, const std::vector<std::uint32_t>& slots,
-                                  bool side_is_up) {
-        if (capacity == kUnlimited || slots.empty()) return;
-        fill_scratch_.clear();
-        for (const auto s : slots) {
-            const Flow& f = flows_[s];
-            const Host& other = side_is_up ? hosts_[f.dst.value] : hosts_[f.src.value];
-            const double other_share = side_is_up ? naive_share(other.down, other.in.size())
-                                                  : naive_share(other.up, other.out.size());
-            fill_scratch_.emplace_back(std::min(f.cap, other_share), s);
-        }
-        std::sort(fill_scratch_.begin(), fill_scratch_.end());
-        double remaining = capacity;
-        std::size_t k = fill_scratch_.size();
-        double level = 0.0;
-        std::size_t i = 0;
-        for (; i < fill_scratch_.size(); ++i) {
-            const double share = remaining / static_cast<double>(k);
-            if (fill_scratch_[i].first <= share) {
-                const double a = fill_scratch_[i].first;
-                Flow& f = flows_[fill_scratch_[i].second];
-                (side_is_up ? f.alloc_src : f.alloc_dst) = a;
-                remaining -= a;
-                --k;
-            } else {
-                level = share;
-                break;
-            }
-        }
-        for (; i < fill_scratch_.size(); ++i) {
-            Flow& f = flows_[fill_scratch_[i].second];
-            (side_is_up ? f.alloc_src : f.alloc_dst) = level;
-        }
-        for (const auto s : slots) apply_rate(s);
-    };
-
+    ++stats_.refills;
     fill_side(host.up, host.out, /*side_is_up=*/true);
     fill_side(host.down, host.in, /*side_is_up=*/false);
+}
+
+// Water-fills `capacity` over one side's flows; the bound of each flow is its
+// cap combined with the naive fair share at its other endpoint. Writes the
+// per-flow allocation and applies the resulting rates.
+//
+// The sorted order of (bound, slot) pairs is unique (slots are distinct), so
+// whenever the side's flow SET is unchanged since the last fill, last time's
+// order is a strong hint: recompute the bounds in the cached order and skip
+// the O(d log d) sort entirely if they still come out sorted — the common
+// case, since a neighbour's degree change shifts many bounds by the same
+// factor. Either path yields the exact sequence a full sort would.
+void FlowNetwork::fill_side(Rate capacity, AdjList& adj, bool side_is_up) {
+    if (capacity == kUnlimited || adj.live() == 0) return;
+    fill_scratch_.clear();
+    const auto bound_of = [&](std::uint32_t s) {
+        const Flow& f = flows_[s];
+        const Host& other = side_is_up ? hosts_[f.dst.value] : hosts_[f.src.value];
+        const double other_share = side_is_up ? naive_share(other.down, other.in.live())
+                                              : naive_share(other.up, other.out.live());
+        return std::min(f.cap, other_share);
+    };
+    if (adj.sorted_epoch == adj.epoch) {
+        for (const auto s : adj.sorted) fill_scratch_.emplace_back(bound_of(s), s);
+        if (std::is_sorted(fill_scratch_.begin(), fill_scratch_.end())) {
+            ++stats_.resort_hits;
+        } else {
+            std::sort(fill_scratch_.begin(), fill_scratch_.end());
+            for (std::size_t i = 0; i < fill_scratch_.size(); ++i)
+                adj.sorted[i] = fill_scratch_[i].second;
+            ++stats_.resort_misses;
+        }
+    } else {
+        for (const auto s : adj.entries)
+            if (s != kDeadSlot) fill_scratch_.emplace_back(bound_of(s), s);
+        std::sort(fill_scratch_.begin(), fill_scratch_.end());
+        adj.sorted.resize(fill_scratch_.size());
+        for (std::size_t i = 0; i < fill_scratch_.size(); ++i)
+            adj.sorted[i] = fill_scratch_[i].second;
+        adj.sorted_epoch = adj.epoch;
+        ++stats_.resort_misses;
+    }
+    double remaining = capacity;
+    std::size_t k = fill_scratch_.size();
+    double level = 0.0;
+    std::size_t i = 0;
+    for (; i < fill_scratch_.size(); ++i) {
+        const double share = remaining / static_cast<double>(k);
+        if (fill_scratch_[i].first <= share) {
+            const double a = fill_scratch_[i].first;
+            Flow& f = flows_[fill_scratch_[i].second];
+            (side_is_up ? f.alloc_src : f.alloc_dst) = a;
+            remaining -= a;
+            --k;
+        } else {
+            level = share;
+            break;
+        }
+    }
+    for (; i < fill_scratch_.size(); ++i) {
+        Flow& f = flows_[fill_scratch_[i].second];
+        (side_is_up ? f.alloc_src : f.alloc_dst) = level;
+    }
+    for (const auto s : adj.entries)
+        if (s != kDeadSlot) apply_rate(s);
 }
 
 void FlowNetwork::apply_rate(std::uint32_t slot) {

@@ -15,6 +15,14 @@
 // degree of the affected hosts rather than to the number of flows in the
 // system.
 //
+// Hot-path structure (see docs/SIMULATOR.md): flows live in a slot+generation
+// slab; host adjacency lists support O(1) removal through per-flow stored
+// positions and tombstones (compacted amortised, preserving live-entry
+// order — the epsilon-gated relaxation is order-sensitive, so removal must
+// not permute survivors); each host side caches its last water-fill order so
+// refills whose flow set is unchanged can skip the sort when the cached
+// order is still valid.
+//
 // Edge servers are modelled with unlimited uplinks plus a per-connection cap,
 // which matches reality (Akamai's serving capacity is not the bottleneck of a
 // client download) and keeps their degree from coupling thousands of flows.
@@ -43,6 +51,19 @@ struct FlowId {
 class FlowNetwork {
 public:
     using CompletionFn = std::function<void(FlowId)>;
+
+    /// Lifetime counters for the perf surface (core/simulation, benches).
+    struct Stats {
+        std::uint64_t flows_started = 0;
+        std::uint64_t flows_completed = 0;
+        std::uint64_t flows_cancelled = 0;
+        /// Host refills (water-fill recomputations) performed.
+        std::uint64_t refills = 0;
+        /// Side fills that reused the cached order without sorting.
+        std::uint64_t resort_hits = 0;
+        /// Side fills that had to (re)sort their flow bounds.
+        std::uint64_t resort_misses = 0;
+    };
 
     /// `sim` must outlive the network.
     explicit FlowNetwork(sim::Simulator& sim) : sim_(&sim) {}
@@ -81,18 +102,44 @@ public:
     [[nodiscard]] int out_degree(HostId h) const;
     [[nodiscard]] int in_degree(HostId h) const;
 
-    /// Total bytes delivered by completed+cancelled+running flows.
+    /// Total bytes delivered by completed and cancelled flows. Accumulated in
+    /// exact fluid bytes per flow and rounded once at each flow's end, so the
+    /// sum cannot drift from the sum of flow sizes however many partial
+    /// settles a flow goes through.
     [[nodiscard]] Bytes total_delivered() const noexcept { return total_delivered_; }
 
     /// Relative rate change below which updates do not propagate.
     void set_epsilon(double eps) noexcept { epsilon_ = eps; }
 
+    [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
 private:
+    /// Tombstone marker inside adjacency lists.
+    static constexpr std::uint32_t kDeadSlot = 0xFFFFFFFFu;
+    /// Sort-cache epoch meaning "no cached order".
+    static constexpr std::uint64_t kNoEpoch = ~std::uint64_t{0};
+
+    /// One side's adjacency: flow slots in insertion order, with O(1)
+    /// tombstone removal (flows remember their position) and amortised
+    /// compaction that preserves live-entry order. `epoch` advances on every
+    /// membership change and validates the cached water-fill order.
+    struct AdjList {
+        std::vector<std::uint32_t> entries;
+        std::uint32_t dead = 0;
+        std::uint64_t epoch = 0;
+        /// Slot order of the last sort, reusable while `sorted_epoch == epoch`
+        /// and the recomputed bounds still come out sorted.
+        std::vector<std::uint32_t> sorted;
+        std::uint64_t sorted_epoch = kNoEpoch;
+
+        [[nodiscard]] std::size_t live() const noexcept { return entries.size() - dead; }
+    };
+
     struct Host {
         Rate up = kUnlimited;
         Rate down = kUnlimited;
-        std::vector<std::uint32_t> out;  // flow slots
-        std::vector<std::uint32_t> in;
+        AdjList out;
+        AdjList in;
         bool queued = false;  // already in the dirty work queue
     };
 
@@ -109,6 +156,8 @@ private:
         sim::EventHandle completion;
         CompletionFn on_complete;
         std::uint32_t generation = 1;
+        std::uint32_t src_pos = 0;  // index in hosts_[src].out.entries
+        std::uint32_t dst_pos = 0;  // index in hosts_[dst].in.entries
         bool active = false;
     };
 
@@ -129,6 +178,11 @@ private:
     void refill_host(HostId h);
     void apply_rate(std::uint32_t slot);
 
+    void adj_push(AdjList& adj, std::uint32_t slot, std::uint32_t Flow::* pos_field);
+    void adj_remove(AdjList& adj, std::uint32_t pos, std::uint32_t Flow::* pos_field);
+    /// Water-fills one host side; factored out of refill_host.
+    void fill_side(Rate capacity, AdjList& adj, bool side_is_up);
+
     sim::Simulator* sim_;
     std::vector<Host> hosts_;
     std::vector<Flow> flows_;
@@ -137,6 +191,7 @@ private:
     bool processing_ = false;
     double epsilon_ = 0.02;
     Bytes total_delivered_ = 0;
+    Stats stats_;
     // Scratch buffers for water-filling (avoid per-call allocation).
     std::vector<std::pair<double, std::uint32_t>> fill_scratch_;
 };

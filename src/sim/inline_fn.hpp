@@ -1,0 +1,128 @@
+// Small-buffer callable for simulator events.
+//
+// The event engine stores one callback per scheduled event, and nearly all of
+// them are tiny lambdas ([this, slot]-style captures from the flow network and
+// peer logic). std::function would fit many of these in its own SSO buffer,
+// but its 16-byte budget misses the multi-capture callbacks the peer layer
+// schedules, and its type-erased move goes through a manager call. InlineFn
+// widens the inline buffer to 48 bytes (64-byte slab entries together with the
+// vtable pointer and the slab's seq field), relocates with a direct call, and
+// reports whether it had to fall back to the heap so the engine can count
+// callback allocations.
+//
+// Move-only and void() only — exactly what the Simulator needs, nothing more.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace netsession::sim {
+
+class InlineFn {
+public:
+    /// Callables up to this size (and max_align_t alignment) are stored
+    /// inline; larger ones are heap-allocated.
+    static constexpr std::size_t kInlineSize = 48;
+
+    InlineFn() = default;
+
+    template <typename F,
+              typename D = std::decay_t<F>,
+              typename = std::enable_if_t<!std::is_same_v<D, InlineFn> &&
+                                          std::is_invocable_r_v<void, D&>>>
+    InlineFn(F&& f) {  // NOLINT(google-explicit-constructor): drop-in for std::function
+        if constexpr (sizeof(D) <= kInlineSize && alignof(D) <= alignof(std::max_align_t) &&
+                      std::is_nothrow_move_constructible_v<D>) {
+            ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+            vt_ = &kInlineVTable<D>;
+        } else {
+            ::new (static_cast<void*>(storage_)) D*(new D(std::forward<F>(f)));
+            vt_ = &kHeapVTable<D>;
+        }
+    }
+
+    InlineFn(InlineFn&& other) noexcept { move_from(other); }
+
+    InlineFn& operator=(InlineFn&& other) noexcept {
+        if (this != &other) {
+            reset();
+            move_from(other);
+        }
+        return *this;
+    }
+
+    InlineFn(const InlineFn&) = delete;
+    InlineFn& operator=(const InlineFn&) = delete;
+
+    ~InlineFn() { reset(); }
+
+    void operator()() { vt_->invoke(storage_); }
+
+    [[nodiscard]] explicit operator bool() const noexcept { return vt_ != nullptr; }
+
+    /// True if the wrapped callable did not fit the inline buffer.
+    [[nodiscard]] bool heap_allocated() const noexcept { return vt_ != nullptr && vt_->heap; }
+
+    /// Destroys the wrapped callable (releasing captures immediately).
+    void reset() noexcept {
+        if (vt_ != nullptr) {
+            vt_->destroy(storage_);
+            vt_ = nullptr;
+        }
+    }
+
+private:
+    struct VTable {
+        void (*invoke)(void*);
+        void (*relocate)(void* dst, void* src) noexcept;  // move-construct dst, destroy src
+        void (*destroy)(void*) noexcept;
+        bool heap;
+    };
+
+    template <typename D>
+    static void inline_invoke(void* p) {
+        (*static_cast<D*>(p))();
+    }
+    template <typename D>
+    static void inline_relocate(void* dst, void* src) noexcept {
+        ::new (dst) D(std::move(*static_cast<D*>(src)));
+        static_cast<D*>(src)->~D();
+    }
+    template <typename D>
+    static void inline_destroy(void* p) noexcept {
+        static_cast<D*>(p)->~D();
+    }
+
+    template <typename D>
+    static void heap_invoke(void* p) {
+        (**static_cast<D**>(p))();
+    }
+    static void heap_relocate(void* dst, void* src) noexcept {
+        ::new (dst) void*(*static_cast<void**>(src));
+    }
+    template <typename D>
+    static void heap_destroy(void* p) noexcept {
+        delete *static_cast<D**>(p);
+    }
+
+    template <typename D>
+    static constexpr VTable kInlineVTable{&inline_invoke<D>, &inline_relocate<D>,
+                                          &inline_destroy<D>, false};
+    template <typename D>
+    static constexpr VTable kHeapVTable{&heap_invoke<D>, &heap_relocate, &heap_destroy<D>, true};
+
+    void move_from(InlineFn& other) noexcept {
+        if (other.vt_ != nullptr) {
+            vt_ = other.vt_;
+            vt_->relocate(storage_, other.storage_);
+            other.vt_ = nullptr;
+        }
+    }
+
+    const VTable* vt_ = nullptr;
+    alignas(std::max_align_t) std::byte storage_[kInlineSize];
+};
+
+}  // namespace netsession::sim

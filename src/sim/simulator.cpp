@@ -1,51 +1,65 @@
 #include "sim/simulator.hpp"
 
-#include <algorithm>
-
 namespace netsession::sim {
 
 EventHandle Simulator::schedule_at(SimTime at, Callback cb) {
     if (at < now_) at = now_;
     const std::uint64_t seq = next_seq_++;
-    queue_.push(Event{at, seq, std::move(cb)});
+    std::uint32_t slot;
+    if (!free_slots_.empty()) {
+        slot = free_slots_.back();
+        free_slots_.pop_back();
+    } else {
+        slot = static_cast<std::uint32_t>(slots_.size());
+        slots_.emplace_back();
+    }
+    Slot& s = slots_[slot];
+    s.cb = std::move(cb);
+    s.seq = seq;
+    queue_.push(HeapEntry{at, seq, slot});
     ++live_;
-    return EventHandle{seq};
+    ++stats_.scheduled;
+    if (s.cb.heap_allocated()) ++stats_.callback_heap_allocs;
+    return EventHandle{seq, slot};
 }
 
 bool Simulator::cancel(EventHandle h) {
-    if (!h.valid() || h.id_ >= next_seq_) return false;
-    // We cannot remove from the middle of a binary heap; record the seq and
-    // skip the event when it surfaces. Entries drain out of the set as their
-    // events reach the top of the heap.
-    if (!cancelled_.insert(h.id_).second) return false;
-    if (live_ > 0) --live_;
+    if (!h.valid() || h.slot_ >= slots_.size()) return false;
+    Slot& s = slots_[h.slot_];
+    // A dispatched, cancelled, or recycled slot no longer carries the
+    // handle's seq, so stale cancels fall out here without any bookkeeping.
+    if (s.seq != h.seq_) return false;
+    s.seq = 0;
+    s.cb.reset();  // release captures now; the heap entry drains lazily
+    --live_;
+    ++stats_.cancelled;
     return true;
-}
-
-void Simulator::dispatch(Event& e) {
-    now_ = e.at;
-    ++dispatched_;
-    if (live_ > 0) --live_;
-    Callback cb = std::move(e.cb);
-    cb();
 }
 
 bool Simulator::purge_cancelled_top() {
     while (!queue_.empty()) {
-        if (!cancelled_.empty() && cancelled_.erase(queue_.top().seq) > 0) {
-            queue_.pop();
-            continue;
-        }
-        return true;
+        const HeapEntry& e = queue_.top();
+        if (slots_[e.slot].seq == e.seq) return true;
+        // Stale entry: its event was cancelled. The slot could not be reused
+        // while this entry was queued; recycle it now.
+        free_slots_.push_back(e.slot);
+        queue_.pop();
     }
     return false;
 }
 
 bool Simulator::step() {
     if (!purge_cancelled_top()) return false;
-    Event e = std::move(const_cast<Event&>(queue_.top()));
+    const HeapEntry e = queue_.top();
     queue_.pop();
-    dispatch(e);
+    Slot& s = slots_[e.slot];
+    Callback cb = std::move(s.cb);
+    s.seq = 0;
+    free_slots_.push_back(e.slot);
+    now_ = e.at;
+    ++stats_.dispatched;
+    --live_;
+    cb();
     return true;
 }
 

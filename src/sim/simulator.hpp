@@ -4,14 +4,21 @@
 // FIFO tie-breaking for same-timestamp events. Everything in the NetSession
 // reproduction — control-plane messages, flow completions, user behaviour —
 // runs as events on one Simulator.
+//
+// Hot-path layout (see docs/SIMULATOR.md): callbacks live in a stable slab
+// indexed by slot; the priority queue holds small {at, seq, slot} PODs, so
+// heap sifts are integer moves rather than std::function relocations.
+// Cancellation clears the slab entry's seq in O(1) — the queue entry drains
+// lazily when it reaches the top — and cancelling an already-dispatched or
+// already-cancelled event is structurally a no-op because the slab seq no
+// longer matches the handle.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <queue>
-#include <unordered_set>
 #include <vector>
 
+#include "sim/inline_fn.hpp"
 #include "sim/time.hpp"
 
 namespace netsession::sim {
@@ -22,19 +29,32 @@ class EventHandle {
 public:
     EventHandle() = default;
 
-    [[nodiscard]] bool valid() const noexcept { return id_ != 0; }
+    [[nodiscard]] bool valid() const noexcept { return seq_ != 0; }
+    /// Slab slot this handle points at (observable so tests can assert slot
+    /// reuse; the seq is what actually validates a handle).
+    [[nodiscard]] std::uint32_t slot() const noexcept { return slot_; }
 
 private:
     friend class Simulator;
-    explicit EventHandle(std::uint64_t id) noexcept : id_(id) {}
-    std::uint64_t id_ = 0;
+    EventHandle(std::uint64_t seq, std::uint32_t slot) noexcept : seq_(seq), slot_(slot) {}
+    std::uint64_t seq_ = 0;  // unique per schedule call, never reused
+    std::uint32_t slot_ = 0;
 };
 
 /// The event loop. Not thread-safe by design — simulations are
 /// single-threaded and deterministic.
 class Simulator {
 public:
-    using Callback = std::function<void()>;
+    using Callback = InlineFn;
+
+    /// Lifetime counters for the perf surface (core/simulation, benches).
+    struct Stats {
+        std::uint64_t scheduled = 0;
+        std::uint64_t dispatched = 0;
+        std::uint64_t cancelled = 0;
+        /// Callbacks too large for the InlineFn small buffer.
+        std::uint64_t callback_heap_allocs = 0;
+    };
 
     /// Current simulated time.
     [[nodiscard]] SimTime now() const noexcept { return now_; }
@@ -61,33 +81,45 @@ public:
     bool step();
 
     /// Number of events dispatched so far (for tests and stats).
-    [[nodiscard]] std::uint64_t events_dispatched() const noexcept { return dispatched_; }
-    /// Number of events currently pending (including cancelled-but-queued).
+    [[nodiscard]] std::uint64_t events_dispatched() const noexcept { return stats_.dispatched; }
+    /// Number of live (scheduled, not yet dispatched or cancelled) events.
     [[nodiscard]] std::size_t pending() const noexcept { return live_; }
 
+    [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
 private:
-    struct Event {
+    /// What the priority queue sifts: a POD. `seq` is the global schedule
+    /// order — it breaks same-timestamp ties FIFO and pins each entry to the
+    /// slab occupant it was created for.
+    struct HeapEntry {
         SimTime at;
-        std::uint64_t seq;  // FIFO tie-break and cancellation id
-        Callback cb;
+        std::uint64_t seq;
+        std::uint32_t slot;
     };
     struct Later {
-        bool operator()(const Event& a, const Event& b) const noexcept {
+        bool operator()(const HeapEntry& a, const HeapEntry& b) const noexcept {
             if (a.at != b.at) return a.at > b.at;
             return a.seq > b.seq;
         }
     };
+    /// Slab entry: the callback plus the seq of the event occupying the slot
+    /// (0 = cancelled or dispatched; the heap entry is stale). 64 bytes.
+    struct Slot {
+        Callback cb;
+        std::uint64_t seq = 0;
+    };
 
-    void dispatch(Event& e);
-    /// Pops cancelled events off the top; returns true if a live event remains.
+    /// Pops stale (cancelled) entries off the top, recycling their slots;
+    /// returns true if a live event remains.
     bool purge_cancelled_top();
 
-    std::priority_queue<Event, std::vector<Event>, Later> queue_;
-    std::unordered_set<std::uint64_t> cancelled_;  // seqs of cancelled, still-queued events
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>, Later> queue_;
+    std::vector<Slot> slots_;
+    std::vector<std::uint32_t> free_slots_;
     SimTime now_{};
     std::uint64_t next_seq_ = 1;
-    std::uint64_t dispatched_ = 0;
     std::size_t live_ = 0;
+    Stats stats_;
 };
 
 }  // namespace netsession::sim

@@ -45,19 +45,25 @@ enum class DownloadOutcome : std::uint8_t {
 }
 
 /// One download, as recorded by the CN for accounting and billing.
+///
+/// Field order packs the struct without implicit padding: records are dumped
+/// raw by trace/serialize.cpp, and any indeterminate padding byte would make
+/// otherwise-identical runs serialize to different files (the determinism
+/// guard in tests/integration compares dumps byte-for-byte).
 struct DownloadRecord {
     Guid guid;
     ObjectId object;
     std::uint64_t url_hash = 0;  // hashed file name/URL (logs are anonymised)
-    CpCode cp_code;
     Bytes object_size = 0;
     sim::SimTime start;
     sim::SimTime end;
     Bytes bytes_from_infrastructure = 0;
     Bytes bytes_from_peers = 0;
-    bool p2p_enabled = false;
+    CpCode cp_code;
     int peers_initially_returned = 0;  // size of the DN's first answer
+    bool p2p_enabled = false;
     DownloadOutcome outcome = DownloadOutcome::in_progress;
+    std::uint8_t reserved_[6] = {};  // keeps the raw dump free of padding
 
     /// Peer efficiency of this download (0 for infrastructure-only ones).
     [[nodiscard]] double peer_efficiency() const noexcept {
@@ -80,9 +86,10 @@ struct LoginRecord {
     Guid guid;
     net::IpAddr ip;
     std::uint32_t software_version = 0;
-    bool uploads_enabled = false;
-    CnId cn;
     sim::SimTime time;
+    CnId cn;
+    bool uploads_enabled = false;
+    std::uint8_t reserved_[5] = {};  // keeps the raw dump free of padding
     /// The last five secondary GUIDs, newest first; nil entries unused
     /// (§6.2: reported to the control plane upon login).
     std::array<SecondaryGuid, 5> secondary_guids{};

@@ -10,7 +10,10 @@ namespace netsession::trace {
 namespace {
 
 constexpr std::uint64_t kMagic = 0x4E53545243455231ULL;  // "NSTRCE" v1
-constexpr std::uint32_t kVersion = 3;
+// v4: padding-free record layouts — the dump of a run is now a pure function
+// of the simulation (no indeterminate padding bytes), so identical runs
+// produce byte-identical files.
+constexpr std::uint32_t kVersion = 4;
 
 struct FileCloser {
     void operator()(std::FILE* f) const noexcept {
@@ -48,19 +51,31 @@ bool read_vec(std::FILE* f, std::vector<T>& v) {
 
 /// Flat on-disk form of one geo entry.
 struct GeoEntry {
-    std::uint32_t ip = 0;
-    std::uint16_t country = 0;
-    std::uint32_t city = 0;
     double lat = 0, lon = 0;
+    std::uint32_t ip = 0;
+    std::uint32_t city = 0;
     std::uint32_t asn = 0;
+    std::uint16_t country = 0;
+    std::uint16_t reserved = 0;
 };
 
 // The record structs are trivially copyable (ids, ints, times); guard the
-// dump format against accidental changes.
+// dump format against accidental changes. They must also have no padding
+// bytes (unique object representations): the vectors are fwritten raw, and
+// indeterminate padding would break byte-identical serialization of
+// identical runs — which the determinism guard and the bench cache rely on.
 static_assert(std::is_trivially_copyable_v<DownloadRecord>);
 static_assert(std::is_trivially_copyable_v<LoginRecord>);
 static_assert(std::is_trivially_copyable_v<TransferRecord>);
 static_assert(std::is_trivially_copyable_v<DnRegistrationRecord>);
+static_assert(std::has_unique_object_representations_v<DownloadRecord>);
+static_assert(std::has_unique_object_representations_v<LoginRecord>);
+static_assert(std::has_unique_object_representations_v<TransferRecord>);
+static_assert(std::has_unique_object_representations_v<DnRegistrationRecord>);
+// GeoEntry holds doubles, for which the unique-representation trait is
+// always false; a packed-size check still rules out padding.
+static_assert(sizeof(GeoEntry) == 2 * sizeof(double) + 3 * sizeof(std::uint32_t) +
+                                      2 * sizeof(std::uint16_t));
 
 }  // namespace
 

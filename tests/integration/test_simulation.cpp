@@ -2,10 +2,15 @@
 // invariants over the resulting trace.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
 #include <unordered_set>
 
 #include "analysis/measurement.hpp"
 #include "core/simulation.hpp"
+#include "trace/serialize.hpp"
 
 namespace netsession {
 namespace {
@@ -136,6 +141,43 @@ TEST(Simulation, DeterministicForSameSeed) {
     for (const auto& d : a.trace().downloads()) bytes_a += d.total_bytes();
     for (const auto& d : b.trace().downloads()) bytes_b += d.total_bytes();
     EXPECT_EQ(bytes_a, bytes_b);
+}
+
+TEST(Simulation, SerializedTraceIsByteIdenticalForSameSeed) {
+    // The determinism contract is byte-level (docs/SIMULATOR.md §3): the same
+    // seed must serialize to the same file, bit for bit. Count- and
+    // total-level checks (above) miss order-sensitive data structures and
+    // indeterminate padding in the raw record dump; this guard does not.
+    auto config = small_config(88);
+    config.peers = 300;
+    config.behavior.window = sim::days(3.0);
+    const auto run_once = [&](const std::string& path) {
+        Simulation s(config);
+        s.run();
+        trace::Dataset dataset;
+        dataset.log = s.trace();
+        s.geodb().for_each([&](net::IpAddr ip, const net::GeoRecord& rec) {
+            dataset.geodb.register_ip(ip, rec);
+        });
+        ASSERT_TRUE(trace::save_dataset(dataset, path));
+        EXPECT_GT(s.perf_stats().sim.dispatched, 0u);
+        EXPECT_GT(s.perf_stats().flows.flows_completed, 0u);
+    };
+    const auto dir = std::filesystem::temp_directory_path();
+    const std::string path_a = (dir / "ns_determinism_a.nstrace").string();
+    const std::string path_b = (dir / "ns_determinism_b.nstrace").string();
+    run_once(path_a);
+    run_once(path_b);
+    const auto read_all = [](const std::string& p) {
+        std::ifstream in(p, std::ios::binary);
+        return std::string(std::istreambuf_iterator<char>(in), {});
+    };
+    const std::string bytes_a = read_all(path_a);
+    const std::string bytes_b = read_all(path_b);
+    ASSERT_GT(bytes_a.size(), 1000u);
+    EXPECT_TRUE(bytes_a == bytes_b) << "serialized traces differ between identical runs";
+    std::filesystem::remove(path_a);
+    std::filesystem::remove(path_b);
 }
 
 TEST(Simulation, DifferentSeedsDiffer) {

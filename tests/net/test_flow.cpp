@@ -143,6 +143,57 @@ TEST(FlowNetwork, TotalDeliveredMatchesFlowSizes) {
     EXPECT_NEAR(static_cast<double>(f.net.total_delivered()), 123450.0, 15.0);
 }
 
+TEST(FlowNetwork, TotalDeliveredConservedAcrossManySettlesAndCancels) {
+    // Regression for rounding drift: total_delivered_ used to add
+    // llround(moved) on every partial settle, so a flow settled N times could
+    // drift from its size by up to N/2 bytes. It is now credited once per
+    // flow, at completion or cancel, so completed sizes plus cancelled
+    // partials must match the counter *exactly*.
+    Fixture f;
+    const HostId a = f.net.add_host(1000.0, kUnlimited);
+    const HostId b = f.net.add_host(kUnlimited, 900.0);
+    Bytes expected = 0;
+    std::uint64_t cancels = 0;
+
+    // Long-lived flows get settled on every rate perturbation below.
+    std::vector<FlowId> longlived;
+    for (int i = 0; i < 4; ++i)
+        longlived.push_back(
+            f.net.start_flow(a, b, 500'000, kUnlimited, [&](FlowId) { expected += 500'000; }));
+
+    // A second receiver whose flow set stays stable: churn on `b` dirties it
+    // (shared sender `a`) but never changes its membership, so its refills
+    // exercise the sort-cache hit path.
+    const HostId c = f.net.add_host(kUnlimited, 800.0);
+    for (int i = 0; i < 2; ++i)
+        f.net.start_flow(a, c, 400'000, kUnlimited, [&](FlowId) { expected += 400'000; });
+
+    // Churn: short flows join and leave the shared bottleneck; every join,
+    // cancel, and completion re-allocates (and settles) every adjacent flow.
+    Rng rng(7);
+    for (int i = 0; i < 200; ++i) {
+        const Bytes size = rng.range(100, 2000);
+        const FlowId id = f.net.start_flow(a, b, size, kUnlimited,
+                                           [&, size](FlowId) { expected += size; });
+        f.sim.run_until(f.sim.now() + sim::milliseconds(rng.uniform(50.0, 500.0)));
+        if (rng.chance(0.3) && f.net.active(id)) {
+            expected += f.net.cancel_flow(id);
+            ++cancels;
+        }
+    }
+    expected += f.net.cancel_flow(longlived[0]);
+    expected += f.net.cancel_flow(longlived[1]);
+    cancels += 2;
+    f.sim.run();
+
+    EXPECT_EQ(f.net.total_delivered(), expected);
+    EXPECT_EQ(f.net.stats().flows_started, 206u);
+    EXPECT_EQ(f.net.stats().flows_cancelled, cancels);
+    EXPECT_EQ(f.net.stats().flows_completed, 206u - cancels);
+    // The refill sort-cache must actually engage under churn on a stable set.
+    EXPECT_GT(f.net.stats().resort_hits, 0u);
+}
+
 TEST(FlowNetwork, TransferredSettlesMidFlight) {
     Fixture f;
     const HostId a = f.net.add_host(100.0, kUnlimited);

@@ -209,6 +209,92 @@ TEST(Simulator, RunUntilDoesNotLeapOverCancelledTop) {
     EXPECT_TRUE(far_ran);
 }
 
+TEST(Simulator, CancelAfterDispatchIsStructuralNoop) {
+    // Regression: cancelling a handle whose event already ran used to return
+    // true, decrement the live count below the truth, and leak the seq in
+    // the cancelled set. It must be a structural no-op.
+    Simulator s;
+    int runs = 0;
+    const auto h = s.schedule_at(SimTime{10}, [&] { ++runs; });
+    s.run();
+    EXPECT_EQ(runs, 1);
+    EXPECT_FALSE(s.cancel(h));
+    EXPECT_FALSE(s.cancel(h));  // and stays a no-op
+    EXPECT_EQ(s.pending(), 0u);
+    // The engine is not corrupted: later events still schedule and run.
+    s.schedule_at(SimTime{20}, [&] { ++runs; });
+    EXPECT_EQ(s.pending(), 1u);
+    s.run();
+    EXPECT_EQ(runs, 2);
+    EXPECT_EQ(s.stats().dispatched, 2u);
+    EXPECT_EQ(s.stats().cancelled, 0u);
+}
+
+TEST(Simulator, StaleHandleCannotCancelSlotReuser) {
+    // ABA guard: after an event dispatches, its slab slot is recycled; a
+    // handle to the old event must not be able to cancel whatever event
+    // lives in that slot now.
+    Simulator s;
+    const auto old = s.schedule_at(SimTime{10}, [] {});
+    s.run();  // dispatches `old`, recycling its slot
+    bool ran = false;
+    const auto fresh = s.schedule_at(SimTime{20}, [&] { ran = true; });
+    EXPECT_EQ(fresh.slot(), old.slot());  // the slot was in fact reused
+    EXPECT_FALSE(s.cancel(old));
+    s.run();
+    EXPECT_TRUE(ran);
+}
+
+TEST(Simulator, StatsCountSchedulingAndHeapAllocations) {
+    Simulator s;
+    // Typical engine callbacks ([this, slot]-sized captures) must be stored
+    // inline: the hot path may not touch the allocator.
+    void* self = &s;
+    std::uint32_t slot = 7;
+    const auto h = s.schedule_at(SimTime{10}, [self, slot] {
+        (void)self;
+        (void)slot;
+    });
+    s.schedule_at(SimTime{20}, [] {});
+    EXPECT_EQ(s.stats().callback_heap_allocs, 0u);
+    // An oversized capture falls back to the heap — and is counted.
+    struct Big {
+        char bytes[128] = {};
+    } big;
+    s.schedule_at(SimTime{30}, [big] { (void)big; });
+    EXPECT_EQ(s.stats().callback_heap_allocs, 1u);
+    EXPECT_EQ(s.stats().scheduled, 3u);
+    s.cancel(h);
+    s.run();
+    EXPECT_EQ(s.stats().cancelled, 1u);
+    EXPECT_EQ(s.stats().dispatched, 2u);
+}
+
+TEST(InlineFn, InlineAndHeapStorage) {
+    int hits = 0;
+    InlineFn small([&hits] { ++hits; });
+    EXPECT_FALSE(small.heap_allocated());
+    small();
+    EXPECT_EQ(hits, 1);
+
+    struct Big {
+        char bytes[128] = {};
+    } big;
+    InlineFn large([&hits, big] {
+        (void)big;
+        ++hits;
+    });
+    EXPECT_TRUE(large.heap_allocated());
+    // Moving transfers the callable; the source becomes empty.
+    InlineFn moved(std::move(large));
+    moved();
+    EXPECT_EQ(hits, 2);
+    EXPECT_FALSE(large);  // NOLINT(bugprone-use-after-move): tested semantics
+    EXPECT_TRUE(moved);
+    moved.reset();
+    EXPECT_FALSE(moved);
+}
+
 TEST(Simulator, ManyEventsStressOrdering) {
     Simulator s;
     std::int64_t last = -1;

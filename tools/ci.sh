@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# CI driver: builds the tree in Release plus both sanitizer flavours and runs
+# the test suite under each. The slab event engine and the flow network
+# recycle slots and type-erase callbacks — precisely the code ASan/UBSan are
+# for — so every change should pass all three before merging.
+#
+# Usage: tools/ci.sh [jobs]       (default: nproc)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+
+run_flavour() {
+    local name="$1" build_dir="$2"
+    shift 2
+    echo "==== [$name] configure ===="
+    cmake -B "$build_dir" -S . "$@" >/dev/null
+    echo "==== [$name] build ===="
+    cmake --build "$build_dir" -j "$JOBS"
+    echo "==== [$name] ctest ===="
+    (cd "$build_dir" && ctest --output-on-failure)
+}
+
+run_flavour release build-ci-release -DCMAKE_BUILD_TYPE=Release
+run_flavour asan build-ci-asan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DNS_SANITIZE=address
+run_flavour ubsan build-ci-ubsan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DNS_SANITIZE=undefined
+
+echo "==== CI: all flavours passed ===="
