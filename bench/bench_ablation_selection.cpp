@@ -19,12 +19,12 @@ namespace {
 
 using namespace netsession;
 
-struct Result {
+struct RunStats {
     double intra_as = 0, intra_country = 0, efficiency = 0;
     Bytes p2p_bytes = 0;
 };
 
-Result run(std::uint64_t seed, int n, control::SelectionPolicy::Strategy strategy) {
+RunStats run(std::uint64_t seed, int n, control::SelectionPolicy::Strategy strategy) {
     sim::Simulator simulator;
     net::World world(simulator, net::AsGraph::generate(net::AsGraphConfig{}, Rng(seed)));
     edge::Catalog catalog;
@@ -77,7 +77,7 @@ Result run(std::uint64_t seed, int n, control::SelectionPolicy::Strategy strateg
     }
     simulator.run_until(sim::SimTime{} + sim::hours(24.0));
 
-    Result r;
+    RunStats r;
     Bytes same_as = 0, same_country = 0;
     for (const auto& t : log.transfers()) {
         if (t.time < sim::SimTime{} + sim::hours(8.0)) continue;  // wave only
@@ -114,8 +114,8 @@ int main() {
     const int n = std::min(args.peers, 4000);
     std::printf("hot-swarm workload: %d peers, one 500 MB release, 1/3 pre-seeded\n", n);
 
-    const Result locality = run(args.seed, n, control::SelectionPolicy::Strategy::locality_aware);
-    const Result random = run(args.seed, n, control::SelectionPolicy::Strategy::random);
+    const RunStats locality = run(args.seed, n, control::SelectionPolicy::Strategy::locality_aware);
+    const RunStats random = run(args.seed, n, control::SelectionPolicy::Strategy::random);
 
     std::printf("\n%-22s %12s %14s %12s %12s\n", "strategy", "intra-AS", "intra-country",
                 "efficiency", "p2p bytes");

@@ -1,85 +1,122 @@
-// §3.8 robustness: rolling CN/DN restarts and full control-plane outage,
-// measured against an undisturbed baseline run.
+// §3.8/§5.2 robustness: a chaos matrix. One undisturbed baseline run, then
+// one run per single-fault class injected through the FaultPlan engine, each
+// reporting download completion, p2p offload, and the client-side degradation
+// counters (stalls, edge re-maps, blacklistings, control-plane timeouts).
+//
+// Reproduction target: NetSession "degrades gracefully" — every single-fault
+// class should keep completion >= 0.95 while the degradation counters show
+// the fault was actually felt (the matrix is not a no-op).
+#include <vector>
+
 #include "analysis/measurement.hpp"
 #include "bench/common.hpp"
 #include "common/format.hpp"
+#include "fault/fault_spec.hpp"
 
 namespace {
 
 using namespace netsession;
 
-struct RunResult {
-    double completion = 0;
+struct CellResult {
+    double completion = 0;  // completed / all downloads (user aborts included)
+    double delivery = 0;    // completed / (completed + failed): robustness metric
     double offload = 0;
     std::int64_t downloads = 0;
+    analysis::DegradationStats degradations;
 };
 
-RunResult run(const bench::BenchArgs& args, int mode) {
+CellResult run(const bench::BenchArgs& args, const fault::FaultPlan& plan) {
     auto config = bench::standard_config(args);
     config.peers = std::min(config.peers, 6000);  // robustness runs are separate sims
     config.behavior.warmup = sim::days(3.0);
     config.behavior.window = sim::days(6.0);
     config.behavior.downloads_per_peer_per_month = 10.0;
+    config.faults = plan;
     Simulation s(config);
-    auto& plane = s.control_plane();
-    auto& simulator = s.simulator();
-
-    if (mode == 1) {
-        // Rolling restart of every CN and DN halfway through the window.
-        simulator.schedule_at(sim::SimTime{} + sim::days(6.0), [&plane, &simulator] {
-            for (auto& cn : plane.cns()) plane.fail_cn(cn->id());
-            for (auto& dn : plane.dns()) plane.fail_dn(dn->id());
-            simulator.schedule_after(sim::minutes(2.0), [&plane] {
-                for (auto& cn : plane.cns()) plane.restart_cn(cn->id());
-                for (auto& dn : plane.dns()) plane.restart_dn(dn->id());
-            });
-        });
-    } else if (mode == 2) {
-        // Permanent control-plane outage for the last third of the window.
-        simulator.schedule_at(sim::SimTime{} + sim::days(7.0), [&plane] {
-            for (auto& cn : plane.cns()) plane.fail_cn(cn->id());
-            for (auto& dn : plane.dns()) plane.fail_dn(dn->id());
-        });
-    }
     s.run();
 
-    RunResult r;
+    CellResult r;
     const auto outcomes = analysis::outcome_stats(s.trace());
     r.completion = outcomes.all.completed;
+    // User aborts (patience/changed-mind, §5.2/Fig 7) are a behaviour
+    // constant, not a delivery failure; the robustness gate is completion
+    // among downloads the user actually waited for.
+    const double served = outcomes.all.completed + outcomes.all.failed_system +
+                          outcomes.all.failed_other;
+    r.delivery = served > 0 ? outcomes.all.completed / served : 0;
     r.downloads = outcomes.all.n;
-    const auto h = analysis::headline_offload(s.trace());
-    r.offload = h.overall_offload;
+    r.offload = analysis::headline_offload(s.trace()).overall_offload;
+    r.degradations = analysis::degradation_stats(s.trace());
     return r;
+}
+
+fault::FaultPlan plan_of(const std::string& line) {
+    fault::FaultPlan plan;
+    auto event = fault::parse_fault_event(line);
+    if (!event.ok()) {
+        std::printf("BAD FAULT LINE: %s (%s)\n", line.c_str(), event.error().message.c_str());
+        std::exit(1);
+    }
+    plan.events.push_back(event.value());
+    return plan;
 }
 
 }  // namespace
 
 int main() {
     const auto args = bench::bench_args();
-    bench::print_banner("bench_robustness", "§3.8 (soft state, RE-ADD, edge fallback)", args);
+    bench::print_banner("bench_robustness", "§3.8/§5.2 chaos matrix (FaultPlan engine)", args);
 
-    const RunResult baseline = run(args, 0);
-    const RunResult rolling = run(args, 1);
-    const RunResult outage = run(args, 2);
+    // One representative fault per class, each landing mid-window (day 6 of
+    // a 3+6-day run) so warm swarms feel it. Durations are chosen so the
+    // fault covers a meaningful slice of the window but recovery is visible.
+    struct Row {
+        const char* name;
+        const char* fault;  // empty = undisturbed baseline
+    };
+    // Region 7 is EU-West (the peer-heaviest region) and ASN 1703 is the
+    // largest eyeball AS at the default bench seed — targets chosen so the
+    // fault demonstrably hits population, not empty infrastructure.
+    const std::vector<Row> rows = {
+        {"undisturbed", ""},
+        {"edge outage (EU-West, 12h)", "edge_outage at=6 duration=0.5 region=7"},
+        {"edge outage (all, 2h)", "edge_outage at=6 duration=0.0833 region=all"},
+        {"region partition (EU-West, 12h)", "region_partition at=6 duration=0.5 region=7"},
+        {"AS degradation (lat x5, rate x0.2)",
+         "as_degradation at=5 duration=2 asn=1703 latency_x=5 rate_x=0.2 loss=0.05"},
+        {"STUN blackout (2 days)", "stun_blackout at=5 duration=2"},
+        {"mass churn (30% crash)", "mass_churn at=6 fraction=0.3"},
+        {"CN outage (all, 12h)", "cn_outage at=6 duration=0.5 region=all"},
+        {"DN outage (all, 12h)", "dn_outage at=6 duration=0.5 region=all"},
+        {"flash crowd (20%)", "flash_crowd at=6 fraction=0.2"},
+    };
 
-    std::printf("\n%-34s %12s %12s %10s\n", "scenario", "completion", "p2p offload",
-                "downloads");
-    std::printf("%-34s %12s %12s %10lld\n", "undisturbed",
-                format_percent(baseline.completion).c_str(),
-                format_percent(baseline.offload).c_str(),
-                static_cast<long long>(baseline.downloads));
-    std::printf("%-34s %12s %12s %10lld\n", "rolling CN+DN restart mid-window",
-                format_percent(rolling.completion).c_str(),
-                format_percent(rolling.offload).c_str(),
-                static_cast<long long>(rolling.downloads));
-    std::printf("%-34s %12s %12s %10lld\n", "permanent outage (last 2 days)",
-                format_percent(outage.completion).c_str(),
-                format_percent(outage.offload).c_str(),
-                static_cast<long long>(outage.downloads));
+    std::printf("\n%-36s %10s %10s %11s %9s %7s %7s %7s %7s\n", "scenario", "completion",
+                "delivery", "p2p offload", "downloads", "stalls", "remaps", "blist", "ctl-to");
+    bool all_pass = true;
+    for (const auto& row : rows) {
+        const fault::FaultPlan plan =
+            row.fault[0] ? plan_of(row.fault) : fault::FaultPlan{};
+        const CellResult r = run(args, plan);
+        const auto& d = r.degradations;
+        const std::int64_t stalls = d.edge_stalls + d.peer_stalls;
+        const std::int64_t control_timeouts = d.query_timeouts + d.login_timeouts +
+                                              d.stun_timeouts;
+        const bool pass = r.delivery >= 0.95;
+        all_pass = all_pass && pass;
+        std::printf("%-36s %10s %10s %11s %9lld %7lld %7lld %7lld %7lld%s\n", row.name,
+                    format_percent(r.completion).c_str(), format_percent(r.delivery).c_str(),
+                    format_percent(r.offload).c_str(),
+                    static_cast<long long>(r.downloads), static_cast<long long>(stalls),
+                    static_cast<long long>(d.edge_remaps),
+                    static_cast<long long>(d.sources_blacklisted),
+                    static_cast<long long>(control_timeouts), pass ? "" : "  << FAIL");
+    }
 
-    std::printf("\nReproduction targets (§3.8): restarting all CNs/DNs 'does not negatively\n"
-                "affect the service' (completion unchanged; RE-ADD restores p2p); with the\n"
-                "control plane gone entirely, peers fall back to the edge (completion holds,\n"
-                "offload drops for the outage period).\n");
-    return 0;
+    std::printf("\nReproduction target (§3.8): every single-fault class keeps delivery\n"
+                "completion (completed / non-user-aborted) >= 95%% — peers re-query,\n"
+                "re-map to surviving edges, blacklist dead sources, and fall back to\n"
+                "conservative NAT classification rather than failing downloads. %s\n",
+                all_pass ? "PASS" : "FAIL");
+    return all_pass ? 0 : 1;
 }

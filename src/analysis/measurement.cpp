@@ -653,4 +653,26 @@ HeadlineOffload headline_offload(const trace::TraceLog& log) {
     return out;
 }
 
+// --- degradation -------------------------------------------------------------------
+
+DegradationStats degradation_stats(const trace::TraceLog& log) {
+    DegradationStats out;
+    std::unordered_set<Guid> clients;
+    for (const auto& r : log.degradations()) {
+        ++out.total;
+        clients.insert(r.guid);
+        switch (r.kind) {
+            case trace::DegradationKind::edge_stall: ++out.edge_stalls; break;
+            case trace::DegradationKind::edge_remapped: ++out.edge_remaps; break;
+            case trace::DegradationKind::peer_stall: ++out.peer_stalls; break;
+            case trace::DegradationKind::source_blacklisted: ++out.sources_blacklisted; break;
+            case trace::DegradationKind::query_timeout: ++out.query_timeouts; break;
+            case trace::DegradationKind::login_timeout: ++out.login_timeouts; break;
+            case trace::DegradationKind::stun_timeout: ++out.stun_timeouts; break;
+        }
+    }
+    out.affected_clients = static_cast<std::int64_t>(clients.size());
+    return out;
+}
+
 }  // namespace netsession::analysis

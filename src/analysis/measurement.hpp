@@ -240,4 +240,25 @@ struct HeadlineOffload {
 
 [[nodiscard]] HeadlineOffload headline_offload(const trace::TraceLog& log);
 
+// --- §3.8 graceful degradation ------------------------------------------------------
+
+/// Aggregated client-side degradation telemetry: what the data path noticed
+/// and repaired during the window. Explains *where* offload went under a
+/// fault plan — e.g. edge stalls + remaps during an edge outage, peer stalls
+/// + blacklistings during mass churn.
+struct DegradationStats {
+    std::int64_t total = 0;
+    std::int64_t edge_stalls = 0;
+    std::int64_t edge_remaps = 0;
+    std::int64_t peer_stalls = 0;
+    std::int64_t sources_blacklisted = 0;
+    std::int64_t query_timeouts = 0;
+    std::int64_t login_timeouts = 0;
+    std::int64_t stun_timeouts = 0;
+    /// Distinct clients that observed at least one degradation.
+    std::int64_t affected_clients = 0;
+};
+
+[[nodiscard]] DegradationStats degradation_stats(const trace::TraceLog& log);
+
 }  // namespace netsession::analysis

@@ -57,7 +57,8 @@ ConnectionNode* ControlPlane::closest_cn(HostId client) {
     ConnectionNode* best = nullptr;
     double best_km = std::numeric_limits<double>::infinity();
     for (const auto& cn : cns_) {
-        if (!cn->up()) continue;
+        // A CN behind a network partition is as unreachable as a downed one.
+        if (!cn->up() || !world_->reachable(client, cn->host())) continue;
         const double km =
             net::haversine_km(client_point, world_->host(cn->host()).attach.location.point);
         if (km < best_km) {
@@ -116,6 +117,54 @@ void ControlPlane::restart_dn(DnId id) {
     // to their peers, asking them to list the files that they are storing."
     for (const auto& cn : cns_)
         if (cn->region() == dn->region()) cn->issue_re_add();
+}
+
+int ControlPlane::fail_cn_region(int region) {
+    int changed = 0;
+    for (const auto& cn : cns_) {
+        if (region >= 0 && cn->region().value != region) continue;
+        if (!cn->up()) continue;
+        cn->fail();
+        ++changed;
+    }
+    return changed;
+}
+
+int ControlPlane::restart_cn_region(int region) {
+    int changed = 0;
+    for (const auto& cn : cns_) {
+        if (region >= 0 && cn->region().value != region) continue;
+        if (cn->up()) continue;
+        cn->restart();
+        ++changed;
+    }
+    return changed;
+}
+
+int ControlPlane::fail_dn_region(int region) {
+    int changed = 0;
+    for (const auto& dn : dns_) {
+        if (region >= 0 && dn->region().value != region) continue;
+        if (!dn->up()) continue;
+        dn->fail();
+        ++changed;
+    }
+    return changed;
+}
+
+int ControlPlane::restart_dn_region(int region) {
+    int changed = 0;
+    for (const auto& dn : dns_) {
+        if (region >= 0 && dn->region().value != region) continue;
+        if (dn->up()) continue;
+        restart_dn(dn->id());  // includes the RE-ADD fan-out
+        ++changed;
+    }
+    return changed;
+}
+
+void ControlPlane::set_stuns_online(bool online) {
+    for (const auto& s : stuns_) s->set_online(online);
 }
 
 StunService& ControlPlane::closest_stun(HostId client) {

@@ -82,6 +82,14 @@ public:
     /// Restarting a DN brings it back *empty* and triggers RE-ADD through
     /// the CNs of its region.
     void restart_dn(DnId id);
+    /// Region-scoped variants for the fault engine (`region < 0`: all).
+    /// Return the number of nodes whose state changed.
+    int fail_cn_region(int region);
+    int restart_cn_region(int region);
+    int fail_dn_region(int region);
+    int restart_dn_region(int region);
+    /// STUN blackout: silences (or restores) every STUN component.
+    void set_stuns_online(bool online);
 
     // --- accessors ---------------------------------------------------------
     [[nodiscard]] net::World& world() noexcept { return *world_; }

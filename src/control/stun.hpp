@@ -32,14 +32,24 @@ public:
 
     /// Runs a probe for `peer`; the report is delivered after two round
     /// trips (binding request + filtering test), as observed by the server.
+    /// While offline (STUN blackout fault) or unreachable (partition) the
+    /// probe is silently lost — `on_done` never fires and the client must
+    /// fall back on a timeout.
     void probe(HostId peer, std::function<void(ConnectivityReport)> on_done);
 
+    /// Fault injection: stops/resumes answering probes.
+    void set_online(bool online) noexcept { online_ = online; }
+    [[nodiscard]] bool online() const noexcept { return online_; }
+
     [[nodiscard]] std::int64_t probes_served() const noexcept { return probes_; }
+    [[nodiscard]] std::int64_t probes_lost() const noexcept { return probes_lost_; }
 
 private:
     net::World* world_;
     HostId host_;
+    bool online_ = true;
     std::int64_t probes_ = 0;
+    std::int64_t probes_lost_ = 0;
 };
 
 }  // namespace netsession::control

@@ -177,6 +177,15 @@ Result<SimulationConfig> parse_scenario(const std::string& text) {
                          "line " + std::to_string(line_no) + ": expected key = value"};
         const std::string key = trim(line.substr(0, eq));
         const std::string value = trim(line.substr(eq + 1));
+        if (key == "fault") {
+            // Repeated key: each line appends one event to the fault plan.
+            auto event = fault::parse_fault_event(value);
+            if (!event)
+                return Error{Error::Code::invalid_argument, "line " + std::to_string(line_no) +
+                                                                ": " + event.error().message};
+            config.faults.events.push_back(event.value());
+            continue;
+        }
         const auto it = knobs().find(key);
         if (it == knobs().end())
             return Error{Error::Code::invalid_argument,
@@ -202,6 +211,11 @@ std::string describe_scenario(const SimulationConfig& config) {
     std::string out = "# NetSession scenario\n";
     for (const auto& [key, knob] : knobs())
         out += key + " = " + knob.get(config) + "  # " + knob.comment + "\n";
+    if (!config.faults.empty()) {
+        out += "# fault timeline (docs/ROBUSTNESS.md); times in days from t=0\n";
+        for (const auto& event : config.faults.events)
+            out += "fault = " + fault::to_string(event) + "\n";
+    }
     return out;
 }
 

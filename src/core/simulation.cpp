@@ -35,10 +35,14 @@ Simulation::Simulation(SimulationConfig config)
     driver_ = std::make_unique<workload::UserDriver>(
         *world_, *plane_, *edges_, *bundle_, *population_, registry_, config_.behavior,
         config_.client, root.child("behavior"));
+
+    fault_engine_ = std::make_unique<fault::FaultEngine>(sim_, *world_, *edges_, *plane_,
+                                                         *driver_, root.child("faults"));
 }
 
 void Simulation::run() {
     driver_->create_users(config_.peers);
+    fault_engine_->arm(config_.faults);
     driver_->run();
 }
 

@@ -21,6 +21,8 @@
 #include "accounting/accounting.hpp"
 #include "control/control_plane.hpp"
 #include "edge/edge_network.hpp"
+#include "fault/fault_engine.hpp"
+#include "fault/fault_spec.hpp"
 #include "net/world.hpp"
 #include "peer/registry.hpp"
 #include "sim/simulator.hpp"
@@ -53,6 +55,11 @@ struct SimulationConfig {
     /// Forces every object to infrastructure-only delivery — the
     /// "infrastructure CDN" baseline of the architecture ablation.
     bool disable_p2p = false;
+
+    /// Deterministic fault timeline (empty = fault-free run). Applied by the
+    /// FaultEngine before the user driver starts; part of the determinism
+    /// contract (same seed + same plan ⇒ byte-identical traces).
+    fault::FaultPlan faults;
 };
 
 class Simulation {
@@ -90,6 +97,7 @@ public:
     [[nodiscard]] control::ControlPlane& control_plane() noexcept { return *plane_; }
     [[nodiscard]] accounting::AccountingService& accounting() noexcept { return accounting_; }
     [[nodiscard]] workload::UserDriver& driver() noexcept { return *driver_; }
+    [[nodiscard]] fault::FaultEngine& faults() noexcept { return *fault_engine_; }
     [[nodiscard]] const workload::CatalogBundle& bundle() const noexcept { return *bundle_; }
     [[nodiscard]] const SimulationConfig& config() const noexcept { return config_; }
 
@@ -106,6 +114,7 @@ private:
     peer::PeerRegistry registry_;
     std::unique_ptr<workload::PopulationGenerator> population_;
     std::unique_ptr<workload::UserDriver> driver_;
+    std::unique_ptr<fault::FaultEngine> fault_engine_;
 };
 
 }  // namespace netsession

@@ -40,18 +40,53 @@ EdgeNetwork::EdgeNetwork(net::World& world, const Catalog& catalog,
 
 EdgeServer& EdgeNetwork::nearest(HostId client) {
     const auto client_point = world_->host(client).attach.location.point;
-    EdgeServer* best = nullptr;
+    EdgeServer* best = nullptr;       // nearest available server
+    EdgeServer* best_any = nullptr;   // nearest server, availability ignored
     double best_km = std::numeric_limits<double>::infinity();
+    double best_any_km = std::numeric_limits<double>::infinity();
     for (const auto& s : servers_) {
         const double km =
             net::haversine_km(client_point, world_->host(s->host()).attach.location.point);
+        if (km < best_any_km) {
+            best_any_km = km;
+            best_any = s.get();
+        }
+        if (!s->online() || !world_->reachable(client, s->host())) continue;
         if (km < best_km) {
             best_km = km;
             best = s.get();
         }
     }
-    assert(best != nullptr);
-    return *best;
+    assert(best_any != nullptr);
+    return best != nullptr ? *best : *best_any;
+}
+
+int EdgeNetwork::fail_region(int region) {
+    int changed = 0;
+    for (const auto& s : servers_) {
+        if (region >= 0 && world_->region_of(s->host()).value != region) continue;
+        if (!s->online()) continue;
+        s->fail();
+        ++changed;
+    }
+    return changed;
+}
+
+int EdgeNetwork::restart_region(int region) {
+    int changed = 0;
+    for (const auto& s : servers_) {
+        if (region >= 0 && world_->region_of(s->host()).value != region) continue;
+        if (s->online()) continue;
+        s->restart();
+        ++changed;
+    }
+    return changed;
+}
+
+std::size_t EdgeNetwork::online_count() const {
+    std::size_t n = 0;
+    for (const auto& s : servers_) n += s->online() ? 1 : 0;
+    return n;
 }
 
 Bytes EdgeNetwork::total_bytes_served() const {

@@ -28,8 +28,19 @@ public:
     /// heaviest country's backbone AS.
     EdgeNetwork(net::World& world, const Catalog& catalog, const EdgeNetworkConfig& config);
 
-    /// DNS mapping: the geographically nearest edge server for the client.
+    /// DNS mapping: the geographically nearest *available* edge server for
+    /// the client — failed servers and servers behind a network partition are
+    /// skipped, so an outage fails clients over to the next-nearest region.
+    /// If no server is available at all, returns the geographically nearest
+    /// regardless (DNS still answers; the connection then stalls and the
+    /// client's watchdog keeps retrying).
     [[nodiscard]] EdgeServer& nearest(HostId client);
+
+    /// Fault injection: fails/restarts every edge server in `region`
+    /// (`region < 0`: all regions). Returns how many servers changed state.
+    int fail_region(int region);
+    int restart_region(int region);
+    [[nodiscard]] std::size_t online_count() const;
 
     [[nodiscard]] const TokenAuthority& authority() const noexcept { return authority_; }
     [[nodiscard]] const std::vector<std::unique_ptr<EdgeServer>>& servers() const noexcept {

@@ -21,21 +21,45 @@ net::FlowId EdgeServer::serve_piece(HostId client, Guid client_guid,
                                     const swarm::ContentObject& object, swarm::PieceIndex piece,
                                     std::function<void(Digest256)> on_done) {
     assert(catalog_->find(object.id()) != nullptr && "cannot serve unpublished content");
+    if (!online_) return net::FlowId{};  // request goes unanswered
     const Bytes len = object.piece_length(piece);
     const DownloadKey key{client_guid, object.id()};
     const ObjectId oid = object.id();
     const Digest256 digest = object.correct_transfer_digest(piece);
-    return world_->flows().start_flow(
+    const net::FlowId id = world_->flows().start_flow(
         host_, client, len, per_connection_cap_,
-        [this, key, len, digest, oid, done = std::move(on_done)](net::FlowId) {
+        [this, key, len, digest, oid, done = std::move(on_done)](net::FlowId flow) {
             (void)oid;
+            forget_flow(flow);
             ledger_[key] += len;
             total_served_ += len;
             if (done) done(digest);
         });
+    live_flows_.push_back(id);
+    return id;
 }
 
-Bytes EdgeServer::abort(net::FlowId flow) { return world_->flows().cancel_flow(flow); }
+Bytes EdgeServer::abort(net::FlowId flow) {
+    forget_flow(flow);
+    return world_->flows().cancel_flow(flow);
+}
+
+void EdgeServer::fail() {
+    online_ = false;
+    // Cut in-flight deliveries without firing completions: from the client's
+    // point of view the connection just dies.
+    for (const net::FlowId flow : live_flows_) world_->flows().cancel_flow(flow);
+    live_flows_.clear();
+}
+
+void EdgeServer::forget_flow(net::FlowId flow) {
+    for (auto it = live_flows_.begin(); it != live_flows_.end(); ++it) {
+        if (*it == flow) {
+            live_flows_.erase(it);
+            return;
+        }
+    }
+}
 
 Bytes EdgeServer::bytes_served(Guid guid, ObjectId object) const {
     const auto it = ledger_.find(DownloadKey{guid, object});

@@ -11,6 +11,7 @@
 
 #include <functional>
 #include <unordered_map>
+#include <vector>
 
 #include "common/types.hpp"
 #include "edge/auth.hpp"
@@ -47,12 +48,22 @@ public:
 
     /// Starts delivering one piece to `client`. `on_done` receives the digest
     /// of the delivered data (always authentic from the edge) once the last
-    /// byte arrives. Returns the flow id so the client can abort.
+    /// byte arrives. Returns the flow id so the client can abort. A failed
+    /// (offline) server returns an invalid flow id and never calls `on_done`
+    /// — like a connection attempt that times out; the client's stall
+    /// watchdog is responsible for noticing.
     net::FlowId serve_piece(HostId client, Guid client_guid, const swarm::ContentObject& object,
                             swarm::PieceIndex piece, std::function<void(Digest256)> on_done);
 
     /// Aborts an in-progress delivery; returns bytes that had been moved.
     Bytes abort(net::FlowId flow);
+
+    /// Fault injection: a failed server cuts every in-flight delivery (no
+    /// completion fires) and refuses new ones until restarted. The trusted
+    /// ledger survives the outage, like real accounting state.
+    void fail();
+    void restart() noexcept { online_ = true; }
+    [[nodiscard]] bool online() const noexcept { return online_; }
 
     /// Trusted ground truth: bytes of completed pieces served per download.
     [[nodiscard]] Bytes bytes_served(Guid guid, ObjectId object) const;
@@ -64,7 +75,11 @@ private:
     const Catalog* catalog_;
     const TokenAuthority* authority_;
     HostId host_;
+    void forget_flow(net::FlowId flow);
+
     Rate per_connection_cap_;
+    bool online_ = true;
+    std::vector<net::FlowId> live_flows_;  // in-flight deliveries, cut on fail()
     std::unordered_map<DownloadKey, Bytes, DownloadKeyHash> ledger_;
     Bytes total_served_ = 0;
 };

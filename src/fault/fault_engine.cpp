@@ -1,0 +1,95 @@
+#include "fault/fault_engine.hpp"
+
+#include <string>
+
+#include "control/control_plane.hpp"
+#include "edge/edge_network.hpp"
+#include "net/world.hpp"
+#include "workload/behavior.hpp"
+
+namespace netsession::fault {
+
+FaultEngine::FaultEngine(sim::Simulator& sim, net::World& world, edge::EdgeNetwork& edges,
+                         control::ControlPlane& plane, workload::UserDriver& driver, Rng rng)
+    : sim_(&sim), world_(&world), edges_(&edges), plane_(&plane), driver_(&driver), rng_(rng) {}
+
+void FaultEngine::arm(const FaultPlan& plan) {
+    for (std::size_t i = 0; i < plan.events.size(); ++i) {
+        const FaultEvent e = plan.events[i];
+        const int index = static_cast<int>(i);
+        sim_->schedule_at(sim::SimTime{} + sim::days(e.at_days),
+                          [this, e, index] { apply(e, index); });
+        // One-shot kinds have no "restore"; for the rest, duration == 0 means
+        // the fault is permanent.
+        const bool one_shot = e.kind == FaultKind::mass_churn || e.kind == FaultKind::flash_crowd;
+        if (!one_shot && e.duration_days > 0.0) {
+            sim_->schedule_at(sim::SimTime{} + sim::days(e.at_days + e.duration_days),
+                              [this, e] { restore(e); });
+        }
+    }
+}
+
+void FaultEngine::apply(const FaultEvent& e, int index) {
+    ++faults_applied_;
+    switch (e.kind) {
+        case FaultKind::edge_outage:
+            edges_->fail_region(e.region);
+            break;
+        case FaultKind::region_partition:
+            world_->partition_regions(e.region, e.region_b);
+            break;
+        case FaultKind::as_degradation:
+            world_->degrade_as(Asn{e.asn}, e.latency_factor, e.rate_factor, e.loss);
+            break;
+        case FaultKind::stun_blackout:
+            plane_->set_stuns_online(false);
+            break;
+        case FaultKind::mass_churn: {
+            // A per-event child stream keyed by the event's position in the
+            // plan: two churn events draw from independent, stable streams.
+            Rng churn = rng_.child("churn-" + std::to_string(index));
+            driver_->crash_peers(e.fraction, churn);
+            break;
+        }
+        case FaultKind::cn_outage:
+            plane_->fail_cn_region(e.region);
+            break;
+        case FaultKind::dn_outage:
+            plane_->fail_dn_region(e.region);
+            break;
+        case FaultKind::flash_crowd: {
+            Rng crowd = rng_.child("crowd-" + std::to_string(index));
+            driver_->flash_crowd(e.fraction, crowd);
+            break;
+        }
+    }
+}
+
+void FaultEngine::restore(const FaultEvent& e) {
+    ++faults_restored_;
+    switch (e.kind) {
+        case FaultKind::edge_outage:
+            edges_->restart_region(e.region);
+            break;
+        case FaultKind::region_partition:
+            world_->heal_partition(e.region, e.region_b);
+            break;
+        case FaultKind::as_degradation:
+            world_->restore_as(Asn{e.asn});
+            break;
+        case FaultKind::stun_blackout:
+            plane_->set_stuns_online(true);
+            break;
+        case FaultKind::cn_outage:
+            plane_->restart_cn_region(e.region);
+            break;
+        case FaultKind::dn_outage:
+            plane_->restart_dn_region(e.region);
+            break;
+        case FaultKind::mass_churn:
+        case FaultKind::flash_crowd:
+            break;  // one-shot; never scheduled
+    }
+}
+
+}  // namespace netsession::fault

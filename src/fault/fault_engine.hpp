@@ -1,0 +1,76 @@
+// FaultEngine: applies a FaultPlan against the live deployment.
+//
+// For every FaultEvent the engine schedules an onset event (and, unless the
+// fault is permanent, a matching restore event) on the simulator, then calls
+// the corresponding availability hook on the affected component:
+//
+//   edge_outage       edge::EdgeNetwork::fail_region / restart_region
+//   region_partition  net::World::partition_regions / heal_partition
+//   as_degradation    net::World::degrade_as / restore_as
+//   stun_blackout     control::ControlPlane::set_stuns_online
+//   mass_churn        workload::UserDriver::crash_peers
+//   cn_outage         control::ControlPlane::fail_cn_region / restart_cn_region
+//   dn_outage         control::ControlPlane::fail_dn_region / restart_dn_region
+//   flash_crowd       workload::UserDriver::flash_crowd
+//
+// The engine deliberately takes references to the individual components, not
+// to core::Simulation, so it sits beside the other mid-level subsystems in
+// the layering (core wires it up; nothing below core depends on it).
+//
+// Determinism: the only randomness is the engine's own child Rng streams
+// handed to crash_peers/flash_crowd, derived from the master seed by stable
+// labels — the same seed and the same plan replay the same faults exactly.
+#pragma once
+
+#include "common/rng.hpp"
+#include "fault/fault_spec.hpp"
+#include "sim/simulator.hpp"
+
+namespace netsession::net {
+class World;
+}
+namespace netsession::edge {
+class EdgeNetwork;
+}
+namespace netsession::control {
+class ControlPlane;
+}
+namespace netsession::workload {
+class UserDriver;
+}
+
+namespace netsession::fault {
+
+class FaultEngine {
+public:
+    FaultEngine(sim::Simulator& sim, net::World& world, edge::EdgeNetwork& edges,
+                control::ControlPlane& plane, workload::UserDriver& driver, Rng rng);
+
+    FaultEngine(const FaultEngine&) = delete;
+    FaultEngine& operator=(const FaultEngine&) = delete;
+
+    /// Schedules every event of `plan` on the simulator. Call once, before
+    /// the run starts; events whose time has already passed fire immediately
+    /// on the next dispatch.
+    void arm(const FaultPlan& plan);
+
+    /// Faults whose onset has fired so far (restores don't count).
+    [[nodiscard]] int faults_applied() const noexcept { return faults_applied_; }
+    /// Restores fired so far.
+    [[nodiscard]] int faults_restored() const noexcept { return faults_restored_; }
+
+private:
+    void apply(const FaultEvent& e, int index);
+    void restore(const FaultEvent& e);
+
+    sim::Simulator* sim_;
+    net::World* world_;
+    edge::EdgeNetwork* edges_;
+    control::ControlPlane* plane_;
+    workload::UserDriver* driver_;
+    Rng rng_;
+    int faults_applied_ = 0;
+    int faults_restored_ = 0;
+};
+
+}  // namespace netsession::fault

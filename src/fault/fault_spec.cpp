@@ -1,0 +1,154 @@
+#include "fault/fault_spec.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace netsession::fault {
+
+std::string_view to_string(FaultKind k) noexcept {
+    switch (k) {
+        case FaultKind::edge_outage: return "edge_outage";
+        case FaultKind::region_partition: return "region_partition";
+        case FaultKind::as_degradation: return "as_degradation";
+        case FaultKind::stun_blackout: return "stun_blackout";
+        case FaultKind::mass_churn: return "mass_churn";
+        case FaultKind::cn_outage: return "cn_outage";
+        case FaultKind::dn_outage: return "dn_outage";
+        case FaultKind::flash_crowd: return "flash_crowd";
+    }
+    return "unknown";
+}
+
+namespace {
+
+bool parse_kind(const std::string& word, FaultKind& out) {
+    for (const FaultKind k :
+         {FaultKind::edge_outage, FaultKind::region_partition, FaultKind::as_degradation,
+          FaultKind::stun_blackout, FaultKind::mass_churn, FaultKind::cn_outage,
+          FaultKind::dn_outage, FaultKind::flash_crowd}) {
+        if (word == to_string(k)) {
+            out = k;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool parse_double(const std::string& v, double& out) {
+    try {
+        std::size_t used = 0;
+        out = std::stod(v, &used);
+        return used == v.size();
+    } catch (...) {
+        return false;
+    }
+}
+
+/// Region values accept "all" (meaning -1) besides plain indices.
+bool parse_region(const std::string& v, int& out) {
+    if (v == "all") {
+        out = -1;
+        return true;
+    }
+    double d = 0;
+    if (!parse_double(v, d) || d < 0) return false;
+    out = static_cast<int>(d);
+    return true;
+}
+
+std::string format_g(double v) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%g", v);
+    return buf;
+}
+
+Error bad(const std::string& what) { return Error{Error::Code::invalid_argument, what}; }
+
+}  // namespace
+
+Result<FaultEvent> parse_fault_event(const std::string& text) {
+    std::istringstream in(text);
+    std::string word;
+    if (!(in >> word)) return bad("empty fault spec");
+    FaultEvent e;
+    if (!parse_kind(word, e.kind)) return bad("unknown fault kind '" + word + "'");
+
+    while (in >> word) {
+        const auto eq = word.find('=');
+        if (eq == std::string::npos) return bad("expected key=value, got '" + word + "'");
+        const std::string key = word.substr(0, eq);
+        const std::string value = word.substr(eq + 1);
+        double d = 0;
+        bool ok = true;
+        if (key == "at") {
+            ok = parse_double(value, d);
+            e.at_days = d;
+        } else if (key == "duration") {
+            ok = parse_double(value, d);
+            e.duration_days = d;
+        } else if (key == "region") {
+            ok = parse_region(value, e.region);
+        } else if (key == "region_b") {
+            ok = parse_region(value, e.region_b);
+        } else if (key == "asn") {
+            ok = parse_double(value, d) && d >= 0;
+            e.asn = static_cast<std::uint32_t>(d);
+        } else if (key == "fraction") {
+            ok = parse_double(value, d) && d >= 0.0 && d <= 1.0;
+            e.fraction = d;
+        } else if (key == "latency_x") {
+            ok = parse_double(value, d) && d >= 1.0;
+            e.latency_factor = d;
+        } else if (key == "rate_x") {
+            ok = parse_double(value, d) && d > 0.0 && d <= 1.0;
+            e.rate_factor = std::max(d, 0.01);
+        } else if (key == "loss") {
+            ok = parse_double(value, d) && d >= 0.0 && d < 1.0;
+            e.loss = d;
+        } else {
+            return bad("unknown fault key '" + key + "'");
+        }
+        if (!ok) return bad("bad value '" + value + "' for fault key '" + key + "'");
+    }
+
+    if (e.at_days < 0) return bad("fault 'at' must be >= 0");
+    if (e.kind == FaultKind::as_degradation && e.latency_factor == 1.0 && e.rate_factor == 1.0 &&
+        e.loss == 0.0)
+        return bad("as_degradation needs latency_x, rate_x, or loss");
+    if ((e.kind == FaultKind::mass_churn || e.kind == FaultKind::flash_crowd) && e.fraction <= 0.0)
+        return bad(std::string(to_string(e.kind)) + " needs fraction > 0");
+    return e;
+}
+
+std::string to_string(const FaultEvent& e) {
+    std::string out(to_string(e.kind));
+    out += " at=" + format_g(e.at_days);
+    if (e.duration_days > 0) out += " duration=" + format_g(e.duration_days);
+    const auto region_str = [](int r) { return r < 0 ? std::string("all") : std::to_string(r); };
+    switch (e.kind) {
+        case FaultKind::edge_outage:
+        case FaultKind::cn_outage:
+        case FaultKind::dn_outage:
+            out += " region=" + region_str(e.region);
+            break;
+        case FaultKind::region_partition:
+            out += " region=" + region_str(e.region) + " region_b=" + region_str(e.region_b);
+            break;
+        case FaultKind::as_degradation:
+            out += " asn=" + std::to_string(e.asn);
+            if (e.latency_factor != 1.0) out += " latency_x=" + format_g(e.latency_factor);
+            if (e.rate_factor != 1.0) out += " rate_x=" + format_g(e.rate_factor);
+            if (e.loss != 0.0) out += " loss=" + format_g(e.loss);
+            break;
+        case FaultKind::mass_churn:
+        case FaultKind::flash_crowd:
+            out += " fraction=" + format_g(e.fraction);
+            break;
+        case FaultKind::stun_blackout:
+            break;
+    }
+    return out;
+}
+
+}  // namespace netsession::fault

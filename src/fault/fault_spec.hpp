@@ -1,0 +1,84 @@
+// FaultPlan: a deterministic, scenario-configurable timeline of fault events.
+//
+// The paper claims NetSession "degrades gracefully" under infrastructure
+// failure (§3.8) and quantifies the resulting failure taxonomy (§5.2: 0.1%
+// infrastructure- vs 0.2% p2p-system-related failures). A FaultPlan makes
+// those regimes first-class: a list of timed events — edge-server outages,
+// regional network partitions, per-AS link degradation, STUN blackouts, mass
+// peer crash churn, control-plane outages, flash crowds — that the
+// FaultEngine schedules against the simulator. Plans parse from scenario INI
+// lines (`fault = <kind> key=value ...`, see docs/ROBUSTNESS.md) and are part
+// of the determinism contract: same seed + same plan ⇒ byte-identical traces.
+//
+// This header is pure data (no dependency on the components the events act
+// on) so SimulationConfig can embed a plan without layering cycles; the
+// machinery that applies events lives in fault/fault_engine.*.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+
+namespace netsession::fault {
+
+enum class FaultKind : std::uint8_t {
+    edge_outage,       // edge servers of one region (or all) go down
+    region_partition,  // the network between two regions (or one vs all) breaks
+    as_degradation,    // one AS's links degrade: latency x, rate x, message loss
+    stun_blackout,     // every STUN component stops answering probes
+    mass_churn,        // a fraction of running peers crash abruptly (no goodbye)
+    cn_outage,         // connection nodes of one region (or all) fail
+    dn_outage,         // database nodes of one region (or all) fail (+ RE-ADD on restart)
+    flash_crowd,       // a fraction of online peers request the same object at once
+};
+
+[[nodiscard]] std::string_view to_string(FaultKind k) noexcept;
+
+/// One timed fault. Times are in days of simulated time measured from the
+/// start of the run (t = 0 is the start of warm-up; the measurement window
+/// begins at `warmup_days`). `duration_days == 0` means the fault is
+/// permanent (never restored).
+struct FaultEvent {
+    FaultKind kind = FaultKind::edge_outage;
+    double at_days = 0.0;
+    double duration_days = 0.0;
+    /// Region scope: -1 = all regions (edge/cn/dn outages), or the first
+    /// side of a partition.
+    int region = -1;
+    /// Second side of a partition; -1 partitions `region` from every other.
+    int region_b = -1;
+    /// Target AS for as_degradation.
+    std::uint32_t asn = 0;
+    /// Affected share of peers (mass_churn, flash_crowd), in [0, 1].
+    double fraction = 0.0;
+    /// as_degradation parameters: one-way latency multiplier, capacity
+    /// multiplier (clamped to >= 0.01 so flows cannot freeze at rate zero),
+    /// and per-message loss probability.
+    double latency_factor = 1.0;
+    double rate_factor = 1.0;
+    double loss = 0.0;
+};
+
+/// The full timeline; events may appear in any order.
+struct FaultPlan {
+    std::vector<FaultEvent> events;
+    [[nodiscard]] bool empty() const noexcept { return events.empty(); }
+};
+
+/// Parses one scenario line payload, e.g.
+///   "edge_outage at=12 duration=1 region=2"
+///   "region_partition at=12 duration=0.5 region=0 region_b=3"
+///   "as_degradation at=12 duration=1 asn=7 latency_x=5 rate_x=0.2 loss=0.05"
+///   "stun_blackout at=12 duration=2"
+///   "mass_churn at=12 fraction=0.3"
+///   "flash_crowd at=12 fraction=0.2"
+/// Unknown kinds, unknown keys, and malformed values are errors (typos must
+/// not silently become no-op faults).
+[[nodiscard]] Result<FaultEvent> parse_fault_event(const std::string& text);
+
+/// Renders an event in the syntax parse_fault_event accepts (round-trips).
+[[nodiscard]] std::string to_string(const FaultEvent& event);
+
+}  // namespace netsession::fault

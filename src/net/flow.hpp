@@ -108,6 +108,17 @@ public:
     /// settles a flow goes through.
     [[nodiscard]] Bytes total_delivered() const noexcept { return total_delivered_; }
 
+    /// Visits every active flow as (id, src, dst), in slot order (stable and
+    /// deterministic for a given history). The callback must not start or
+    /// cancel flows; collect ids and act after the sweep.
+    template <typename Fn>
+    void for_each_active(Fn&& fn) const {
+        for (std::uint32_t slot = 0; slot < flows_.size(); ++slot) {
+            const Flow& f = flows_[slot];
+            if (f.active) fn(make_id(slot), f.src, f.dst);
+        }
+    }
+
     /// Relative rate change below which updates do not propagate.
     void set_epsilon(double eps) noexcept { epsilon_ = eps; }
 

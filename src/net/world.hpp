@@ -5,6 +5,7 @@
 #pragma once
 
 #include <functional>
+#include <unordered_map>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -65,8 +66,44 @@ public:
     [[nodiscard]] sim::Duration latency(HostId a, HostId b) const;
 
     /// Delivers `fn` at the destination after one-way latency. The caller is
-    /// responsible for the destination object outliving delivery.
+    /// responsible for the destination object outliving delivery. Messages
+    /// crossing an active partition are dropped, as are messages that lose a
+    /// Bernoulli draw against an endpoint AS's fault loss rate.
     void send(HostId from, HostId to, std::function<void()> fn);
+
+    /// Changes a host's nominal link capacity. Prefer these over mutating
+    /// `flows()` directly: the world remembers the nominal value and applies
+    /// any active AS degradation factor on top, so fault restore does not
+    /// clobber throttling (and vice versa).
+    void set_host_up_capacity(HostId h, Rate up);
+    void set_host_down_capacity(HostId h, Rate down);
+
+    // --- Fault hooks (driven by fault::FaultEngine; no-cost when unused) ---
+
+    /// Severs communication between two regions; `b < 0` cuts `a` off from
+    /// every other region. Messages across the cut are dropped and active
+    /// flows crossing it are cancelled (their completions never fire — the
+    /// receiving side must detect the stall). Cuts nest: each call needs a
+    /// matching heal_partition.
+    void partition_regions(int a, int b);
+    void heal_partition(int a, int b);
+    /// True when `a` and `b` can currently exchange messages / move bytes.
+    [[nodiscard]] bool reachable(HostId a, HostId b) const;
+    [[nodiscard]] bool regions_reachable(RegionId a, RegionId b) const;
+
+    /// Degrades one AS's links: one-way latency multiplier, link capacity
+    /// multiplier applied to attached non-server hosts (clamped to >= 0.01 so
+    /// flows slow to a crawl rather than freezing), and per-message loss
+    /// probability. One degradation per AS at a time; a second call replaces
+    /// the first. Loss draws come from a dedicated constant-seeded stream and
+    /// only happen while a loss fault is active, so fault-free runs are
+    /// byte-identical to pre-fault builds.
+    void degrade_as(Asn asn, double latency_factor, double rate_factor, double loss);
+    void restore_as(Asn asn);
+
+    /// Cancels every active flow touching `h` (host crash / server failure);
+    /// completion callbacks are not invoked. Returns how many were cut.
+    int drop_host_flows(HostId h);
 
     [[nodiscard]] sim::Simulator& simulator() noexcept { return *sim_; }
     [[nodiscard]] FlowNetwork& flows() noexcept { return flows_; }
@@ -77,11 +114,31 @@ public:
     [[nodiscard]] const GeoDatabase& geodb() const noexcept { return geodb_; }
 
 private:
+    struct AsFault {
+        double latency_factor = 1.0;
+        double rate_factor = 1.0;
+        double loss = 0.0;
+    };
+
+    /// Reapplies a host's effective capacities from its nominal values and
+    /// the active degradation factor of its AS.
+    void apply_capacity(HostId h);
+    [[nodiscard]] double as_latency_factor(Asn asn) const;
+    void change_partition(int a, int b, int delta);
+    void cut_partitioned_flows();
+
     sim::Simulator* sim_;
     FlowNetwork flows_;
     AsGraph as_graph_;
     GeoDatabase geodb_;
     std::vector<HostInfo> hosts_;
+    // Fault state. partition_count_ is a regions x regions nesting-count
+    // matrix, sized lazily on first cut; lookups are O(1) and fault-free runs
+    // take the active_partitions_ == 0 fast path.
+    std::vector<std::uint16_t> partition_count_;
+    int active_partitions_ = 0;
+    std::unordered_map<std::uint32_t, AsFault> as_faults_;  // keyed by Asn::value
+    Rng fault_rng_{0xFA017FA017FA017ULL};  // loss draws only; constant seed
 };
 
 }  // namespace netsession::net

@@ -64,6 +64,34 @@ struct ClientConfig {
     /// Whether paused downloads resume automatically at the next client
     /// start (the user can also resume explicitly, §3.3).
     bool resume_on_start = false;
+
+    // --- failure hardening (§3.8: graceful degradation) ---------------------
+
+    /// Stall-watchdog period per active download. Stalls are detected by
+    /// *liveness* — a transfer whose flow no longer exists after the grace
+    /// period — never by duration, so legitimately slow multi-hour transfers
+    /// are not killed.
+    double watchdog_interval_s = 30.0;
+    /// Grace after issuing a request before a missing flow counts as a stall
+    /// (covers request/response messages still crossing the network).
+    double stall_grace_s = 10.0;
+
+    /// Capped exponential backoff between edge retries after a stall.
+    double edge_retry_base_s = 2.0;
+    double edge_retry_max_s = 60.0;
+
+    /// Stalls/failures from one peer source before it is blacklisted, and
+    /// how long the bench lasts.
+    int blacklist_failures = 3;
+    double blacklist_duration_s = 600.0;
+
+    /// Timeouts for control-plane interactions whose replies can be lost
+    /// (server died mid-request, network partition, STUN blackout).
+    double login_timeout_s = 30.0;
+    double query_timeout_s = 30.0;
+    /// After this long without a STUN answer the client proceeds with a
+    /// conservative NAT classification instead of wedging forever.
+    double stun_timeout_s = 10.0;
 };
 
 }  // namespace netsession::peer

@@ -83,9 +83,24 @@ void NetSessionClient::start() {
             ++it;
     }
 
-    // Connectivity discovery, then the persistent control connection.
-    plane_->closest_stun(host_).probe(host_, [this](control::ConnectivityReport) {
-        if (!running_) return;
+    // Connectivity discovery, then the persistent control connection. The
+    // probe can be silently lost (STUN blackout, partition); a timeout makes
+    // sure startup never wedges on it — the client then proceeds with a
+    // conservative NAT classification (§3.8 degraded mode).
+    const std::uint32_t attempt = ++stun_attempt_;
+    stun_pending_ = true;
+    plane_->closest_stun(host_).probe(host_, [this, attempt](control::ConnectivityReport) {
+        if (!running_ || attempt != stun_attempt_) return;
+        const bool was_pending = stun_pending_;
+        stun_pending_ = false;
+        conservative_nat_ = false;  // fresh, authoritative classification
+        if (was_pending) connect_control_plane();
+    });
+    world_->simulator().schedule_after(sim::seconds(config_.stun_timeout_s), [this, attempt] {
+        if (!running_ || attempt != stun_attempt_ || !stun_pending_) return;
+        stun_pending_ = false;
+        conservative_nat_ = true;
+        note_degradation(trace::DegradationKind::stun_timeout);
         connect_control_plane();
     });
 
@@ -123,6 +138,29 @@ void NetSessionClient::stop() {
         cn_ = nullptr;
     }
     login_in_flight_ = false;
+    stun_pending_ = false;
+}
+
+void NetSessionClient::crash() {
+    if (!running_) return;
+    running_ = false;
+    // Downloads pause exactly as on a clean stop (resumable on disk), but
+    // nothing is announced: no goodbyes to transfer partners, no CN logout —
+    // the session just goes stale server-side.
+    for (auto& [object, d] : downloads_) {
+        if (!d.paused) {
+            d.paused = true;
+            stop_transfers(d, /*notify_remotes=*/false);
+        }
+    }
+    upload_conns_.clear();
+    introductions_.clear();
+    // Everything still moving through this host — chiefly uploads we were
+    // serving — dies with the machine; downloaders' watchdogs must notice.
+    world_->drop_host_flows(host_);
+    cn_ = nullptr;
+    login_in_flight_ = false;
+    stun_pending_ = false;
 }
 
 // --- control-plane connectivity ------------------------------------------------
@@ -137,31 +175,46 @@ void NetSessionClient::connect_control_plane() {
         return;
     }
     login_in_flight_ = true;
+    const std::uint32_t attempt = ++login_attempt_;
     const control::LoginInfo info = make_login_info();
-    world_->send(host_, cn->host(), [this, cn, info] {
+    world_->send(host_, cn->host(), [this, cn, info, attempt] {
         if (!cn->login(*this, info)) {
             // CN down or its admission limiter deferred us; back off.
-            world_->send(cn->host(), host_, [this] { on_login_failed(); });
+            world_->send(cn->host(), host_, [this, attempt] { on_login_failed(attempt); });
             return;
         }
-        world_->send(cn->host(), host_, [this, cn] { on_login_ok(cn); });
+        world_->send(cn->host(), host_, [this, cn, attempt] { on_login_ok(cn, attempt); });
+    });
+    // Request or reply may be lost outright (CN died mid-handshake, network
+    // partition); without this timeout login_in_flight_ would wedge forever.
+    world_->simulator().schedule_after(sim::seconds(config_.login_timeout_s), [this, attempt] {
+        if (attempt != login_attempt_ || !login_in_flight_) return;
+        login_in_flight_ = false;
+        note_degradation(trace::DegradationKind::login_timeout);
+        schedule_reconnect();
     });
 }
 
-void NetSessionClient::on_login_ok(control::ConnectionNode* cn) {
-    login_in_flight_ = false;
-    if (!running_) {
-        const Guid self = guid_;
-        world_->send(host_, cn->host(), [cn, self] { cn->logout(self); });
+void NetSessionClient::on_login_ok(control::ConnectionNode* cn, std::uint32_t attempt) {
+    if (attempt != login_attempt_ || cn_ != nullptr || !running_) {
+        // Stale success (timed out, superseded, or the client stopped): the
+        // CN-side session is a duplicate; close it — unless a newer attempt
+        // landed on the very same CN, whose live session must survive.
+        if (cn != cn_) {
+            const Guid self = guid_;
+            world_->send(host_, cn->host(), [cn, self] { cn->logout(self); });
+        }
         return;
     }
+    login_in_flight_ = false;
     cn_ = cn;
     reconnect_delay_s_ = config_.reconnect_base_s;
     flush_pending_reports();
     kick_downloads();
 }
 
-void NetSessionClient::on_login_failed() {
+void NetSessionClient::on_login_failed(std::uint32_t attempt) {
+    if (attempt != login_attempt_ || !login_in_flight_) return;
     login_in_flight_ = false;
     schedule_reconnect();
 }
@@ -235,6 +288,7 @@ void NetSessionClient::begin_download(ObjectId object, DownloadCallback on_finis
     downloads_.emplace(object, std::move(d));
 
     request_from_edge(object);
+    schedule_watchdog(object);
 
     // Authenticate to the edge for the p2p search token (§3.5), then query.
     Download& stored = downloads_.at(object);
@@ -283,6 +337,7 @@ void NetSessionClient::resume_download(ObjectId object) {
     d.has_token = false;
     const std::uint32_t epoch = d.epoch;
     request_from_edge(object);
+    schedule_watchdog(object);
     const sim::Duration rtt =
         world_->latency(host_, d.edge->host()) + world_->latency(d.edge->host(), host_);
     world_->simulator().schedule_after(rtt, [this, object, epoch] {
@@ -336,6 +391,7 @@ void NetSessionClient::request_from_edge(ObjectId object) {
     if (!d.options.sequential) d.picker.set_in_flight(*piece, true);
     d.edge_piece = *piece;
     d.edge_transferring = true;
+    d.edge_started_at = world_->simulator().now();
     const std::uint32_t epoch = d.epoch;
     edge::EdgeServer* edge = d.edge;
     // The HTTP request crosses the network before the transfer starts.
@@ -357,6 +413,7 @@ void NetSessionClient::on_edge_piece(ObjectId object, std::uint32_t epoch,
     Download& d = it->second;
     d.edge_transferring = false;
     d.edge_flow = net::FlowId{};
+    d.edge_retry_delay_s = 0;  // the edge path works again; reset the backoff
     if (!d.options.sequential) d.picker.set_in_flight(piece, false);
 
     if (rng_.chance(config_.corruption_prob_edge)) digest = corrupted(digest);
@@ -402,6 +459,18 @@ void NetSessionClient::query_for_peers(ObjectId object) {
                       on_query_reply(object, epoch, std::move(peers));
                   });
     });
+    // The query or its reply can be lost (CN failure mid-request, partition);
+    // clear the outstanding flag so later re-queries are not blocked forever.
+    world_->simulator().schedule_after(sim::seconds(config_.query_timeout_s),
+                                       [this, object, epoch] {
+                                           const auto dit = downloads_.find(object);
+                                           if (dit == downloads_.end() ||
+                                               dit->second.epoch != epoch ||
+                                               !dit->second.query_outstanding)
+                                               return;
+                                           dit->second.query_outstanding = false;
+                                           note_degradation(trace::DegradationKind::query_timeout);
+                                       });
 }
 
 void NetSessionClient::on_query_reply(ObjectId object, std::uint32_t epoch,
@@ -452,6 +521,12 @@ void NetSessionClient::attempt_connection(ObjectId object, const control::PeerDe
         return;
     d.attempted.push_back(remote.guid);
 
+    // A source that failed repeatedly is benched; do not retry it yet.
+    if (source_blacklisted(remote.guid)) {
+        maybe_need_more_sources(object);
+        return;
+    }
+
     NetSessionClient* target = registry_->find(remote.guid);
     if (target == nullptr) {
         maybe_need_more_sources(object);
@@ -459,8 +534,11 @@ void NetSessionClient::attempt_connection(ObjectId object, const control::PeerDe
     }
 
     // Coordinated NAT traversal: the CN told both endpoints to connect
-    // (§3.7); the punch itself still fails with some probability.
-    const net::NatType my_nat = world_->host(host_).attach.nat;
+    // (§3.7); the punch itself still fails with some probability. Under a
+    // STUN outage the client never learned its own NAT type and must assume
+    // a conservative one (hole punching still usually works, just worse).
+    const net::NatType my_nat = conservative_nat_ ? net::NatType::port_restricted
+                                                  : world_->host(host_).attach.nat;
     if (!rng_.chance(net::traversal_success_probability(my_nat, remote.nat))) {
         plane_->monitoring().report_problem(guid_, control::ProblemKind::connect_failure);
         maybe_need_more_sources(object);
@@ -468,20 +546,40 @@ void NetSessionClient::attempt_connection(ObjectId object, const control::PeerDe
     }
 
     ++d.pending_attempts;
+    const std::uint64_t seq = ++attempt_seq_;
+    d.open_attempts.insert(seq);
     const std::uint32_t epoch = d.epoch;
     const control::PeerDescriptor me = descriptor();
-    world_->send(host_, remote.host, [this, target, me, object, remote, epoch] {
-        target->handle_upload_request(me, object, [this, object, remote, epoch](bool accepted) {
-            on_connection_result(object, epoch, remote, accepted);
-        });
+    world_->send(host_, remote.host, [this, target, me, object, remote, epoch, seq] {
+        target->handle_upload_request(me, object,
+                                      [this, object, remote, epoch, seq](bool accepted) {
+                                          on_connection_result(object, epoch, remote, seq,
+                                                               accepted);
+                                      });
     });
+    // The handshake (or its answer) can be lost; reclaim the pending slot so
+    // source accounting does not leak and re-queries stay possible.
+    world_->simulator().schedule_after(sim::seconds(config_.query_timeout_s),
+                                       [this, object, epoch, seq] {
+                                           const auto dit = downloads_.find(object);
+                                           if (dit == downloads_.end() ||
+                                               dit->second.epoch != epoch)
+                                               return;
+                                           Download& dl = dit->second;
+                                           if (dl.open_attempts.erase(seq) == 0) return;
+                                           if (dl.pending_attempts > 0) --dl.pending_attempts;
+                                           maybe_need_more_sources(object);
+                                       });
 }
 
 void NetSessionClient::on_connection_result(ObjectId object, std::uint32_t epoch,
-                                            const control::PeerDescriptor& remote, bool accepted) {
+                                            const control::PeerDescriptor& remote,
+                                            std::uint64_t seq, bool accepted) {
     const auto it = downloads_.find(object);
-    if (it == downloads_.end() || it->second.epoch != epoch) {
-        // The download moved on; release the remote's upload slot.
+    if (it == downloads_.end() || it->second.epoch != epoch ||
+        it->second.open_attempts.erase(seq) == 0) {
+        // The download moved on (or the attempt already timed out); release
+        // the remote's upload slot.
         if (accepted) {
             if (NetSessionClient* target = registry_->find(remote.guid)) {
                 const Guid self = guid_;
@@ -505,7 +603,7 @@ void NetSessionClient::on_connection_result(ObjectId object, std::uint32_t epoch
         }
         return;
     }
-    d.sources.push_back(PeerSource{remote, net::FlowId{}, 0, false, 0});
+    d.sources.push_back(PeerSource{remote, net::FlowId{}, 0, false, 0, 0, sim::SimTime{}});
     request_from_source(object, remote.guid);
 }
 
@@ -532,6 +630,17 @@ void NetSessionClient::request_from_source(ObjectId object, Guid source_guid) {
     if (sit == d.sources.end() || sit->transferring) return;
     PeerSource& src = *sit;
 
+    // A partition may have opened since the source connected; a flow across
+    // the cut could never deliver. Treat it like a stalled source.
+    if (!world_->reachable(host_, src.desc.host)) {
+        note_degradation(trace::DegradationKind::peer_stall);
+        note_source_failure(source_guid);
+        drop_source(d, source_guid, /*notify_remote=*/false);
+        maybe_need_more_sources(object);
+        if (!d.edge_transferring) request_from_edge(object);
+        return;
+    }
+
     // Streaming: peers prefetch ahead of the urgent window, which belongs to
     // the (fast, reliable) edge connection.
     auto piece = d.options.sequential
@@ -542,6 +651,7 @@ void NetSessionClient::request_from_source(ObjectId object, Guid source_guid) {
     d.picker.set_in_flight(*piece, true);
     src.piece = *piece;
     src.transferring = true;
+    src.started_at = world_->simulator().now();
     const Bytes len = d.entry->object.piece_length(*piece);
     const Digest256 digest = d.entry->object.correct_transfer_digest(*piece);
     const std::uint32_t epoch = d.epoch;
@@ -581,7 +691,9 @@ void NetSessionClient::on_peer_piece(ObjectId object, std::uint32_t epoch, Guid 
         }
         if (src.corrupt_pieces >= 3) {
             // A source that repeatedly fails verification has bad data;
-            // disconnect it and fill in from elsewhere.
+            // disconnect it and fill in from elsewhere. It counts toward the
+            // blacklist like any other repeated source failure.
+            note_source_failure(from);
             drop_source(d, from, /*notify_remote=*/true);
             maybe_need_more_sources(object);
             if (!d.edge_transferring) request_from_edge(object);
@@ -593,6 +705,7 @@ void NetSessionClient::on_peer_piece(ObjectId object, std::uint32_t epoch, Guid 
 
     d.bytes_peers += len;
     src.bytes += len;
+    source_failures_.erase(from);  // a delivered piece clears the strike count
     auto& [ip, total] = d.per_source_bytes[from];
     ip = src.desc.ip;
     total += len;
@@ -682,10 +795,127 @@ void NetSessionClient::on_source_lost(Guid uploader, ObjectId object) {
     }
 }
 
+// --- failure hardening -------------------------------------------------------------------
+
+void NetSessionClient::note_degradation(trace::DegradationKind kind) {
+    // Simulator-level telemetry (not part of the CN log schema): recorded
+    // directly, because most degradations happen exactly when the control
+    // plane is unreachable.
+    trace::DegradationRecord rec;
+    rec.guid = guid_;
+    rec.time = world_->simulator().now();
+    rec.kind = kind;
+    plane_->trace_log().add(rec);
+}
+
+void NetSessionClient::note_source_failure(Guid source) {
+    const int failures = ++source_failures_[source];
+    if (failures < config_.blacklist_failures) return;
+    source_failures_.erase(source);
+    blacklist_[source] =
+        world_->simulator().now() + sim::seconds(config_.blacklist_duration_s);
+    note_degradation(trace::DegradationKind::source_blacklisted);
+}
+
+bool NetSessionClient::source_blacklisted(Guid source) {
+    const auto it = blacklist_.find(source);
+    if (it == blacklist_.end()) return false;
+    if (world_->simulator().now() >= it->second) {
+        blacklist_.erase(it);  // bench served; lazily expire
+        return false;
+    }
+    return true;
+}
+
+void NetSessionClient::schedule_watchdog(ObjectId object) {
+    const auto it = downloads_.find(object);
+    if (it == downloads_.end()) return;
+    Download& d = it->second;
+    const std::uint32_t epoch = d.epoch;
+    d.watchdog = world_->simulator().schedule_after(
+        sim::seconds(config_.watchdog_interval_s),
+        [this, object, epoch] { watchdog_tick(object, epoch); });
+}
+
+void NetSessionClient::watchdog_tick(ObjectId object, std::uint32_t epoch) {
+    const auto it = downloads_.find(object);
+    if (it == downloads_.end() || it->second.epoch != epoch || it->second.paused) return;
+    Download& d = it->second;
+    const sim::SimTime now = world_->simulator().now();
+    const sim::Duration grace = sim::seconds(config_.stall_grace_s);
+
+    // Stall detection is liveness-based: a transfer is healthy while its flow
+    // exists, however slow it runs. A missing flow past the grace period
+    // means the request was refused, lost, or the connection was cut.
+    if (d.edge_transferring && !world_->flows().active(d.edge_flow) &&
+        now - d.edge_started_at > grace) {
+        note_degradation(trace::DegradationKind::edge_stall);
+        if (!d.options.sequential) d.picker.set_in_flight(d.edge_piece, false);
+        d.edge_transferring = false;
+        d.edge_flow = net::FlowId{};
+        // Re-resolve DNS: a failed or partitioned edge maps to the
+        // next-nearest live server.
+        edge::EdgeServer* fresh = &edges_->nearest(host_);
+        if (fresh != d.edge) {
+            d.edge = fresh;
+            note_degradation(trace::DegradationKind::edge_remapped);
+        }
+        schedule_edge_retry(object);
+    }
+
+    // Dead peer sources: flow gone without a completion (uploader crashed,
+    // server cut the cross-partition flow, ...).
+    std::vector<Guid> stalled;
+    for (const PeerSource& src : d.sources)
+        if (src.transferring && !world_->flows().active(src.flow) &&
+            now - src.started_at > grace)
+            stalled.push_back(src.desc.guid);
+    for (const Guid source : stalled) {
+        note_degradation(trace::DegradationKind::peer_stall);
+        note_source_failure(source);
+        drop_source(d, source, /*notify_remote=*/true);
+    }
+    if (!stalled.empty()) {
+        maybe_need_more_sources(object);
+        if (!downloads_.contains(object)) return;  // re-query finished it? be safe
+        Download& after = downloads_.at(object);
+        if (!after.edge_transferring && after.edge_retry_delay_s == 0)
+            request_from_edge(object);
+    }
+
+    schedule_watchdog(object);
+}
+
+void NetSessionClient::schedule_edge_retry(ObjectId object) {
+    const auto it = downloads_.find(object);
+    if (it == downloads_.end()) return;
+    Download& d = it->second;
+    // Capped exponential backoff: no hammering a dead edge every tick, quick
+    // recovery once something changes (reset on the next delivered piece).
+    d.edge_retry_delay_s = d.edge_retry_delay_s == 0
+                               ? config_.edge_retry_base_s
+                               : std::min(d.edge_retry_delay_s * 2.0, config_.edge_retry_max_s);
+    const std::uint32_t epoch = d.epoch;
+    world_->simulator().schedule_after(sim::seconds(d.edge_retry_delay_s),
+                                       [this, object, epoch] {
+                                           const auto dit = downloads_.find(object);
+                                           if (dit == downloads_.end() ||
+                                               dit->second.epoch != epoch ||
+                                               dit->second.paused)
+                                               return;
+                                           if (!dit->second.edge_transferring)
+                                               request_from_edge(object);
+                                       });
+}
+
 // --- terminal handling ------------------------------------------------------------------
 
 void NetSessionClient::stop_transfers(Download& d, bool notify_remotes) {
     ++d.epoch;  // invalidates every async callback of this download
+    world_->simulator().cancel(d.watchdog);
+    d.watchdog = sim::EventHandle{};
+    d.open_attempts.clear();
+    d.edge_retry_delay_s = 0;
     if (d.edge_transferring) {
         if (d.edge_flow.valid()) d.edge->abort(d.edge_flow);
         if (!d.options.sequential) d.picker.set_in_flight(d.edge_piece, false);
@@ -856,10 +1086,10 @@ void NetSessionClient::set_user_traffic(bool active) {
     if (user_traffic_ == active) return;
     user_traffic_ = active;
     // Uploads back off while the user's own traffic needs the link (§3.9);
-    // downloads are user-initiated and keep their full share.
-    world_->flows().set_up_capacity(host_,
-                                    active ? base_up_ * config_.user_traffic_upload_factor
-                                           : base_up_);
+    // downloads are user-initiated and keep their full share. Routed through
+    // the world so an active AS degradation stays applied on top.
+    world_->set_host_up_capacity(host_, active ? base_up_ * config_.user_traffic_upload_factor
+                                               : base_up_);
 }
 
 void NetSessionClient::move_to(net::Location location, Asn asn, net::NatType nat) {

@@ -51,8 +51,16 @@ public:
     void start();
     /// The user logged out: active downloads pause (resumable), uploads stop.
     void stop();
+    /// Abrupt failure (power loss, kill -9): like stop() but nothing is
+    /// announced — no logout, no goodbye to transfer partners; every flow
+    /// touching this host is cut. Remote peers must detect the loss via
+    /// their own stall watchdogs. Used by the fault engine's mass churn.
+    void crash();
     [[nodiscard]] bool running() const noexcept { return running_; }
     [[nodiscard]] bool connected() const noexcept { return cn_ != nullptr; }
+    /// True while operating on a conservative NAT assumption because the
+    /// STUN probe timed out (§3.8 degraded mode).
+    [[nodiscard]] bool conservative_nat() const noexcept { return conservative_nat_; }
 
     // --- identity ------------------------------------------------------------
     [[nodiscard]] Guid guid() const noexcept override { return guid_; }
@@ -156,6 +164,7 @@ private:
         bool transferring = false;
         Bytes bytes = 0;       // completed-piece bytes received from this source
         int corrupt_pieces = 0;  // repeated offenders get disconnected
+        sim::SimTime started_at;  // when the current transfer was requested
     };
 
     struct Download {
@@ -179,9 +188,13 @@ private:
         int additional_queries = 0;
         int corrupt_pieces = 0;
         int pending_attempts = 0;  // connection handshakes in flight
+        std::unordered_set<std::uint64_t> open_attempts;  // seq of in-flight handshakes
         bool query_outstanding = false;
         bool paused = false;
         std::uint32_t epoch = 0;  // invalidates in-flight async callbacks
+        sim::SimTime edge_started_at;   // when the current edge request went out
+        double edge_retry_delay_s = 0;  // capped exponential backoff state
+        sim::EventHandle watchdog;
         DownloadCallback on_finish;
         DownloadOptions options;
     };
@@ -189,10 +202,18 @@ private:
     [[nodiscard]] control::PeerDescriptor descriptor() const;
     [[nodiscard]] control::LoginInfo make_login_info() const;
     void connect_control_plane();
-    void on_login_ok(control::ConnectionNode* cn);
-    void on_login_failed();
+    void on_login_ok(control::ConnectionNode* cn, std::uint32_t attempt);
+    void on_login_failed(std::uint32_t attempt);
     void schedule_reconnect();
     void kick_downloads();
+
+    // --- failure hardening ---
+    void schedule_watchdog(ObjectId object);
+    void watchdog_tick(ObjectId object, std::uint32_t epoch);
+    void schedule_edge_retry(ObjectId object);
+    void note_degradation(trace::DegradationKind kind);
+    void note_source_failure(Guid source);
+    [[nodiscard]] bool source_blacklisted(Guid source);
 
     void request_from_edge(ObjectId object);
     void on_edge_piece(ObjectId object, std::uint32_t epoch, swarm::PieceIndex piece,
@@ -202,7 +223,8 @@ private:
                         std::vector<control::PeerDescriptor> peers);
     void attempt_connection(ObjectId object, const control::PeerDescriptor& remote);
     void on_connection_result(ObjectId object, std::uint32_t epoch,
-                              const control::PeerDescriptor& remote, bool accepted);
+                              const control::PeerDescriptor& remote, std::uint64_t seq,
+                              bool accepted);
     void request_from_source(ObjectId object, Guid source_guid);
     void on_peer_piece(ObjectId object, std::uint32_t epoch, Guid from, swarm::PieceIndex piece,
                        Digest256 digest);
@@ -233,6 +255,13 @@ private:
     bool user_traffic_ = false;
     control::ConnectionNode* cn_ = nullptr;
     bool login_in_flight_ = false;
+    std::uint32_t login_attempt_ = 0;  // invalidates stale login replies/timeouts
+    bool stun_pending_ = false;
+    std::uint32_t stun_attempt_ = 0;
+    bool conservative_nat_ = false;
+    std::uint64_t attempt_seq_ = 0;  // unique ids for connection handshakes
+    std::unordered_map<Guid, int> source_failures_;
+    std::unordered_map<Guid, sim::SimTime> blacklist_;  // guid -> bench expiry
     double reconnect_delay_s_;
     std::vector<SecondaryGuid> chain_;
     std::unordered_map<ObjectId, sim::SimTime> cache_;  // object -> cached_at

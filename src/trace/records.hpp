@@ -115,4 +115,41 @@ struct DnRegistrationRecord {
     sim::SimTime time;
 };
 
+/// A client-side degradation event: the data path noticed a failure and did
+/// something about it (§3.8's graceful degradation, made observable). These
+/// are simulator-level telemetry — unlike the CN logs above they do not
+/// require a live control-plane session, because most of them happen exactly
+/// when the control plane or network is unhealthy.
+enum class DegradationKind : std::uint8_t {
+    edge_stall,          // edge delivery died / never started; will retry
+    edge_remapped,       // client re-resolved to a different edge server
+    peer_stall,          // a peer source's transfer died; source dropped
+    source_blacklisted,  // a source failed repeatedly and is benched
+    query_timeout,       // peer-search query went unanswered
+    login_timeout,       // control-plane login went unanswered
+    stun_timeout,        // STUN probe never returned; conservative NAT used
+};
+
+[[nodiscard]] constexpr std::string_view to_string(DegradationKind k) noexcept {
+    switch (k) {
+        case DegradationKind::edge_stall: return "edge_stall";
+        case DegradationKind::edge_remapped: return "edge_remapped";
+        case DegradationKind::peer_stall: return "peer_stall";
+        case DegradationKind::source_blacklisted: return "source_blacklisted";
+        case DegradationKind::query_timeout: return "query_timeout";
+        case DegradationKind::login_timeout: return "login_timeout";
+        case DegradationKind::stun_timeout: return "stun_timeout";
+    }
+    return "unknown";
+}
+
+/// One degradation event. Like every record above, the layout is packed so
+/// the raw dump carries no indeterminate padding.
+struct DegradationRecord {
+    Guid guid;       // the client that observed the failure
+    sim::SimTime time;
+    DegradationKind kind = DegradationKind::edge_stall;
+    std::uint8_t reserved_[7] = {};
+};
+
 }  // namespace netsession::trace

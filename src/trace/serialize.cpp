@@ -13,7 +13,8 @@ constexpr std::uint64_t kMagic = 0x4E53545243455231ULL;  // "NSTRCE" v1
 // v4: padding-free record layouts — the dump of a run is now a pure function
 // of the simulation (no indeterminate padding bytes), so identical runs
 // produce byte-identical files.
-constexpr std::uint32_t kVersion = 4;
+// v5: degradation-telemetry section (fault injection / data-plane hardening).
+constexpr std::uint32_t kVersion = 5;
 
 struct FileCloser {
     void operator()(std::FILE* f) const noexcept {
@@ -68,10 +69,12 @@ static_assert(std::is_trivially_copyable_v<DownloadRecord>);
 static_assert(std::is_trivially_copyable_v<LoginRecord>);
 static_assert(std::is_trivially_copyable_v<TransferRecord>);
 static_assert(std::is_trivially_copyable_v<DnRegistrationRecord>);
+static_assert(std::is_trivially_copyable_v<DegradationRecord>);
 static_assert(std::has_unique_object_representations_v<DownloadRecord>);
 static_assert(std::has_unique_object_representations_v<LoginRecord>);
 static_assert(std::has_unique_object_representations_v<TransferRecord>);
 static_assert(std::has_unique_object_representations_v<DnRegistrationRecord>);
+static_assert(std::has_unique_object_representations_v<DegradationRecord>);
 // GeoEntry holds doubles, for which the unique-representation trait is
 // always false; a packed-size check still rules out padding.
 static_assert(sizeof(GeoEntry) == 2 * sizeof(double) + 3 * sizeof(std::uint32_t) +
@@ -87,6 +90,7 @@ bool save_dataset(const Dataset& dataset, const std::string& path) {
     if (!write_vec(f.get(), dataset.log.logins())) return false;
     if (!write_vec(f.get(), dataset.log.transfers())) return false;
     if (!write_vec(f.get(), dataset.log.registrations())) return false;
+    if (!write_vec(f.get(), dataset.log.degradations())) return false;
 
     std::vector<GeoEntry> geo;
     geo.reserve(dataset.geodb.size());
@@ -116,13 +120,16 @@ bool load_dataset(Dataset& dataset, const std::string& path) {
     std::vector<LoginRecord> logins;
     std::vector<TransferRecord> transfers;
     std::vector<DnRegistrationRecord> registrations;
+    std::vector<DegradationRecord> degradations;
     if (!read_vec(f.get(), downloads) || !read_vec(f.get(), logins) ||
-        !read_vec(f.get(), transfers) || !read_vec(f.get(), registrations))
+        !read_vec(f.get(), transfers) || !read_vec(f.get(), registrations) ||
+        !read_vec(f.get(), degradations))
         return false;
     for (const auto& r : downloads) dataset.log.add(r);
     for (const auto& r : logins) dataset.log.add(r);
     for (const auto& r : transfers) dataset.log.add(r);
     for (const auto& r : registrations) dataset.log.add(r);
+    for (const auto& r : degradations) dataset.log.add(r);
 
     std::vector<GeoEntry> geo;
     if (!read_vec(f.get(), geo)) return false;

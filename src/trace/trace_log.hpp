@@ -14,6 +14,7 @@ public:
     void add(const LoginRecord& r) { logins_.push_back(r); }
     void add(const TransferRecord& r) { transfers_.push_back(r); }
     void add(const DnRegistrationRecord& r) { registrations_.push_back(r); }
+    void add(const DegradationRecord& r) { degradations_.push_back(r); }
 
     [[nodiscard]] const std::vector<DownloadRecord>& downloads() const noexcept {
         return downloads_;
@@ -31,6 +32,12 @@ public:
     [[nodiscard]] std::vector<DnRegistrationRecord>& registrations() noexcept {
         return registrations_;
     }
+    [[nodiscard]] const std::vector<DegradationRecord>& degradations() const noexcept {
+        return degradations_;
+    }
+    [[nodiscard]] std::vector<DegradationRecord>& degradations() noexcept {
+        return degradations_;
+    }
 
     /// Drops everything (used at the end of a warm-up phase: the paper's
     /// trace is a one-month window of a system that had been running for
@@ -40,9 +47,13 @@ public:
         logins_.clear();
         transfers_.clear();
         registrations_.clear();
+        degradations_.clear();
     }
 
     /// Total log entries across record kinds (Table 1's "log entries" row).
+    /// Degradation telemetry is deliberately excluded: it has no counterpart
+    /// in the paper's CN log schema, and including it would shift the
+    /// Table-1 comparison whenever faults are injected.
     [[nodiscard]] std::size_t total_entries() const noexcept {
         return downloads_.size() + logins_.size() + transfers_.size() + registrations_.size();
     }
@@ -56,6 +67,7 @@ private:
     std::vector<LoginRecord> logins_;
     std::vector<TransferRecord> transfers_;
     std::vector<DnRegistrationRecord> registrations_;
+    std::vector<DegradationRecord> degradations_;
 };
 
 }  // namespace netsession::trace

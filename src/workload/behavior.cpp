@@ -390,6 +390,38 @@ void UserDriver::apply_anomaly_post(User& u) {
     }
 }
 
+int UserDriver::crash_peers(double fraction, Rng& rng) {
+    // Deterministic: clients_ is iterated in creation order and the draws
+    // come from the fault engine's dedicated stream.
+    int crashed = 0;
+    for (auto& client : clients_) {
+        if (!client->running() || !rng.chance(fraction)) continue;
+        client->crash();
+        ++crashed;
+    }
+    return crashed;
+}
+
+int UserDriver::flash_crowd(double fraction, Rng& rng) {
+    // Everyone wants the same object at once (breaking news, patch release).
+    const ObjectId object = bundle_->sample_object(/*region=*/6, rng);
+    int launched = 0;
+    for (auto& client : clients_) {
+        if (!client->running() || !rng.chance(fraction)) continue;
+        if (client->download_active(object)) continue;
+        ++launched;
+        peer::NetSessionClient* cl = client.get();
+        const double at_s = rng.uniform(0.0, 60.0);
+        world_->simulator().schedule_after(sim::seconds(at_s), [this, cl, object] {
+            if (!cl->running() || cl->download_active(object)) return;
+            ++downloads_requested_;
+            cl->begin_download(object,
+                               [this](const trace::DownloadRecord&) { ++downloads_finished_; });
+        });
+    }
+    return launched;
+}
+
 void UserDriver::run() {
     auto& simulator = world_->simulator();
     if (behavior_.warmup.us > 0) {

@@ -101,6 +101,15 @@ public:
     /// downloads into the trace.
     void run();
 
+    // --- fault hooks (driven by fault::FaultEngine) -------------------------
+    /// Abruptly crashes each currently-running client with probability
+    /// `fraction` (mass churn; no goodbyes — remote watchdogs must notice).
+    /// Deterministic given `rng`; returns how many clients crashed.
+    int crash_peers(double fraction, Rng& rng);
+    /// Flash crowd: a `fraction` of the running clients request the same
+    /// object within the next minute. Returns how many launches were queued.
+    int flash_crowd(double fraction, Rng& rng);
+
     [[nodiscard]] std::vector<std::unique_ptr<peer::NetSessionClient>>& clients() noexcept {
         return clients_;
     }

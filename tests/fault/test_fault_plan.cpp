@@ -1,0 +1,99 @@
+// FaultPlan parsing: every kind parses, renders, and round-trips; typos are
+// hard errors (a misspelled fault must not silently become a no-op run).
+#include <gtest/gtest.h>
+
+#include "fault/fault_spec.hpp"
+
+namespace netsession::fault {
+namespace {
+
+FaultEvent parse_ok(const std::string& text) {
+    auto result = parse_fault_event(text);
+    EXPECT_TRUE(result.ok()) << text << ": " << (result.ok() ? "" : result.error().message);
+    return result.ok() ? result.value() : FaultEvent{};
+}
+
+TEST(FaultPlan, ParsesEdgeOutage) {
+    const FaultEvent e = parse_ok("edge_outage at=12 duration=1 region=2");
+    EXPECT_EQ(e.kind, FaultKind::edge_outage);
+    EXPECT_DOUBLE_EQ(e.at_days, 12.0);
+    EXPECT_DOUBLE_EQ(e.duration_days, 1.0);
+    EXPECT_EQ(e.region, 2);
+}
+
+TEST(FaultPlan, RegionAllMeansEveryRegion) {
+    EXPECT_EQ(parse_ok("edge_outage at=0 region=all").region, -1);
+    EXPECT_EQ(parse_ok("cn_outage at=0").region, -1) << "default scope is all regions";
+}
+
+TEST(FaultPlan, ParsesPartition) {
+    const FaultEvent e = parse_ok("region_partition at=3 duration=0.5 region=0 region_b=3");
+    EXPECT_EQ(e.kind, FaultKind::region_partition);
+    EXPECT_EQ(e.region, 0);
+    EXPECT_EQ(e.region_b, 3);
+}
+
+TEST(FaultPlan, ParsesAsDegradation) {
+    const FaultEvent e =
+        parse_ok("as_degradation at=1 duration=2 asn=7 latency_x=5 rate_x=0.2 loss=0.05");
+    EXPECT_EQ(e.kind, FaultKind::as_degradation);
+    EXPECT_EQ(e.asn, 7u);
+    EXPECT_DOUBLE_EQ(e.latency_factor, 5.0);
+    EXPECT_DOUBLE_EQ(e.rate_factor, 0.2);
+    EXPECT_DOUBLE_EQ(e.loss, 0.05);
+}
+
+TEST(FaultPlan, ParsesChurnAndCrowd) {
+    EXPECT_DOUBLE_EQ(parse_ok("mass_churn at=6 fraction=0.3").fraction, 0.3);
+    EXPECT_DOUBLE_EQ(parse_ok("flash_crowd at=6 fraction=0.2").fraction, 0.2);
+    EXPECT_EQ(parse_ok("stun_blackout at=6 duration=2").kind, FaultKind::stun_blackout);
+}
+
+TEST(FaultPlan, PermanentFaultHasZeroDuration) {
+    EXPECT_DOUBLE_EQ(parse_ok("stun_blackout at=0").duration_days, 0.0);
+}
+
+TEST(FaultPlan, RejectsTyposAndBadValues) {
+    EXPECT_FALSE(parse_fault_event("").ok());
+    EXPECT_FALSE(parse_fault_event("edge_outge at=1").ok()) << "unknown kind";
+    EXPECT_FALSE(parse_fault_event("edge_outage att=1").ok()) << "unknown key";
+    EXPECT_FALSE(parse_fault_event("edge_outage at").ok()) << "key without value";
+    EXPECT_FALSE(parse_fault_event("edge_outage at=-1").ok()) << "negative time";
+    EXPECT_FALSE(parse_fault_event("edge_outage at=soon").ok()) << "non-numeric";
+    EXPECT_FALSE(parse_fault_event("mass_churn at=1").ok()) << "churn without fraction";
+    EXPECT_FALSE(parse_fault_event("mass_churn at=1 fraction=1.5").ok()) << "fraction > 1";
+    EXPECT_FALSE(parse_fault_event("as_degradation at=1 asn=3").ok())
+        << "degradation that degrades nothing";
+    EXPECT_FALSE(parse_fault_event("as_degradation at=1 asn=3 rate_x=0").ok())
+        << "rate zero would freeze flows invisibly";
+    EXPECT_FALSE(parse_fault_event("as_degradation at=1 asn=3 latency_x=0.5").ok())
+        << "latency speedup is not a fault";
+    EXPECT_FALSE(parse_fault_event("as_degradation at=1 asn=3 loss=1").ok())
+        << "loss=1 drops everything forever";
+}
+
+TEST(FaultPlan, EveryKindRoundTrips) {
+    const char* specs[] = {
+        "edge_outage at=12 duration=1 region=2",
+        "edge_outage at=0.25 region=all",
+        "region_partition at=3 duration=0.5 region=0 region_b=3",
+        "region_partition at=3 region=6 region_b=all",
+        "as_degradation at=1 duration=2 asn=7 latency_x=5 rate_x=0.2 loss=0.05",
+        "stun_blackout at=6 duration=2",
+        "mass_churn at=6 fraction=0.3",
+        "cn_outage at=6 duration=0.5 region=all",
+        "dn_outage at=6 duration=0.5 region=1",
+        "flash_crowd at=6 fraction=0.2",
+    };
+    for (const char* spec : specs) {
+        const FaultEvent e = parse_ok(spec);
+        const std::string rendered = to_string(e);
+        EXPECT_EQ(rendered, spec) << "render must reproduce the canonical spelling";
+        auto again = parse_fault_event(rendered);
+        ASSERT_TRUE(again.ok()) << rendered;
+        EXPECT_EQ(to_string(again.value()), rendered);
+    }
+}
+
+}  // namespace
+}  // namespace netsession::fault

@@ -271,6 +271,50 @@ TEST(Client, CnFailureFallsBackToEdgeAndReconnects) {
     EXPECT_EQ(h.accounting.accepted(), 1) << "the pending report is flushed on re-login";
 }
 
+TEST(Client, UploaderChurnMidTransferFallsBackAndCompletes) {
+    // Mid-transfer uploader churn (§3.8): seeds crash abruptly — no goodbye
+    // messages, flows just vanish — while the leech is pulling pieces from
+    // them. The stall watchdog must notice the dead flows, drop the sources,
+    // and the download must still complete via the remaining seed + edge.
+    Harness h;
+    NetSessionClient& seed_a = h.add_client("DE", true);
+    NetSessionClient& seed_b = h.add_client("DE", true);
+    NetSessionClient& survivor = h.add_client("DE", true);
+    NetSessionClient& leech = h.add_client("DE", false);
+    for (NetSessionClient* c : {&seed_a, &seed_b, &survivor, &leech}) c->start();
+    h.settle();
+    int seeded = 0;
+    for (NetSessionClient* c : {&seed_a, &seed_b, &survivor})
+        c->begin_download(h.big, [&](const trace::DownloadRecord&) { ++seeded; });
+    h.sim.run_until(h.sim.now() + sim::hours(2.0));
+    ASSERT_EQ(seeded, 3);
+
+    trace::DownloadRecord record;
+    bool done = false;
+    leech.begin_download(h.big, [&](const trace::DownloadRecord& r) {
+        record = r;
+        done = true;
+    });
+    // Let peer transfers get going, then crash two of the three uploaders.
+    h.sim.run_until(h.sim.now() + sim::seconds(30.0));
+    ASSERT_FALSE(done) << "the 400 MB object cannot be finished yet";
+    seed_a.crash();
+    seed_b.crash();
+    EXPECT_FALSE(seed_a.running());
+
+    h.sim.run_until(h.sim.now() + sim::hours(6.0));
+    ASSERT_TRUE(done);
+    EXPECT_EQ(record.outcome, trace::DownloadOutcome::completed);
+    EXPECT_EQ(record.total_bytes(), 400_MB);
+
+    // The watchdog must have seen the dead flows and logged the repairs.
+    std::int64_t peer_stalls = 0;
+    for (const auto& d : h.log.degradations())
+        if (d.kind == trace::DegradationKind::peer_stall && d.guid == leech.guid())
+            ++peer_stalls;
+    EXPECT_GT(peer_stalls, 0) << "crashed uploaders must be detected as stalls";
+}
+
 TEST(Client, ReAddRepopulatesDnAfterFailure) {
     Harness h;
     NetSessionClient& seed = h.add_client("DE", true);

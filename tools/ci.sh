@@ -19,6 +19,21 @@ run_flavour() {
     cmake --build "$build_dir" -j "$JOBS"
     echo "==== [$name] ctest ===="
     (cd "$build_dir" && ctest --output-on-failure)
+    # Fault injection exercises slot-recycling under cancellation storms
+    # (failed servers cut flows, watchdogs cancel stale events) — exactly
+    # what the sanitizers exist to catch. Re-run the robustness/fault suite
+    # explicitly so a filter change in the main run can't silently drop it,
+    # then smoke the shipped chaos scenario end to end.
+    echo "==== [$name] fault/robustness focus ===="
+    (cd "$build_dir" && ctest --output-on-failure -R 'Robustness|Fault|Chaos')
+    # Full-scale chaos scenario smoke: release flavour only (the sanitizer
+    # flavours cover the same path via the reduced-scale Chaos ctest suite).
+    if [ "$name" = release ]; then
+        echo "==== [$name] chaos scenario smoke ===="
+        local smoke_out="$build_dir/chaos_smoke.nstrace"
+        "$build_dir/tools/netsession_sim" run scenarios/chaos_regional_outage.ini "$smoke_out"
+        rm -f "$smoke_out"
+    fi
 }
 
 run_flavour release build-ci-release -DCMAKE_BUILD_TYPE=Release

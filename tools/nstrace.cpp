@@ -6,6 +6,7 @@
 //   nstrace providers <file>            per-provider downloads/bytes
 //   nstrace objects   <file> [n]        top-n objects by downloads
 //   nstrace outcomes  <file>            §5.2 outcome breakdown
+//   nstrace faults    <file>            §3.8 degradation telemetry counters
 //   nstrace guids     <file>            Fig 12 secondary-GUID graph patterns
 //   nstrace tsv       <file> <out.tsv>  dump the download log as TSV
 //   nstrace export    <file> <dir>      write plot-ready figure data + gnuplot script
@@ -28,8 +29,8 @@ using namespace netsession;
 
 int usage() {
     std::fprintf(stderr,
-                 "usage: nstrace <summary|headline|providers|objects|outcomes|guids|tsv|export> "
-                 "<file> [args]\n");
+                 "usage: nstrace <summary|headline|providers|objects|outcomes|faults|guids|tsv|"
+                 "export> <file> [args]\n");
     return 2;
 }
 
@@ -59,6 +60,21 @@ void cmd_headline(const trace::Dataset& dataset) {
     std::printf("mean peer efficiency:       %s\n",
                 format_percent(h.mean_peer_efficiency).c_str());
     std::printf("byte offload to peers:      %s\n", format_percent(h.overall_offload).c_str());
+}
+
+void cmd_faults(const trace::Dataset& dataset) {
+    const auto d = analysis::degradation_stats(dataset.log);
+    analysis::TextTable table({"Degradation", "Count"});
+    table.add_row({"Edge stalls", format_count(d.edge_stalls)});
+    table.add_row({"Edge re-maps", format_count(d.edge_remaps)});
+    table.add_row({"Peer stalls", format_count(d.peer_stalls)});
+    table.add_row({"Sources blacklisted", format_count(d.sources_blacklisted)});
+    table.add_row({"Query timeouts", format_count(d.query_timeouts)});
+    table.add_row({"Login timeouts", format_count(d.login_timeouts)});
+    table.add_row({"STUN timeouts", format_count(d.stun_timeouts)});
+    table.add_row({"Total", format_count(d.total)});
+    table.add_row({"Affected clients", format_count(d.affected_clients)});
+    std::printf("%s", table.render().c_str());
 }
 
 void cmd_providers(const trace::Dataset& dataset) {
@@ -168,6 +184,8 @@ int main(int argc, char** argv) {
         cmd_objects(dataset, argc > 3 ? std::atoi(argv[3]) : 20);
     } else if (command == "outcomes") {
         cmd_outcomes(dataset);
+    } else if (command == "faults") {
+        cmd_faults(dataset);
     } else if (command == "guids") {
         cmd_guids(dataset);
     } else if (command == "tsv") {
