@@ -4,6 +4,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <string>
+
+#include "obs/export.hpp"
 
 namespace netsession::bench {
 
@@ -14,11 +17,14 @@ double env_double(const char* name, double fallback) {
 }
 
 // Machine-readable record of a fresh standard-scenario run: wall-clock plus
-// the engine's hot-path counters. Written next to the dataset cache so perf
-// regressions show up as a diffable number, not a feeling. Only fresh runs
-// emit it — a cache load measures deserialization, not the simulator.
-void write_headline_json(const BenchArgs& args, double wall_seconds,
-                         const Simulation::PerfStats& perf, const trace::Dataset& dataset) {
+// the engine's hot-path counters and the full per-subsystem metric registry
+// (obs::to_json — control/edge/client/flow/sim breakdowns). Written next to
+// the dataset cache so perf regressions show up as a diffable number, not a
+// feeling. Only fresh runs emit it — a cache load measures deserialization,
+// not the simulator.
+void write_headline_json(const BenchArgs& args, double wall_seconds, const Simulation& sim,
+                         const trace::Dataset& dataset) {
+    const Simulation::PerfStats perf = sim.perf_stats();
     const std::string path = args.cache_dir + "/BENCH_headline.json";
     std::FILE* f = std::fopen(path.c_str(), "w");
     if (f == nullptr) return;
@@ -52,9 +58,19 @@ void write_headline_json(const BenchArgs& args, double wall_seconds,
                  static_cast<unsigned long long>(perf.flows.resort_misses));
     std::fprintf(f,
                  "  \"log_entries\": {\"downloads\": %zu, \"logins\": %zu, "
-                 "\"transfers\": %zu, \"registrations\": %zu}\n",
+                 "\"transfers\": %zu, \"registrations\": %zu},\n",
                  dataset.log.downloads().size(), dataset.log.logins().size(),
                  dataset.log.transfers().size(), dataset.log.registrations().size());
+    // Per-subsystem breakdown: the whole metric registry, re-indented so the
+    // exporter's top-level object nests under the "metrics" key.
+    std::string metrics = obs::to_json(sim.metrics());
+    while (!metrics.empty() && metrics.back() == '\n') metrics.pop_back();
+    std::string nested;
+    for (char c : metrics) {
+        nested += c;
+        if (c == '\n') nested += "  ";
+    }
+    std::fprintf(f, "  \"metrics\": %s\n", nested.c_str());
     std::fprintf(f, "}\n");
     std::fclose(f);
     std::printf("[scenario] perf headline written to %s (%.1fs wall, %.0f events/s)\n",
@@ -120,7 +136,7 @@ trace::Dataset standard_dataset(const BenchArgs& args) {
     });
     if (trace::save_dataset(dataset, name))
         std::printf("[scenario] cached to %s\n", name);
-    write_headline_json(args, wall_seconds, sim.perf_stats(), dataset);
+    write_headline_json(args, wall_seconds, sim, dataset);
     std::printf("[scenario] %zu downloads, %zu logins, %zu transfers, %zu registrations\n",
                 dataset.log.downloads().size(), dataset.log.logins().size(),
                 dataset.log.transfers().size(), dataset.log.registrations().size());

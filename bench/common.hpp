@@ -39,10 +39,11 @@ struct BenchArgs {
 
 /// Loads the cached standard data set, or runs the scenario and caches it.
 /// Prints progress to stdout. A fresh run (cache miss) also writes
-/// `<cache_dir>/BENCH_headline.json` — wall-clock seconds plus the engine's
+/// `<cache_dir>/BENCH_headline.json` — wall-clock seconds, the engine's
 /// perf counters (events dispatched/sec, callback heap allocations, flow
-/// refills and sort-cache hits) — so scenario throughput is tracked as a
-/// machine-readable artefact.
+/// refills and sort-cache hits) and the full per-subsystem metric registry
+/// (`"metrics"` key, obs::to_json) — so scenario throughput and subsystem
+/// behaviour are tracked as one machine-readable artefact.
 [[nodiscard]] trace::Dataset standard_dataset(const BenchArgs& args);
 
 /// The AS graph of the standard scenario (regenerated deterministically from

@@ -659,7 +659,10 @@ DegradationStats degradation_stats(const trace::TraceLog& log) {
     DegradationStats out;
     std::unordered_set<Guid> clients;
     for (const auto& r : log.degradations()) {
-        ++out.total;
+        // A remap record documents *how* an edge-stall incident was handled,
+        // not a second incident; only its own counter sees it (see the
+        // DegradationStats::total doc comment).
+        if (r.kind != trace::DegradationKind::edge_remapped) ++out.total;
         clients.insert(r.guid);
         switch (r.kind) {
             case trace::DegradationKind::edge_stall: ++out.edge_stalls; break;

@@ -247,6 +247,11 @@ struct HeadlineOffload {
 /// fault plan — e.g. edge stalls + remaps during an edge outage, peer stalls
 /// + blacklistings during mass churn.
 struct DegradationStats {
+    /// Degradation *incidents*. An edge_remapped record always rides on the
+    /// edge_stall record of the same incident (the watchdog emits both when a
+    /// stalled download re-resolves to a different server), so remaps are
+    /// excluded here — counting both would double-count the incident. The
+    /// per-kind fields below still count every record of their kind.
     std::int64_t total = 0;
     std::int64_t edge_stalls = 0;
     std::int64_t edge_remaps = 0;

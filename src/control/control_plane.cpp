@@ -183,4 +183,36 @@ StunService& ControlPlane::closest_stun(HostId client) {
     return *best;
 }
 
+void ControlPlane::register_metrics(obs::Registry& registry) {
+    registry.add_counter("control.logins", &metrics_.logins);
+    registry.add_counter("control.logins_deferred", &metrics_.logins_deferred);
+    registry.add_counter("control.logins_refused", &metrics_.logins_refused);
+    registry.add_counter("control.queries", &metrics_.queries);
+    registry.add_counter("control.readds", &metrics_.readds);
+    registry.add_counter("control.copies_registered", &metrics_.copies_registered);
+    registry.add_counter("control.download_reports", &metrics_.download_reports);
+    registry.add_counter("control.transfer_reports", &metrics_.transfer_reports);
+    registry.add_histogram("control.peers_returned", &metrics_.peers_returned);
+    registry.add_computed("control.sessions", [this] {
+        std::size_t n = 0;
+        for (const auto& cn : cns_) n += cn->session_count();
+        return static_cast<double>(n);
+    });
+    registry.add_computed("control.dn_entries", [this] {
+        std::size_t n = 0;
+        for (const auto& dn : dns_) n += dn->registration_count();
+        return static_cast<double>(n);
+    });
+    registry.add_computed("control.cns_up", [this] {
+        int n = 0;
+        for (const auto& cn : cns_) n += cn->up() ? 1 : 0;
+        return static_cast<double>(n);
+    });
+    registry.add_computed("control.dns_up", [this] {
+        int n = 0;
+        for (const auto& dn : dns_) n += dn->up() ? 1 : 0;
+        return static_cast<double>(n);
+    });
+}
+
 }  // namespace netsession::control

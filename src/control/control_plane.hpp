@@ -13,9 +13,24 @@
 #include "control/stun.hpp"
 #include "edge/auth.hpp"
 #include "net/world.hpp"
+#include "obs/metrics.hpp"
 #include "trace/trace_log.hpp"
 
 namespace netsession::control {
+
+/// Control-plane metrics, shared by every CN/DN of a ControlPlane (the plane
+/// owns the block; see docs/OBSERVABILITY.md for the naming scheme).
+struct ControlMetrics {
+    obs::Counter logins;           ///< successful control-connection logins
+    obs::Counter logins_deferred;  ///< deferred by the §3.8 admission limiter
+    obs::Counter logins_refused;   ///< login hit a failed CN
+    obs::Counter queries;          ///< peer-list queries received
+    obs::Counter readds;           ///< RE-ADD repopulation registrations
+    obs::Counter copies_registered;  ///< regular directory registrations
+    obs::Counter download_reports;   ///< usage statistics uploads (downloads)
+    obs::Counter transfer_reports;   ///< usage statistics uploads (transfers)
+    obs::Histogram peers_returned;   ///< peers per answered query
+};
 
 struct ControlPlaneConfig {
     int cns_per_region = 1;
@@ -104,6 +119,11 @@ public:
     [[nodiscard]] std::vector<std::unique_ptr<StunService>>& stuns() noexcept { return stuns_; }
     [[nodiscard]] StunService& closest_stun(HostId client);
 
+    /// Registers the plane's counters plus computed gauges for live state
+    /// (session counts, directory depth, CN/DN availability).
+    void register_metrics(obs::Registry& registry);
+    [[nodiscard]] ControlMetrics& metrics() noexcept { return metrics_; }
+
 private:
     net::World* world_;
     const edge::TokenAuthority* authority_;
@@ -118,6 +138,7 @@ private:
     std::unordered_map<Guid, PeerEndpoint*> endpoints_;
     std::vector<std::size_t> dn_rr_;  // per-region round-robin cursor
     std::uint32_t client_version_ = 0;  // 0 = no centrally released version yet
+    ControlMetrics metrics_;
 };
 
 }  // namespace netsession::control

@@ -38,12 +38,71 @@ Simulation::Simulation(SimulationConfig config)
 
     fault_engine_ = std::make_unique<fault::FaultEngine>(sim_, *world_, *edges_, *plane_,
                                                          *driver_, root.child("faults"));
+
+    register_metrics();
+    sampler_ = std::make_unique<obs::Sampler>(sim_, metrics_registry_, trace_, config_.metrics);
+}
+
+void Simulation::register_metrics() {
+    // Stable registration order = stable v6 metric ids: control plane, edge
+    // tier, client population, then the engine-level computed gauges.
+    plane_->register_metrics(metrics_registry_);
+    edges_->register_metrics(metrics_registry_);
+    driver_->register_metrics(metrics_registry_);
+
+    metrics_registry_.add_computed("flow.active", [this] {
+        const auto s = world_->flows().stats();
+        return static_cast<double>(s.flows_started - s.flows_completed - s.flows_cancelled);
+    });
+    metrics_registry_.add_computed("flow.started", [this] {
+        return static_cast<double>(world_->flows().stats().flows_started);
+    });
+    metrics_registry_.add_computed("flow.completed", [this] {
+        return static_cast<double>(world_->flows().stats().flows_completed);
+    });
+    metrics_registry_.add_computed("flow.cancelled", [this] {
+        return static_cast<double>(world_->flows().stats().flows_cancelled);
+    });
+    metrics_registry_.add_computed("flow.refills", [this] {
+        return static_cast<double>(world_->flows().stats().refills);
+    });
+    metrics_registry_.add_computed("flow.resort_hits", [this] {
+        return static_cast<double>(world_->flows().stats().resort_hits);
+    });
+    metrics_registry_.add_computed("flow.resort_misses", [this] {
+        return static_cast<double>(world_->flows().stats().resort_misses);
+    });
+    metrics_registry_.add_computed("sim.events_scheduled",
+                           [this] { return static_cast<double>(sim_.stats().scheduled); });
+    metrics_registry_.add_computed("sim.events_dispatched",
+                           [this] { return static_cast<double>(sim_.stats().dispatched); });
+    metrics_registry_.add_computed("sim.events_cancelled",
+                           [this] { return static_cast<double>(sim_.stats().cancelled); });
+    metrics_registry_.add_computed("sim.callback_heap_allocs", [this] {
+        return static_cast<double>(sim_.stats().callback_heap_allocs);
+    });
+    metrics_registry_.add_computed("fault.applied", [this] {
+        return static_cast<double>(fault_engine_->faults_applied());
+    });
+    metrics_registry_.add_computed("fault.restored", [this] {
+        return static_cast<double>(fault_engine_->faults_restored());
+    });
+    metrics_registry_.add_computed("fault.active", [this] {
+        return static_cast<double>(fault_engine_->faults_applied() -
+                                   fault_engine_->faults_restored());
+    });
 }
 
 void Simulation::run() {
     driver_->create_users(config_.peers);
     fault_engine_->arm(config_.faults);
+#if NS_METRICS_ENABLED
+    sampler_->start(sim::SimTime{} + config_.behavior.warmup + config_.behavior.window);
+#endif
     driver_->run();
+#if NS_METRICS_ENABLED
+    sampler_->finish();
+#endif
 }
 
 }  // namespace netsession

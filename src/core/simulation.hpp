@@ -24,6 +24,8 @@
 #include "fault/fault_engine.hpp"
 #include "fault/fault_spec.hpp"
 #include "net/world.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
 #include "peer/registry.hpp"
 #include "sim/simulator.hpp"
 #include "trace/trace_log.hpp"
@@ -60,6 +62,11 @@ struct SimulationConfig {
     /// FaultEngine before the user driver starts; part of the determinism
     /// contract (same seed + same plan ⇒ byte-identical traces).
     fault::FaultPlan faults;
+
+    /// Periodic metrics sampling into the trace (format v6). The sampler
+    /// reads registered metrics only — it cannot perturb the rest of the
+    /// trace. Builds with NS_METRICS=OFF never start it.
+    obs::SamplerConfig metrics;
 };
 
 class Simulation {
@@ -83,6 +90,17 @@ public:
     [[nodiscard]] PerfStats perf_stats() const noexcept {
         return PerfStats{sim_.stats(), world_->flows().stats()};
     }
+
+    /// The observability registry: every subsystem's counters/gauges/
+    /// histograms, registered at construction in a stable order (part of the
+    /// determinism contract — registration order fixes the v6 metric ids).
+    /// perf_stats() is folded in as `sim.*` / `flow.*` computed gauges, so
+    /// `obs::to_json(sim.metrics())` is the complete runtime picture.
+    [[nodiscard]] obs::Registry& metrics() noexcept { return metrics_registry_; }
+    [[nodiscard]] const obs::Registry& metrics() const noexcept { return metrics_registry_; }
+    /// The trace sampler (never null after construction; inert when the
+    /// config disables it or the build compiled metrics out).
+    [[nodiscard]] obs::Sampler& sampler() noexcept { return *sampler_; }
 
     // --- results -----------------------------------------------------------
     [[nodiscard]] const trace::TraceLog& trace() const noexcept { return trace_; }
@@ -115,6 +133,10 @@ private:
     std::unique_ptr<workload::PopulationGenerator> population_;
     std::unique_ptr<workload::UserDriver> driver_;
     std::unique_ptr<fault::FaultEngine> fault_engine_;
+    obs::Registry metrics_registry_;
+    std::unique_ptr<obs::Sampler> sampler_;
+
+    void register_metrics();
 };
 
 }  // namespace netsession

@@ -1,7 +1,9 @@
 #include "edge/edge_network.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <limits>
+#include <string>
 
 #include "net/world_data.hpp"
 
@@ -33,6 +35,7 @@ EdgeNetwork::EdgeNetwork(net::World& world, const Catalog& catalog,
             const auto id = EdgeId{static_cast<std::uint16_t>(servers_.size())};
             servers_.push_back(std::make_unique<EdgeServer>(id, world, catalog, authority_, host,
                                                             config.per_connection_cap));
+            servers_.back()->set_metrics(&metrics_);
         }
     }
     assert(!servers_.empty());
@@ -93,6 +96,37 @@ Bytes EdgeNetwork::total_bytes_served() const {
     Bytes total = 0;
     for (const auto& s : servers_) total += s->total_bytes_served();
     return total;
+}
+
+void EdgeNetwork::register_metrics(obs::Registry& registry) {
+    registry.add_counter("edge.requests", &metrics_.requests);
+    registry.add_counter("edge.refusals", &metrics_.refusals);
+    registry.add_counter("edge.pieces_served", &metrics_.pieces_served);
+    registry.add_counter("edge.bytes_served", &metrics_.bytes_served);
+    registry.add_computed("edge.online",
+                          [this] { return static_cast<double>(online_count()); });
+    // One availability gauge per region hosting servers, in first-seen server
+    // order (stable: server placement is deterministic).
+    std::vector<int> regions;
+    for (const auto& s : servers_) {
+        const int region = world_->region_of(s->host()).value;
+        if (std::find(regions.begin(), regions.end(), region) != regions.end()) continue;
+        regions.push_back(region);
+        registry.add_computed("edge.region" + std::to_string(region) + ".available",
+                              [this, region] {
+                                  int online = 0;
+                                  int total = 0;
+                                  for (const auto& server : servers_) {
+                                      if (world_->region_of(server->host()).value != region)
+                                          continue;
+                                      ++total;
+                                      online += server->online() ? 1 : 0;
+                                  }
+                                  return total == 0 ? 0.0
+                                                    : static_cast<double>(online) /
+                                                          static_cast<double>(total);
+                              });
+    }
 }
 
 }  // namespace netsession::edge

@@ -48,10 +48,17 @@ public:
     }
     [[nodiscard]] Bytes total_bytes_served() const;
 
+    /// Registers the edge tier's metrics: the shared request/byte counters,
+    /// an online-server gauge, and one availability gauge per region that
+    /// hosts servers (`edge.region<r>.available`, the online fraction).
+    void register_metrics(obs::Registry& registry);
+    [[nodiscard]] EdgeMetrics& metrics() noexcept { return metrics_; }
+
 private:
     net::World* world_;
     TokenAuthority authority_;
     std::vector<std::unique_ptr<EdgeServer>> servers_;
+    EdgeMetrics metrics_;
 };
 
 }  // namespace netsession::edge

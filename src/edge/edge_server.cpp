@@ -21,7 +21,11 @@ net::FlowId EdgeServer::serve_piece(HostId client, Guid client_guid,
                                     const swarm::ContentObject& object, swarm::PieceIndex piece,
                                     std::function<void(Digest256)> on_done) {
     assert(catalog_->find(object.id()) != nullptr && "cannot serve unpublished content");
-    if (!online_) return net::FlowId{};  // request goes unanswered
+    NS_OBS_INC_P(metrics_, requests);
+    if (!online_) {
+        NS_OBS_INC_P(metrics_, refusals);
+        return net::FlowId{};  // request goes unanswered
+    }
     const Bytes len = object.piece_length(piece);
     const DownloadKey key{client_guid, object.id()};
     const ObjectId oid = object.id();
@@ -33,6 +37,8 @@ net::FlowId EdgeServer::serve_piece(HostId client, Guid client_guid,
             forget_flow(flow);
             ledger_[key] += len;
             total_served_ += len;
+            NS_OBS_INC_P(metrics_, pieces_served);
+            NS_OBS_ADD_P(metrics_, bytes_served, len);
             if (done) done(digest);
         });
     live_flows_.push_back(id);

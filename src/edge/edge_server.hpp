@@ -17,9 +17,21 @@
 #include "edge/auth.hpp"
 #include "edge/catalog.hpp"
 #include "net/world.hpp"
+#include "obs/metrics.hpp"
 #include "swarm/content.hpp"
 
 namespace netsession::edge {
+
+/// Edge-tier metrics, shared by every server of an EdgeNetwork (the network
+/// owns the block and registers it; see docs/OBSERVABILITY.md). Per-server
+/// detail stays in the trusted ledger — the metrics answer "how busy is the
+/// infrastructure", not "who downloaded what".
+struct EdgeMetrics {
+    obs::Counter requests;       ///< serve_piece calls, accepted or not
+    obs::Counter refusals;       ///< requests hitting an offline server
+    obs::Counter pieces_served;  ///< deliveries that ran to completion
+    obs::Counter bytes_served;   ///< bytes of completed deliveries
+};
 
 /// Key for the trusted per-download ledger.
 struct DownloadKey {
@@ -69,6 +81,10 @@ public:
     [[nodiscard]] Bytes bytes_served(Guid guid, ObjectId object) const;
     [[nodiscard]] Bytes total_bytes_served() const noexcept { return total_served_; }
 
+    /// Points the server at the network-wide metrics block (may be null; the
+    /// NS_OBS_*_P macros no-op on null). EdgeNetwork wires this at build time.
+    void set_metrics(EdgeMetrics* metrics) noexcept { metrics_ = metrics; }
+
 private:
     EdgeId id_;
     net::World* world_;
@@ -82,6 +98,7 @@ private:
     std::vector<net::FlowId> live_flows_;  // in-flight deliveries, cut on fail()
     std::unordered_map<DownloadKey, Bytes, DownloadKeyHash> ledger_;
     Bytes total_served_ = 0;
+    EdgeMetrics* metrics_ = nullptr;
 };
 
 }  // namespace netsession::edge

@@ -1,0 +1,64 @@
+#include "obs/metrics.hpp"
+
+namespace netsession::obs {
+
+namespace {
+bool name_taken(const std::vector<Registry::Entry>& entries, std::string_view name) {
+    for (const auto& e : entries)
+        if (e.name == name) return true;
+    return false;
+}
+}  // namespace
+
+void Registry::add_counter(std::string name, const Counter* c) {
+    if (c == nullptr || name_taken(entries_, name)) return;
+    Entry e;
+    e.name = std::move(name);
+    e.kind = Kind::counter;
+    e.counter = c;
+    entries_.push_back(std::move(e));
+}
+
+void Registry::add_gauge(std::string name, const Gauge* g) {
+    if (g == nullptr || name_taken(entries_, name)) return;
+    Entry e;
+    e.name = std::move(name);
+    e.kind = Kind::gauge;
+    e.gauge = g;
+    entries_.push_back(std::move(e));
+}
+
+void Registry::add_computed(std::string name, std::function<double()> fn) {
+    if (!fn || name_taken(entries_, name)) return;
+    Entry e;
+    e.name = std::move(name);
+    e.kind = Kind::gauge;
+    e.computed = std::move(fn);
+    entries_.push_back(std::move(e));
+}
+
+void Registry::add_histogram(std::string name, const Histogram* h) {
+    if (h == nullptr || name_taken(entries_, name)) return;
+    Entry e;
+    e.name = std::move(name);
+    e.kind = Kind::histogram;
+    e.histogram = h;
+    entries_.push_back(std::move(e));
+}
+
+double Registry::scalar_value(const Entry& e) {
+    switch (e.kind) {
+        case Kind::counter: return static_cast<double>(e.counter->value);
+        case Kind::gauge: return e.computed ? e.computed() : e.gauge->value;
+        case Kind::histogram: return static_cast<double>(e.histogram->count);
+    }
+    return 0.0;
+}
+
+const Registry::Entry* Registry::find(std::string_view name) const {
+    for (const auto& e : entries_)
+        if (e.name == name) return &e;
+    return nullptr;
+}
+
+}  // namespace netsession::obs

@@ -1,0 +1,173 @@
+// Runtime observability: named counters, gauges, and log-bucketed histograms
+// behind a registry that the periodic sampler (obs/sampler.hpp) snapshots
+// into the trace and the exporters (obs/export.hpp) render as JSON or
+// Prometheus text.
+//
+// Design goals, in order:
+//
+//  1. *Zero overhead when compiled out.* Building with -DNS_METRICS=OFF
+//     (CMake) defines NS_METRICS_ENABLED=0 and every NS_OBS_* macro expands
+//     to nothing — no loads, no stores, no branches in the hot paths. The
+//     types still exist so subsystem struct layouts and the registry API
+//     stay identical in both flavours.
+//
+//  2. *Cheap when enabled.* An increment is a single add on a plain member —
+//     no atomics (simulations are single-threaded by design, like the
+//     simulator itself), no name lookups, no indirection. Subsystems own
+//     their metric structs as ordinary members and register *pointers* with
+//     the registry once at wiring time; naming cost is paid at registration
+//     and sampling, never per increment.
+//
+//  3. *Deterministic.* Metrics are pure functions of the simulation: no
+//     wall-clock, no addresses, no iteration over unordered containers.
+//     Sampling them into the trace preserves the byte-identity contract
+//     (same seed => same file, docs/SIMULATOR.md §3).
+//
+// Metric naming scheme (docs/OBSERVABILITY.md): dot-separated
+// `<subsystem>.<noun>[_<unit>]`, e.g. `control.logins`, `edge.bytes_served`,
+// `client.edge_stalls`, `flow.active`. Histograms expand into `<name>.count`
+// and `<name>.sum` series when sampled.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#ifndef NS_METRICS_ENABLED
+#define NS_METRICS_ENABLED 1
+#endif
+
+namespace netsession::obs {
+
+/// Monotonically increasing event count. Wraps modulo 2^64 on overflow
+/// (well-defined unsigned arithmetic; see tests/obs/test_metrics.cpp).
+struct Counter {
+    std::uint64_t value = 0;
+    void inc(std::uint64_t n = 1) noexcept { value += n; }
+    [[nodiscard]] std::uint64_t get() const noexcept { return value; }
+};
+
+/// A point-in-time level that can move both ways (queue depth, availability).
+struct Gauge {
+    double value = 0.0;
+    void set(double v) noexcept { value = v; }
+    void add(double d) noexcept { value += d; }
+    [[nodiscard]] double get() const noexcept { return value; }
+};
+
+/// Log2-bucketed histogram of non-negative values. Bucket b holds values in
+/// (2^(b-1), 2^b]; values <= 1 land in bucket 0; values beyond the last
+/// boundary clamp into the last bucket. 64 buckets cover every uint64 byte
+/// count and every sane duration in microseconds.
+struct Histogram {
+    static constexpr int kBuckets = 64;
+
+    std::array<std::uint64_t, kBuckets> buckets{};
+    std::uint64_t count = 0;
+    double sum = 0.0;
+
+    /// Bucket index for a value (clamped; negatives count as 0).
+    [[nodiscard]] static int bucket_of(double v) noexcept {
+        if (!(v > 1.0)) return 0;  // <=1, zero, negative, NaN
+        const int b = static_cast<int>(std::ceil(std::log2(v)));
+        return b >= kBuckets ? kBuckets - 1 : b;
+    }
+    /// Inclusive upper boundary of bucket b (2^b).
+    [[nodiscard]] static double bucket_hi(int b) noexcept { return std::ldexp(1.0, b); }
+    /// Exclusive lower boundary of bucket b (2^(b-1); bucket 0 starts at 0).
+    [[nodiscard]] static double bucket_lo(int b) noexcept {
+        return b == 0 ? 0.0 : std::ldexp(1.0, b - 1);
+    }
+
+    void record(double v) noexcept {
+        ++buckets[static_cast<std::size_t>(bucket_of(v))];
+        ++count;
+        sum += v;
+    }
+    [[nodiscard]] double mean() const noexcept {
+        return count == 0 ? 0.0 : sum / static_cast<double>(count);
+    }
+};
+
+/// What a registry entry measures.
+enum class Kind : std::uint8_t { counter, gauge, histogram };
+
+[[nodiscard]] constexpr std::string_view to_string(Kind k) noexcept {
+    switch (k) {
+        case Kind::counter: return "counter";
+        case Kind::gauge: return "gauge";
+        case Kind::histogram: return "histogram";
+    }
+    return "unknown";
+}
+
+/// The registry: a flat, registration-ordered list of named metrics. One per
+/// Simulation; subsystems register their metric structs at wiring time and
+/// the sampler/exporters walk the list. Registration order is part of the
+/// determinism contract (it fixes metric ids in the trace), so register
+/// everything before the run starts and in a stable order.
+class Registry {
+public:
+    struct Entry {
+        std::string name;
+        Kind kind = Kind::counter;
+        const Counter* counter = nullptr;
+        const Gauge* gauge = nullptr;
+        const Histogram* histogram = nullptr;
+        std::function<double()> computed;  // computed gauges (queue depths, ...)
+    };
+
+    /// Registration. Names must be unique; duplicates are ignored (first
+    /// registration wins) so re-wiring in tests is harmless.
+    void add_counter(std::string name, const Counter* c);
+    void add_gauge(std::string name, const Gauge* g);
+    /// A gauge computed on demand (e.g. a queue depth derived from container
+    /// sizes). The callback must be cheap and deterministic.
+    void add_computed(std::string name, std::function<double()> fn);
+    void add_histogram(std::string name, const Histogram* h);
+
+    [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+    [[nodiscard]] const std::vector<Entry>& entries() const noexcept { return entries_; }
+
+    /// Current scalar value of an entry: counter value, gauge level, or — for
+    /// histograms — the observation count (the sampler additionally emits the
+    /// sum as its own series).
+    [[nodiscard]] static double scalar_value(const Entry& e);
+
+    /// Looks an entry up by name; nullptr if absent. O(n), for tests and
+    /// exporters — hot paths never resolve names.
+    [[nodiscard]] const Entry* find(std::string_view name) const;
+
+private:
+    std::vector<Entry> entries_;
+};
+
+}  // namespace netsession::obs
+
+// --- increment macros (compiled out with NS_METRICS=OFF) ---------------------
+//
+// Direct forms operate on a metric struct lvalue; the *_P forms go through a
+// possibly-null pointer to a shared metrics block (used by per-client code
+// where thousands of instances share one block owned by the driver).
+#if NS_METRICS_ENABLED
+#define NS_OBS_INC(counter) ((counter).inc())
+#define NS_OBS_ADD(counter, n) ((counter).inc(static_cast<std::uint64_t>(n)))
+#define NS_OBS_SET(gauge, v) ((gauge).set(static_cast<double>(v)))
+#define NS_OBS_OBSERVE(hist, v) ((hist).record(static_cast<double>(v)))
+#define NS_OBS_INC_P(ptr, field) ((ptr) != nullptr ? (ptr)->field.inc() : void(0))
+#define NS_OBS_ADD_P(ptr, field, n) \
+    ((ptr) != nullptr ? (ptr)->field.inc(static_cast<std::uint64_t>(n)) : void(0))
+#define NS_OBS_OBSERVE_P(ptr, field, v) \
+    ((ptr) != nullptr ? (ptr)->field.record(static_cast<double>(v)) : void(0))
+#else
+#define NS_OBS_INC(counter) ((void)0)
+#define NS_OBS_ADD(counter, n) ((void)0)
+#define NS_OBS_SET(gauge, v) ((void)0)
+#define NS_OBS_OBSERVE(hist, v) ((void)0)
+#define NS_OBS_INC_P(ptr, field) ((void)0)
+#define NS_OBS_ADD_P(ptr, field, n) ((void)0)
+#define NS_OBS_OBSERVE_P(ptr, field, v) ((void)0)
+#endif

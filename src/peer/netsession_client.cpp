@@ -275,6 +275,7 @@ void NetSessionClient::begin_download(ObjectId object, DownloadCallback on_finis
         withdraw_object(object);
     }
 
+    NS_OBS_INC_P(metrics_, downloads_started);
     Download d;
     d.entry = entry;
     d.have = swarm::PieceMap(entry->object.piece_count());
@@ -393,23 +394,31 @@ void NetSessionClient::request_from_edge(ObjectId object) {
     d.edge_transferring = true;
     d.edge_started_at = world_->simulator().now();
     const std::uint32_t epoch = d.epoch;
+    const std::uint32_t attempt = ++d.edge_attempt;
     edge::EdgeServer* edge = d.edge;
-    // The HTTP request crosses the network before the transfer starts.
-    world_->send(host_, edge->host(), [this, object, epoch, edge, piece = *piece] {
+    // The HTTP request crosses the network before the transfer starts. Both
+    // the request and the completion validate the attempt generation: if the
+    // watchdog declared a stall (and possibly remapped) while this request
+    // was in flight, the stale request must not start a competing flow.
+    world_->send(host_, edge->host(), [this, object, epoch, attempt, edge, piece = *piece] {
         const auto dit = downloads_.find(object);
-        if (dit == downloads_.end() || dit->second.epoch != epoch) return;
+        if (dit == downloads_.end() || dit->second.epoch != epoch ||
+            dit->second.edge_attempt != attempt)
+            return;
         dit->second.edge_flow = edge->serve_piece(
             host_, guid_, dit->second.entry->object, piece,
-            [this, object, epoch, piece](Digest256 digest) {
-                on_edge_piece(object, epoch, piece, digest);
+            [this, object, epoch, attempt, piece](Digest256 digest) {
+                on_edge_piece(object, epoch, attempt, piece, digest);
             });
     });
 }
 
-void NetSessionClient::on_edge_piece(ObjectId object, std::uint32_t epoch,
+void NetSessionClient::on_edge_piece(ObjectId object, std::uint32_t epoch, std::uint32_t attempt,
                                      swarm::PieceIndex piece, Digest256 digest) {
     const auto it = downloads_.find(object);
-    if (it == downloads_.end() || it->second.epoch != epoch) return;
+    if (it == downloads_.end() || it->second.epoch != epoch ||
+        it->second.edge_attempt != attempt)
+        return;
     Download& d = it->second;
     d.edge_transferring = false;
     d.edge_flow = net::FlowId{};
@@ -419,6 +428,7 @@ void NetSessionClient::on_edge_piece(ObjectId object, std::uint32_t epoch,
     if (rng_.chance(config_.corruption_prob_edge)) digest = corrupted(digest);
     if (!d.entry->object.verify(piece, digest)) {
         ++d.corrupt_pieces;
+        NS_OBS_INC_P(metrics_, corrupt_pieces);
         plane_->monitoring().report_problem(guid_, control::ProblemKind::piece_corruption);
         if (d.corrupt_pieces > config_.max_corrupt_pieces) {
             finish_download(object, trace::DownloadOutcome::failed_system);
@@ -428,7 +438,9 @@ void NetSessionClient::on_edge_piece(ObjectId object, std::uint32_t epoch,
         return;
     }
 
-    d.bytes_infra += d.entry->object.piece_length(piece);
+    const Bytes len = d.entry->object.piece_length(piece);
+    d.bytes_infra += len;
+    NS_OBS_ADD_P(metrics_, bytes_from_edge, len);
     if (d.have.set(piece)) {
         // (A duplicate of a piece a peer delivered meanwhile is paid for but
         // announced only once.)
@@ -684,6 +696,7 @@ void NetSessionClient::on_peer_piece(ObjectId object, std::uint32_t epoch, Guid 
         // Discard the piece; it is never passed on to other peers (§3.5).
         ++d.corrupt_pieces;
         ++src.corrupt_pieces;
+        NS_OBS_INC_P(metrics_, corrupt_pieces);
         plane_->monitoring().report_problem(guid_, control::ProblemKind::piece_corruption);
         if (d.corrupt_pieces > config_.max_corrupt_pieces) {
             finish_download(object, trace::DownloadOutcome::failed_system);
@@ -704,6 +717,7 @@ void NetSessionClient::on_peer_piece(ObjectId object, std::uint32_t epoch, Guid 
     }
 
     d.bytes_peers += len;
+    NS_OBS_ADD_P(metrics_, bytes_from_peers, len);
     src.bytes += len;
     source_failures_.erase(from);  // a delivered piece clears the strike count
     auto& [ip, total] = d.per_source_bytes[from];
@@ -798,6 +812,17 @@ void NetSessionClient::on_source_lost(Guid uploader, ObjectId object) {
 // --- failure hardening -------------------------------------------------------------------
 
 void NetSessionClient::note_degradation(trace::DegradationKind kind) {
+    switch (kind) {
+        case trace::DegradationKind::edge_stall: NS_OBS_INC_P(metrics_, edge_stalls); break;
+        case trace::DegradationKind::edge_remapped: NS_OBS_INC_P(metrics_, edge_remaps); break;
+        case trace::DegradationKind::peer_stall: NS_OBS_INC_P(metrics_, peer_stalls); break;
+        case trace::DegradationKind::source_blacklisted:
+            NS_OBS_INC_P(metrics_, blacklists);
+            break;
+        case trace::DegradationKind::query_timeout: NS_OBS_INC_P(metrics_, query_timeouts); break;
+        case trace::DegradationKind::login_timeout: NS_OBS_INC_P(metrics_, login_timeouts); break;
+        case trace::DegradationKind::stun_timeout: NS_OBS_INC_P(metrics_, stun_timeouts); break;
+    }
     // Simulator-level telemetry (not part of the CN log schema): recorded
     // directly, because most degradations happen exactly when the control
     // plane is unreachable.
@@ -853,6 +878,10 @@ void NetSessionClient::watchdog_tick(ObjectId object, std::uint32_t epoch) {
         if (!d.options.sequential) d.picker.set_in_flight(d.edge_piece, false);
         d.edge_transferring = false;
         d.edge_flow = net::FlowId{};
+        // The abandoned request may still be crossing the network (its send
+        // latency can exceed the grace period); invalidate it so it cannot
+        // start a second flow racing the retry and double-counting bytes.
+        ++d.edge_attempt;
         // Re-resolve DNS: a failed or partitioned edge maps to the
         // next-nearest live server.
         edge::EdgeServer* fresh = &edges_->nearest(host_);
@@ -890,6 +919,7 @@ void NetSessionClient::schedule_edge_retry(ObjectId object) {
     const auto it = downloads_.find(object);
     if (it == downloads_.end()) return;
     Download& d = it->second;
+    NS_OBS_INC_P(metrics_, edge_retries);
     // Capped exponential backoff: no hammering a dead edge every tick, quick
     // recovery once something changes (reset on the next delivered piece).
     d.edge_retry_delay_s = d.edge_retry_delay_s == 0
@@ -965,6 +995,13 @@ void NetSessionClient::finish_download(ObjectId object, trace::DownloadOutcome o
     rec.p2p_enabled = d.entry->policy.p2p_enabled;
     rec.peers_initially_returned = std::max(0, d.peers_initially_returned);
     rec.outcome = outcome;
+
+    if (outcome == trace::DownloadOutcome::completed)
+        NS_OBS_INC_P(metrics_, downloads_completed);
+    else
+        NS_OBS_INC_P(metrics_, downloads_failed);
+    NS_OBS_OBSERVE_P(metrics_, download_bytes, d.bytes_infra + d.bytes_peers);
+    NS_OBS_OBSERVE_P(metrics_, download_duration_s, (rec.end - rec.start).seconds());
 
     std::vector<trace::TransferRecord> transfers;
     const net::IpAddr my_ip = world_->host(host_).attach.ip;

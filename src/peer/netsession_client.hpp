@@ -16,6 +16,7 @@
 #include "control/control_plane.hpp"
 #include "edge/edge_network.hpp"
 #include "peer/client_config.hpp"
+#include "peer/client_metrics.hpp"
 #include "peer/registry.hpp"
 #include "swarm/picker.hpp"
 #include "trace/records.hpp"
@@ -140,6 +141,10 @@ public:
         tamper_ = std::move(fn);
     }
 
+    /// Points the client at a shared metrics block (normally the driver's).
+    /// Null (the default) disables client metrics for this instance.
+    void set_metrics(ClientMetrics* metrics) noexcept { metrics_ = metrics; }
+
     /// Marks this peer's cached data as silently corrupted (bad disk/RAM):
     /// every piece it uploads fails hash verification at the downloader.
     /// Receivers discard such pieces and never pass them on (§3.5).
@@ -192,6 +197,14 @@ private:
         bool query_outstanding = false;
         bool paused = false;
         std::uint32_t epoch = 0;  // invalidates in-flight async callbacks
+        /// Generation counter for the edge request/delivery path. The epoch
+        /// only moves on pause/stop, so a stall declared while the HTTP
+        /// request is still crossing the network would leave that stale
+        /// request valid — it would later start a *second* concurrent edge
+        /// flow and double-count the piece into bytes_infra. Every edge
+        /// request bumps this and validates against it; the watchdog's stall
+        /// branch bumps it again when abandoning a transfer.
+        std::uint32_t edge_attempt = 0;
         sim::SimTime edge_started_at;   // when the current edge request went out
         double edge_retry_delay_s = 0;  // capped exponential backoff state
         sim::EventHandle watchdog;
@@ -216,8 +229,8 @@ private:
     [[nodiscard]] bool source_blacklisted(Guid source);
 
     void request_from_edge(ObjectId object);
-    void on_edge_piece(ObjectId object, std::uint32_t epoch, swarm::PieceIndex piece,
-                       Digest256 digest);
+    void on_edge_piece(ObjectId object, std::uint32_t epoch, std::uint32_t attempt,
+                       swarm::PieceIndex piece, Digest256 digest);
     void query_for_peers(ObjectId object);
     void on_query_reply(ObjectId object, std::uint32_t epoch,
                         std::vector<control::PeerDescriptor> peers);
@@ -274,6 +287,7 @@ private:
     Rate base_up_;
     std::vector<std::pair<trace::DownloadRecord, std::vector<trace::TransferRecord>>> pending_;
     std::function<void(trace::DownloadRecord&)> tamper_;
+    ClientMetrics* metrics_ = nullptr;  // shared, driver-owned; may be null
 };
 
 }  // namespace netsession::peer

@@ -152,4 +152,17 @@ struct DegradationRecord {
     std::uint8_t reserved_[7] = {};
 };
 
+/// One point of a sampled metric time series (trace format v6). The obs
+/// sampler snapshots the metrics registry periodically; `metric` indexes the
+/// trace's metric-name table (TraceLog::metric_names()). Counters sample
+/// their cumulative value, gauges their level, and histograms expand into
+/// two series (`<name>.count`, `<name>.sum`). Packed like every other record
+/// so the raw dump carries no indeterminate padding.
+struct MetricPointRecord {
+    sim::SimTime time;
+    double value = 0.0;
+    std::uint32_t metric = 0;      // index into TraceLog::metric_names()
+    std::uint32_t reserved_ = 0;
+};
+
 }  // namespace netsession::trace

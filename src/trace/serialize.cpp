@@ -14,7 +14,9 @@ constexpr std::uint64_t kMagic = 0x4E53545243455231ULL;  // "NSTRCE" v1
 // of the simulation (no indeterminate padding bytes), so identical runs
 // produce byte-identical files.
 // v5: degradation-telemetry section (fault injection / data-plane hardening).
-constexpr std::uint32_t kVersion = 5;
+// v6: sampled-metrics section — a metric-name table plus the obs sampler's
+// time-series points (observability layer, docs/OBSERVABILITY.md).
+constexpr std::uint32_t kVersion = 6;
 
 struct FileCloser {
     void operator()(std::FILE* f) const noexcept {
@@ -50,6 +52,32 @@ bool read_vec(std::FILE* f, std::vector<T>& v) {
     return std::fread(v.data(), sizeof(T), v.size(), f) == v.size();
 }
 
+bool write_strings(std::FILE* f, const std::vector<std::string>& v) {
+    const std::uint64_t n = v.size();
+    if (!write_pod(f, n)) return false;
+    for (const auto& s : v) {
+        const std::uint64_t len = s.size();
+        if (!write_pod(f, len)) return false;
+        if (len != 0 && std::fwrite(s.data(), 1, s.size(), f) != s.size()) return false;
+    }
+    return true;
+}
+
+bool read_strings(std::FILE* f, std::vector<std::string>& v) {
+    std::uint64_t n = 0;
+    if (!read_pod(f, n)) return false;
+    v.clear();
+    v.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        std::uint64_t len = 0;
+        if (!read_pod(f, len)) return false;
+        std::string s(len, '\0');
+        if (len != 0 && std::fread(s.data(), 1, len, f) != len) return false;
+        v.push_back(std::move(s));
+    }
+    return true;
+}
+
 /// Flat on-disk form of one geo entry.
 struct GeoEntry {
     double lat = 0, lon = 0;
@@ -75,10 +103,14 @@ static_assert(std::has_unique_object_representations_v<LoginRecord>);
 static_assert(std::has_unique_object_representations_v<TransferRecord>);
 static_assert(std::has_unique_object_representations_v<DnRegistrationRecord>);
 static_assert(std::has_unique_object_representations_v<DegradationRecord>);
-// GeoEntry holds doubles, for which the unique-representation trait is
-// always false; a packed-size check still rules out padding.
+// GeoEntry and MetricPointRecord hold doubles, for which the
+// unique-representation trait is always false; a packed-size check still
+// rules out padding.
 static_assert(sizeof(GeoEntry) == 2 * sizeof(double) + 3 * sizeof(std::uint32_t) +
                                       2 * sizeof(std::uint16_t));
+static_assert(std::is_trivially_copyable_v<MetricPointRecord>);
+static_assert(sizeof(MetricPointRecord) ==
+              sizeof(sim::SimTime) + sizeof(double) + 2 * sizeof(std::uint32_t));
 
 }  // namespace
 
@@ -91,6 +123,8 @@ bool save_dataset(const Dataset& dataset, const std::string& path) {
     if (!write_vec(f.get(), dataset.log.transfers())) return false;
     if (!write_vec(f.get(), dataset.log.registrations())) return false;
     if (!write_vec(f.get(), dataset.log.degradations())) return false;
+    if (!write_strings(f.get(), dataset.log.metric_names())) return false;
+    if (!write_vec(f.get(), dataset.log.metric_points())) return false;
 
     std::vector<GeoEntry> geo;
     geo.reserve(dataset.geodb.size());
@@ -121,15 +155,22 @@ bool load_dataset(Dataset& dataset, const std::string& path) {
     std::vector<TransferRecord> transfers;
     std::vector<DnRegistrationRecord> registrations;
     std::vector<DegradationRecord> degradations;
+    std::vector<std::string> metric_names;
+    std::vector<MetricPointRecord> metric_points;
     if (!read_vec(f.get(), downloads) || !read_vec(f.get(), logins) ||
         !read_vec(f.get(), transfers) || !read_vec(f.get(), registrations) ||
-        !read_vec(f.get(), degradations))
+        !read_vec(f.get(), degradations) || !read_strings(f.get(), metric_names) ||
+        !read_vec(f.get(), metric_points))
         return false;
+    for (const auto& r : metric_points)
+        if (r.metric >= metric_names.size()) return false;  // corrupt name table
     for (const auto& r : downloads) dataset.log.add(r);
     for (const auto& r : logins) dataset.log.add(r);
     for (const auto& r : transfers) dataset.log.add(r);
     for (const auto& r : registrations) dataset.log.add(r);
     for (const auto& r : degradations) dataset.log.add(r);
+    dataset.log.set_metric_names(std::move(metric_names));
+    for (const auto& r : metric_points) dataset.log.add(r);
 
     std::vector<GeoEntry> geo;
     if (!read_vec(f.get(), geo)) return false;

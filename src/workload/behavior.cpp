@@ -100,6 +100,7 @@ void UserDriver::create_users(int n) {
         auto client = std::make_unique<peer::NetSessionClient>(
             *world_, *plane_, *edges_, bundle_->catalog(), *registry_, guid, host, cfg,
             u.rng.child("client"));
+        client->set_metrics(&client_metrics_);
         u.client = client.get();
 
         if (u.rng.chance(behavior_.corruptor_fraction)) u.client->set_corrupt_uploads(true);
@@ -420,6 +421,21 @@ int UserDriver::flash_crowd(double fraction, Rng& rng) {
         });
     }
     return launched;
+}
+
+void UserDriver::register_metrics(obs::Registry& registry) {
+    client_metrics_.register_with(registry);
+    registry.add_computed("driver.downloads_requested",
+                          [this] { return static_cast<double>(downloads_requested_); });
+    registry.add_computed("driver.downloads_finished",
+                          [this] { return static_cast<double>(downloads_finished_); });
+    registry.add_computed("driver.sessions_started",
+                          [this] { return static_cast<double>(sessions_started_); });
+    registry.add_computed("driver.clients_running", [this] {
+        std::size_t n = 0;
+        for (const auto& client : clients_) n += client->running() ? 1 : 0;
+        return static_cast<double>(n);
+    });
 }
 
 void UserDriver::run() {

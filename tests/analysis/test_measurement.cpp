@@ -345,6 +345,28 @@ TEST(Measurement, HeadlineOffload) {
     EXPECT_NEAR(h.overall_offload, 0.7, 1e-9);
 }
 
+TEST(Measurement, StallPlusRemapCountsAsOneIncident) {
+    // Regression: a download that stalls AND re-maps emits two degradation
+    // records (edge_stall + edge_remapped) for the same incident — the
+    // watchdog always re-resolves after a stall and logs the remap when the
+    // answer changes. `total` used to add both, double-counting every
+    // remapped stall; it must count incidents, while the per-kind fields
+    // still count every record.
+    trace::TraceLog log;
+    const auto at = [](std::int64_t s) { return sim::SimTime{s * 1'000'000}; };
+    log.add(trace::DegradationRecord{Guid{1, 1}, at(10), trace::DegradationKind::edge_stall, {}});
+    log.add(
+        trace::DegradationRecord{Guid{1, 1}, at(10), trace::DegradationKind::edge_remapped, {}});
+    log.add(trace::DegradationRecord{Guid{2, 2}, at(20), trace::DegradationKind::peer_stall, {}});
+
+    const auto d = degradation_stats(log);
+    EXPECT_EQ(d.edge_stalls, 1);
+    EXPECT_EQ(d.edge_remaps, 1) << "the remap is still visible per kind";
+    EXPECT_EQ(d.peer_stalls, 1);
+    EXPECT_EQ(d.total, 2) << "stall+remap is one incident, not two";
+    EXPECT_EQ(d.affected_clients, 2);
+}
+
 TEST(LoginIndex, AtPicksLatestBeforeTime) {
     LogBuilder b;
     const auto ip1 = b.ip_in("DE", 10);

@@ -544,5 +544,53 @@ TEST(Client, FlushUnfinishedEmitsTerminalRecords) {
     EXPECT_EQ(h.log.downloads().back().outcome, trace::DownloadOutcome::aborted_by_user);
 }
 
+TEST(Client, StallWhileRequestInFlightDoesNotDoubleCountEdgeBytes) {
+    // Regression for the stall/re-request byte race: when the watchdog
+    // declares an edge stall while the HTTP piece request is still crossing
+    // the network (send latency > stall_grace_s), the abandoned request used
+    // to start a second serve flow next to the retry's flow, and both
+    // deliveries landed in bytes_from_infrastructure. The attempt generation
+    // counter (Download::edge_attempt) invalidates the stale request; a
+    // download that both stalls and re-requests must account every
+    // infrastructure byte exactly once.
+    Harness h;
+    NetSessionClient& c = h.add_client("FR", false);
+    c.start();
+    h.settle();
+
+    // Inflate the client AS's latency so the first piece request takes ~60 s
+    // one way — past the 10 s stall grace, so the 30 s watchdog declares a
+    // stall while the request is still in flight.
+    const Asn asn = h.world.host(c.host()).attach.asn;
+    const HostId edge_host = h.edges.nearest(c.host()).host();
+    const double base_s = h.world.latency(c.host(), edge_host).seconds();
+    ASSERT_GT(base_s, 0.0);
+    h.world.degrade_as(asn, 60.0 / base_s, 1.0, 0.0);
+
+    trace::DownloadRecord record;
+    bool done = false;
+    c.begin_download(h.big, [&](const trace::DownloadRecord& r) {
+        record = r;
+        done = true;
+    });
+    // Restore normal latency right after the first watchdog tick (t+30 s):
+    // the retry's request then lands quickly and streams the object while
+    // the original request is still in the air (arriving at ~t+60 s,
+    // mid-download — 400 MB at 24 Mbps takes over two minutes).
+    h.sim.schedule_after(sim::seconds(31.0), [&] { h.world.degrade_as(asn, 1.0, 1.0, 0.0); });
+
+    h.sim.run_until(h.sim.now() + sim::hours(1.0));
+    ASSERT_TRUE(done);
+    EXPECT_EQ(record.outcome, trace::DownloadOutcome::completed);
+    // The stall really happened...
+    bool stalled = false;
+    for (const auto& g : h.log.degradations())
+        if (g.guid == c.guid() && g.kind == trace::DegradationKind::edge_stall) stalled = true;
+    EXPECT_TRUE(stalled) << "scenario must reproduce the stall-while-in-flight race";
+    // ...and every byte is accounted exactly once.
+    EXPECT_EQ(record.bytes_from_infrastructure, 400_MB);
+    EXPECT_EQ(record.bytes_from_peers, 0);
+}
+
 }  // namespace
 }  // namespace netsession::peer

@@ -47,6 +47,11 @@ Dataset sample_dataset() {
 
     d.log.add(DnRegistrationRecord{dl.object, dl.guid, sim::SimTime{7}});
 
+    // v6 metrics section: one interned series with two samples.
+    const std::uint32_t metric = d.log.intern_metric("edge.bytes_served");
+    d.log.add(MetricPointRecord{sim::SimTime{8}, 1.5, metric, 0});
+    d.log.add(MetricPointRecord{sim::SimTime{9}, 2.25, metric, 0});
+
     d.geodb.register_ip(login.ip,
                         net::GeoRecord{net::Location{CountryId{17}, 4, {48.1, 11.5}}, Asn{1001}});
     return d;
@@ -73,6 +78,14 @@ TEST(Serialize, RoundTripPreservesEverything) {
     ASSERT_EQ(loaded.log.transfers().size(), 1u);
     EXPECT_EQ(loaded.log.transfers()[0].bytes, 55);
     ASSERT_EQ(loaded.log.registrations().size(), 1u);
+
+    ASSERT_EQ(loaded.log.metric_names().size(), 1u);
+    EXPECT_EQ(loaded.log.metric_names()[0], "edge.bytes_served");
+    ASSERT_EQ(loaded.log.metric_points().size(), 2u);
+    EXPECT_EQ(loaded.log.metric_points()[0].time, sim::SimTime{8});
+    EXPECT_EQ(loaded.log.metric_points()[0].value, 1.5);
+    EXPECT_EQ(loaded.log.metric_points()[1].value, 2.25);
+    EXPECT_EQ(loaded.log.metric_points()[1].metric, 0u);
 
     ASSERT_EQ(loaded.geodb.size(), 1u);
     const auto geo = loaded.geodb.lookup(net::IpAddr{0x0A000001});

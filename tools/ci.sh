@@ -10,6 +10,15 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${1:-$(nproc)}"
 
+# Guard: build trees must never be committed. Anything under a build*/
+# prefix showing up in the index means a stray `git add .` picked up
+# artifacts (the CI flavours below create three such trees).
+if git ls-files | grep -qE '^build[^/]*/'; then
+    echo "ERROR: build artifacts are tracked by git:" >&2
+    git ls-files | grep -E '^build[^/]*/' | head >&2
+    exit 1
+fi
+
 run_flavour() {
     local name="$1" build_dir="$2"
     shift 2
@@ -26,6 +35,13 @@ run_flavour() {
     # then smoke the shipped chaos scenario end to end.
     echo "==== [$name] fault/robustness focus ===="
     (cd "$build_dir" && ctest --output-on-failure -R 'Robustness|Fault|Chaos')
+    # Observability + statistical fidelity focus: the registry/sampler unit
+    # suite and the paper-distribution harness. Run explicitly in every
+    # flavour — the sampler's type-erased ticks and the shared client
+    # metrics block are exactly the kind of code the sanitizers exist for,
+    # and a KS-bound drift must fail CI, not just a local run.
+    echo "==== [$name] obs/fidelity focus ===="
+    (cd "$build_dir" && ctest --output-on-failure -R 'Histogram|Counter|Gauge|Registry|Macros|Export|Sampler|FidelityRun|GoldenMetrics')
     # Full-scale chaos scenario smoke: release flavour only (the sanitizer
     # flavours cover the same path via the reduced-scale Chaos ctest suite).
     if [ "$name" = release ]; then

@@ -7,6 +7,7 @@
 //   nstrace objects   <file> [n]        top-n objects by downloads
 //   nstrace outcomes  <file>            §5.2 outcome breakdown
 //   nstrace faults    <file>            §3.8 degradation telemetry counters
+//   nstrace metrics   <file> [series]   v6 metric time-series (sampler output)
 //   nstrace guids     <file>            Fig 12 secondary-GUID graph patterns
 //   nstrace tsv       <file> <out.tsv>  dump the download log as TSV
 //   nstrace export    <file> <dir>      write plot-ready figure data + gnuplot script
@@ -29,8 +30,8 @@ using namespace netsession;
 
 int usage() {
     std::fprintf(stderr,
-                 "usage: nstrace <summary|headline|providers|objects|outcomes|faults|guids|tsv|"
-                 "export> <file> [args]\n");
+                 "usage: nstrace <summary|headline|providers|objects|outcomes|faults|metrics|"
+                 "guids|tsv|export> <file> [args]\n");
     return 2;
 }
 
@@ -72,9 +73,71 @@ void cmd_faults(const trace::Dataset& dataset) {
     table.add_row({"Query timeouts", format_count(d.query_timeouts)});
     table.add_row({"Login timeouts", format_count(d.login_timeouts)});
     table.add_row({"STUN timeouts", format_count(d.stun_timeouts)});
-    table.add_row({"Total", format_count(d.total)});
+    // Incidents, not records: a re-map rides on its stall record and is not
+    // counted again (see analysis::DegradationStats::total).
+    table.add_row({"Total incidents", format_count(d.total)});
     table.add_row({"Affected clients", format_count(d.affected_clients)});
     std::printf("%s", table.render().c_str());
+}
+
+void cmd_metrics(const trace::Dataset& dataset, const char* series) {
+    const auto& names = dataset.log.metric_names();
+    const auto& points = dataset.log.metric_points();
+    if (names.empty() || points.empty()) {
+        std::printf("no metric samples in this trace (pre-v6 data, NS_METRICS=OFF build, or "
+                    "sampling disabled)\n");
+        return;
+    }
+    if (series != nullptr) {
+        // Dump one series as "hours<TAB>value" rows (plot-ready).
+        std::uint32_t id = 0;
+        bool found = false;
+        for (std::uint32_t i = 0; i < names.size(); ++i)
+            if (names[i] == series) {
+                id = i;
+                found = true;
+                break;
+            }
+        if (!found) {
+            std::fprintf(stderr, "nstrace: no metric series named '%s'\n", series);
+            return;
+        }
+        std::printf("# hours\t%s\n", series);
+        for (const auto& p : points)
+            if (p.metric == id) std::printf("%.3f\t%.17g\n", p.time.seconds() / 3600.0, p.value);
+        return;
+    }
+    // Per-series summary over the whole time range.
+    struct Agg {
+        std::int64_t n = 0;
+        double first = 0, last = 0, min = 0, max = 0;
+    };
+    std::vector<Agg> aggs(names.size());
+    for (const auto& p : points) {
+        Agg& a = aggs[p.metric];
+        if (a.n == 0) {
+            a.first = a.min = a.max = p.value;
+        } else {
+            a.min = std::min(a.min, p.value);
+            a.max = std::max(a.max, p.value);
+        }
+        a.last = p.value;
+        ++a.n;
+    }
+    analysis::TextTable table({"Series", "Samples", "First", "Last", "Min", "Max"});
+    const auto fmt = [](double v) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.6g", v);
+        return std::string(buf);
+    };
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const Agg& a = aggs[i];
+        if (a.n == 0) continue;
+        table.add_row({names[i], format_count(a.n), fmt(a.first), fmt(a.last), fmt(a.min),
+                       fmt(a.max)});
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf("(use `nstrace metrics <file> <series>` to dump one series)\n");
 }
 
 void cmd_providers(const trace::Dataset& dataset) {
@@ -186,6 +249,8 @@ int main(int argc, char** argv) {
         cmd_outcomes(dataset);
     } else if (command == "faults") {
         cmd_faults(dataset);
+    } else if (command == "metrics") {
+        cmd_metrics(dataset, argc > 3 ? argv[3] : nullptr);
     } else if (command == "guids") {
         cmd_guids(dataset);
     } else if (command == "tsv") {
