@@ -3,8 +3,11 @@
 #include <benchmark/benchmark.h>
 
 #include <array>
+#include <cstdio>
+#include <cstdlib>
 
 #include "analysis/guid_graph.hpp"
+#include "analysis/pipeline.hpp"
 #include "common/rng.hpp"
 #include "common/sha256.hpp"
 #include "control/directory.hpp"
@@ -206,6 +209,108 @@ void BM_GuidGraphClassify(benchmark::State& state) {
     state.SetItemsProcessed(state.iterations() * 200);
 }
 BENCHMARK(BM_GuidGraphClassify);
+
+/// A dense synthetic dataset exercising every measurement: logins with
+/// secondary-GUID chains, a zipf-ish object mix of downloads, p2p transfers
+/// between geolocated peers.
+trace::Dataset synthetic_analysis_dataset(int peers, int downloads_per_peer) {
+    trace::Dataset dataset;
+    Rng rng(17);
+    std::vector<net::IpAddr> ips;
+    ips.reserve(static_cast<std::size_t>(peers));
+    for (int p = 0; p < peers; ++p) {
+        const auto u = static_cast<std::uint64_t>(p + 1);
+        const Guid guid{u, 77};
+        const net::IpAddr ip{0x0A000000u + static_cast<std::uint32_t>(u)};
+        ips.push_back(ip);
+
+        net::GeoRecord geo;
+        geo.location.country = CountryId{static_cast<std::uint16_t>(p % 40)};
+        geo.location.point = {rng.uniform(-60.0, 60.0), rng.uniform(-180.0, 180.0)};
+        geo.asn = Asn{static_cast<std::uint32_t>(100 + p % 64)};
+        dataset.geodb.register_ip(ip, geo);
+
+        trace::LoginRecord login;
+        login.guid = guid;
+        login.ip = ip;
+        login.time = sim::SimTime{static_cast<std::int64_t>(p) * 1000};
+        login.uploads_enabled = (p % 3) != 0;
+        for (std::size_t i = 0; i < 5; ++i)
+            login.secondary_guids[i] = SecondaryGuid{u, 5 - i};
+        dataset.log.add(login);
+
+        for (int d = 0; d < downloads_per_peer; ++d) {
+            trace::DownloadRecord rec;
+            rec.guid = guid;
+            rec.object = ObjectId{1 + rng.next() % 500, 1};
+            rec.url_hash = rec.object.hi;
+            rec.object_size = static_cast<Bytes>(rng.range(1'000'000, 1'000'000'000));
+            rec.start = login.time;
+            rec.end = rec.start + sim::seconds(rng.uniform(10.0, 3600.0));
+            rec.p2p_enabled = (d % 4) != 0;
+            rec.bytes_from_peers = rec.p2p_enabled ? rec.object_size / 2 : 0;
+            rec.bytes_from_infrastructure = rec.object_size - rec.bytes_from_peers;
+            rec.cp_code = CpCode{static_cast<std::uint32_t>(1 + d % 3)};
+            rec.peers_initially_returned = static_cast<int>(rng.below(41));
+            rec.outcome = trace::DownloadOutcome::completed;
+            dataset.log.add(rec);
+
+            if (rec.p2p_enabled && p > 0) {
+                trace::TransferRecord t;
+                t.object = rec.object;
+                t.from_guid = Guid{1 + rng.next() % u, 77};
+                t.to_guid = guid;
+                t.from_ip = ips[static_cast<std::size_t>(t.from_guid.hi - 1)];
+                t.to_ip = ip;
+                t.bytes = rec.bytes_from_peers;
+                t.time = rec.end;
+                dataset.log.add(t);
+
+                trace::DnRegistrationRecord reg;
+                reg.object = rec.object;
+                reg.guid = guid;
+                reg.time = rec.end;
+                dataset.log.add(reg);
+            }
+        }
+    }
+    return dataset;
+}
+
+void BM_MeasurementPipeline(benchmark::State& state) {
+    // The full §4-§6 measurement pipeline over a multi-chunk dataset — the
+    // pass the parallel runtime (common/parallel.hpp) exists to speed up.
+    const trace::Dataset dataset = synthetic_analysis_dataset(2000, 10);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(analysis::fingerprint(analysis::run_full_pipeline(dataset)));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(dataset.log.total_entries()));
+}
+BENCHMARK(BM_MeasurementPipeline);
+
+void BM_DatasetLoad(benchmark::State& state) {
+    // Cached-dataset load: arg 0 = zero-copy mmap path, arg 1 = buffered
+    // fread fallback (NS_TRACE_NO_MMAP) — the ratio is the headline's
+    // load_speedup.
+    const trace::Dataset dataset = synthetic_analysis_dataset(2000, 10);
+    const std::string path = "/tmp/bench_dataset_load.nstrace";
+    if (!trace::save_dataset(dataset, path)) {
+        state.SkipWithError("save_dataset failed");
+        return;
+    }
+    if (state.range(0) != 0) setenv("NS_TRACE_NO_MMAP", "1", 1);
+    for (auto _ : state) {
+        trace::Dataset loaded;
+        benchmark::DoNotOptimize(trace::load_dataset(loaded, path));
+        benchmark::DoNotOptimize(loaded.log.total_entries());
+    }
+    unsetenv("NS_TRACE_NO_MMAP");
+    std::remove(path.c_str());
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(dataset.log.total_entries()));
+}
+BENCHMARK(BM_DatasetLoad)->Arg(0)->Arg(1);
 
 void BM_TraceSerializeRoundTrip(benchmark::State& state) {
     trace::Dataset dataset;

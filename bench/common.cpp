@@ -3,9 +3,12 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <filesystem>
 #include <string>
 
+#include <filesystem>
+
+#include "analysis/pipeline.hpp"
+#include "common/parallel.hpp"
 #include "obs/export.hpp"
 
 namespace netsession::bench {
@@ -16,6 +19,73 @@ double env_double(const char* name, double fallback) {
     return v == nullptr ? fallback : std::atof(v);
 }
 
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+/// The "analysis" headline section: full-pipeline wall clock at the
+/// configured thread count vs forced single-thread (with the fingerprint
+/// equality check that guards the determinism contract), cached-dataset load
+/// time on the mmap path vs the buffered fallback, and the parallel
+/// runtime's counters. This is where the ISSUE's >=3x pipeline / >=2x load
+/// acceptance numbers get recorded.
+std::string analysis_section_json(const trace::Dataset& dataset, const char* cache_path) {
+    const int threads = parallel::thread_count();
+
+    auto t0 = std::chrono::steady_clock::now();
+    const analysis::PipelineResult parallel_result = analysis::run_full_pipeline(dataset);
+    const double pipeline_seconds = seconds_since(t0);
+    const std::uint64_t parallel_fp = analysis::fingerprint(parallel_result);
+
+    parallel::set_thread_count(1);
+    t0 = std::chrono::steady_clock::now();
+    const analysis::PipelineResult serial_result = analysis::run_full_pipeline(dataset);
+    const double serial_seconds = seconds_since(t0);
+    const std::uint64_t serial_fp = analysis::fingerprint(serial_result);
+    parallel::set_thread_count(threads);
+
+    double load_mmap_seconds = 0.0;
+    double load_buffered_seconds = 0.0;
+    if (cache_path != nullptr) {
+        trace::Dataset scratch;
+        t0 = std::chrono::steady_clock::now();
+        if (trace::load_dataset(scratch, cache_path)) load_mmap_seconds = seconds_since(t0);
+        setenv("NS_TRACE_NO_MMAP", "1", 1);
+        trace::Dataset scratch2;
+        t0 = std::chrono::steady_clock::now();
+        if (trace::load_dataset(scratch2, cache_path)) load_buffered_seconds = seconds_since(t0);
+        unsetenv("NS_TRACE_NO_MMAP");
+    }
+
+    const parallel::StatsSnapshot st = parallel::stats();
+    char buf[1024];
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\n"
+        "    \"threads\": %d,\n"
+        "    \"pipeline_seconds\": %.3f,\n"
+        "    \"pipeline_seconds_1thread\": %.3f,\n"
+        "    \"pipeline_speedup\": %.2f,\n"
+        "    \"fingerprint\": \"%016llx\",\n"
+        "    \"fingerprint_match\": %s,\n"
+        "    \"load_seconds_mmap\": %.4f,\n"
+        "    \"load_seconds_buffered\": %.4f,\n"
+        "    \"load_speedup\": %.2f,\n"
+        "    \"parallel\": {\"jobs\": %llu, \"inline_jobs\": %llu, \"chunks\": %llu, "
+        "\"chunks_stolen\": %llu, \"merges\": %llu}\n"
+        "  }",
+        threads, pipeline_seconds, serial_seconds,
+        pipeline_seconds > 0.0 ? serial_seconds / pipeline_seconds : 0.0,
+        static_cast<unsigned long long>(parallel_fp),
+        parallel_fp == serial_fp ? "true" : "false", load_mmap_seconds, load_buffered_seconds,
+        load_mmap_seconds > 0.0 ? load_buffered_seconds / load_mmap_seconds : 0.0,
+        static_cast<unsigned long long>(st.jobs), static_cast<unsigned long long>(st.inline_jobs),
+        static_cast<unsigned long long>(st.chunks),
+        static_cast<unsigned long long>(st.chunks_stolen),
+        static_cast<unsigned long long>(st.merges));
+    return buf;
+}
+
 // Machine-readable record of a fresh standard-scenario run: wall-clock plus
 // the engine's hot-path counters and the full per-subsystem metric registry
 // (obs::to_json — control/edge/client/flow/sim breakdowns). Written next to
@@ -23,7 +93,7 @@ double env_double(const char* name, double fallback) {
 // feeling. Only fresh runs emit it — a cache load measures deserialization,
 // not the simulator.
 void write_headline_json(const BenchArgs& args, double wall_seconds, const Simulation& sim,
-                         const trace::Dataset& dataset) {
+                         const trace::Dataset& dataset, const char* cache_path) {
     const Simulation::PerfStats perf = sim.perf_stats();
     const std::string path = args.cache_dir + "/BENCH_headline.json";
     std::FILE* f = std::fopen(path.c_str(), "w");
@@ -61,6 +131,7 @@ void write_headline_json(const BenchArgs& args, double wall_seconds, const Simul
                  "\"transfers\": %zu, \"registrations\": %zu},\n",
                  dataset.log.downloads().size(), dataset.log.logins().size(),
                  dataset.log.transfers().size(), dataset.log.registrations().size());
+    std::fprintf(f, "  \"analysis\": %s,\n", analysis_section_json(dataset, cache_path).c_str());
     // Per-subsystem breakdown: the whole metric registry, re-indented so the
     // exporter's top-level object nests under the "metrics" key.
     std::string metrics = obs::to_json(sim.metrics());
@@ -83,8 +154,13 @@ BenchArgs bench_args() {
     args.peers = static_cast<int>(env_double("NS_BENCH_PEERS", args.peers));
     args.days = env_double("NS_BENCH_DAYS", args.days);
     args.warmup = env_double("NS_BENCH_WARMUP", args.warmup);
-    args.seed = static_cast<std::uint64_t>(env_double("NS_BENCH_SEED",
-                                                      static_cast<double>(args.seed)));
+    // Seeds are full 64-bit values; parsing through double (atof) would
+    // silently round anything above 2^53.
+    if (const char* s = std::getenv("NS_BENCH_SEED")) {
+        char* end = nullptr;
+        const unsigned long long v = std::strtoull(s, &end, 0);
+        if (end != s && *end == '\0') args.seed = v;
+    }
     if (const char* dir = std::getenv("NS_BENCH_CACHE")) args.cache_dir = dir;
     return args;
 }
@@ -134,9 +210,9 @@ trace::Dataset standard_dataset(const BenchArgs& args) {
     sim.geodb().for_each([&](net::IpAddr ip, const net::GeoRecord& rec) {
         dataset.geodb.register_ip(ip, rec);
     });
-    if (trace::save_dataset(dataset, name))
-        std::printf("[scenario] cached to %s\n", name);
-    write_headline_json(args, wall_seconds, sim, dataset);
+    const bool cached = trace::save_dataset(dataset, name);
+    if (cached) std::printf("[scenario] cached to %s\n", name);
+    write_headline_json(args, wall_seconds, sim, dataset, cached ? name : nullptr);
     std::printf("[scenario] %zu downloads, %zu logins, %zu transfers, %zu registrations\n",
                 dataset.log.downloads().size(), dataset.log.logins().size(),
                 dataset.log.transfers().size(), dataset.log.registrations().size());

@@ -41,9 +41,12 @@ struct BenchArgs {
 /// Prints progress to stdout. A fresh run (cache miss) also writes
 /// `<cache_dir>/BENCH_headline.json` — wall-clock seconds, the engine's
 /// perf counters (events dispatched/sec, callback heap allocations, flow
-/// refills and sort-cache hits) and the full per-subsystem metric registry
-/// (`"metrics"` key, obs::to_json) — so scenario throughput and subsystem
-/// behaviour are tracked as one machine-readable artefact.
+/// refills and sort-cache hits), the `"analysis"` section (full measurement
+/// pipeline at NS_THREADS vs one thread with a fingerprint-equality check,
+/// mmap vs buffered cache-load times; docs/PARALLELISM.md) and the full
+/// per-subsystem metric registry (`"metrics"` key, obs::to_json) — so
+/// scenario throughput and subsystem behaviour are tracked as one
+/// machine-readable artefact.
 [[nodiscard]] trace::Dataset standard_dataset(const BenchArgs& args);
 
 /// The AS graph of the standard scenario (regenerated deterministically from

@@ -4,6 +4,8 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/parallel.hpp"
+
 namespace netsession::analysis {
 
 namespace {
@@ -69,32 +71,65 @@ GuidGraphPattern classify(const Graph& g) {
 }  // namespace
 
 GuidGraphStats classify_guid_graphs(const trace::TraceLog& log) {
-    std::unordered_map<Guid, Graph> graphs;
-    for (const auto& login : log.logins()) {
-        Graph& g = graphs[login.guid];
-        // secondary_guids is newest-first; edges run old -> new.
-        const auto& s = login.secondary_guids;
-        for (std::size_t i = 0; i + 1 < s.size(); ++i) {
-            const SecondaryGuid newer = s[i];
-            const SecondaryGuid older = s[i + 1];
-            if (newer.is_nil() || older.is_nil()) continue;
-            g.add_edge(older, newer);
-        }
-    }
+    // Sharded edge accumulation: each chunk of the login log builds its own
+    // per-GUID graphs; partials merge in chunk order by replaying edges
+    // through add_edge. The merged graph equals the serial one outright —
+    // edge sets and unique-edge in-degrees are insertion-order independent.
+    using GraphMap = std::unordered_map<Guid, Graph>;
+    const auto& logins = log.logins();
+    GraphMap graphs = parallel::parallel_reduce<GraphMap>(
+        logins.size(),
+        [&](GraphMap& p, std::size_t lo, std::size_t hi) {
+            for (std::size_t i = lo; i < hi; ++i) {
+                const auto& login = logins[i];
+                Graph& g = p[login.guid];
+                // secondary_guids is newest-first; edges run old -> new.
+                const auto& s = login.secondary_guids;
+                for (std::size_t j = 0; j + 1 < s.size(); ++j) {
+                    const SecondaryGuid newer = s[j];
+                    const SecondaryGuid older = s[j + 1];
+                    if (newer.is_nil() || older.is_nil()) continue;
+                    g.add_edge(older, newer);
+                }
+            }
+        },
+        [](GraphMap& a, GraphMap&& b) {
+            for (auto& [guid, g] : b) {
+                Graph& dst = a[guid];
+                for (const auto& [from, succs] : g.out)
+                    for (const auto& to : succs) dst.add_edge(from, to);
+            }
+        });
 
-    GuidGraphStats stats;
-    for (const auto& [guid, g] : graphs) {
-        if (g.vertices.size() < 3) continue;  // paper considers graphs with >= 3 vertices
-        ++stats.graphs;
-        switch (classify(g)) {
-            case GuidGraphPattern::linear_chain: ++stats.linear_chains; break;
-            case GuidGraphPattern::long_plus_short: ++stats.long_plus_short; break;
-            case GuidGraphPattern::two_long_branches: ++stats.two_long_branches; break;
-            case GuidGraphPattern::several_branches: ++stats.several_branches; break;
-            case GuidGraphPattern::irregular: ++stats.irregular; break;
-        }
-    }
-    return stats;
+    // Classification is per-graph and pure; fan the qualifying graphs out
+    // over a snapshot vector (map iteration order, fixed for a given log).
+    std::vector<const Graph*> qualifying;
+    qualifying.reserve(graphs.size());
+    for (const auto& [guid, g] : graphs)
+        if (g.vertices.size() >= 3) qualifying.push_back(&g);  // paper: graphs with >= 3 vertices
+
+    return parallel::parallel_reduce<GuidGraphStats>(
+        qualifying.size(),
+        [&](GuidGraphStats& p, std::size_t lo, std::size_t hi) {
+            for (std::size_t i = lo; i < hi; ++i) {
+                ++p.graphs;
+                switch (classify(*qualifying[i])) {
+                    case GuidGraphPattern::linear_chain: ++p.linear_chains; break;
+                    case GuidGraphPattern::long_plus_short: ++p.long_plus_short; break;
+                    case GuidGraphPattern::two_long_branches: ++p.two_long_branches; break;
+                    case GuidGraphPattern::several_branches: ++p.several_branches; break;
+                    case GuidGraphPattern::irregular: ++p.irregular; break;
+                }
+            }
+        },
+        [](GuidGraphStats& a, GuidGraphStats&& b) {
+            a.graphs += b.graphs;
+            a.linear_chains += b.linear_chains;
+            a.long_plus_short += b.long_plus_short;
+            a.two_long_branches += b.two_long_branches;
+            a.several_branches += b.several_branches;
+            a.irregular += b.irregular;
+        });
 }
 
 }  // namespace netsession::analysis

@@ -1,0 +1,49 @@
+// One-call driver for the full measurement pipeline: every analysis of
+// §4-§6 computed from a loaded Dataset, plus a bitwise fingerprint of the
+// combined output. The fingerprint is the determinism oracle — the analysis
+// layer promises byte-identical results for every thread count, and the
+// thread-invariance tests and the bench headline's "analysis" section both
+// check that promise by comparing fingerprints across NS_THREADS settings.
+#pragma once
+
+#include <cstdint>
+
+#include "analysis/guid_graph.hpp"
+#include "analysis/measurement.hpp"
+#include "net/as_graph.hpp"
+#include "trace/serialize.hpp"
+
+namespace netsession::analysis {
+
+/// Aggregated output of every measurement in the pipeline.
+struct PipelineResult {
+    OverallStats overall;                                              // Table 1
+    std::map<std::uint32_t, std::array<double, kReportRegions>> regions;  // Table 2
+    SettingChanges setting_changes;                                    // Table 3
+    std::map<std::uint32_t, double> upload_enabled;                    // Table 4
+    std::vector<CountryPeers> peers_by_country;                        // Fig 2
+    std::array<double, net::kContinentCount> continents{};             // Fig 2
+    WorkloadCharacteristics workload;                                  // Fig 3
+    SpeedComparison speeds;                                            // Fig 4
+    EfficiencyVsCopies efficiency_copies;                              // Fig 5
+    EfficiencyVsPeers efficiency_peers;                                // Fig 6
+    OutcomeStats outcomes;                                             // §5.2 / Fig 7
+    std::vector<CountryCoverage> coverage;                             // Fig 8
+    TrafficBalance balance;                                            // §6.1 / Fig 9-11
+    MobilityStats mobility;                                            // §6.2
+    HeadlineOffload headline;                                          // §5.1
+    DegradationStats degradation;                                      // §3.8
+    GuidGraphStats guid_graphs;                                        // Fig 12
+};
+
+/// Runs every measurement over the dataset (one shared LoginIndex).
+/// Fig 8's coverage uses the provider with the lowest cp_code; `graph`
+/// (when given) enables the direct-link analysis of traffic_balance.
+[[nodiscard]] PipelineResult run_full_pipeline(const trace::Dataset& dataset,
+                                               const net::AsGraph* graph = nullptr);
+
+/// FNV-1a hash over every field of the result, doubles hashed by bit
+/// pattern. Two results fingerprint equal iff they are bitwise identical.
+[[nodiscard]] std::uint64_t fingerprint(const PipelineResult& result);
+
+}  // namespace netsession::analysis

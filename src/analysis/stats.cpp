@@ -4,13 +4,21 @@
 #include <cassert>
 #include <cmath>
 
+#include "common/parallel.hpp"
+
 namespace netsession::analysis {
 
 Cdf::Cdf(std::vector<double> samples) : sorted_(std::move(samples)) {
-    std::sort(sorted_.begin(), sorted_.end());
+    parallel::parallel_sort(sorted_);
     if (!sorted_.empty()) {
-        double sum = 0.0;
-        for (const double v : sorted_) sum += v;
+        // Chunked partial sums merged in chunk order: the float-addition
+        // order is a function of the sample count only, never thread count.
+        const double sum = parallel::parallel_reduce<double>(
+            sorted_.size(),
+            [&](double& p, std::size_t lo, std::size_t hi) {
+                for (std::size_t i = lo; i < hi; ++i) p += sorted_[i];
+            },
+            [](double& a, double b) { a += b; });
         mean_ = sum / static_cast<double>(sorted_.size());
     }
 }
@@ -81,7 +89,7 @@ double mean_of(const std::vector<double>& xs) {
 
 double percentile(std::vector<double> xs, double pct) {
     if (xs.empty()) return 0.0;
-    std::sort(xs.begin(), xs.end());
+    parallel::parallel_sort(xs);
     const auto rank = static_cast<std::size_t>(
         std::min<double>(static_cast<double>(xs.size()) - 1.0,
                          std::max(0.0, pct / 100.0 * static_cast<double>(xs.size() - 1))));

@@ -26,6 +26,9 @@ public:
     [[nodiscard]] double max() const;
     [[nodiscard]] double mean() const noexcept { return mean_; }
 
+    /// The sorted sample array (fingerprinting, exact exports).
+    [[nodiscard]] const std::vector<double>& samples() const noexcept { return sorted_; }
+
     /// Evaluates the CDF at `points` log-spaced positions across the sample
     /// range — the typical rendering of the paper's log-x CDF figures.
     /// Returns (x, fraction<=x) pairs.

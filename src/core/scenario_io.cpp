@@ -140,6 +140,10 @@ const std::map<std::string, Knob>& knobs() {
              [](const SimulationConfig& c) { return c.client.cache_retention.seconds() / 86400; },
              [](SimulationConfig& c, double v) { c.client.cache_retention = sim::days(v); },
              "how long completed downloads stay shareable")},
+        {"threads",
+         double_knob([](const SimulationConfig& c) { return double(c.threads); },
+                     [](SimulationConfig& c, double v) { c.threads = int(v); },
+                     "analysis thread count (0 = NS_THREADS/hardware default)")},
         {"disable_p2p", bool_knob([](const SimulationConfig& c) { return c.disable_p2p; },
                                   [](SimulationConfig& c, bool v) { c.disable_p2p = v; },
                                   "true = infrastructure-only baseline")},

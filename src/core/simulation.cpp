@@ -1,9 +1,15 @@
 #include "core/simulation.hpp"
 
+#include "common/parallel.hpp"
+
 namespace netsession {
 
 Simulation::Simulation(SimulationConfig config)
     : config_(std::move(config)), accounting_(trace_) {
+    // Sizes the analysis runtime for post-run measurement passes; the
+    // simulation itself stays single-threaded regardless.
+    if (config_.threads > 0) parallel::set_thread_count(config_.threads);
+
     Rng root(config_.seed);
 
     world_ = std::make_unique<net::World>(

@@ -67,6 +67,13 @@ struct SimulationConfig {
     /// reads registered metrics only — it cannot perturb the rest of the
     /// trace. Builds with NS_METRICS=OFF never start it.
     obs::SamplerConfig metrics;
+
+    /// Thread count for the *analysis* runtime (common/parallel.hpp) that
+    /// post-run measurement passes use; 0 keeps the NS_THREADS/-hardware
+    /// default. The simulation itself is always single-threaded — this knob
+    /// cannot change trace bytes, only how fast the tables/figures are
+    /// computed afterwards (docs/PARALLELISM.md).
+    int threads = 0;
 };
 
 class Simulation {

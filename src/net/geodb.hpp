@@ -27,6 +27,9 @@ public:
     /// Registers (or overwrites) the record for an address.
     void register_ip(IpAddr ip, const GeoRecord& record) { records_[ip] = record; }
 
+    /// Pre-sizes the table for a known entry count (bulk deserialisation).
+    void reserve(std::size_t n) { records_.reserve(n); }
+
     /// Resolves an address; empty if unknown.
     [[nodiscard]] std::optional<GeoRecord> lookup(IpAddr ip) const {
         const auto it = records_.find(ip);

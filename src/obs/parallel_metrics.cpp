@@ -1,0 +1,22 @@
+#include "obs/parallel_metrics.hpp"
+
+#include "common/parallel.hpp"
+
+namespace netsession::obs {
+
+void register_parallel_metrics(Registry& registry) {
+    using parallel::stats;
+    registry.add_computed("parallel.threads",
+                          [] { return static_cast<double>(stats().threads); });
+    registry.add_computed("parallel.jobs", [] { return static_cast<double>(stats().jobs); });
+    registry.add_computed("parallel.inline_jobs",
+                          [] { return static_cast<double>(stats().inline_jobs); });
+    registry.add_computed("parallel.chunks", [] { return static_cast<double>(stats().chunks); });
+    registry.add_computed("parallel.chunks_stolen",
+                          [] { return static_cast<double>(stats().chunks_stolen); });
+    registry.add_computed("parallel.merges", [] { return static_cast<double>(stats().merges); });
+    registry.add_computed("parallel.merge_order_checks",
+                          [] { return static_cast<double>(stats().merge_order_checks); });
+}
+
+}  // namespace netsession::obs

@@ -1,0 +1,17 @@
+// Computed gauges over the parallel runtime's process-wide counters
+// (common/parallel.hpp): jobs, chunks, merge counts, configured threads.
+// Deliberately NOT registered by Simulation — the sampled values depend on
+// how much analysis has run in the process, which would put wall-clock-ish
+// nondeterminism into the trace. Tools and benches that want the numbers in
+// their own exports (e.g. the BENCH_headline "analysis" section) register
+// them into a local registry instead.
+#pragma once
+
+#include "obs/metrics.hpp"
+
+namespace netsession::obs {
+
+/// Registers the `parallel.*` computed gauges into `registry`.
+void register_parallel_metrics(Registry& registry);
+
+}  // namespace netsession::obs

@@ -2,8 +2,18 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define NS_TRACE_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
 
 namespace netsession::trace {
 
@@ -16,7 +26,11 @@ constexpr std::uint64_t kMagic = 0x4E53545243455231ULL;  // "NSTRCE" v1
 // v5: degradation-telemetry section (fault injection / data-plane hardening).
 // v6: sampled-metrics section — a metric-name table plus the obs sampler's
 // time-series points (observability layer, docs/OBSERVABILITY.md).
-constexpr std::uint32_t kVersion = 6;
+// v7: POD record payloads start on 64-byte-aligned file offsets (zero
+// padding), so a memory-mapped file can serve record sections in place as
+// TraceLog views with no alignment UB and no deserialisation copy.
+constexpr std::uint32_t kVersion = 7;
+constexpr std::size_t kSectionAlign = 64;
 
 struct FileCloser {
     void operator()(std::FILE* f) const noexcept {
@@ -25,55 +39,125 @@ struct FileCloser {
 };
 using File = std::unique_ptr<std::FILE, FileCloser>;
 
-template <typename T>
-bool write_pod(std::FILE* f, const T& v) {
-    return std::fwrite(&v, sizeof(T), 1, f) == 1;
-}
+/// Streaming writer that tracks the absolute file offset (for alignment
+/// padding) and latches the first failure — callers check ok() once at the
+/// end instead of threading bool through every write.
+class Writer {
+public:
+    explicit Writer(std::FILE* f) noexcept : f_(f) {}
 
-template <typename T>
-bool read_pod(std::FILE* f, T& v) {
-    return std::fread(&v, sizeof(T), 1, f) == 1;
-}
+    [[nodiscard]] bool ok() const noexcept { return ok_; }
 
-template <typename T>
-bool write_vec(std::FILE* f, const std::vector<T>& v) {
-    const std::uint64_t n = v.size();
-    if (!write_pod(f, n)) return false;
-    if (n == 0) return true;
-    return std::fwrite(v.data(), sizeof(T), v.size(), f) == v.size();
-}
-
-template <typename T>
-bool read_vec(std::FILE* f, std::vector<T>& v) {
-    std::uint64_t n = 0;
-    if (!read_pod(f, n)) return false;
-    v.resize(n);
-    if (n == 0) return true;
-    return std::fread(v.data(), sizeof(T), v.size(), f) == v.size();
-}
-
-bool write_strings(std::FILE* f, const std::vector<std::string>& v) {
-    const std::uint64_t n = v.size();
-    if (!write_pod(f, n)) return false;
-    for (const auto& s : v) {
-        const std::uint64_t len = s.size();
-        if (!write_pod(f, len)) return false;
-        if (len != 0 && std::fwrite(s.data(), 1, s.size(), f) != s.size()) return false;
+    template <typename T>
+    void pod(const T& v) {
+        bytes(&v, sizeof(T));
     }
+
+    void bytes(const void* p, std::size_t n) {
+        if (!ok_ || n == 0) return;
+        if (std::fwrite(p, 1, n, f_) != n) {
+            ok_ = false;
+            return;
+        }
+        offset_ += n;
+    }
+
+    /// Pads with zeros to the next kSectionAlign boundary.
+    void align() {
+        static constexpr unsigned char zeros[kSectionAlign] = {};
+        const std::size_t rem = offset_ % kSectionAlign;
+        if (rem != 0) bytes(zeros, kSectionAlign - rem);
+    }
+
+private:
+    std::FILE* f_;
+    std::size_t offset_ = 0;
+    bool ok_ = true;
+};
+
+template <typename T>
+void write_section(Writer& w, const T* data, std::uint64_t n) {
+    w.pod(n);
+    w.align();
+    w.bytes(data, static_cast<std::size_t>(n) * sizeof(T));
+}
+
+void write_strings(Writer& w, const std::vector<std::string>& v) {
+    w.pod(static_cast<std::uint64_t>(v.size()));
+    for (const auto& s : v) {
+        w.pod(static_cast<std::uint64_t>(s.size()));
+        w.bytes(s.data(), s.size());
+    }
+}
+
+/// Bounds-checked parser over an in-memory image of the file (a mapping or a
+/// buffered read — the format is identical). Scalar header fields are
+/// memcpy'd (they sit at unaligned offsets); record arrays are handed out as
+/// pointers into the image, which v7 guarantees are kSectionAlign-aligned
+/// relative to the image base.
+class Cursor {
+public:
+    Cursor(const unsigned char* base, std::size_t size) noexcept : base_(base), size_(size) {}
+
+    template <typename T>
+    [[nodiscard]] bool pod(T& v) noexcept {
+        if (sizeof(T) > size_ - off_) return false;
+        std::memcpy(&v, base_ + off_, sizeof(T));
+        off_ += sizeof(T);
+        return true;
+    }
+
+    [[nodiscard]] bool align() noexcept {
+        const std::size_t rem = off_ % kSectionAlign;
+        if (rem == 0) return true;
+        const std::size_t skip = kSectionAlign - rem;
+        if (skip > size_ - off_) return false;
+        off_ += skip;
+        return true;
+    }
+
+    /// Returns a pointer to `n` in-place records, or nullptr on overrun.
+    template <typename T>
+    [[nodiscard]] const T* array(std::uint64_t n) noexcept {
+        if (n > (size_ - off_) / sizeof(T)) return nullptr;
+        const T* p = reinterpret_cast<const T*>(base_ + off_);
+        off_ += static_cast<std::size_t>(n) * sizeof(T);
+        return p;
+    }
+
+    [[nodiscard]] std::size_t remaining() const noexcept { return size_ - off_; }
+    [[nodiscard]] bool exhausted() const noexcept { return off_ == size_; }
+
+private:
+    const unsigned char* base_;
+    std::size_t size_;
+    std::size_t off_ = 0;
+};
+
+template <typename T>
+[[nodiscard]] bool read_section(Cursor& c, const std::shared_ptr<const void>& keepalive,
+                                Records<T>& out) {
+    std::uint64_t n = 0;
+    if (!c.pod(n) || !c.align()) return false;
+    const T* p = c.array<T>(n);
+    if (p == nullptr) return false;
+    out.assign_view(p, static_cast<std::size_t>(n), keepalive);
     return true;
 }
 
-bool read_strings(std::FILE* f, std::vector<std::string>& v) {
+[[nodiscard]] bool read_strings(Cursor& c, std::vector<std::string>& v) {
     std::uint64_t n = 0;
-    if (!read_pod(f, n)) return false;
+    if (!c.pod(n)) return false;
     v.clear();
-    v.reserve(n);
+    // Every entry costs at least its 8-byte length prefix; capping the
+    // reserve by that keeps a corrupt count from triggering a huge
+    // allocation before the per-entry bounds checks reject the file.
+    v.reserve(static_cast<std::size_t>(std::min<std::uint64_t>(n, c.remaining() / 8)));
     for (std::uint64_t i = 0; i < n; ++i) {
         std::uint64_t len = 0;
-        if (!read_pod(f, len)) return false;
-        std::string s(len, '\0');
-        if (len != 0 && std::fread(s.data(), 1, len, f) != len) return false;
-        v.push_back(std::move(s));
+        if (!c.pod(len) || len > c.remaining()) return false;
+        const char* p = reinterpret_cast<const char*>(c.array<unsigned char>(len));
+        v.emplace_back(p, static_cast<std::size_t>(len));
     }
     return true;
 }
@@ -111,75 +195,168 @@ static_assert(sizeof(GeoEntry) == 2 * sizeof(double) + 3 * sizeof(std::uint32_t)
 static_assert(std::is_trivially_copyable_v<MetricPointRecord>);
 static_assert(sizeof(MetricPointRecord) ==
               sizeof(sim::SimTime) + sizeof(double) + 2 * sizeof(std::uint32_t));
+// The zero-copy path reinterprets image bytes at kSectionAlign boundaries;
+// no record may demand stricter alignment than the format provides.
+static_assert(alignof(DownloadRecord) <= kSectionAlign);
+static_assert(alignof(LoginRecord) <= kSectionAlign);
+static_assert(alignof(TransferRecord) <= kSectionAlign);
+static_assert(alignof(DnRegistrationRecord) <= kSectionAlign);
+static_assert(alignof(DegradationRecord) <= kSectionAlign);
+static_assert(alignof(MetricPointRecord) <= kSectionAlign);
+static_assert(alignof(GeoEntry) <= kSectionAlign);
+
+/// Parses a complete file image into `out` (sections become views backed by
+/// `keepalive`). Returns false — leaving `out` in an unspecified but safe
+/// state — on any structural problem; load_dataset() only swaps `out` into
+/// the caller's Dataset on success.
+bool parse_dataset(const std::shared_ptr<const void>& keepalive, const unsigned char* base,
+                   std::size_t size, Dataset& out) {
+    Cursor c(base, size);
+    std::uint64_t magic = 0;
+    std::uint32_t version = 0;
+    if (!c.pod(magic) || !c.pod(version)) return false;
+    if (magic != kMagic || version != kVersion) return false;
+
+    TraceLog& log = out.log;
+    if (!read_section(c, keepalive, log.downloads())) return false;
+    if (!read_section(c, keepalive, log.logins())) return false;
+    if (!read_section(c, keepalive, log.transfers())) return false;
+    if (!read_section(c, keepalive, log.registrations())) return false;
+    if (!read_section(c, keepalive, log.degradations())) return false;
+    std::vector<std::string> metric_names;
+    if (!read_strings(c, metric_names)) return false;
+    if (!read_section(c, keepalive, log.metric_points())) return false;
+    for (const auto& r : log.metric_points())
+        if (r.metric >= metric_names.size()) return false;  // corrupt name table
+    log.set_metric_names(std::move(metric_names));
+
+    std::uint64_t n_geo = 0;
+    if (!c.pod(n_geo) || !c.align()) return false;
+    const GeoEntry* geo = c.array<GeoEntry>(n_geo);
+    if (geo == nullptr) return false;
+    out.geodb.reserve(static_cast<std::size_t>(n_geo));
+    for (std::uint64_t i = 0; i < n_geo; ++i) {
+        const GeoEntry& e = geo[i];
+        net::GeoRecord rec;
+        rec.location = net::Location{CountryId{e.country}, e.city, net::GeoPoint{e.lat, e.lon}};
+        rec.asn = Asn{e.asn};
+        out.geodb.register_ip(net::IpAddr{e.ip}, rec);
+    }
+    return c.exhausted();  // trailing garbage means a corrupt or foreign file
+}
+
+#ifdef NS_TRACE_HAVE_MMAP
+/// Read-only whole-file mapping; Records views keep it alive via shared_ptr.
+class MappedFile {
+public:
+    static std::shared_ptr<MappedFile> open(const std::string& path) {
+        const int fd = ::open(path.c_str(), O_RDONLY);
+        if (fd < 0) return nullptr;
+        struct ::stat st {};
+        if (::fstat(fd, &st) != 0 || st.st_size <= 0) {
+            ::close(fd);
+            return nullptr;
+        }
+        const auto size = static_cast<std::size_t>(st.st_size);
+        void* p = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+        ::close(fd);  // the mapping keeps its own reference
+        if (p == MAP_FAILED) return nullptr;
+        return std::shared_ptr<MappedFile>(new MappedFile(p, size));
+    }
+
+    ~MappedFile() { ::munmap(p_, size_); }
+    MappedFile(const MappedFile&) = delete;
+    MappedFile& operator=(const MappedFile&) = delete;
+
+    [[nodiscard]] const unsigned char* data() const noexcept {
+        return static_cast<const unsigned char*>(p_);
+    }
+    [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+private:
+    MappedFile(void* p, std::size_t size) noexcept : p_(p), size_(size) {}
+    void* p_;
+    std::size_t size_;
+};
+#endif  // NS_TRACE_HAVE_MMAP
 
 }  // namespace
 
 bool save_dataset(const Dataset& dataset, const std::string& path) {
-    File f(std::fopen(path.c_str(), "wb"));
-    if (!f) return false;
-    if (!write_pod(f.get(), kMagic) || !write_pod(f.get(), kVersion)) return false;
-    if (!write_vec(f.get(), dataset.log.downloads())) return false;
-    if (!write_vec(f.get(), dataset.log.logins())) return false;
-    if (!write_vec(f.get(), dataset.log.transfers())) return false;
-    if (!write_vec(f.get(), dataset.log.registrations())) return false;
-    if (!write_vec(f.get(), dataset.log.degradations())) return false;
-    if (!write_strings(f.get(), dataset.log.metric_names())) return false;
-    if (!write_vec(f.get(), dataset.log.metric_points())) return false;
+    // Write to a sibling temp file and rename into place only after every
+    // write (including fclose) succeeded: a crash or full disk mid-save can
+    // never leave a truncated file under the real name, so the bench cache
+    // is either absent, the old dataset, or the complete new one.
+    const std::string tmp = path + ".tmp";
+    bool ok = false;
+    {
+        File f(std::fopen(tmp.c_str(), "wb"));
+        if (!f) return false;
+        Writer w(f.get());
+        w.pod(kMagic);
+        w.pod(kVersion);
+        const TraceLog& log = dataset.log;
+        write_section(w, log.downloads().data(), log.downloads().size());
+        write_section(w, log.logins().data(), log.logins().size());
+        write_section(w, log.transfers().data(), log.transfers().size());
+        write_section(w, log.registrations().data(), log.registrations().size());
+        write_section(w, log.degradations().data(), log.degradations().size());
+        write_strings(w, log.metric_names());
+        write_section(w, log.metric_points().data(), log.metric_points().size());
 
-    std::vector<GeoEntry> geo;
-    geo.reserve(dataset.geodb.size());
-    dataset.geodb.for_each([&](net::IpAddr ip, const net::GeoRecord& rec) {
-        GeoEntry e;
-        e.ip = ip.value;
-        e.country = rec.location.country.value;
-        e.city = rec.location.city;
-        e.lat = rec.location.point.lat;
-        e.lon = rec.location.point.lon;
-        e.asn = rec.asn.value;
-        geo.push_back(e);
-    });
-    return write_vec(f.get(), geo);
+        std::vector<GeoEntry> geo;
+        geo.reserve(dataset.geodb.size());
+        dataset.geodb.for_each([&](net::IpAddr ip, const net::GeoRecord& rec) {
+            GeoEntry e;
+            e.ip = ip.value;
+            e.country = rec.location.country.value;
+            e.city = rec.location.city;
+            e.lat = rec.location.point.lat;
+            e.lon = rec.location.point.lon;
+            e.asn = rec.asn.value;
+            geo.push_back(e);
+        });
+        write_section(w, geo.data(), geo.size());
+
+        ok = w.ok() && std::fflush(f.get()) == 0 && std::ferror(f.get()) == 0;
+        std::FILE* raw = f.release();
+        if (std::fclose(raw) != 0) ok = false;
+    }
+    if (!ok || std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
 }
 
 bool load_dataset(Dataset& dataset, const std::string& path) {
+    // Assemble into a local Dataset and swap on success: a truncated or
+    // corrupt file must not leave the caller's dataset partially populated.
+    Dataset loaded;
+#ifdef NS_TRACE_HAVE_MMAP
+    // NS_TRACE_NO_MMAP=1 forces the buffered path (tests, A/B measurement).
+    if (std::getenv("NS_TRACE_NO_MMAP") == nullptr) {
+        if (auto map = MappedFile::open(path)) {
+            const unsigned char* base = map->data();
+            const std::size_t size = map->size();
+            if (!parse_dataset(map, base, size, loaded)) return false;
+            dataset = std::move(loaded);
+            return true;
+        }
+        // fall through: mmap can fail on exotic filesystems; buffered read
+        // accepts the identical format
+    }
+#endif
     File f(std::fopen(path.c_str(), "rb"));
     if (!f) return false;
-    std::uint64_t magic = 0;
-    std::uint32_t version = 0;
-    if (!read_pod(f.get(), magic) || !read_pod(f.get(), version)) return false;
-    if (magic != kMagic || version != kVersion) return false;
-
-    dataset.log.clear();
-    std::vector<DownloadRecord> downloads;
-    std::vector<LoginRecord> logins;
-    std::vector<TransferRecord> transfers;
-    std::vector<DnRegistrationRecord> registrations;
-    std::vector<DegradationRecord> degradations;
-    std::vector<std::string> metric_names;
-    std::vector<MetricPointRecord> metric_points;
-    if (!read_vec(f.get(), downloads) || !read_vec(f.get(), logins) ||
-        !read_vec(f.get(), transfers) || !read_vec(f.get(), registrations) ||
-        !read_vec(f.get(), degradations) || !read_strings(f.get(), metric_names) ||
-        !read_vec(f.get(), metric_points))
-        return false;
-    for (const auto& r : metric_points)
-        if (r.metric >= metric_names.size()) return false;  // corrupt name table
-    for (const auto& r : downloads) dataset.log.add(r);
-    for (const auto& r : logins) dataset.log.add(r);
-    for (const auto& r : transfers) dataset.log.add(r);
-    for (const auto& r : registrations) dataset.log.add(r);
-    for (const auto& r : degradations) dataset.log.add(r);
-    dataset.log.set_metric_names(std::move(metric_names));
-    for (const auto& r : metric_points) dataset.log.add(r);
-
-    std::vector<GeoEntry> geo;
-    if (!read_vec(f.get(), geo)) return false;
-    for (const auto& e : geo) {
-        net::GeoRecord rec;
-        rec.location = net::Location{CountryId{e.country}, e.city, net::GeoPoint{e.lat, e.lon}};
-        rec.asn = Asn{e.asn};
-        dataset.geodb.register_ip(net::IpAddr{e.ip}, rec);
-    }
+    if (std::fseek(f.get(), 0, SEEK_END) != 0) return false;
+    const long end = std::ftell(f.get());
+    if (end <= 0 || std::fseek(f.get(), 0, SEEK_SET) != 0) return false;
+    const auto size = static_cast<std::size_t>(end);
+    auto buf = std::make_shared<std::vector<unsigned char>>(size);
+    if (std::fread(buf->data(), 1, size, f.get()) != size) return false;
+    if (!parse_dataset(buf, buf->data(), size, loaded)) return false;
+    dataset = std::move(loaded);
     return true;
 }
 

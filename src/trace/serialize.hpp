@@ -4,7 +4,10 @@
 // for offline analysis).
 //
 // Format: little-endian host dump with a magic/version header; intended for
-// same-machine round trips, not as an interchange format.
+// same-machine round trips, not as an interchange format. Since v7 every POD
+// record section starts on a 64-byte-aligned file offset, so load_dataset can
+// memory-map the file and hand the record arrays to TraceLog as zero-copy
+// views (NS_TRACE_NO_MMAP=1 forces the buffered fallback, same format).
 #pragma once
 
 #include <string>
@@ -20,11 +23,16 @@ struct Dataset {
     net::GeoDatabase geodb;
 };
 
-/// Writes the data set; returns false on I/O failure.
+/// Writes the data set atomically: the bytes go to `path + ".tmp"` and are
+/// renamed over `path` only once every write (and the close) succeeded, so a
+/// crash or full disk can never leave a truncated file under the real name.
+/// Returns false on I/O failure (the temp file is removed).
 bool save_dataset(const Dataset& dataset, const std::string& path);
 
 /// Reads a data set previously written by save_dataset; returns false on
-/// I/O failure, bad magic, or version mismatch.
+/// I/O failure, bad magic, version mismatch, or a truncated/corrupt file —
+/// in which case `dataset` is left exactly as the caller passed it (the file
+/// is parsed into a local Dataset and swapped in only on success).
 bool load_dataset(Dataset& dataset, const std::string& path);
 
 }  // namespace netsession::trace

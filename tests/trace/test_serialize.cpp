@@ -2,6 +2,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
+#include <sys/stat.h>
 
 #include "trace/serialize.hpp"
 
@@ -134,6 +136,85 @@ TEST(Serialize, TruncatedFileRejected) {
     Dataset d;
     EXPECT_FALSE(load_dataset(d, path));
     std::remove(path.c_str());
+}
+
+TEST(Serialize, FailedLoadLeavesTargetUntouched) {
+    const std::string path = ::testing::TempDir() + "/trunc_keep.nstrace";
+    ASSERT_TRUE(save_dataset(sample_dataset(), path));
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    std::fclose(f);
+    ASSERT_EQ(truncate(path.c_str(), size / 2), 0);
+
+    // The target already holds good data; a failed load must not clobber it.
+    Dataset target = sample_dataset();
+    target.log.add(DnRegistrationRecord{ObjectId{42, 42}, Guid{42, 42}, sim::SimTime{100}});
+    EXPECT_FALSE(load_dataset(target, path));
+    ASSERT_EQ(target.log.registrations().size(), 2u);
+    EXPECT_EQ(target.log.registrations()[1].guid, (Guid{42, 42}));
+    EXPECT_EQ(target.log.downloads().size(), 1u);
+    EXPECT_EQ(target.geodb.size(), 1u);
+    std::remove(path.c_str());
+}
+
+TEST(Serialize, SaveIsAtomicReplace) {
+    const std::string path = ::testing::TempDir() + "/atomic.nstrace";
+    const std::string tmp = path + ".tmp";
+    ASSERT_TRUE(save_dataset(sample_dataset(), path));
+    struct stat st;
+    EXPECT_NE(stat(tmp.c_str(), &st), 0) << "no temp file left behind after success";
+
+    // Force the next save to fail at temp-file creation: a directory squats
+    // on the temp path. The existing cache must survive intact.
+    ASSERT_EQ(mkdir(tmp.c_str(), 0755), 0);
+    Dataset bigger = sample_dataset();
+    bigger.log.add(DnRegistrationRecord{ObjectId{5, 5}, Guid{5, 5}, sim::SimTime{50}});
+    EXPECT_FALSE(save_dataset(bigger, path));
+    ASSERT_EQ(rmdir(tmp.c_str()), 0);
+
+    Dataset loaded;
+    ASSERT_TRUE(load_dataset(loaded, path)) << "old cache must still be valid";
+    EXPECT_EQ(loaded.log.registrations().size(), 1u) << "old contents, not the failed write";
+    std::remove(path.c_str());
+}
+
+TEST(Serialize, BufferedFallbackPathRoundTrips) {
+    // NS_TRACE_NO_MMAP forces the fread path; the same file must load
+    // identically through both.
+    const std::string path = ::testing::TempDir() + "/nommap.nstrace";
+    ASSERT_TRUE(save_dataset(sample_dataset(), path));
+
+    Dataset mapped;
+    ASSERT_TRUE(load_dataset(mapped, path));
+
+    setenv("NS_TRACE_NO_MMAP", "1", 1);
+    Dataset buffered;
+    const bool ok = load_dataset(buffered, path);
+    unsetenv("NS_TRACE_NO_MMAP");
+    ASSERT_TRUE(ok);
+
+    EXPECT_EQ(buffered.log.total_entries(), mapped.log.total_entries());
+    ASSERT_EQ(buffered.log.downloads().size(), mapped.log.downloads().size());
+    EXPECT_EQ(buffered.log.downloads()[0].guid, mapped.log.downloads()[0].guid);
+    EXPECT_EQ(buffered.log.metric_points().size(), mapped.log.metric_points().size());
+    EXPECT_EQ(buffered.geodb.size(), mapped.geodb.size());
+    std::remove(path.c_str());
+}
+
+TEST(Serialize, ViewSectionsMaterializeOnMutation) {
+    const std::string path = ::testing::TempDir() + "/view.nstrace";
+    ASSERT_TRUE(save_dataset(sample_dataset(), path));
+    Dataset loaded;
+    ASSERT_TRUE(load_dataset(loaded, path));
+    std::remove(path.c_str());  // views must keep the backing storage alive
+
+    const Bytes before = loaded.log.downloads()[0].object_size;
+    loaded.log.downloads().front().object_size = before + 1;  // copy-on-write
+    EXPECT_FALSE(loaded.log.downloads().is_view());
+    EXPECT_EQ(loaded.log.downloads()[0].object_size, before + 1);
+    loaded.log.add(DownloadRecord{});
+    EXPECT_EQ(loaded.log.downloads().size(), 2u);
 }
 
 TEST(Serialize, EmptyDatasetRoundTrips) {

@@ -49,11 +49,32 @@ run_flavour() {
         local smoke_out="$build_dir/chaos_smoke.nstrace"
         "$build_dir/tools/netsession_sim" run scenarios/chaos_regional_outage.ini "$smoke_out"
         rm -f "$smoke_out"
+        # Thread-count invariance smoke: the analysis pipeline must produce
+        # byte-identical results whatever NS_THREADS says (docs/PARALLELISM.md).
+        echo "==== [$name] thread-invariance focus ===="
+        (cd "$build_dir" && ctest --output-on-failure -R 'ThreadInvariance|Parallel')
     fi
+}
+
+# The TSan flavour builds the whole tree but focuses ctest on the suites that
+# actually go multi-threaded: the parallel runtime, the analysis pipeline it
+# drives, and the obs/fidelity harnesses that consume pipeline output. TSan's
+# ~10x slowdown makes the full 500-test suite wasteful when everything
+# outside analysis/ is single-threaded by design.
+run_tsan_flavour() {
+    local build_dir=build-ci-tsan
+    echo "==== [tsan] configure ===="
+    cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DNS_SANITIZE=thread >/dev/null
+    echo "==== [tsan] build ===="
+    cmake --build "$build_dir" -j "$JOBS"
+    echo "==== [tsan] parallel/analysis/obs/fidelity focus ===="
+    (cd "$build_dir" && NS_THREADS=4 ctest --output-on-failure \
+        -R 'Parallel|ThreadInvariance|Stats|GuidGraph|Measurement|Serialize|Histogram|Counter|Gauge|Registry|Export|Sampler|FidelityRun|GoldenMetrics')
 }
 
 run_flavour release build-ci-release -DCMAKE_BUILD_TYPE=Release
 run_flavour asan build-ci-asan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DNS_SANITIZE=address
 run_flavour ubsan build-ci-ubsan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DNS_SANITIZE=undefined
+run_tsan_flavour
 
 echo "==== CI: all flavours passed ===="
