@@ -9,7 +9,9 @@
 
 #include "analysis/pipeline.hpp"
 #include "common/parallel.hpp"
+#include "core/scenario_io.hpp"
 #include "obs/export.hpp"
+#include "obs/process_memory.hpp"
 
 namespace netsession::bench {
 
@@ -86,6 +88,53 @@ std::string analysis_section_json(const trace::Dataset& dataset, const char* cac
     return buf;
 }
 
+/// The "scale" headline section: a fresh run of the scenario file named by
+/// NS_BENCH_SCALE (tools/ci.sh points it at scenarios/standard_200k.ini),
+/// recording wall-clock, events/sec, peak RSS, and the arena-pool footprint.
+/// Empty string when the env var is unset — the section is omitted.
+std::string scale_section_json() {
+    const char* scenario = std::getenv("NS_BENCH_SCALE");
+    if (scenario == nullptr) return "";
+    auto loaded = load_scenario(scenario);
+    if (!loaded) {
+        std::fprintf(stderr, "[scenario] NS_BENCH_SCALE: %s\n",
+                     loaded.error().message.c_str());
+        return "";
+    }
+    std::printf("[scenario] running scale scenario %s (%d peers)...\n", scenario,
+                loaded.value().peers);
+    std::fflush(stdout);
+    const int peers = loaded.value().peers;
+    const auto t0 = std::chrono::steady_clock::now();
+    Simulation sim(std::move(loaded.value()));
+    sim.run();
+    const double wall_seconds = seconds_since(t0);
+    const Simulation::PerfStats perf = sim.perf_stats();
+    const obs::ProcessMemory mem = obs::read_process_memory();
+    const arena::PoolStats flow_pool = sim.world().flows().pool_stats();
+    char buf[768];
+    std::snprintf(buf, sizeof(buf),
+                  "{\n"
+                  "    \"scenario\": \"%s\",\n"
+                  "    \"peers\": %d,\n"
+                  "    \"wall_seconds\": %.3f,\n"
+                  "    \"events_dispatched\": %llu,\n"
+                  "    \"events_per_second\": %.0f,\n"
+                  "    \"peak_rss_bytes\": %zu,\n"
+                  "    \"flow_pool\": {\"slots\": %zu, \"peak_live\": %zu, "
+                  "\"bytes_reserved\": %zu}\n"
+                  "  }",
+                  scenario, peers, wall_seconds,
+                  static_cast<unsigned long long>(perf.sim.dispatched),
+                  wall_seconds > 0.0 ? static_cast<double>(perf.sim.dispatched) / wall_seconds
+                                     : 0.0,
+                  mem.peak_rss_bytes, flow_pool.slots, flow_pool.peak_live,
+                  flow_pool.bytes_reserved);
+    std::printf("[scenario] scale run done: %.1fs wall, peak RSS %.0f MiB\n", wall_seconds,
+                static_cast<double>(mem.peak_rss_bytes) / (1024.0 * 1024.0));
+    return buf;
+}
+
 // Machine-readable record of a fresh standard-scenario run: wall-clock plus
 // the engine's hot-path counters and the full per-subsystem metric registry
 // (obs::to_json — control/edge/client/flow/sim breakdowns). Written next to
@@ -126,12 +175,17 @@ void write_headline_json(const BenchArgs& args, double wall_seconds, const Simul
                  static_cast<unsigned long long>(perf.flows.refills),
                  static_cast<unsigned long long>(perf.flows.resort_hits),
                  static_cast<unsigned long long>(perf.flows.resort_misses));
+    const obs::ProcessMemory mem = obs::read_process_memory();
+    std::fprintf(f, "  \"memory\": {\"rss_bytes\": %zu, \"peak_rss_bytes\": %zu},\n",
+                 mem.rss_bytes, mem.peak_rss_bytes);
     std::fprintf(f,
                  "  \"log_entries\": {\"downloads\": %zu, \"logins\": %zu, "
                  "\"transfers\": %zu, \"registrations\": %zu},\n",
                  dataset.log.downloads().size(), dataset.log.logins().size(),
                  dataset.log.transfers().size(), dataset.log.registrations().size());
     std::fprintf(f, "  \"analysis\": %s,\n", analysis_section_json(dataset, cache_path).c_str());
+    const std::string scale = scale_section_json();
+    if (!scale.empty()) std::fprintf(f, "  \"scale\": %s,\n", scale.c_str());
     // Per-subsystem breakdown: the whole metric registry, re-indented so the
     // exporter's top-level object nests under the "metrics" key.
     std::string metrics = obs::to_json(sim.metrics());

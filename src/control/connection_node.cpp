@@ -119,21 +119,26 @@ void ConnectionNode::query(Guid requester, ObjectId object, const edge::AuthToke
     const int capped = std::min(want, plane_->config().max_peers_returned);
     const sim::Duration dn_rtt = world.latency(host_, dn->host()) + world.latency(dn->host(), host_);
     sim.schedule_after(dn_rtt, [this, dn, object, desc, capped, reply = std::move(reply)]() mutable {
-        auto peers = dn->select(object, desc, capped, plane_->config().selection, plane_->rng());
+        // Selection draws into the CN's reusable scratch buffer (the DN
+        // query path allocates nothing once the buffer is warm); only the
+        // final reply owns a copy.
+        select_scratch_.clear();
+        dn->select_into(object, desc, capped, plane_->config().selection, plane_->rng(),
+                        select_scratch_);
         // Cross-region widening: if the local DN cannot satisfy the query,
         // ask the other regions' DNs (the CN/DN system is interconnected
         // across regions, §3.7).
         const int threshold = std::min(capped, plane_->config().cross_region_threshold);
-        if (static_cast<int>(peers.size()) < threshold) {
+        if (static_cast<int>(select_scratch_.size()) < threshold) {
             for (const auto& other : plane_->dns()) {
-                if (static_cast<int>(peers.size()) >= capped) break;
+                if (static_cast<int>(select_scratch_.size()) >= capped) break;
                 if (other.get() == dn || !other->up()) continue;
-                auto extra =
-                    other->select(object, desc, capped - static_cast<int>(peers.size()),
-                                  plane_->config().selection, plane_->rng());
-                peers.insert(peers.end(), extra.begin(), extra.end());
+                other->select_into(object, desc,
+                                   capped - static_cast<int>(select_scratch_.size()),
+                                   plane_->config().selection, plane_->rng(), select_scratch_);
             }
         }
+        std::vector<PeerDescriptor> peers(select_scratch_.begin(), select_scratch_.end());
         NS_OBS_OBSERVE(plane_->metrics().peers_returned, peers.size());
         // Instruct the chosen peers to expect (and initiate) a connection
         // with the requester — this is what makes traversal work (§3.7).

@@ -10,9 +10,9 @@
 
 #include <array>
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_hash.hpp"
 #include "control/peer_descriptor.hpp"
 #include "edge/auth.hpp"
 #include "trace/records.hpp"
@@ -96,7 +96,13 @@ private:
     RegionId region_;
     HostId host_;
     ControlPlane* plane_;
-    std::unordered_map<Guid, Session> sessions_;
+    /// Insertion-ordered: iteration (failure fan-out, upgrade pushes,
+    /// RE-ADD sweeps) follows login order deterministically on every
+    /// platform (docs/SIMULATOR.md "Memory layout").
+    FlatHashMap<Guid, Session> sessions_;
+    /// Reused answer buffer for query(): DN selection draws into this, and
+    /// only the final reply copies out of it.
+    std::vector<PeerDescriptor> select_scratch_;
     bool up_ = true;
     double login_tokens_ = -1.0;  // lazily initialised to the burst depth
     sim::SimTime tokens_refilled_at_{};

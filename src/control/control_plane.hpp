@@ -135,7 +135,7 @@ private:
     std::vector<std::unique_ptr<ConnectionNode>> cns_;
     std::vector<std::unique_ptr<DatabaseNode>> dns_;
     std::vector<std::unique_ptr<StunService>> stuns_;
-    std::unordered_map<Guid, PeerEndpoint*> endpoints_;
+    FlatHashMap<Guid, PeerEndpoint*> endpoints_;
     std::vector<std::size_t> dn_rr_;  // per-region round-robin cursor
     std::uint32_t client_version_ = 0;  // 0 = no centrally released version yet
     ControlMetrics metrics_;

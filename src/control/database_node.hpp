@@ -40,6 +40,18 @@ public:
         return directory_.select(object, requester, want, policy, rng);
     }
 
+    /// Allocation-free variant: appends into the caller's reusable buffer.
+    void select_into(ObjectId object, const PeerDescriptor& requester, int want,
+                     const SelectionPolicy& policy, Rng& rng,
+                     std::vector<PeerDescriptor>& out) const {
+        directory_.select_into(object, requester, want, policy, rng, out);
+    }
+
+    /// Directory storage accounting for the mem.* gauges.
+    [[nodiscard]] Directory::MemoryStats memory_stats() const noexcept {
+        return directory_.memory_stats();
+    }
+
     [[nodiscard]] int copies(ObjectId object) const { return directory_.copies(object); }
     [[nodiscard]] std::size_t registration_count() const noexcept {
         return directory_.registration_count();

@@ -6,11 +6,18 @@
 namespace netsession::control {
 
 void Directory::add(ObjectId object, const PeerDescriptor& peer) {
-    Swarm& swarm = swarms_[object];
-    if (const auto it = swarm.by_guid.find(peer.guid); it != swarm.by_guid.end()) {
+    auto [sit, fresh_swarm] = swarms_.try_emplace(object);
+    if (fresh_swarm) {
+        sit->second = swarm_pool_.acquire();
+        swarm_pool_.get(sit->second).reset();
+    }
+    Swarm& swarm = swarm_pool_.get(sit->second);
+
+    bool had_guid = false;
+    if (auto* idxp = swarm.by_guid.find_value(peer.guid)) {
         // Re-registration: refresh connectivity details in place. If the
         // peer moved (new AS/country), drop and re-add so buckets stay true.
-        Entry& e = swarm.entries[it->second];
+        Entry& e = swarm.entries[*idxp];
         if (e.peer.asn == peer.asn && e.peer.country == peer.country) {
             e.peer = peer;
             return;
@@ -18,7 +25,8 @@ void Directory::add(ObjectId object, const PeerDescriptor& peer) {
         e.alive = false;
         ++swarm.dead;
         --live_entries_;
-        swarm.by_guid.erase(it);
+        swarm.by_guid.erase(peer.guid);
+        had_guid = true;
     }
     const auto idx = static_cast<std::uint32_t>(swarm.entries.size());
     swarm.entries.push_back(Entry{peer, true});
@@ -28,45 +36,81 @@ void Directory::add(ObjectId object, const PeerDescriptor& peer) {
     swarm.by_continent[static_cast<std::uint8_t>(peer.continent)].members.push_back(idx);
     swarm.world.members.push_back(idx);
     ++live_entries_;
+    // The postings list tracks (guid → objects); a moved peer was already
+    // listed for this object.
+    if (!had_guid) postings_[peer.guid].push_back(object);
+}
+
+void Directory::kill_registration(ObjectId object, Guid guid, bool drop_posting) {
+    const auto sit = swarms_.find(object);
+    if (sit == swarms_.end()) return;
+    Swarm& swarm = swarm_pool_.get(sit->second);
+    const auto* idxp = swarm.by_guid.find_value(guid);
+    if (idxp == nullptr) return;
+    swarm.entries[*idxp].alive = false;
+    ++swarm.dead;
+    --live_entries_;
+    swarm.by_guid.erase(guid);
+
+    if (drop_posting) {
+        if (auto* list = postings_.find_value(guid)) {
+            const auto it = std::find(list->begin(), list->end(), object);
+            assert(it != list->end() && "postings list out of sync with by_guid");
+            *it = list->back();  // unordered within a guid: swap-pop
+            list->pop_back();
+            if (list->empty()) postings_.erase(guid);
+        }
+    }
+
+    if (swarm.by_guid.empty()) {
+        // Last registration gone: park the swarm (entry arrays and bucket
+        // tables keep their capacity for the next object that forms here).
+        swarm_pool_.release(sit->second);
+        swarms_.erase(object);
+    } else if (swarm.dead > 64 && swarm.dead * 2 > swarm.entries.size()) {
+        swarm.compact();
+    }
 }
 
 void Directory::remove(ObjectId object, Guid guid) {
-    const auto sit = swarms_.find(object);
-    if (sit == swarms_.end()) return;
-    Swarm& swarm = sit->second;
-    const auto it = swarm.by_guid.find(guid);
-    if (it == swarm.by_guid.end()) return;
-    swarm.entries[it->second].alive = false;
-    ++swarm.dead;
-    --live_entries_;
-    swarm.by_guid.erase(it);
-    if (swarm.dead > 64 && swarm.dead * 2 > swarm.entries.size()) swarm.compact();
-    if (swarm.by_guid.empty()) swarms_.erase(sit);
+    kill_registration(object, guid, /*drop_posting=*/true);
 }
 
 void Directory::remove_peer(Guid guid) {
-    std::vector<ObjectId> emptied;
-    for (auto& [object, swarm] : swarms_) {
-        const auto it = swarm.by_guid.find(guid);
-        if (it == swarm.by_guid.end()) continue;
-        swarm.entries[it->second].alive = false;
-        ++swarm.dead;
-        --live_entries_;
-        swarm.by_guid.erase(it);
-        if (swarm.dead > 64 && swarm.dead * 2 > swarm.entries.size()) swarm.compact();
-        if (swarm.by_guid.empty()) emptied.push_back(object);
-    }
-    for (const auto object : emptied) swarms_.erase(object);
+    const auto it = postings_.find(guid);
+    if (it == postings_.end()) return;
+    // Detach the peer's postings list into the reusable scratch buffer, then
+    // walk it — O(objects this peer holds), no allocation, and safe against
+    // the per-object removals mutating postings_.
+    remove_scratch_.clear();
+    remove_scratch_.swap(it->second);
+    postings_.erase(guid);
+    for (const auto object : remove_scratch_)
+        kill_registration(object, guid, /*drop_posting=*/false);
 }
 
 int Directory::copies(ObjectId object) const {
-    const auto it = swarms_.find(object);
-    return it == swarms_.end() ? 0 : static_cast<int>(it->second.by_guid.size());
+    const Swarm* swarm = find_swarm(object);
+    return swarm == nullptr ? 0 : static_cast<int>(swarm->by_guid.size());
 }
 
 void Directory::clear() {
+    // Park every swarm: a restarted DN refills from RE-ADDs into the same
+    // storage instead of growing fresh tables.
+    for (auto& [object, handle] : swarms_) swarm_pool_.release(handle);
     swarms_.clear();
+    postings_.clear();
     live_entries_ = 0;
+}
+
+Directory::Swarm* Directory::find_swarm(ObjectId object) {
+    auto* handle = swarms_.find_value(object);
+    return handle == nullptr ? nullptr : &swarm_pool_.get(*handle);
+}
+
+const Directory::Swarm* Directory::find_swarm(ObjectId object) const {
+    const auto* handle = swarms_.find_value(object);
+    return handle == nullptr ? nullptr : &swarm_pool_.get(*handle);
 }
 
 void Directory::Swarm::compact() {
@@ -76,7 +120,8 @@ void Directory::Swarm::compact() {
     by_as.clear();
     by_country.clear();
     by_continent.clear();
-    world = Bucket{};
+    world.members.clear();
+    world.cursor = 0;
     for (const auto& e : entries) {
         if (!e.alive) continue;
         const auto idx = static_cast<std::uint32_t>(fresh.size());
@@ -91,30 +136,41 @@ void Directory::Swarm::compact() {
     dead = 0;
 }
 
+void Directory::Swarm::reset() {
+    entries.clear();
+    by_guid.clear();
+    by_as.clear();
+    by_country.clear();
+    by_continent.clear();
+    world.members.clear();
+    world.cursor = 0;
+    dead = 0;
+}
+
 bool Directory::acceptable(const Entry& e, const PeerDescriptor& requester,
-                           const SelectionPolicy& policy, const std::vector<Guid>& chosen) const {
+                           const SelectionPolicy& policy) const {
     if (!e.alive) return false;
     if (e.peer.guid == requester.guid) return false;
     if (policy.nat_compatibility_filter && !net::can_traverse(requester.nat, e.peer.nat))
         return false;
-    return std::find(chosen.begin(), chosen.end(), e.peer.guid) == chosen.end();
+    return std::find(chosen_scratch_.begin(), chosen_scratch_.end(), e.peer.guid) ==
+           chosen_scratch_.end();
 }
 
 template <typename Key>
-std::optional<std::uint32_t> Directory::next_in_bucket(
-    const Swarm& swarm, const std::unordered_map<Key, Bucket>& buckets, Key key,
-    const PeerDescriptor& requester, const SelectionPolicy& policy,
-    const std::vector<Guid>& chosen) const {
-    const auto it = buckets.find(key);
-    if (it == buckets.end()) return std::nullopt;
-    const Bucket& b = it->second;
-    const std::size_t n = b.members.size();
+std::optional<std::uint32_t> Directory::next_in_bucket(const Swarm& swarm,
+                                                       const FlatHashMap<Key, Bucket>& buckets,
+                                                       Key key, const PeerDescriptor& requester,
+                                                       const SelectionPolicy& policy) const {
+    const Bucket* b = buckets.find_value(key);
+    if (b == nullptr) return std::nullopt;
+    const std::size_t n = b->members.size();
     if (n == 0) return std::nullopt;
     for (std::size_t step = 0; step < n; ++step) {
-        const std::size_t pos = (b.cursor + step) % n;
-        const std::uint32_t idx = b.members[pos];
-        if (acceptable(swarm.entries[idx], requester, policy, chosen)) {
-            b.cursor = (pos + 1) % n;  // selected peers go to the end of the list
+        const std::size_t pos = (b->cursor + step) % n;
+        const std::uint32_t idx = b->members[pos];
+        if (acceptable(swarm.entries[idx], requester, policy)) {
+            b->cursor = (pos + 1) % n;  // selected peers go to the end of the list
             return idx;
         }
     }
@@ -123,14 +179,13 @@ std::optional<std::uint32_t> Directory::next_in_bucket(
 
 std::optional<std::uint32_t> Directory::next_in_world(const Swarm& swarm,
                                                       const PeerDescriptor& requester,
-                                                      const SelectionPolicy& policy,
-                                                      const std::vector<Guid>& chosen) const {
+                                                      const SelectionPolicy& policy) const {
     const Bucket& b = swarm.world;
     const std::size_t n = b.members.size();
     for (std::size_t step = 0; step < n; ++step) {
         const std::size_t pos = (b.cursor + step) % n;
         const std::uint32_t idx = b.members[pos];
-        if (acceptable(swarm.entries[idx], requester, policy, chosen)) {
+        if (acceptable(swarm.entries[idx], requester, policy)) {
             b.cursor = (pos + 1) % n;
             return idx;
         }
@@ -138,40 +193,40 @@ std::optional<std::uint32_t> Directory::next_in_world(const Swarm& swarm,
     return std::nullopt;
 }
 
-std::vector<PeerDescriptor> Directory::select(ObjectId object, const PeerDescriptor& requester,
-                                              int want, const SelectionPolicy& policy,
-                                              Rng& rng) const {
-    std::vector<PeerDescriptor> result;
-    if (want <= 0) return result;
-    const auto sit = swarms_.find(object);
-    if (sit == swarms_.end()) return result;
-    const Swarm& swarm = sit->second;
+void Directory::select_into(ObjectId object, const PeerDescriptor& requester, int want,
+                            const SelectionPolicy& policy, Rng& rng,
+                            std::vector<PeerDescriptor>& out) const {
+    if (want <= 0) return;
+    const Swarm* swarm_ptr = find_swarm(object);
+    if (swarm_ptr == nullptr) return;
+    const Swarm& swarm = *swarm_ptr;
 
-    std::vector<Guid> chosen;
-    chosen.reserve(static_cast<std::size_t>(want));
+    // `chosen_scratch_` dedups within this call only: cross-DN widening can
+    // never produce duplicates because a peer registers with one DN.
+    chosen_scratch_.clear();
+    const auto selected = [&] { return static_cast<int>(chosen_scratch_.size()); };
 
     // Draws the next candidate from one specific locality level.
     const auto draw_at = [&](int level) -> std::optional<std::uint32_t> {
         switch (static_cast<LocalityLevel>(level)) {
             case LocalityLevel::as_level:
-                return next_in_bucket(swarm, swarm.by_as, requester.asn.value, requester, policy,
-                                      chosen);
+                return next_in_bucket(swarm, swarm.by_as, requester.asn.value, requester, policy);
             case LocalityLevel::country:
                 return next_in_bucket(swarm, swarm.by_country, requester.country.value, requester,
-                                      policy, chosen);
+                                      policy);
             case LocalityLevel::continent:
                 return next_in_bucket(swarm, swarm.by_continent,
                                       static_cast<std::uint8_t>(requester.continent), requester,
-                                      policy, chosen);
+                                      policy);
             case LocalityLevel::world:
-                return next_in_world(swarm, requester, policy, chosen);
+                return next_in_world(swarm, requester, policy);
         }
         return std::nullopt;
     };
 
     const auto push = [&](std::uint32_t idx) {
-        result.push_back(swarm.entries[idx].peer);
-        chosen.push_back(swarm.entries[idx].peer.guid);
+        out.push_back(swarm.entries[idx].peer);
+        chosen_scratch_.push_back(swarm.entries[idx].peer.guid);
     };
 
     if (policy.strategy == SelectionPolicy::Strategy::random) {
@@ -180,17 +235,16 @@ std::vector<PeerDescriptor> Directory::select(ObjectId object, const PeerDescrip
         swarm.world.cursor = swarm.world.members.empty()
                                  ? 0
                                  : static_cast<std::size_t>(rng.below(swarm.world.members.size()));
-        while (static_cast<int>(result.size()) < want) {
-            const auto idx = next_in_world(swarm, requester, policy, chosen);
+        while (selected() < want) {
+            const auto idx = next_in_world(swarm, requester, policy);
             if (!idx) break;
             push(*idx);
         }
-        return result;
+        return;
     }
 
-    for (int level = 0; level < kLocalityLevels && static_cast<int>(result.size()) < want;
-         ++level) {
-        while (static_cast<int>(result.size()) < want) {
+    for (int level = 0; level < kLocalityLevels && selected() < want; ++level) {
+        while (selected() < want) {
             int use_level = level;
             // Diversity: occasionally draw from a less specific set, with
             // probability proportional to the specificity of the set.
@@ -202,7 +256,6 @@ std::vector<PeerDescriptor> Directory::select(ObjectId object, const PeerDescrip
             push(*idx);
         }
     }
-    return result;
 }
 
 }  // namespace netsession::control

@@ -10,13 +10,22 @@
 // Occasionally, peers are selected from a less specific set, with probability
 // proportional to the specificity of the set. Also, when a peer is selected,
 // it is placed at the end of a peer selection list for fairness."  (§3.7)
+//
+// Memory layout (docs/SIMULATOR.md): swarms live in an arena::Pool and are
+// parked (capacity intact) when their last registration disappears, so a
+// churning population reuses entry arrays and bucket tables instead of
+// reallocating them; all lookup tables are insertion-ordered FlatHashMaps;
+// a per-GUID postings list makes remove_peer O(objects the peer holds)
+// instead of a scan over every swarm; and select() draws into caller-owned
+// buffers — the query hot path performs no allocation at steady state.
 #pragma once
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
+#include "common/arena.hpp"
+#include "common/flat_hash.hpp"
 #include "common/rng.hpp"
 #include "control/peer_descriptor.hpp"
 
@@ -53,12 +62,25 @@ public:
     void remove(ObjectId object, Guid guid);
 
     /// Removes every registration of a peer (logout / upload-disable).
+    /// O(number of objects this peer has registered) via the postings list.
     void remove_peer(Guid guid);
 
-    /// Selects up to `want` distinct suitable peers for the requester.
+    /// Appends up to `want` distinct suitable peers for the requester to
+    /// `out` (which the caller owns and typically reuses across queries —
+    /// no allocation happens here once its capacity is warm).
+    void select_into(ObjectId object, const PeerDescriptor& requester, int want,
+                     const SelectionPolicy& policy, Rng& rng,
+                     std::vector<PeerDescriptor>& out) const;
+
+    /// Convenience wrapper over select_into for tests and one-off callers.
     [[nodiscard]] std::vector<PeerDescriptor> select(ObjectId object,
                                                      const PeerDescriptor& requester, int want,
-                                                     const SelectionPolicy& policy, Rng& rng) const;
+                                                     const SelectionPolicy& policy,
+                                                     Rng& rng) const {
+        std::vector<PeerDescriptor> result;
+        select_into(object, requester, want, policy, rng, result);
+        return result;
+    }
 
     /// Currently registered copies of an object.
     [[nodiscard]] int copies(ObjectId object) const;
@@ -68,6 +90,22 @@ public:
 
     /// Drops everything (simulates a DN crash losing its soft state).
     void clear();
+
+    /// Storage accounting for the mem.* gauges.
+    struct MemoryStats {
+        std::size_t pool_bytes_reserved = 0;  ///< swarm arena chunk storage
+        std::size_t pool_slots = 0;           ///< swarm slots (live + parked)
+        std::size_t pool_live = 0;            ///< swarms currently indexed
+        double table_load_factor = 0.0;       ///< swarms_ index occupancy
+    };
+    [[nodiscard]] MemoryStats memory_stats() const noexcept {
+        MemoryStats m;
+        m.pool_bytes_reserved = swarm_pool_.bytes_reserved();
+        m.pool_slots = swarm_pool_.slot_count();
+        m.pool_live = swarm_pool_.live();
+        m.table_load_factor = swarms_.load_factor();
+        return m;
+    }
 
 private:
     struct Entry {
@@ -82,31 +120,43 @@ private:
 
     struct Swarm {
         std::vector<Entry> entries;
-        std::unordered_map<Guid, std::uint32_t> by_guid;
-        std::unordered_map<std::uint32_t, Bucket> by_as;         // Asn value
-        std::unordered_map<std::uint16_t, Bucket> by_country;    // CountryId value
-        std::unordered_map<std::uint8_t, Bucket> by_continent;   // Continent
+        FlatHashMap<Guid, std::uint32_t> by_guid;
+        FlatHashMap<std::uint32_t, Bucket> by_as;        // Asn value
+        FlatHashMap<std::uint16_t, Bucket> by_country;   // CountryId value
+        FlatHashMap<std::uint8_t, Bucket> by_continent;  // Continent
         Bucket world;
         std::uint32_t dead = 0;
 
         void compact();
+        /// Logical reset on reuse from the pool; storage capacity survives.
+        void reset();
     };
+    using SwarmHandle = arena::PoolHandle<Swarm>;
+
+    [[nodiscard]] Swarm* find_swarm(ObjectId object);
+    [[nodiscard]] const Swarm* find_swarm(ObjectId object) const;
+    /// Marks one registration dead; compacts/releases per the shared policy.
+    void kill_registration(ObjectId object, Guid guid, bool drop_posting);
 
     /// Walks a bucket round-robin and returns the next acceptable entry.
     template <typename Key>
-    std::optional<std::uint32_t> next_in_bucket(
-        const Swarm& swarm, const std::unordered_map<Key, Bucket>& buckets, Key key,
-        const PeerDescriptor& requester, const SelectionPolicy& policy,
-        const std::vector<Guid>& chosen) const;
+    std::optional<std::uint32_t> next_in_bucket(const Swarm& swarm,
+                                                const FlatHashMap<Key, Bucket>& buckets, Key key,
+                                                const PeerDescriptor& requester,
+                                                const SelectionPolicy& policy) const;
     std::optional<std::uint32_t> next_in_world(const Swarm& swarm, const PeerDescriptor& requester,
-                                               const SelectionPolicy& policy,
-                                               const std::vector<Guid>& chosen) const;
+                                               const SelectionPolicy& policy) const;
     [[nodiscard]] bool acceptable(const Entry& e, const PeerDescriptor& requester,
-                                  const SelectionPolicy& policy,
-                                  const std::vector<Guid>& chosen) const;
+                                  const SelectionPolicy& policy) const;
 
-    std::unordered_map<ObjectId, Swarm> swarms_;
+    FlatHashMap<ObjectId, SwarmHandle> swarms_;
+    arena::Pool<Swarm> swarm_pool_;
+    /// guid → objects it currently has registered here (unordered within).
+    FlatHashMap<Guid, std::vector<ObjectId>> postings_;
     std::size_t live_entries_ = 0;
+
+    std::vector<ObjectId> remove_scratch_;       // remove_peer working set
+    mutable std::vector<Guid> chosen_scratch_;   // select_into dedup set
 };
 
 }  // namespace netsession::control

@@ -1,5 +1,7 @@
 #include "core/simulation.hpp"
 
+#include <algorithm>
+
 #include "common/parallel.hpp"
 
 namespace netsession {
@@ -97,6 +99,41 @@ void Simulation::register_metrics() {
         return static_cast<double>(fault_engine_->faults_applied() -
                                    fault_engine_->faults_restored());
     });
+
+    // mem.* — storage accounting for the arena pools and flat-hash tables.
+    // All values are pure functions of the simulation history (slot counts,
+    // chunk counts, load factors), so they are safe to sample into the trace;
+    // process RSS is *not* and lives in obs/process_memory.hpp instead.
+    metrics_registry_.add_computed("mem.swarm_pool_bytes_reserved", [this] {
+        std::size_t total = 0;
+        for (const auto& dn : plane_->dns()) total += dn->memory_stats().pool_bytes_reserved;
+        return static_cast<double>(total);
+    });
+    metrics_registry_.add_computed("mem.swarm_pool_live", [this] {
+        std::size_t total = 0;
+        for (const auto& dn : plane_->dns()) total += dn->memory_stats().pool_live;
+        return static_cast<double>(total);
+    });
+    metrics_registry_.add_computed("mem.directory_table_load", [this] {
+        double worst = 0.0;
+        for (const auto& dn : plane_->dns())
+            worst = std::max(worst, dn->memory_stats().table_load_factor);
+        return worst;
+    });
+    metrics_registry_.add_computed("mem.download_pool_bytes_reserved", [this] {
+        return static_cast<double>(registry_.downloads().bytes_reserved());
+    });
+    metrics_registry_.add_computed("mem.download_pool_live", [this] {
+        return static_cast<double>(registry_.downloads().live());
+    });
+    metrics_registry_.add_computed("mem.flow_pool_bytes_reserved", [this] {
+        return static_cast<double>(world_->flows().pool_stats().bytes_reserved);
+    });
+    metrics_registry_.add_computed("mem.flow_pool_live", [this] {
+        return static_cast<double>(world_->flows().pool_stats().live);
+    });
+    metrics_registry_.add_computed("mem.client_table_load",
+                                   [this] { return registry_.table_load_factor(); });
 }
 
 void Simulation::run() {

@@ -25,11 +25,12 @@ HostId FlowNetwork::add_host(Rate up, Rate down) {
 
 const FlowNetwork::Flow* FlowNetwork::find(FlowId id) const {
     const auto slot = static_cast<std::uint32_t>(id.value & 0xFFFFFFFFu);
-    const auto gen = static_cast<std::uint32_t>(id.value >> 32);
-    if (slot >= flows_.size()) return nullptr;
-    const Flow& f = flows_[slot];
-    if (!f.active || f.generation != gen) return nullptr;
-    return &f;
+    const auto gen = static_cast<std::uint32_t>(id.value >> 32) - 1;  // see make_id
+    if (slot >= flow_pool_.slot_count() || !flow_pool_.is_live(slot) ||
+        flow_pool_.generation(slot) != gen)
+        return nullptr;
+    const Flow& f = flow_at(slot);
+    return f.active ? &f : nullptr;
 }
 
 FlowNetwork::Flow* FlowNetwork::find(FlowId id) {
@@ -37,7 +38,7 @@ FlowNetwork::Flow* FlowNetwork::find(FlowId id) {
 }
 
 void FlowNetwork::adj_push(AdjList& adj, std::uint32_t slot, std::uint32_t Flow::* pos_field) {
-    flows_[slot].*pos_field = static_cast<std::uint32_t>(adj.entries.size());
+    flow_at(slot).*pos_field = static_cast<std::uint32_t>(adj.entries.size());
     adj.entries.push_back(slot);
     ++adj.epoch;
 }
@@ -56,7 +57,7 @@ void FlowNetwork::adj_remove(AdjList& adj, std::uint32_t pos, std::uint32_t Flow
         std::uint32_t w = 0;
         for (const auto s : adj.entries) {
             if (s == kDeadSlot) continue;
-            flows_[s].*pos_field = w;
+            flow_at(s).*pos_field = w;
             adj.entries[w++] = s;
         }
         adj.entries.resize(w);
@@ -70,18 +71,11 @@ FlowId FlowNetwork::start_flow(HostId src, HostId dst, Bytes size, Rate cap,
     assert(src != dst);
     assert(size > 0);
 
-    std::uint32_t slot;
-    if (!free_slots_.empty()) {
-        slot = free_slots_.back();
-        free_slots_.pop_back();
-    } else {
-        slot = static_cast<std::uint32_t>(flows_.size());
-        flows_.emplace_back();
-    }
-    Flow& f = flows_[slot];
-    const std::uint32_t gen = f.generation;  // preserved across reuse
+    // LIFO slot reuse with stable addresses; the generation lives in the
+    // pool and is already bumped past any stale FlowId.
+    const std::uint32_t slot = flow_pool_.acquire().slot;
+    Flow& f = flow_at(slot);
     f = Flow{};
-    f.generation = gen;
     f.src = src;
     f.dst = dst;
     f.cap = cap;
@@ -99,18 +93,18 @@ FlowId FlowNetwork::start_flow(HostId src, HostId dst, Bytes size, Rate cap,
     mark_dirty(src);
     mark_dirty(dst);
     for (const auto s : hosts_[src.value].out.entries)
-        if (s != kDeadSlot) mark_dirty(flows_[s].dst);
+        if (s != kDeadSlot) mark_dirty(flow_at(s).dst);
     for (const auto s : hosts_[src.value].in.entries)
-        if (s != kDeadSlot) mark_dirty(flows_[s].src);
+        if (s != kDeadSlot) mark_dirty(flow_at(s).src);
     for (const auto s : hosts_[dst.value].out.entries)
-        if (s != kDeadSlot) mark_dirty(flows_[s].dst);
+        if (s != kDeadSlot) mark_dirty(flow_at(s).dst);
     for (const auto s : hosts_[dst.value].in.entries)
-        if (s != kDeadSlot) mark_dirty(flows_[s].src);
+        if (s != kDeadSlot) mark_dirty(flow_at(s).src);
     process_dirty();
 
     // If neither endpoint has a finite constraint the refills never touched
     // the flow; give it its cap.
-    if (flows_[slot].active && flows_[slot].rate == 0.0) apply_rate(slot);
+    if (flow_at(slot).active && flow_at(slot).rate == 0.0) apply_rate(slot);
     return make_id(slot);
 }
 
@@ -141,6 +135,8 @@ Rate FlowNetwork::current_rate(FlowId id) const {
     return f == nullptr ? 0.0 : f->rate;
 }
 
+arena::PoolStats FlowNetwork::pool_stats() const noexcept { return flow_pool_.stats(); }
+
 int FlowNetwork::out_degree(HostId h) const {
     return static_cast<int>(hosts_[h.value].out.live());
 }
@@ -154,13 +150,13 @@ void FlowNetwork::set_up_capacity(HostId h, Rate up) {
         // allocations explicitly.
         for (const auto s : hosts_[h.value].out.entries) {
             if (s == kDeadSlot) continue;
-            flows_[s].alloc_src = kUnlimited;
+            flow_at(s).alloc_src = kUnlimited;
             apply_rate(s);
         }
     }
     mark_dirty(h);
     for (const auto s : hosts_[h.value].out.entries)
-        if (s != kDeadSlot) mark_dirty(flows_[s].dst);
+        if (s != kDeadSlot) mark_dirty(flow_at(s).dst);
     process_dirty();
 }
 
@@ -170,18 +166,18 @@ void FlowNetwork::set_down_capacity(HostId h, Rate down) {
     if (down == kUnlimited) {
         for (const auto s : hosts_[h.value].in.entries) {
             if (s == kDeadSlot) continue;
-            flows_[s].alloc_dst = kUnlimited;
+            flow_at(s).alloc_dst = kUnlimited;
             apply_rate(s);
         }
     }
     mark_dirty(h);
     for (const auto s : hosts_[h.value].in.entries)
-        if (s != kDeadSlot) mark_dirty(flows_[s].src);
+        if (s != kDeadSlot) mark_dirty(flow_at(s).src);
     process_dirty();
 }
 
 void FlowNetwork::settle(std::uint32_t slot) {
-    Flow& f = flows_[slot];
+    Flow& f = flow_at(slot);
     const sim::SimTime now = sim_->now();
     const double dt = (now - f.last_settle).seconds();
     f.last_settle = now;
@@ -196,7 +192,7 @@ void FlowNetwork::settle(std::uint32_t slot) {
 }
 
 void FlowNetwork::reschedule(std::uint32_t slot) {
-    Flow& f = flows_[slot];
+    Flow& f = flow_at(slot);
     if (f.completion.valid()) {
         sim_->cancel(f.completion);
         f.completion = sim::EventHandle{};
@@ -213,7 +209,7 @@ void FlowNetwork::reschedule(std::uint32_t slot) {
 }
 
 void FlowNetwork::complete(std::uint32_t slot) {
-    Flow& f = flows_[slot];
+    Flow& f = flow_at(slot);
     if (!f.active) return;
     f.completion = sim::EventHandle{};
     settle(slot);
@@ -235,7 +231,7 @@ void FlowNetwork::complete(std::uint32_t slot) {
 }
 
 void FlowNetwork::remove(std::uint32_t slot) {
-    Flow& f = flows_[slot];
+    Flow& f = flow_at(slot);
     assert(f.active);
     if (f.completion.valid()) {
         sim_->cancel(f.completion);
@@ -247,18 +243,19 @@ void FlowNetwork::remove(std::uint32_t slot) {
     mark_dirty(f.src);
     mark_dirty(f.dst);
     for (const auto s : hosts_[f.src.value].out.entries)
-        if (s != kDeadSlot) mark_dirty(flows_[s].dst);
+        if (s != kDeadSlot) mark_dirty(flow_at(s).dst);
     for (const auto s : hosts_[f.src.value].in.entries)
-        if (s != kDeadSlot) mark_dirty(flows_[s].src);
+        if (s != kDeadSlot) mark_dirty(flow_at(s).src);
     for (const auto s : hosts_[f.dst.value].out.entries)
-        if (s != kDeadSlot) mark_dirty(flows_[s].dst);
+        if (s != kDeadSlot) mark_dirty(flow_at(s).dst);
     for (const auto s : hosts_[f.dst.value].in.entries)
-        if (s != kDeadSlot) mark_dirty(flows_[s].src);
+        if (s != kDeadSlot) mark_dirty(flow_at(s).src);
 
     f.active = false;
     f.on_complete = nullptr;
-    ++f.generation;
-    free_slots_.push_back(slot);
+    // Park (never destroy): the slot stays constructed and its pool
+    // generation advances, invalidating every outstanding FlowId.
+    flow_pool_.release(flow_pool_.handle_at(slot));
 }
 
 void FlowNetwork::mark_dirty(HostId h) {
@@ -303,7 +300,7 @@ void FlowNetwork::fill_side(Rate capacity, AdjList& adj, bool side_is_up) {
     if (capacity == kUnlimited || adj.live() == 0) return;
     fill_scratch_.clear();
     const auto bound_of = [&](std::uint32_t s) {
-        const Flow& f = flows_[s];
+        const Flow& f = flow_at(s);
         const Host& other = side_is_up ? hosts_[f.dst.value] : hosts_[f.src.value];
         const double other_share = side_is_up ? naive_share(other.down, other.in.live())
                                               : naive_share(other.up, other.out.live());
@@ -337,7 +334,7 @@ void FlowNetwork::fill_side(Rate capacity, AdjList& adj, bool side_is_up) {
         const double share = remaining / static_cast<double>(k);
         if (fill_scratch_[i].first <= share) {
             const double a = fill_scratch_[i].first;
-            Flow& f = flows_[fill_scratch_[i].second];
+            Flow& f = flow_at(fill_scratch_[i].second);
             (side_is_up ? f.alloc_src : f.alloc_dst) = a;
             remaining -= a;
             --k;
@@ -347,7 +344,7 @@ void FlowNetwork::fill_side(Rate capacity, AdjList& adj, bool side_is_up) {
         }
     }
     for (; i < fill_scratch_.size(); ++i) {
-        Flow& f = flows_[fill_scratch_[i].second];
+        Flow& f = flow_at(fill_scratch_[i].second);
         (side_is_up ? f.alloc_src : f.alloc_dst) = level;
     }
     for (const auto s : adj.entries)
@@ -355,7 +352,7 @@ void FlowNetwork::fill_side(Rate capacity, AdjList& adj, bool side_is_up) {
 }
 
 void FlowNetwork::apply_rate(std::uint32_t slot) {
-    Flow& f = flows_[slot];
+    Flow& f = flow_at(slot);
     if (!f.active) return;
     double r = std::min({f.cap, f.alloc_src, f.alloc_dst});
     r = std::min(r, kRateClamp);

@@ -33,6 +33,7 @@
 #include <limits>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "common/types.hpp"
 #include "sim/simulator.hpp"
 
@@ -113,8 +114,9 @@ public:
     /// cancel flows; collect ids and act after the sweep.
     template <typename Fn>
     void for_each_active(Fn&& fn) const {
-        for (std::uint32_t slot = 0; slot < flows_.size(); ++slot) {
-            const Flow& f = flows_[slot];
+        for (std::uint32_t slot = 0; slot < flow_pool_.slot_count(); ++slot) {
+            if (!flow_pool_.is_live(slot)) continue;
+            const Flow& f = flow_pool_.at_slot(slot);
             if (f.active) fn(make_id(slot), f.src, f.dst);
         }
     }
@@ -123,6 +125,9 @@ public:
     void set_epsilon(double eps) noexcept { epsilon_ = eps; }
 
     [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+    /// Flow-slab storage accounting for the mem.* gauges.
+    [[nodiscard]] arena::PoolStats pool_stats() const noexcept;
 
 private:
     /// Tombstone marker inside adjacency lists.
@@ -166,14 +171,20 @@ private:
         sim::SimTime last_settle{};
         sim::EventHandle completion;
         CompletionFn on_complete;
-        std::uint32_t generation = 1;
         std::uint32_t src_pos = 0;  // index in hosts_[src].out.entries
         std::uint32_t dst_pos = 0;  // index in hosts_[dst].in.entries
         bool active = false;
     };
 
+    /// Slot generations live in the pool; FlowId packs (generation + 1) so
+    /// the all-zero id stays the invalid sentinel for slot 0 / generation 0.
     [[nodiscard]] FlowId make_id(std::uint32_t slot) const {
-        return FlowId{(static_cast<std::uint64_t>(flows_[slot].generation) << 32) | slot};
+        return FlowId{((static_cast<std::uint64_t>(flow_pool_.generation(slot)) + 1) << 32) |
+                      slot};
+    }
+    [[nodiscard]] Flow& flow_at(std::uint32_t slot) { return flow_pool_.at_slot(slot); }
+    [[nodiscard]] const Flow& flow_at(std::uint32_t slot) const {
+        return flow_pool_.at_slot(slot);
     }
     [[nodiscard]] const Flow* find(FlowId id) const;
     [[nodiscard]] Flow* find(FlowId id);
@@ -196,8 +207,10 @@ private:
 
     sim::Simulator* sim_;
     std::vector<Host> hosts_;
-    std::vector<Flow> flows_;
-    std::vector<std::uint32_t> free_slots_;
+    /// Flow slab: chunked stable-address storage, LIFO slot reuse, pool
+    /// generations back the FlowId staleness check. Flows are *released*
+    /// (parked), never destroyed, so every slot stays constructed.
+    arena::Pool<Flow> flow_pool_;
     std::vector<HostId> dirty_;
     bool processing_ = false;
     double epsilon_ = 0.02;

@@ -2,47 +2,43 @@
 
 namespace netsession::obs {
 
-namespace {
-bool name_taken(const std::vector<Registry::Entry>& entries, std::string_view name) {
-    for (const auto& e : entries)
-        if (e.name == name) return true;
-    return false;
-}
-}  // namespace
-
 void Registry::add_counter(std::string name, const Counter* c) {
-    if (c == nullptr || name_taken(entries_, name)) return;
+    if (c == nullptr || index_.contains(std::string_view{name})) return;
     Entry e;
     e.name = std::move(name);
     e.kind = Kind::counter;
     e.counter = c;
+    index_[e.name] = static_cast<std::uint32_t>(entries_.size());
     entries_.push_back(std::move(e));
 }
 
 void Registry::add_gauge(std::string name, const Gauge* g) {
-    if (g == nullptr || name_taken(entries_, name)) return;
+    if (g == nullptr || index_.contains(std::string_view{name})) return;
     Entry e;
     e.name = std::move(name);
     e.kind = Kind::gauge;
     e.gauge = g;
+    index_[e.name] = static_cast<std::uint32_t>(entries_.size());
     entries_.push_back(std::move(e));
 }
 
 void Registry::add_computed(std::string name, std::function<double()> fn) {
-    if (!fn || name_taken(entries_, name)) return;
+    if (!fn || index_.contains(std::string_view{name})) return;
     Entry e;
     e.name = std::move(name);
     e.kind = Kind::gauge;
     e.computed = std::move(fn);
+    index_[e.name] = static_cast<std::uint32_t>(entries_.size());
     entries_.push_back(std::move(e));
 }
 
 void Registry::add_histogram(std::string name, const Histogram* h) {
-    if (h == nullptr || name_taken(entries_, name)) return;
+    if (h == nullptr || index_.contains(std::string_view{name})) return;
     Entry e;
     e.name = std::move(name);
     e.kind = Kind::histogram;
     e.histogram = h;
+    index_[e.name] = static_cast<std::uint32_t>(entries_.size());
     entries_.push_back(std::move(e));
 }
 
@@ -56,9 +52,8 @@ double Registry::scalar_value(const Entry& e) {
 }
 
 const Registry::Entry* Registry::find(std::string_view name) const {
-    for (const auto& e : entries_)
-        if (e.name == name) return &e;
-    return nullptr;
+    const std::uint32_t* idx = index_.find_value(name);
+    return idx == nullptr ? nullptr : &entries_[*idx];
 }
 
 }  // namespace netsession::obs

@@ -34,7 +34,10 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <string_view>
 #include <vector>
+
+#include "common/flat_hash.hpp"
 
 #ifndef NS_METRICS_ENABLED
 #define NS_METRICS_ENABLED 1
@@ -137,12 +140,23 @@ public:
     /// sum as its own series).
     [[nodiscard]] static double scalar_value(const Entry& e);
 
-    /// Looks an entry up by name; nullptr if absent. O(n), for tests and
-    /// exporters — hot paths never resolve names.
+    /// Looks an entry up by name; nullptr if absent. O(1) via a side index;
+    /// iteration stays registration-ordered through entries().
     [[nodiscard]] const Entry* find(std::string_view name) const;
 
 private:
+    /// Transparent hasher so find(string_view) never materialises a string.
+    struct NameHash {
+        using is_transparent = void;
+        [[nodiscard]] std::size_t operator()(std::string_view s) const noexcept {
+            return std::hash<std::string_view>{}(s);
+        }
+    };
+
     std::vector<Entry> entries_;
+    /// name -> index into entries_. The index only serves lookups; iteration
+    /// order (and thus metric ids in the trace) comes from entries_ alone.
+    FlatHashMap<std::string, std::uint32_t, NameHash> index_;
 };
 
 }  // namespace netsession::obs

@@ -1,0 +1,130 @@
+// Per-download state of the client's Download Manager (paper §3.3/§3.4).
+//
+// `Download` objects live in a PeerRegistry-wide arena::Pool<Download>
+// (docs/SIMULATOR.md "Memory layout"): a finished download is *parked*, not
+// destroyed, so the next download started anywhere on the host reuses its
+// source arrays, piece maps and hash tables at full capacity. Everything a
+// parked object may carry over is wiped by reset().
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "common/flat_hash.hpp"
+#include "common/types.hpp"
+#include "control/peer_descriptor.hpp"
+#include "edge/auth.hpp"
+#include "net/flow.hpp"
+#include "sim/simulator.hpp"
+#include "swarm/picker.hpp"
+#include "trace/records.hpp"
+
+namespace netsession::edge {
+struct CatalogEntry;
+class EdgeServer;
+}  // namespace netsession::edge
+
+namespace netsession::peer {
+
+/// Invoked when a download reaches a terminal state, with the usage record
+/// the client reported (or tried to report) to the control plane.
+using DownloadCallback = std::function<void(const trace::DownloadRecord&)>;
+
+/// Per-download delivery options.
+struct DownloadOptions {
+    /// In-order piece delivery (video streaming mode, §3.4). Bulk downloads
+    /// use rarest-first/gap-filling selection instead.
+    bool sequential = false;
+    /// Fires for every piece that verifies (streaming playback hooks).
+    std::function<void(swarm::PieceIndex)> on_piece;
+};
+
+/// One remote peer we are (or were) fetching pieces from.
+struct PeerSource {
+    control::PeerDescriptor desc;
+    net::FlowId flow;
+    swarm::PieceIndex piece = 0;
+    bool transferring = false;
+    Bytes bytes = 0;          // completed-piece bytes received from this source
+    int corrupt_pieces = 0;   // repeated offenders get disconnected
+    sim::SimTime started_at;  // when the current transfer was requested
+};
+
+struct Download {
+    const edge::CatalogEntry* entry = nullptr;
+    swarm::PieceMap have;
+    swarm::PieceMap full;  // remote seeds' map (uploaders hold complete copies)
+    swarm::PiecePicker picker;
+    edge::EdgeServer* edge = nullptr;
+    edge::AuthToken token{};
+    bool has_token = false;
+    net::FlowId edge_flow;
+    swarm::PieceIndex edge_piece = 0;
+    bool edge_transferring = false;
+    std::vector<PeerSource> sources;
+    std::vector<Guid> attempted;  // peers we already tried this epoch
+    Bytes bytes_infra = 0;
+    Bytes bytes_peers = 0;
+    FlatHashMap<Guid, std::pair<net::IpAddr, Bytes>> per_source_bytes;
+    sim::SimTime start_time;
+    int peers_initially_returned = -1;
+    int additional_queries = 0;
+    int corrupt_pieces = 0;
+    int pending_attempts = 0;                  // connection handshakes in flight
+    FlatHashSet<std::uint64_t> open_attempts;  // seq of in-flight handshakes
+    bool query_outstanding = false;
+    bool paused = false;
+    std::uint32_t epoch = 0;  // invalidates in-flight async callbacks
+    /// Generation counter for the edge request/delivery path. The epoch
+    /// only moves on pause/stop, so a stall declared while the HTTP
+    /// request is still crossing the network would leave that stale
+    /// request valid — it would later start a *second* concurrent edge
+    /// flow and double-count the piece into bytes_infra. Every edge
+    /// request bumps this and validates against it; the watchdog's stall
+    /// branch bumps it again when abandoning a transfer.
+    std::uint32_t edge_attempt = 0;
+    sim::SimTime edge_started_at;   // when the current edge request went out
+    double edge_retry_delay_s = 0;  // capped exponential backoff state
+    sim::EventHandle watchdog;
+    DownloadCallback on_finish;
+    DownloadOptions options;
+
+    /// Returns a parked (pool-reused) object to its freshly-constructed
+    /// state while keeping container capacity. The watchdog handle must
+    /// already be cancelled (stop_transfers does) — reset only forgets it.
+    void reset() {
+        entry = nullptr;
+        edge = nullptr;
+        token = edge::AuthToken{};
+        has_token = false;
+        edge_flow = net::FlowId{};
+        edge_piece = 0;
+        edge_transferring = false;
+        sources.clear();
+        attempted.clear();
+        bytes_infra = 0;
+        bytes_peers = 0;
+        per_source_bytes.clear();
+        start_time = sim::SimTime{};
+        peers_initially_returned = -1;
+        additional_queries = 0;
+        corrupt_pieces = 0;
+        pending_attempts = 0;
+        open_attempts.clear();
+        query_outstanding = false;
+        paused = false;
+        epoch = 0;
+        edge_attempt = 0;
+        edge_started_at = sim::SimTime{};
+        edge_retry_delay_s = 0;
+        watchdog = sim::EventHandle{};
+        on_finish = nullptr;
+        options = DownloadOptions{};
+        // have/full/picker are re-initialised in place by begin_download
+        // (PieceMap::reset / PiecePicker::reset) once the entry is known.
+    }
+};
+
+}  // namespace netsession::peer

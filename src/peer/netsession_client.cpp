@@ -76,12 +76,10 @@ void NetSessionClient::start() {
 
     // Lazy cache eviction for retention that elapsed while offline.
     const auto now = world_->simulator().now();
-    for (auto it = cache_.begin(); it != cache_.end();) {
-        if (now - it->second > config_.cache_retention)
-            it = cache_.erase(it);
-        else
-            ++it;
-    }
+    evict_scratch_.clear();
+    for (const auto& [object, when] : cache_)
+        if (now - when > config_.cache_retention) evict_scratch_.push_back(object);
+    for (const auto object : evict_scratch_) cache_.erase(object);
 
     // Connectivity discovery, then the persistent control connection. The
     // probe can be silently lost (STUN blackout, partition); a timeout makes
@@ -105,8 +103,8 @@ void NetSessionClient::start() {
     });
 
     if (config_.resume_on_start)
-        for (auto& [object, d] : downloads_)
-            if (d.paused) resume_download(object);
+        for (const auto& [object, handle] : downloads_)
+            if (registry_->downloads().get(handle).paused) resume_download(object);
 }
 
 void NetSessionClient::stop() {
@@ -114,7 +112,8 @@ void NetSessionClient::stop() {
     running_ = false;
 
     // Active downloads pause; they can be continued later (§3.3).
-    for (auto& [object, d] : downloads_) {
+    for (const auto& [object, handle] : downloads_) {
+        Download& d = registry_->downloads().get(handle);
         if (!d.paused) {
             d.paused = true;
             stop_transfers(d, /*notify_remotes=*/true);
@@ -147,7 +146,8 @@ void NetSessionClient::crash() {
     // Downloads pause exactly as on a clean stop (resumable on disk), but
     // nothing is announced: no goodbyes to transfer partners, no CN logout —
     // the session just goes stale server-side.
-    for (auto& [object, d] : downloads_) {
+    for (const auto& [object, handle] : downloads_) {
+        Download& d = registry_->downloads().get(handle);
         if (!d.paused) {
             d.paused = true;
             stop_transfers(d, /*notify_remotes=*/false);
@@ -263,9 +263,9 @@ void NetSessionClient::begin_download(ObjectId object, DownloadCallback on_finis
     const edge::CatalogEntry* entry = catalog_->find(object);
     assert(entry != nullptr && "download of unpublished object");
 
-    if (const auto it = downloads_.find(object); it != downloads_.end()) {
+    if (Download* known = find_download(object)) {
         // Already known (paused or running): treat as user-initiated resume.
-        it->second.on_finish = std::move(on_finish);
+        known->on_finish = std::move(on_finish);
         resume_download(object);
         return;
     }
@@ -276,58 +276,63 @@ void NetSessionClient::begin_download(ObjectId object, DownloadCallback on_finis
     }
 
     NS_OBS_INC_P(metrics_, downloads_started);
-    Download d;
+    // Pool acquisition: a parked Download (from any client on this host set)
+    // is reused with its arrays at capacity; reset() wipes the carried state.
+    auto& pool = registry_->downloads();
+    const DownloadHandle handle = pool.acquire();
+    Download& d = pool.get(handle);
+    d.reset();
     d.entry = entry;
-    d.have = swarm::PieceMap(entry->object.piece_count());
-    d.full = swarm::PieceMap::full(entry->object.piece_count());
-    d.picker = swarm::PiecePicker(entry->object.piece_count());
+    d.have.reset(entry->object.piece_count());
+    d.full.reset_full(entry->object.piece_count());
+    d.picker.reset(entry->object.piece_count());
     d.edge = &edges_->nearest(host_);
     d.start_time = world_->simulator().now();
     d.on_finish = std::move(on_finish);
     d.options = std::move(options);
     const std::uint32_t epoch = d.epoch;
-    downloads_.emplace(object, std::move(d));
+    downloads_[object] = handle;
 
     request_from_edge(object);
     schedule_watchdog(object);
 
     // Authenticate to the edge for the p2p search token (§3.5), then query.
-    Download& stored = downloads_.at(object);
+    // (`d` stays valid across the map insert: pool slots have stable
+    // addresses.)
     const sim::Duration rtt =
-        world_->latency(host_, stored.edge->host()) + world_->latency(stored.edge->host(), host_);
+        world_->latency(host_, d.edge->host()) + world_->latency(d.edge->host(), host_);
     world_->simulator().schedule_after(rtt, [this, object, epoch] {
-        const auto it = downloads_.find(object);
-        if (it == downloads_.end() || it->second.epoch != epoch || it->second.paused) return;
-        Download& dl = it->second;
-        dl.token = dl.edge->authorize(guid_, object);
-        dl.has_token = true;
-        if (dl.entry->policy.p2p_enabled) query_for_peers(object);
+        Download* dl = find_download(object);
+        if (dl == nullptr || dl->epoch != epoch || dl->paused) return;
+        dl->token = dl->edge->authorize(guid_, object);
+        dl->has_token = true;
+        if (dl->entry->policy.p2p_enabled) query_for_peers(object);
     });
 }
 
 std::vector<ObjectId> NetSessionClient::paused_downloads() const {
     std::vector<ObjectId> out;
-    for (const auto& [object, d] : downloads_)
-        if (d.paused) out.push_back(object);
+    for (const auto& [object, handle] : downloads_)
+        if (registry_->downloads().get(handle).paused) out.push_back(object);
     return out;
 }
 
 bool NetSessionClient::download_active(ObjectId object) const {
-    const auto it = downloads_.find(object);
-    return it != downloads_.end() && !it->second.paused;
+    const Download* d = find_download(object);
+    return d != nullptr && !d->paused;
 }
 
 void NetSessionClient::pause_download(ObjectId object) {
-    const auto it = downloads_.find(object);
-    if (it == downloads_.end() || it->second.paused) return;
-    it->second.paused = true;
-    stop_transfers(it->second, /*notify_remotes=*/true);
+    Download* d = find_download(object);
+    if (d == nullptr || d->paused) return;
+    d->paused = true;
+    stop_transfers(*d, /*notify_remotes=*/true);
 }
 
 void NetSessionClient::resume_download(ObjectId object) {
-    const auto it = downloads_.find(object);
-    if (it == downloads_.end()) return;
-    Download& d = it->second;
+    Download* dp = find_download(object);
+    if (dp == nullptr) return;
+    Download& d = *dp;
     if (running_ && !d.paused && !d.edge_transferring) {
         // Not paused, but possibly idle (e.g. freshly re-begun): kick it.
         request_from_edge(object);
@@ -342,12 +347,11 @@ void NetSessionClient::resume_download(ObjectId object) {
     const sim::Duration rtt =
         world_->latency(host_, d.edge->host()) + world_->latency(d.edge->host(), host_);
     world_->simulator().schedule_after(rtt, [this, object, epoch] {
-        const auto dit = downloads_.find(object);
-        if (dit == downloads_.end() || dit->second.epoch != epoch || dit->second.paused) return;
-        Download& dl = dit->second;
-        dl.token = dl.edge->authorize(guid_, object);
-        dl.has_token = true;
-        if (dl.entry->policy.p2p_enabled) query_for_peers(object);
+        Download* dl = find_download(object);
+        if (dl == nullptr || dl->epoch != epoch || dl->paused) return;
+        dl->token = dl->edge->authorize(guid_, object);
+        dl->has_token = true;
+        if (dl->entry->policy.p2p_enabled) query_for_peers(object);
     });
 }
 
@@ -359,21 +363,23 @@ void NetSessionClient::abort_download(ObjectId object, trace::DownloadOutcome ou
 void NetSessionClient::kick_downloads() {
     std::vector<ObjectId> objects;
     objects.reserve(downloads_.size());
-    for (const auto& [object, d] : downloads_)
-        if (!d.paused) objects.push_back(object);
+    for (const auto& [object, handle] : downloads_)
+        if (!registry_->downloads().get(handle).paused) objects.push_back(object);
     for (const auto object : objects) {
-        Download& d = downloads_.at(object);
-        if (!d.edge_transferring) request_from_edge(object);
-        if (d.entry->policy.p2p_enabled && d.has_token && d.sources.empty()) query_for_peers(object);
+        Download* d = find_download(object);
+        if (d == nullptr) continue;
+        if (!d->edge_transferring) request_from_edge(object);
+        if (d->entry->policy.p2p_enabled && d->has_token && d->sources.empty())
+            query_for_peers(object);
     }
 }
 
 // --- edge transfer loop -----------------------------------------------------------
 
 void NetSessionClient::request_from_edge(ObjectId object) {
-    const auto it = downloads_.find(object);
-    if (it == downloads_.end()) return;
-    Download& d = it->second;
+    Download* dp = find_download(object);
+    if (dp == nullptr) return;
+    Download& d = *dp;
     if (!running_ || d.paused || d.edge_transferring) return;
     std::optional<swarm::PieceIndex> piece;
     if (d.options.sequential) {
@@ -401,12 +407,10 @@ void NetSessionClient::request_from_edge(ObjectId object) {
     // watchdog declared a stall (and possibly remapped) while this request
     // was in flight, the stale request must not start a competing flow.
     world_->send(host_, edge->host(), [this, object, epoch, attempt, edge, piece = *piece] {
-        const auto dit = downloads_.find(object);
-        if (dit == downloads_.end() || dit->second.epoch != epoch ||
-            dit->second.edge_attempt != attempt)
-            return;
-        dit->second.edge_flow = edge->serve_piece(
-            host_, guid_, dit->second.entry->object, piece,
+        Download* dl = find_download(object);
+        if (dl == nullptr || dl->epoch != epoch || dl->edge_attempt != attempt) return;
+        dl->edge_flow = edge->serve_piece(
+            host_, guid_, dl->entry->object, piece,
             [this, object, epoch, attempt, piece](Digest256 digest) {
                 on_edge_piece(object, epoch, attempt, piece, digest);
             });
@@ -415,11 +419,9 @@ void NetSessionClient::request_from_edge(ObjectId object) {
 
 void NetSessionClient::on_edge_piece(ObjectId object, std::uint32_t epoch, std::uint32_t attempt,
                                      swarm::PieceIndex piece, Digest256 digest) {
-    const auto it = downloads_.find(object);
-    if (it == downloads_.end() || it->second.epoch != epoch ||
-        it->second.edge_attempt != attempt)
-        return;
-    Download& d = it->second;
+    Download* dp = find_download(object);
+    if (dp == nullptr || dp->epoch != epoch || dp->edge_attempt != attempt) return;
+    Download& d = *dp;
     d.edge_transferring = false;
     d.edge_flow = net::FlowId{};
     d.edge_retry_delay_s = 0;  // the edge path works again; reset the backoff
@@ -456,9 +458,9 @@ void NetSessionClient::on_edge_piece(ObjectId object, std::uint32_t epoch, std::
 // --- p2p side -----------------------------------------------------------------------
 
 void NetSessionClient::query_for_peers(ObjectId object) {
-    const auto it = downloads_.find(object);
-    if (it == downloads_.end()) return;
-    Download& d = it->second;
+    Download* dp = find_download(object);
+    if (dp == nullptr) return;
+    Download& d = *dp;
     if (!running_ || d.paused || cn_ == nullptr || !d.has_token || d.query_outstanding) return;
     d.query_outstanding = true;
     const std::uint32_t epoch = d.epoch;
@@ -475,21 +477,20 @@ void NetSessionClient::query_for_peers(ObjectId object) {
     // clear the outstanding flag so later re-queries are not blocked forever.
     world_->simulator().schedule_after(sim::seconds(config_.query_timeout_s),
                                        [this, object, epoch] {
-                                           const auto dit = downloads_.find(object);
-                                           if (dit == downloads_.end() ||
-                                               dit->second.epoch != epoch ||
-                                               !dit->second.query_outstanding)
+                                           Download* dl = find_download(object);
+                                           if (dl == nullptr || dl->epoch != epoch ||
+                                               !dl->query_outstanding)
                                                return;
-                                           dit->second.query_outstanding = false;
+                                           dl->query_outstanding = false;
                                            note_degradation(trace::DegradationKind::query_timeout);
                                        });
 }
 
 void NetSessionClient::on_query_reply(ObjectId object, std::uint32_t epoch,
                                       std::vector<control::PeerDescriptor> peers) {
-    const auto it = downloads_.find(object);
-    if (it == downloads_.end() || it->second.epoch != epoch) return;
-    Download& d = it->second;
+    Download* dp = find_download(object);
+    if (dp == nullptr || dp->epoch != epoch) return;
+    Download& d = *dp;
     d.query_outstanding = false;
     if (d.peers_initially_returned < 0)
         d.peers_initially_returned = static_cast<int>(peers.size());
@@ -498,30 +499,28 @@ void NetSessionClient::on_query_reply(ObjectId object, std::uint32_t epoch,
 
     // Swarms warm up over time; keep looking while under-sourced
     // ("additional queries are issued until a sufficient number of peer
-    // connections succeed", §3.7).
-    Download& after = downloads_.at(object);
-    if (static_cast<int>(after.sources.size()) + after.pending_attempts <
-            config_.target_peer_sources &&
-        after.additional_queries < config_.max_additional_queries) {
-        ++after.additional_queries;
-        const std::uint32_t requery_epoch = after.epoch;
+    // connections succeed", §3.7). `d` is still valid — pool addresses are
+    // stable and attempt_connection never finishes a download synchronously.
+    if (static_cast<int>(d.sources.size()) + d.pending_attempts < config_.target_peer_sources &&
+        d.additional_queries < config_.max_additional_queries) {
+        ++d.additional_queries;
+        const std::uint32_t requery_epoch = d.epoch;
         world_->simulator().schedule_after(sim::seconds(config_.requery_interval_s),
                                            [this, object, requery_epoch] {
-                                               const auto dit = downloads_.find(object);
-                                               if (dit == downloads_.end() ||
-                                                   dit->second.epoch != requery_epoch)
+                                               Download* dl = find_download(object);
+                                               if (dl == nullptr || dl->epoch != requery_epoch)
                                                    return;
                                                // Allow previously-failed peers another try.
-                                               dit->second.attempted.clear();
+                                               dl->attempted.clear();
                                                query_for_peers(object);
                                            });
     }
 }
 
 void NetSessionClient::attempt_connection(ObjectId object, const control::PeerDescriptor& remote) {
-    const auto it = downloads_.find(object);
-    if (it == downloads_.end()) return;
-    Download& d = it->second;
+    Download* dp = find_download(object);
+    if (dp == nullptr) return;
+    Download& d = *dp;
     if (static_cast<int>(d.sources.size()) + d.pending_attempts >= config_.max_peer_sources)
         return;
     if (remote.guid == guid_) return;
@@ -573,13 +572,10 @@ void NetSessionClient::attempt_connection(ObjectId object, const control::PeerDe
     // source accounting does not leak and re-queries stay possible.
     world_->simulator().schedule_after(sim::seconds(config_.query_timeout_s),
                                        [this, object, epoch, seq] {
-                                           const auto dit = downloads_.find(object);
-                                           if (dit == downloads_.end() ||
-                                               dit->second.epoch != epoch)
-                                               return;
-                                           Download& dl = dit->second;
-                                           if (dl.open_attempts.erase(seq) == 0) return;
-                                           if (dl.pending_attempts > 0) --dl.pending_attempts;
+                                           Download* dl = find_download(object);
+                                           if (dl == nullptr || dl->epoch != epoch) return;
+                                           if (dl->open_attempts.erase(seq) == 0) return;
+                                           if (dl->pending_attempts > 0) --dl->pending_attempts;
                                            maybe_need_more_sources(object);
                                        });
 }
@@ -587,9 +583,8 @@ void NetSessionClient::attempt_connection(ObjectId object, const control::PeerDe
 void NetSessionClient::on_connection_result(ObjectId object, std::uint32_t epoch,
                                             const control::PeerDescriptor& remote,
                                             std::uint64_t seq, bool accepted) {
-    const auto it = downloads_.find(object);
-    if (it == downloads_.end() || it->second.epoch != epoch ||
-        it->second.open_attempts.erase(seq) == 0) {
+    Download* dp = find_download(object);
+    if (dp == nullptr || dp->epoch != epoch || dp->open_attempts.erase(seq) == 0) {
         // The download moved on (or the attempt already timed out); release
         // the remote's upload slot.
         if (accepted) {
@@ -601,7 +596,7 @@ void NetSessionClient::on_connection_result(ObjectId object, std::uint32_t epoch
         }
         return;
     }
-    Download& d = it->second;
+    Download& d = *dp;
     if (d.pending_attempts > 0) --d.pending_attempts;
     if (!accepted) {
         maybe_need_more_sources(object);
@@ -620,9 +615,9 @@ void NetSessionClient::on_connection_result(ObjectId object, std::uint32_t epoch
 }
 
 void NetSessionClient::maybe_need_more_sources(ObjectId object) {
-    const auto it = downloads_.find(object);
-    if (it == downloads_.end()) return;
-    Download& d = it->second;
+    Download* dp = find_download(object);
+    if (dp == nullptr) return;
+    Download& d = *dp;
     if (!running_ || d.paused || cn_ == nullptr || !d.entry->policy.p2p_enabled) return;
     const int live = static_cast<int>(d.sources.size()) + d.pending_attempts;
     if (live >= config_.target_peer_sources) return;
@@ -633,9 +628,9 @@ void NetSessionClient::maybe_need_more_sources(ObjectId object) {
 }
 
 void NetSessionClient::request_from_source(ObjectId object, Guid source_guid) {
-    const auto it = downloads_.find(object);
-    if (it == downloads_.end()) return;
-    Download& d = it->second;
+    Download* dp = find_download(object);
+    if (dp == nullptr) return;
+    Download& d = *dp;
     if (!running_ || d.paused) return;
     const auto sit = std::find_if(d.sources.begin(), d.sources.end(),
                                   [&](const PeerSource& s) { return s.desc.guid == source_guid; });
@@ -677,9 +672,9 @@ void NetSessionClient::request_from_source(ObjectId object, Guid source_guid) {
 
 void NetSessionClient::on_peer_piece(ObjectId object, std::uint32_t epoch, Guid from,
                                      swarm::PieceIndex piece, Digest256 digest) {
-    const auto it = downloads_.find(object);
-    if (it == downloads_.end() || it->second.epoch != epoch) return;
-    Download& d = it->second;
+    Download* dp = find_download(object);
+    if (dp == nullptr || dp->epoch != epoch) return;
+    Download& d = *dp;
     const auto sit = std::find_if(d.sources.begin(), d.sources.end(),
                                   [&](const PeerSource& s) { return s.desc.guid == from; });
     if (sit == d.sources.end()) return;
@@ -792,9 +787,9 @@ void NetSessionClient::drop_source(Download& d, Guid source_guid, bool notify_re
 }
 
 void NetSessionClient::on_source_lost(Guid uploader, ObjectId object) {
-    const auto it = downloads_.find(object);
-    if (it == downloads_.end()) return;
-    Download& d = it->second;
+    Download* dp = find_download(object);
+    if (dp == nullptr) return;
+    Download& d = *dp;
     const auto sit = std::find_if(d.sources.begin(), d.sources.end(),
                                   [&](const PeerSource& s) { return s.desc.guid == uploader; });
     if (sit == d.sources.end()) return;
@@ -853,9 +848,9 @@ bool NetSessionClient::source_blacklisted(Guid source) {
 }
 
 void NetSessionClient::schedule_watchdog(ObjectId object) {
-    const auto it = downloads_.find(object);
-    if (it == downloads_.end()) return;
-    Download& d = it->second;
+    Download* dp = find_download(object);
+    if (dp == nullptr) return;
+    Download& d = *dp;
     const std::uint32_t epoch = d.epoch;
     d.watchdog = world_->simulator().schedule_after(
         sim::seconds(config_.watchdog_interval_s),
@@ -863,9 +858,9 @@ void NetSessionClient::schedule_watchdog(ObjectId object) {
 }
 
 void NetSessionClient::watchdog_tick(ObjectId object, std::uint32_t epoch) {
-    const auto it = downloads_.find(object);
-    if (it == downloads_.end() || it->second.epoch != epoch || it->second.paused) return;
-    Download& d = it->second;
+    Download* dp = find_download(object);
+    if (dp == nullptr || dp->epoch != epoch || dp->paused) return;
+    Download& d = *dp;
     const sim::SimTime now = world_->simulator().now();
     const sim::Duration grace = sim::seconds(config_.stall_grace_s);
 
@@ -906,9 +901,9 @@ void NetSessionClient::watchdog_tick(ObjectId object, std::uint32_t epoch) {
     }
     if (!stalled.empty()) {
         maybe_need_more_sources(object);
-        if (!downloads_.contains(object)) return;  // re-query finished it? be safe
-        Download& after = downloads_.at(object);
-        if (!after.edge_transferring && after.edge_retry_delay_s == 0)
+        Download* after = find_download(object);
+        if (after == nullptr) return;  // re-query finished it? be safe
+        if (!after->edge_transferring && after->edge_retry_delay_s == 0)
             request_from_edge(object);
     }
 
@@ -916,9 +911,9 @@ void NetSessionClient::watchdog_tick(ObjectId object, std::uint32_t epoch) {
 }
 
 void NetSessionClient::schedule_edge_retry(ObjectId object) {
-    const auto it = downloads_.find(object);
-    if (it == downloads_.end()) return;
-    Download& d = it->second;
+    Download* dp = find_download(object);
+    if (dp == nullptr) return;
+    Download& d = *dp;
     NS_OBS_INC_P(metrics_, edge_retries);
     // Capped exponential backoff: no hammering a dead edge every tick, quick
     // recovery once something changes (reset on the next delivered piece).
@@ -928,13 +923,10 @@ void NetSessionClient::schedule_edge_retry(ObjectId object) {
     const std::uint32_t epoch = d.epoch;
     world_->simulator().schedule_after(sim::seconds(d.edge_retry_delay_s),
                                        [this, object, epoch] {
-                                           const auto dit = downloads_.find(object);
-                                           if (dit == downloads_.end() ||
-                                               dit->second.epoch != epoch ||
-                                               dit->second.paused)
+                                           Download* dl = find_download(object);
+                                           if (dl == nullptr || dl->epoch != epoch || dl->paused)
                                                return;
-                                           if (!dit->second.edge_transferring)
-                                               request_from_edge(object);
+                                           if (!dl->edge_transferring) request_from_edge(object);
                                        });
 }
 
@@ -977,10 +969,11 @@ void NetSessionClient::stop_transfers(Download& d, bool notify_remotes) {
 }
 
 void NetSessionClient::finish_download(ObjectId object, trace::DownloadOutcome outcome) {
-    const auto it = downloads_.find(object);
-    assert(it != downloads_.end());
-    Download& d = it->second;
-    stop_transfers(d, /*notify_remotes=*/true);
+    const DownloadHandle* hp = downloads_.find_value(object);
+    assert(hp != nullptr);
+    const DownloadHandle handle = *hp;
+    Download& d = registry_->downloads().get(handle);
+    stop_transfers(d, /*notify_remotes=*/true);  // also cancels the watchdog
 
     trace::DownloadRecord rec;
     rec.guid = guid_;
@@ -1013,7 +1006,9 @@ void NetSessionClient::finish_download(ObjectId object, trace::DownloadOutcome o
     }
 
     DownloadCallback cb = std::move(d.on_finish);
-    downloads_.erase(it);
+    downloads_.erase(object);
+    // Park the state for reuse; `d` must not be touched past this point.
+    registry_->downloads().release(handle);
 
     if (outcome == trace::DownloadOutcome::completed) cache_object(object);
     if (tamper_) tamper_(rec);
@@ -1043,7 +1038,8 @@ void NetSessionClient::flush_pending_reports() {
 }
 
 void NetSessionClient::flush_unfinished() {
-    for (auto& [object, d] : downloads_) {
+    for (const auto& [object, handle] : downloads_) {
+        const Download& d = registry_->downloads().get(handle);
         trace::DownloadRecord rec;
         rec.guid = guid_;
         rec.object = object;
@@ -1076,7 +1072,7 @@ void NetSessionClient::cache_object(ObjectId object) {
         for (auto it = cache_.begin(); it != cache_.end(); ++it)
             if (it->second < oldest->second) oldest = it;
         const ObjectId victim = oldest->first;
-        cache_.erase(oldest);
+        cache_.erase(victim);
         withdraw_object(victim);
     }
 }

@@ -8,15 +8,16 @@
 #pragma once
 
 #include <functional>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "common/arena.hpp"
+#include "common/flat_hash.hpp"
 #include "common/rng.hpp"
 #include "control/control_plane.hpp"
 #include "edge/edge_network.hpp"
 #include "peer/client_config.hpp"
 #include "peer/client_metrics.hpp"
+#include "peer/download_state.hpp"
 #include "peer/registry.hpp"
 #include "swarm/picker.hpp"
 #include "trace/records.hpp"
@@ -25,18 +26,11 @@ namespace netsession::peer {
 
 class NetSessionClient final : public control::PeerEndpoint {
 public:
-    /// Invoked when a download reaches a terminal state, with the usage
-    /// record the client reported (or tried to report) to the control plane.
-    using DownloadCallback = std::function<void(const trace::DownloadRecord&)>;
-
-    /// Per-download delivery options.
-    struct DownloadOptions {
-        /// In-order piece delivery (video streaming mode, §3.4). Bulk
-        /// downloads use rarest-first/gap-filling selection instead.
-        bool sequential = false;
-        /// Fires for every piece that verifies (streaming playback hooks).
-        std::function<void(swarm::PieceIndex)> on_piece;
-    };
+    /// Per-download types live in peer/download_state.hpp (the state itself
+    /// is pool-allocated via PeerRegistry::downloads()); aliases keep the
+    /// historical nested names working.
+    using DownloadCallback = peer::DownloadCallback;
+    using DownloadOptions = peer::DownloadOptions;
 
     NetSessionClient(net::World& world, control::ControlPlane& plane, edge::EdgeNetwork& edges,
                      const edge::Catalog& catalog, PeerRegistry& registry, Guid guid, HostId host,
@@ -162,55 +156,18 @@ public:
     void flush_unfinished();
 
 private:
-    struct PeerSource {
-        control::PeerDescriptor desc;
-        net::FlowId flow;
-        swarm::PieceIndex piece = 0;
-        bool transferring = false;
-        Bytes bytes = 0;       // completed-piece bytes received from this source
-        int corrupt_pieces = 0;  // repeated offenders get disconnected
-        sim::SimTime started_at;  // when the current transfer was requested
-    };
+    using DownloadHandle = arena::PoolHandle<Download>;
 
-    struct Download {
-        const edge::CatalogEntry* entry = nullptr;
-        swarm::PieceMap have;
-        swarm::PieceMap full;  // remote seeds' map (uploaders hold complete copies)
-        swarm::PiecePicker picker;
-        edge::EdgeServer* edge = nullptr;
-        edge::AuthToken token{};
-        bool has_token = false;
-        net::FlowId edge_flow;
-        swarm::PieceIndex edge_piece = 0;
-        bool edge_transferring = false;
-        std::vector<PeerSource> sources;
-        std::vector<Guid> attempted;  // peers we already tried this epoch
-        Bytes bytes_infra = 0;
-        Bytes bytes_peers = 0;
-        std::unordered_map<Guid, std::pair<net::IpAddr, Bytes>> per_source_bytes;
-        sim::SimTime start_time;
-        int peers_initially_returned = -1;
-        int additional_queries = 0;
-        int corrupt_pieces = 0;
-        int pending_attempts = 0;  // connection handshakes in flight
-        std::unordered_set<std::uint64_t> open_attempts;  // seq of in-flight handshakes
-        bool query_outstanding = false;
-        bool paused = false;
-        std::uint32_t epoch = 0;  // invalidates in-flight async callbacks
-        /// Generation counter for the edge request/delivery path. The epoch
-        /// only moves on pause/stop, so a stall declared while the HTTP
-        /// request is still crossing the network would leave that stale
-        /// request valid — it would later start a *second* concurrent edge
-        /// flow and double-count the piece into bytes_infra. Every edge
-        /// request bumps this and validates against it; the watchdog's stall
-        /// branch bumps it again when abandoning a transfer.
-        std::uint32_t edge_attempt = 0;
-        sim::SimTime edge_started_at;   // when the current edge request went out
-        double edge_retry_delay_s = 0;  // capped exponential backoff state
-        sim::EventHandle watchdog;
-        DownloadCallback on_finish;
-        DownloadOptions options;
-    };
+    /// Looks up the live Download for `object`, or nullptr. Pool slots have
+    /// stable addresses, so the pointer stays valid across map growth.
+    [[nodiscard]] Download* find_download(ObjectId object) {
+        const DownloadHandle* h = downloads_.find_value(object);
+        return h == nullptr ? nullptr : &registry_->downloads().get(*h);
+    }
+    [[nodiscard]] const Download* find_download(ObjectId object) const {
+        const DownloadHandle* h = downloads_.find_value(object);
+        return h == nullptr ? nullptr : &registry_->downloads().get(*h);
+    }
 
     [[nodiscard]] control::PeerDescriptor descriptor() const;
     [[nodiscard]] control::LoginInfo make_login_info() const;
@@ -273,15 +230,17 @@ private:
     std::uint32_t stun_attempt_ = 0;
     bool conservative_nat_ = false;
     std::uint64_t attempt_seq_ = 0;  // unique ids for connection handshakes
-    std::unordered_map<Guid, int> source_failures_;
-    std::unordered_map<Guid, sim::SimTime> blacklist_;  // guid -> bench expiry
+    FlatHashMap<Guid, int> source_failures_;
+    FlatHashMap<Guid, sim::SimTime> blacklist_;  // guid -> bench expiry
     double reconnect_delay_s_;
     std::vector<SecondaryGuid> chain_;
-    std::unordered_map<ObjectId, sim::SimTime> cache_;  // object -> cached_at
-    std::unordered_map<ObjectId, Download> downloads_;
-    std::unordered_map<ObjectId, Bytes> uploaded_per_object_;
+    FlatHashMap<ObjectId, sim::SimTime> cache_;  // object -> cached_at
+    /// Live downloads; the state itself lives in the registry-wide pool.
+    FlatHashMap<ObjectId, DownloadHandle> downloads_;
+    FlatHashMap<ObjectId, Bytes> uploaded_per_object_;
     std::vector<std::pair<Guid, ObjectId>> upload_conns_;  // active upload connections
-    std::unordered_set<std::uint64_t> introductions_;  // CN-coordinated (guid, object) pairs
+    FlatHashSet<std::uint64_t> introductions_;  // CN-coordinated (guid, object) pairs
+    std::vector<ObjectId> evict_scratch_;       // reusable cache-sweep buffer
     Bytes uploaded_bytes_ = 0;
     bool corrupt_uploads_ = false;
     Rate base_up_;

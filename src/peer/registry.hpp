@@ -6,11 +6,17 @@
 // by GUID. (Control-plane routing uses control::ControlPlane::find_endpoint;
 // this registry is the *data-plane* equivalent and also covers peers that
 // are currently not connected to any CN.)
+//
+// The registry also owns the host-wide Download pool: per-download state is
+// arena-allocated and *parked* on completion, so a 200k-peer run recycles a
+// bounded working set of Download objects (with their source arrays, piece
+// maps and hash tables at capacity) instead of churning the heap.
 #pragma once
 
-#include <unordered_map>
-
+#include "common/arena.hpp"
+#include "common/flat_hash.hpp"
 #include "common/types.hpp"
+#include "peer/download_state.hpp"
 
 namespace netsession::peer {
 
@@ -22,14 +28,24 @@ public:
     void remove(Guid guid) { clients_.erase(guid); }
 
     [[nodiscard]] NetSessionClient* find(Guid guid) const {
-        const auto it = clients_.find(guid);
-        return it == clients_.end() ? nullptr : it->second;
+        NetSessionClient* const* slot = clients_.find_value(guid);
+        return slot == nullptr ? nullptr : *slot;
     }
 
     [[nodiscard]] std::size_t size() const noexcept { return clients_.size(); }
 
+    /// Shared per-download state pool (see peer/download_state.hpp).
+    [[nodiscard]] arena::Pool<Download>& downloads() noexcept { return download_pool_; }
+    [[nodiscard]] const arena::Pool<Download>& downloads() const noexcept {
+        return download_pool_;
+    }
+
+    /// Storage accounting for the mem.* gauges.
+    [[nodiscard]] double table_load_factor() const noexcept { return clients_.load_factor(); }
+
 private:
-    std::unordered_map<Guid, NetSessionClient*> clients_;
+    FlatHashMap<Guid, NetSessionClient*> clients_;
+    arena::Pool<Download> download_pool_;
 };
 
 }  // namespace netsession::peer

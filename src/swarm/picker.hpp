@@ -24,6 +24,13 @@ public:
         return static_cast<PieceIndex>(availability_.size());
     }
 
+    /// In-place re-initialisation; reuses the existing arrays, so pooled
+    /// downloads do not reallocate.
+    void reset(PieceIndex piece_count) {
+        availability_.assign(piece_count, 0);
+        in_flight_.clear();
+    }
+
     /// Tracks availability as sources come and go or announce new pieces.
     void add_source(const PieceMap& map);
     void remove_source(const PieceMap& map);

@@ -23,6 +23,17 @@ public:
         return m;
     }
 
+    /// In-place re-initialisation (all pieces missing/present); reuses the
+    /// existing bit storage, so pooled downloads do not reallocate.
+    void reset(PieceIndex count) {
+        bits_.assign(count, false);
+        have_ = 0;
+    }
+    void reset_full(PieceIndex count) {
+        bits_.assign(count, true);
+        have_ = count;
+    }
+
     [[nodiscard]] PieceIndex size() const noexcept { return static_cast<PieceIndex>(bits_.size()); }
     [[nodiscard]] PieceIndex have_count() const noexcept { return have_; }
     [[nodiscard]] bool complete() const noexcept { return have_ == size() && size() > 0; }

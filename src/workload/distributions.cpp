@@ -44,8 +44,14 @@ double diurnal_intensity(double local_hour) {
 }
 
 double diurnal_peak() {
-    double peak = 0.0;
-    for (int i = 0; i < 240; ++i) peak = std::max(peak, diurnal_intensity(i / 10.0));
+    // Pure constant; computed once. The thinning sampler calls this inside
+    // its rejection loop, which made the 240-point scan a top-five profile
+    // entry at 40k peers before it was cached.
+    static const double peak = [] {
+        double p = 0.0;
+        for (int i = 0; i < 240; ++i) p = std::max(p, diurnal_intensity(i / 10.0));
+        return p;
+    }();
     return peak;
 }
 

@@ -1,0 +1,179 @@
+// arena::Pool: stable addresses across growth, LIFO slot reuse, generation
+// invalidation, parked-object capacity retention, stats accounting.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/arena.hpp"
+
+namespace netsession::arena {
+namespace {
+
+struct Payload {
+    int value = 0;
+    std::vector<int> data;
+};
+
+TEST(ArenaPool, CreateGetDestroy) {
+    Pool<Payload> pool;
+    auto h = pool.create();
+    pool.get(h).value = 42;
+    EXPECT_EQ(pool.get(h).value, 42);
+    EXPECT_TRUE(pool.valid(h));
+    EXPECT_EQ(pool.live(), 1u);
+    pool.destroy(h);
+    EXPECT_FALSE(pool.valid(h));
+    EXPECT_EQ(pool.live(), 0u);
+    EXPECT_EQ(pool.try_get(h), nullptr);
+}
+
+TEST(ArenaPool, AddressesStableAcrossGrowth) {
+    Pool<Payload> pool(4);  // tiny chunks: force many chunk allocations
+    std::vector<Pool<Payload>::Handle> handles;
+    std::vector<Payload*> ptrs;
+    for (int i = 0; i < 1000; ++i) {
+        auto h = pool.create();
+        pool.get(h).value = i;
+        handles.push_back(h);
+        ptrs.push_back(&pool.get(h));
+    }
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_EQ(&pool.get(handles[static_cast<std::size_t>(i)]),
+                  ptrs[static_cast<std::size_t>(i)])
+            << "chunk growth must not move objects";
+        EXPECT_EQ(ptrs[static_cast<std::size_t>(i)]->value, i);
+    }
+}
+
+TEST(ArenaPool, SlotReuseIsLifoAndSequentialGrowth) {
+    Pool<int> pool;
+    auto a = pool.create(1);  // slot 0
+    auto b = pool.create(2);  // slot 1
+    auto c = pool.create(3);  // slot 2
+    EXPECT_EQ(a.slot, 0u);
+    EXPECT_EQ(b.slot, 1u);
+    EXPECT_EQ(c.slot, 2u);
+    pool.destroy(b);
+    pool.destroy(a);
+    // LIFO: last freed (a = slot 0) comes back first.
+    auto d = pool.create(4);
+    EXPECT_EQ(d.slot, 0u);
+    auto e = pool.create(5);
+    EXPECT_EQ(e.slot, 1u);
+    auto f = pool.create(6);
+    EXPECT_EQ(f.slot, 3u) << "fresh slots are sequential";
+}
+
+TEST(ArenaPool, GenerationInvalidatesStaleHandles) {
+    Pool<int> pool;
+    auto h1 = pool.create(1);
+    pool.destroy(h1);
+    auto h2 = pool.create(2);
+    ASSERT_EQ(h1.slot, h2.slot) << "test requires slot reuse";
+    EXPECT_NE(h1.generation, h2.generation);
+    EXPECT_FALSE(pool.valid(h1));
+    EXPECT_TRUE(pool.valid(h2));
+    EXPECT_EQ(pool.try_get(h1), nullptr);
+    EXPECT_EQ(*pool.try_get(h2), 2);
+}
+
+#if NS_ARENA_CHECKS
+TEST(ArenaPoolDeathTest, StaleHandleDereferenceAborts) {
+    Pool<int> pool;
+    auto h = pool.create(1);
+    pool.destroy(h);
+    auto fresh = pool.create(2);
+    (void)fresh;
+    EXPECT_DEATH((void)pool.get(h), "dangling");
+}
+#endif
+
+TEST(ArenaPool, AcquireParksAndRetainsCapacity) {
+    Pool<Payload> pool;
+    auto h = pool.acquire();
+    pool.get(h).data.assign(4096, 7);
+    const int* stable = pool.get(h).data.data();
+    pool.release(h);  // parked, not destroyed
+    auto h2 = pool.acquire();
+    EXPECT_EQ(h2.slot, h.slot);
+    EXPECT_NE(h2.generation, h.generation);
+    // The parked object comes back exactly as released: same buffer, caller
+    // resets logical state.
+    EXPECT_EQ(pool.get(h2).data.data(), stable);
+    pool.get(h2).data.clear();
+    EXPECT_GE(pool.get(h2).data.capacity(), 4096u) << "capacity survives reuse";
+}
+
+TEST(ArenaPool, MixedDestroyAndReleaseOnSameSlot) {
+    Pool<Payload> pool;
+    auto h = pool.acquire();
+    pool.release(h);
+    auto h2 = pool.create();  // create over a parked slot must reconstruct
+    EXPECT_EQ(h2.slot, h.slot);
+    EXPECT_TRUE(pool.get(h2).data.empty());
+    EXPECT_EQ(pool.get(h2).data.capacity(), 0u);
+    pool.destroy(h2);
+    auto h3 = pool.acquire();  // acquire over a raw slot default-constructs
+    EXPECT_EQ(h3.slot, h.slot);
+    EXPECT_TRUE(pool.get(h3).data.empty());
+}
+
+TEST(ArenaPool, StatsTrackLiveParkedAndBytes) {
+    Pool<int> pool(8);
+    EXPECT_EQ(pool.stats().bytes_reserved, 0u) << "empty pool owns no memory";
+    std::vector<Pool<int>::Handle> hs;
+    for (int i = 0; i < 20; ++i) hs.push_back(pool.create(i));
+    auto s = pool.stats();
+    EXPECT_EQ(s.live, 20u);
+    EXPECT_EQ(s.slots, 20u);
+    EXPECT_EQ(s.peak_live, 20u);
+    EXPECT_EQ(s.bytes_reserved, 3u * 8u * sizeof(int));
+    EXPECT_EQ(s.bytes_live, 20u * sizeof(int));
+
+    pool.destroy(hs[0]);
+    auto parked = pool.acquire();
+    pool.release(parked);
+    s = pool.stats();
+    EXPECT_EQ(s.live, 19u);
+    EXPECT_EQ(s.parked, 1u);
+    EXPECT_EQ(s.peak_live, 20u);
+}
+
+TEST(ArenaPool, SlotIterationSeesLiveOnly) {
+    Pool<int> pool;
+    auto a = pool.create(10);
+    auto b = pool.create(20);
+    auto c = pool.create(30);
+    pool.destroy(b);
+    int sum = 0, count = 0;
+    for (std::uint32_t s = 0; s < pool.slot_count(); ++s) {
+        if (!pool.is_live(s)) continue;
+        sum += pool.at_slot(s);
+        ++count;
+    }
+    EXPECT_EQ(count, 2);
+    EXPECT_EQ(sum, 40);
+    pool.destroy(a);
+    pool.destroy(c);
+}
+
+TEST(ArenaPool, DestructorRunsDtorsOfLiveAndParked) {
+    static int alive = 0;
+    struct Counted {
+        Counted() { ++alive; }
+        ~Counted() { --alive; }
+    };
+    {
+        Pool<Counted> pool;
+        auto a = pool.create();
+        auto b = pool.create();
+        (void)a;
+        pool.release(b);  // parked: still constructed
+        EXPECT_EQ(alive, 2);
+    }
+    EXPECT_EQ(alive, 0) << "pool destructor must destroy live and parked objects";
+}
+
+}  // namespace
+}  // namespace netsession::arena

@@ -1,0 +1,184 @@
+// FlatHashMap/FlatHashSet: insertion-ordered iteration survives growth,
+// erasure, tombstone compaction; lookups stay correct throughout.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/flat_hash.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace netsession {
+namespace {
+
+TEST(FlatHashMap, InsertFindErase) {
+    FlatHashMap<int, std::string> m;
+    EXPECT_TRUE(m.empty());
+    EXPECT_EQ(m.find(1), m.end());
+
+    m[1] = "one";
+    m[2] = "two";
+    auto [it, fresh] = m.try_emplace(3, "three");
+    EXPECT_TRUE(fresh);
+    EXPECT_EQ(it->second, "three");
+    EXPECT_EQ(m.size(), 3u);
+
+    EXPECT_TRUE(m.contains(2));
+    EXPECT_EQ(m.at(2), "two");
+    EXPECT_EQ(m.find(2)->second, "two");
+
+    EXPECT_EQ(m.erase(2), 1u);
+    EXPECT_EQ(m.erase(2), 0u);
+    EXPECT_FALSE(m.contains(2));
+    EXPECT_EQ(m.size(), 2u);
+}
+
+TEST(FlatHashMap, TryEmplaceDoesNotOverwrite) {
+    FlatHashMap<int, int> m;
+    m.try_emplace(7, 1);
+    auto [it, fresh] = m.try_emplace(7, 2);
+    EXPECT_FALSE(fresh);
+    EXPECT_EQ(it->second, 1);
+    m.insert_or_assign(7, 3);
+    EXPECT_EQ(m.at(7), 3);
+    EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlatHashMap, IterationIsInsertionOrdered) {
+    FlatHashMap<std::uint64_t, int> m;
+    std::vector<std::uint64_t> keys;
+    // Keys chosen adversarially for a power-of-two table: identical low bits.
+    for (std::uint64_t i = 0; i < 100; ++i) {
+        const std::uint64_t k = i << 32;
+        m[k] = static_cast<int>(i);
+        keys.push_back(k);
+    }
+    std::size_t pos = 0;
+    for (const auto& [k, v] : m) {
+        ASSERT_LT(pos, keys.size());
+        EXPECT_EQ(k, keys[pos]) << "iteration must follow insertion order";
+        EXPECT_EQ(v, static_cast<int>(pos));
+        ++pos;
+    }
+    EXPECT_EQ(pos, keys.size());
+}
+
+TEST(FlatHashMap, OrderPreservedAcrossEraseAndCompaction) {
+    FlatHashMap<int, int> m;
+    for (int i = 0; i < 300; ++i) m[i] = i;
+    // Erase every even key — far past the compaction trigger.
+    for (int i = 0; i < 300; i += 2) EXPECT_EQ(m.erase(i), 1u);
+    EXPECT_EQ(m.size(), 150u);
+
+    int expect = 1;
+    for (const auto& [k, v] : m) {
+        EXPECT_EQ(k, expect);
+        EXPECT_EQ(v, expect);
+        expect += 2;
+    }
+    EXPECT_EQ(expect, 301);
+    // Survivors still findable, evictees gone.
+    for (int i = 0; i < 300; ++i) EXPECT_EQ(m.contains(i), i % 2 == 1) << i;
+}
+
+TEST(FlatHashMap, ReinsertAfterEraseAppendsAtEnd) {
+    FlatHashMap<int, int> m;
+    m[1] = 1;
+    m[2] = 2;
+    m[3] = 3;
+    m.erase(2);
+    m[2] = 22;  // erased key re-inserted: new insertion position
+    std::vector<int> order;
+    for (const auto& [k, v] : m) order.push_back(k);
+    EXPECT_EQ(order, (std::vector<int>{1, 3, 2}));
+    EXPECT_EQ(m.at(2), 22);
+}
+
+TEST(FlatHashMap, GrowthKeepsAllEntries) {
+    FlatHashMap<std::uint64_t, std::uint64_t> m;
+    Rng rng(99);
+    std::unordered_map<std::uint64_t, std::uint64_t> oracle;
+    for (int i = 0; i < 20000; ++i) {
+        const std::uint64_t k = rng.below(30000);
+        if (rng.chance(0.3)) {
+            const bool erased_o = oracle.erase(k) > 0;
+            EXPECT_EQ(m.erase(k) > 0, erased_o);
+        } else {
+            oracle[k] = static_cast<std::uint64_t>(i);
+            m.insert_or_assign(k, static_cast<std::uint64_t>(i));
+        }
+        ASSERT_EQ(m.size(), oracle.size());
+    }
+    for (const auto& [k, v] : oracle) {
+        const auto* found = m.find_value(k);
+        ASSERT_NE(found, nullptr) << k;
+        EXPECT_EQ(*found, v);
+    }
+    std::size_t seen = 0;
+    for ([[maybe_unused]] const auto& kv : m) ++seen;
+    EXPECT_EQ(seen, oracle.size());
+}
+
+TEST(FlatHashMap, UidKeysAndClearKeepsStorage) {
+    FlatHashMap<Guid, int> m;
+    for (std::uint64_t i = 1; i <= 50; ++i) m[Guid{i, i}] = static_cast<int>(i);
+    EXPECT_EQ(m.size(), 50u);
+    const std::size_t buckets = m.bucket_count();
+    const std::size_t bytes = m.memory_bytes();
+    m.clear();
+    EXPECT_TRUE(m.empty());
+    EXPECT_EQ(m.bucket_count(), buckets) << "clear() must retain capacity";
+    EXPECT_EQ(m.memory_bytes(), bytes);
+    m[Guid{7, 7}] = 7;
+    EXPECT_EQ(m.at((Guid{7, 7})), 7);
+}
+
+TEST(FlatHashMap, LoadFactorBounded) {
+    FlatHashMap<int, int> m;
+    for (int i = 0; i < 5000; ++i) {
+        m[i] = i;
+        ASSERT_LE(m.load_factor(), 0.875) << "index table over-full at " << i;
+    }
+    EXPECT_GT(m.load_factor(), 0.1);
+}
+
+TEST(FlatHashSet, BasicAndOrdered) {
+    FlatHashSet<std::uint64_t> s;
+    EXPECT_TRUE(s.insert(5).second);
+    EXPECT_FALSE(s.insert(5).second);
+    EXPECT_TRUE(s.insert(1).second);
+    EXPECT_TRUE(s.insert(9).second);
+    EXPECT_EQ(s.size(), 3u);
+    EXPECT_TRUE(s.contains(9));
+    EXPECT_FALSE(s.contains(2));
+
+    std::vector<std::uint64_t> order(s.begin(), s.end());
+    EXPECT_EQ(order, (std::vector<std::uint64_t>{5, 1, 9}));
+
+    EXPECT_EQ(s.erase(5), 1u);
+    EXPECT_FALSE(s.contains(5));
+    order.assign(s.begin(), s.end());
+    EXPECT_EQ(order, (std::vector<std::uint64_t>{1, 9}));
+}
+
+TEST(FlatHashSet, ChurnAgainstOracle) {
+    FlatHashSet<std::uint64_t> s;
+    Rng rng(3);
+    std::unordered_map<std::uint64_t, bool> oracle;
+    for (int i = 0; i < 10000; ++i) {
+        const std::uint64_t k = rng.below(4000);
+        if (rng.chance(0.4)) {
+            s.erase(k);
+            oracle[k] = false;
+        } else {
+            s.insert(k);
+            oracle[k] = true;
+        }
+    }
+    for (const auto& [k, present] : oracle) EXPECT_EQ(s.contains(k), present) << k;
+}
+
+}  // namespace
+}  // namespace netsession

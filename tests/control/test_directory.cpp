@@ -210,6 +210,78 @@ TEST(Directory, CompactionPreservesLiveEntries) {
     for (const auto& p : result) EXPECT_GT(p.guid.hi, 200u) << "removed peers must not reappear";
 }
 
+TEST(Directory, FairnessCursorWrapsAroundAfterCompaction) {
+    Directory dir;
+    for (std::uint64_t i = 1; i <= 200; ++i)
+        dir.add(kObj, peer(i, 10, 1, net::Continent::europe));
+    SelectionPolicy policy;
+    for (auto& d : policy.diversity) d = 0.0;
+    Rng rng(11);
+    const auto requester = peer(999, 10, 1, net::Continent::europe);
+
+    // Park the fairness cursor mid-list, then remove enough to force a
+    // compaction (dead > 64 and dead > half the entry array), which rebuilds
+    // the buckets and resets the cursors. The rotation must survive that:
+    // every remaining peer is handed out exactly once per full cycle, and the
+    // cursor wraps cleanly at the new (shorter) bucket length.
+    (void)dir.select(kObj, requester, 70, policy, rng);
+    for (std::uint64_t i = 1; i <= 150; ++i) dir.remove(kObj, Guid{i, i});
+    EXPECT_EQ(dir.copies(kObj), 50);
+
+    for (int cycle = 0; cycle < 2; ++cycle) {
+        std::set<Guid> seen;
+        for (int q = 0; q < 5; ++q) {
+            const auto result = dir.select(kObj, requester, 10, policy, rng);
+            ASSERT_EQ(result.size(), 10u);
+            for (const auto& p : result) {
+                EXPECT_GT(p.guid.hi, 150u) << "compaction resurrected a removed peer";
+                EXPECT_TRUE(seen.insert(p.guid).second) << "repeat before the cycle finished";
+            }
+        }
+        EXPECT_EQ(seen.size(), 50u) << "a full cycle must cover every live peer";
+    }
+}
+
+TEST(Directory, RemovePeerRacingSelectNeverReturnsRemovedGuid) {
+    Directory dir;
+    const ObjectId other{2, 2};
+    for (std::uint64_t i = 1; i <= 30; ++i) {
+        dir.add(kObj, peer(i, 10, 1, net::Continent::europe));
+        dir.add(other, peer(i, 10, 1, net::Continent::europe));
+    }
+    SelectionPolicy policy;
+    for (auto& d : policy.diversity) d = 0.0;
+    Rng rng(12);
+    const auto requester = peer(999, 10, 1, net::Continent::europe);
+
+    // Advance the cursor so it points at guid 6, then remove exactly that
+    // peer (full logout, both objects). The next draw must skip the dead
+    // entry the cursor is parked on, not return it or crash.
+    (void)dir.select(kObj, requester, 5, policy, rng);
+    dir.remove_peer(Guid{6, 6});
+    const auto after = dir.select(kObj, requester, 5, policy, rng);
+    ASSERT_EQ(after.size(), 5u);
+    for (const auto& p : after) EXPECT_NE(p.guid, (Guid{6, 6}));
+    EXPECT_EQ(dir.copies(other), 29) << "remove_peer drops every object registration";
+
+    // Drain loop: each query races a logout of the peer it just received.
+    // No removed GUID may ever be selected again, and the swarm must empty
+    // out exactly (no entry lost, none returned twice).
+    std::set<Guid> drained;
+    while (true) {
+        const auto result = dir.select(kObj, requester, 1, policy, rng);
+        if (result.empty()) break;
+        ASSERT_EQ(result.size(), 1u);
+        EXPECT_TRUE(drained.insert(result[0].guid).second)
+            << "selected a peer whose remove_peer already ran";
+        dir.remove_peer(result[0].guid);
+    }
+    EXPECT_EQ(drained.size(), 29u);
+    EXPECT_EQ(dir.copies(kObj), 0);
+    EXPECT_EQ(dir.copies(other), 0);
+    EXPECT_EQ(dir.object_count(), 0u);
+}
+
 class DirectoryPropertyTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(DirectoryPropertyTest, SelectionInvariants) {

@@ -42,6 +42,12 @@ run_flavour() {
     # and a KS-bound drift must fail CI, not just a local run.
     echo "==== [$name] obs/fidelity focus ===="
     (cd "$build_dir" && ctest --output-on-failure -R 'Histogram|Counter|Gauge|Registry|Macros|Export|Sampler|FidelityRun|GoldenMetrics')
+    # Arena/flat-hash focus: the memory layout under the whole event path
+    # (docs/SIMULATOR.md "Memory layout"). The ASan flavour configures with
+    # -DNS_ARENA_CHECKS=1, so this is also where the dangling-handle
+    # generation checks actually execute under the sanitizer.
+    echo "==== [$name] arena/flat-hash focus ===="
+    (cd "$build_dir" && ctest --output-on-failure -R 'Arena|FlatHash|Directory')
     # Full-scale chaos scenario smoke: release flavour only (the sanitizer
     # flavours cover the same path via the reduced-scale Chaos ctest suite).
     if [ "$name" = release ]; then
@@ -49,6 +55,14 @@ run_flavour() {
         local smoke_out="$build_dir/chaos_smoke.nstrace"
         "$build_dir/tools/netsession_sim" run scenarios/chaos_regional_outage.ini "$smoke_out"
         rm -f "$smoke_out"
+        # 200k-peer scale smoke: the arena + flat-hash overhaul must keep a
+        # 5x population inside a bounded footprint and a hard wall-clock
+        # budget (`timeout` fails the leg if the run wedges or regresses).
+        echo "==== [$name] 200k scale smoke ===="
+        local scale_out="$build_dir/scale_smoke.nstrace"
+        timeout "${NS_SCALE_BUDGET_SECONDS:-1800}" \
+            "$build_dir/tools/netsession_sim" run scenarios/standard_200k.ini "$scale_out"
+        rm -f "$scale_out"
         # Thread-count invariance smoke: the analysis pipeline must produce
         # byte-identical results whatever NS_THREADS says (docs/PARALLELISM.md).
         echo "==== [$name] thread-invariance focus ===="
@@ -73,7 +87,11 @@ run_tsan_flavour() {
 }
 
 run_flavour release build-ci-release -DCMAKE_BUILD_TYPE=Release
-run_flavour asan build-ci-asan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DNS_SANITIZE=address
+# NS_ARENA_CHECKS=1: RelWithDebInfo defines NDEBUG, which would compile the
+# arena's dangling-handle generation checks out — force them on so ASan runs
+# with every pool dereference verified.
+run_flavour asan build-ci-asan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DNS_SANITIZE=address \
+    -DCMAKE_CXX_FLAGS=-DNS_ARENA_CHECKS=1
 run_flavour ubsan build-ci-ubsan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DNS_SANITIZE=undefined
 run_tsan_flavour
 
