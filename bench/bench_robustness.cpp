@@ -1,16 +1,28 @@
-// §3.8/§5.2 robustness: a chaos matrix. One undisturbed baseline run, then
-// one run per single-fault class injected through the FaultPlan engine, each
-// reporting download completion, p2p offload, and the client-side degradation
-// counters (stalls, edge re-maps, blacklistings, control-plane timeouts).
+// §3.8/§5.2 robustness: the chaos matrix, now with measured recovery SLOs.
 //
-// Reproduction target: NetSession "degrades gracefully" — every single-fault
-// class should keep completion >= 0.95 while the degradation counters show
-// the fault was actually felt (the matrix is not a no-op).
+// Part 1 — single-fault matrix: one undisturbed baseline run, then one run
+// per fault class injected through the FaultPlan engine. Each row reports
+// download completion, p2p offload, the client-side degradation counters,
+// and the recovery measurements from the trace's fault timeline (v8):
+// minimum delivery while the fault was active and time-to-recover after the
+// restore. Rows gate on two SLOs (docs/ROBUSTNESS.md):
+//
+//   delivery >= 0.95    completion among non-user-aborted downloads
+//   TTR <= class bound  12 sim-hours for infrastructure outage classes
+//                       (edge/cn/dn outages, partitions), 24 for the rest
+//
+// Part 2 — chaos campaigns: three seeded campaigns of overlapping faults
+// (mean two concurrent, correlated pairs included) must each hold delivery
+// >= 0.95 — the paper's graceful-degradation claim under *compound* failure.
+#include <algorithm>
+#include <string>
 #include <vector>
 
 #include "analysis/measurement.hpp"
+#include "analysis/recovery.hpp"
 #include "bench/common.hpp"
 #include "common/format.hpp"
+#include "fault/campaign.hpp"
 #include "fault/fault_spec.hpp"
 
 namespace {
@@ -23,15 +35,18 @@ struct CellResult {
     double offload = 0;
     std::int64_t downloads = 0;
     analysis::DegradationStats degradations;
+    analysis::RecoveryReport recovery;
 };
 
-CellResult run(const bench::BenchArgs& args, const fault::FaultPlan& plan) {
+CellResult run(const bench::BenchArgs& args, const fault::FaultPlan& plan,
+               const std::vector<fault::CampaignSpec>& campaigns) {
     auto config = bench::standard_config(args);
     config.peers = std::min(config.peers, 6000);  // robustness runs are separate sims
     config.behavior.warmup = sim::days(3.0);
     config.behavior.window = sim::days(6.0);
     config.behavior.downloads_per_peer_per_month = 10.0;
     config.faults = plan;
+    config.campaigns = campaigns;
     Simulation s(config);
     s.run();
 
@@ -47,6 +62,7 @@ CellResult run(const bench::BenchArgs& args, const fault::FaultPlan& plan) {
     r.downloads = outcomes.all.n;
     r.offload = analysis::headline_offload(s.trace()).overall_offload;
     r.degradations = analysis::degradation_stats(s.trace());
+    r.recovery = analysis::recovery_report(s.trace());
     return r;
 }
 
@@ -61,62 +77,121 @@ fault::FaultPlan plan_of(const std::string& line) {
     return plan;
 }
 
+fault::CampaignSpec campaign_of(const std::string& line) {
+    auto spec = fault::parse_campaign(line);
+    if (!spec.ok()) {
+        std::printf("BAD CAMPAIGN LINE: %s (%s)\n", line.c_str(), spec.error().message.c_str());
+        std::exit(1);
+    }
+    return spec.value();
+}
+
+/// Worst time-to-recover across the run's evaluable faults; -1 when one
+/// never recovered within the horizon.
+double worst_ttr(const analysis::RecoveryReport& report) {
+    if (!report.all_recovered) return -1.0;
+    return report.worst_recover_hours;
+}
+
 }  // namespace
 
 int main() {
     const auto args = bench::bench_args();
-    bench::print_banner("bench_robustness", "§3.8/§5.2 chaos matrix (FaultPlan engine)", args);
+    bench::print_banner("bench_robustness", "§3.8/§5.2 chaos matrix + recovery SLOs", args);
 
     // One representative fault per class, each landing mid-window (day 6 of
     // a 3+6-day run) so warm swarms feel it. Durations are chosen so the
     // fault covers a meaningful slice of the window but recovery is visible.
     struct Row {
         const char* name;
-        const char* fault;  // empty = undisturbed baseline
+        const char* fault;     // empty = undisturbed baseline
+        double ttr_slo_hours;  // recovery SLO for this class
     };
     // Region 7 is EU-West (the peer-heaviest region) and ASN 1703 is the
     // largest eyeball AS at the default bench seed — targets chosen so the
     // fault demonstrably hits population, not empty infrastructure.
+    // Outage classes must recover within 12 sim-hours; the soft classes
+    // (degradations, churn, crowds, STUN loss) within 24.
     const std::vector<Row> rows = {
-        {"undisturbed", ""},
-        {"edge outage (EU-West, 12h)", "edge_outage at=6 duration=0.5 region=7"},
-        {"edge outage (all, 2h)", "edge_outage at=6 duration=0.0833 region=all"},
-        {"region partition (EU-West, 12h)", "region_partition at=6 duration=0.5 region=7"},
+        {"undisturbed", "", 24.0},
+        {"edge outage (EU-West, 12h)", "edge_outage at=6 duration=0.5 region=7", 12.0},
+        {"edge outage (all, 2h)", "edge_outage at=6 duration=0.0833 region=all", 12.0},
+        {"region partition (EU-West, 12h)", "region_partition at=6 duration=0.5 region=7", 12.0},
         {"AS degradation (lat x5, rate x0.2)",
-         "as_degradation at=5 duration=2 asn=1703 latency_x=5 rate_x=0.2 loss=0.05"},
-        {"STUN blackout (2 days)", "stun_blackout at=5 duration=2"},
-        {"mass churn (30% crash)", "mass_churn at=6 fraction=0.3"},
-        {"CN outage (all, 12h)", "cn_outage at=6 duration=0.5 region=all"},
-        {"DN outage (all, 12h)", "dn_outage at=6 duration=0.5 region=all"},
-        {"flash crowd (20%)", "flash_crowd at=6 fraction=0.2"},
+         "as_degradation at=5 duration=2 asn=1703 latency_x=5 rate_x=0.2 loss=0.05", 24.0},
+        {"STUN blackout (2 days)", "stun_blackout at=5 duration=2", 24.0},
+        {"mass churn (30% crash)", "mass_churn at=6 fraction=0.3", 24.0},
+        {"CN outage (all, 12h)", "cn_outage at=6 duration=0.5 region=all", 12.0},
+        {"DN outage (all, 12h)", "dn_outage at=6 duration=0.5 region=all", 12.0},
+        {"flash crowd (20%)", "flash_crowd at=6 fraction=0.2", 24.0},
     };
 
-    std::printf("\n%-36s %10s %10s %11s %9s %7s %7s %7s %7s\n", "scenario", "completion",
-                "delivery", "p2p offload", "downloads", "stalls", "remaps", "blist", "ctl-to");
+    std::printf("\n%-36s %10s %10s %11s %8s %7s %7s %8s %8s\n", "scenario", "completion",
+                "delivery", "p2p offload", "dl", "stalls", "blist", "min-del", "ttr(h)");
     bool all_pass = true;
     for (const auto& row : rows) {
         const fault::FaultPlan plan =
             row.fault[0] ? plan_of(row.fault) : fault::FaultPlan{};
-        const CellResult r = run(args, plan);
+        const CellResult r = run(args, plan, {});
         const auto& d = r.degradations;
         const std::int64_t stalls = d.edge_stalls + d.peer_stalls;
-        const std::int64_t control_timeouts = d.query_timeouts + d.login_timeouts +
-                                              d.stun_timeouts;
+        double min_delivery = 1.0;
+        for (const auto& f : r.recovery.faults)
+            min_delivery = std::min(min_delivery, f.min_delivery_during);
+        const double ttr = worst_ttr(r.recovery);
+        const bool ttr_ok = row.fault[0] == '\0' || (ttr >= 0.0 && ttr <= row.ttr_slo_hours);
+        const bool pass = r.delivery >= 0.95 && ttr_ok;
+        all_pass = all_pass && pass;
+        char ttr_text[16];
+        if (row.fault[0] == '\0')
+            std::snprintf(ttr_text, sizeof(ttr_text), "-");
+        else if (ttr < 0.0)
+            std::snprintf(ttr_text, sizeof(ttr_text), "never");
+        else
+            std::snprintf(ttr_text, sizeof(ttr_text), "%.1f", ttr);
+        std::printf("%-36s %10s %10s %11s %8lld %7lld %7lld %8s %8s%s\n", row.name,
+                    format_percent(r.completion).c_str(), format_percent(r.delivery).c_str(),
+                    format_percent(r.offload).c_str(), static_cast<long long>(r.downloads),
+                    static_cast<long long>(stalls),
+                    static_cast<long long>(d.sources_blacklisted),
+                    format_percent(min_delivery).c_str(), ttr_text, pass ? "" : "  << FAIL");
+    }
+
+    // Compound-failure campaigns: overlapping faults, mean two concurrent,
+    // correlated pairs included. Deterministic per seed.
+    const std::vector<std::uint64_t> campaign_seeds = {7, 11, 13};
+    std::printf("\n%-36s %10s %10s %8s %8s %8s\n", "campaign", "delivery", "offload", "faults",
+                "min-del", "ttr(h)");
+    for (const std::uint64_t seed : campaign_seeds) {
+        const std::string line =
+            "seed=" + std::to_string(seed) +
+            " waves=3 mean_concurrent=2 start=4 spacing=1 duration=0.15 fraction=0.15";
+        const CellResult r = run(args, {}, {campaign_of(line)});
+        double min_delivery = 1.0;
+        int evaluable = 0;
+        for (const auto& f : r.recovery.faults) {
+            min_delivery = std::min(min_delivery, f.min_delivery_during);
+            if (f.evaluable) ++evaluable;
+        }
+        const double ttr = worst_ttr(r.recovery);
         const bool pass = r.delivery >= 0.95;
         all_pass = all_pass && pass;
-        std::printf("%-36s %10s %10s %11s %9lld %7lld %7lld %7lld %7lld%s\n", row.name,
-                    format_percent(r.completion).c_str(), format_percent(r.delivery).c_str(),
-                    format_percent(r.offload).c_str(),
-                    static_cast<long long>(r.downloads), static_cast<long long>(stalls),
-                    static_cast<long long>(d.edge_remaps),
-                    static_cast<long long>(d.sources_blacklisted),
-                    static_cast<long long>(control_timeouts), pass ? "" : "  << FAIL");
+        char ttr_text[16];
+        if (ttr < 0.0)
+            std::snprintf(ttr_text, sizeof(ttr_text), "never");
+        else
+            std::snprintf(ttr_text, sizeof(ttr_text), "%.1f", ttr);
+        std::printf("%-36s %10s %10s %8d %8s %8s%s\n",
+                    ("chaos campaign (seed " + std::to_string(seed) + ")").c_str(),
+                    format_percent(r.delivery).c_str(), format_percent(r.offload).c_str(),
+                    evaluable, format_percent(min_delivery).c_str(), ttr_text,
+                    pass ? "" : "  << FAIL");
     }
 
     std::printf("\nReproduction target (§3.8): every single-fault class keeps delivery\n"
-                "completion (completed / non-user-aborted) >= 95%% — peers re-query,\n"
-                "re-map to surviving edges, blacklist dead sources, and fall back to\n"
-                "conservative NAT classification rather than failing downloads. %s\n",
+                "completion (completed / non-user-aborted) >= 95%% AND recovers within\n"
+                "its SLO (12 sim-hours for outage classes, 24 for the rest); seeded\n"
+                "chaos campaigns with ~2 concurrent faults hold delivery >= 95%%. %s\n",
                 all_pass ? "PASS" : "FAIL");
     return all_pass ? 0 : 1;
 }

@@ -7,9 +7,12 @@
 
 #include <filesystem>
 
+#include "analysis/measurement.hpp"
 #include "analysis/pipeline.hpp"
+#include "analysis/recovery.hpp"
 #include "common/parallel.hpp"
 #include "core/scenario_io.hpp"
+#include "fault/campaign.hpp"
 #include "obs/export.hpp"
 #include "obs/process_memory.hpp"
 
@@ -135,6 +138,65 @@ std::string scale_section_json() {
     return buf;
 }
 
+/// The "recovery" headline section: a small fixed chaos campaign (seeded,
+/// deterministic — independent of the NS_BENCH_* scale knobs so the numbers
+/// are comparable across runs), reduced to per-fault time-to-recover via
+/// analysis::recovery_report. This is where the recovery SLOs of
+/// docs/ROBUSTNESS.md get tracked as diffable numbers.
+std::string recovery_section_json() {
+    SimulationConfig config;
+    config.seed = 42;
+    config.peers = 3000;
+    config.behavior.warmup = sim::days(2.0);
+    config.behavior.window = sim::days(5.0);
+    config.behavior.downloads_per_peer_per_month = 10.0;
+    auto spec = fault::parse_campaign(
+        "seed=7 waves=3 mean_concurrent=2 start=3 spacing=1 duration=0.15 fraction=0.15");
+    if (!spec) return "";
+    config.campaigns.push_back(spec.value());
+
+    std::printf("[scenario] running recovery campaign (%d peers, campaign seed 7)...\n",
+                config.peers);
+    std::fflush(stdout);
+    const auto t0 = std::chrono::steady_clock::now();
+    Simulation sim(config);
+    sim.run();
+    const double wall_seconds = seconds_since(t0);
+
+    const analysis::RecoveryReport report = analysis::recovery_report(sim.trace());
+    const auto outcomes = analysis::outcome_stats(sim.trace());
+    const double served =
+        outcomes.all.completed + outcomes.all.failed_system + outcomes.all.failed_other;
+    const double delivery = served > 0 ? outcomes.all.completed / served : 0.0;
+
+    std::string faults = "[";
+    for (std::size_t i = 0; i < report.faults.size(); ++i) {
+        const analysis::FaultRecovery& f = report.faults[i];
+        char row[256];
+        std::snprintf(row, sizeof(row),
+                      "%s\n      {\"kind\": \"%s\", \"onset_days\": %.2f, \"restore_days\": %.2f, "
+                      "\"evaluable\": %s, \"recover_hours\": %.2f, \"min_delivery\": %.3f}",
+                      i == 0 ? "" : ",", std::string(analysis::to_string(f.kind)).c_str(),
+                      f.onset.days(), f.restore.days(), f.evaluable ? "true" : "false",
+                      f.recover_hours, f.min_delivery_during);
+        faults += row;
+    }
+    faults += "\n    ]";
+
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "{\n"
+                  "    \"campaign\": \"seed=7 waves=3 mean_concurrent=2\",\n"
+                  "    \"wall_seconds\": %.3f,\n"
+                  "    \"delivery\": %.4f,\n"
+                  "    \"all_recovered\": %s,\n"
+                  "    \"worst_recover_hours\": %.2f,\n"
+                  "    \"faults\": ",
+                  wall_seconds, delivery, report.all_recovered ? "true" : "false",
+                  report.worst_recover_hours);
+    return std::string(buf) + faults + "\n  }";
+}
+
 // Machine-readable record of a fresh standard-scenario run: wall-clock plus
 // the engine's hot-path counters and the full per-subsystem metric registry
 // (obs::to_json — control/edge/client/flow/sim breakdowns). Written next to
@@ -184,6 +246,8 @@ void write_headline_json(const BenchArgs& args, double wall_seconds, const Simul
                  dataset.log.downloads().size(), dataset.log.logins().size(),
                  dataset.log.transfers().size(), dataset.log.registrations().size());
     std::fprintf(f, "  \"analysis\": %s,\n", analysis_section_json(dataset, cache_path).c_str());
+    const std::string recovery = recovery_section_json();
+    if (!recovery.empty()) std::fprintf(f, "  \"recovery\": %s,\n", recovery.c_str());
     const std::string scale = scale_section_json();
     if (!scale.empty()) std::fprintf(f, "  \"scale\": %s,\n", scale.c_str());
     // Per-subsystem breakdown: the whole metric registry, re-indented so the

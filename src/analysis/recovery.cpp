@@ -1,0 +1,200 @@
+#include "analysis/recovery.hpp"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "trace/records.hpp"
+
+namespace netsession::analysis {
+
+std::string_view to_string(TracedFaultKind k) noexcept {
+    switch (k) {
+        case TracedFaultKind::edge_outage: return "edge_outage";
+        case TracedFaultKind::region_partition: return "region_partition";
+        case TracedFaultKind::as_degradation: return "as_degradation";
+        case TracedFaultKind::stun_blackout: return "stun_blackout";
+        case TracedFaultKind::mass_churn: return "mass_churn";
+        case TracedFaultKind::cn_outage: return "cn_outage";
+        case TracedFaultKind::dn_outage: return "dn_outage";
+        case TracedFaultKind::flash_crowd: return "flash_crowd";
+    }
+    return "unknown";
+}
+
+namespace {
+
+bool is_one_shot(TracedFaultKind k) noexcept {
+    return k == TracedFaultKind::mass_churn || k == TracedFaultKind::flash_crowd;
+}
+
+/// Per-bucket terminal-download tallies.
+struct DeliveryBucket {
+    std::int64_t completed = 0;
+    std::int64_t failed = 0;
+
+    [[nodiscard]] bool empty() const noexcept { return completed + failed == 0; }
+    [[nodiscard]] double rate() const noexcept {
+        const std::int64_t total = completed + failed;
+        return total == 0 ? 1.0 : static_cast<double>(completed) / static_cast<double>(total);
+    }
+};
+
+std::size_t bucket_of(sim::SimTime t, sim::Duration width) noexcept {
+    return t.us <= 0 ? 0 : static_cast<std::size_t>(t.us / width.us);
+}
+
+}  // namespace
+
+RecoveryReport recovery_report(const trace::TraceLog& trace, const RecoveryOptions& options) {
+    RecoveryReport report;
+
+    // --- pair onsets with restores -----------------------------------------
+    for (const trace::FaultRecord& r : trace.fault_events()) {
+        const auto kind = static_cast<TracedFaultKind>(r.kind);
+        if (r.phase == 0) {
+            FaultRecovery f;
+            f.index = r.index;
+            f.kind = kind;
+            f.onset = r.time;
+            if (is_one_shot(kind)) {
+                // Strikes instantaneously; recovery runs from the onset.
+                f.restore = r.time;
+                f.evaluable = true;
+            }
+            report.faults.push_back(f);
+        } else {
+            // A restore whose onset fell into the discarded warm-up trace is
+            // skipped — there is no fault window to evaluate.
+            const auto it = std::find_if(
+                report.faults.begin(), report.faults.end(),
+                [&](const FaultRecovery& f) { return f.index == r.index && !f.evaluable; });
+            if (it != report.faults.end()) {
+                it->restore = r.time;
+                it->evaluable = true;
+            }
+        }
+    }
+    if (report.faults.empty()) return report;
+
+    // --- shared time series -------------------------------------------------
+    const sim::Duration width = options.bucket;
+    sim::SimTime span_end{};
+    for (const auto& d : trace.downloads()) span_end = std::max(span_end, d.end);
+    for (const auto& f : report.faults)
+        span_end = std::max(span_end, f.restore + options.horizon);
+    const std::size_t buckets = bucket_of(span_end, width) + 1;
+
+    std::vector<DeliveryBucket> delivery(buckets);
+    for (const auto& d : trace.downloads()) {
+        switch (d.outcome) {
+            case trace::DownloadOutcome::completed:
+                ++delivery[bucket_of(d.end, width)].completed;
+                break;
+            case trace::DownloadOutcome::failed_system:
+            case trace::DownloadOutcome::failed_other:
+                ++delivery[bucket_of(d.end, width)].failed;
+                break;
+            case trace::DownloadOutcome::aborted_by_user:
+            case trace::DownloadOutcome::in_progress:
+                break;  // user choice / window edge; not a delivery verdict
+        }
+    }
+
+    std::vector<std::int64_t> logins(buckets, 0);
+    for (const auto& l : trace.logins()) ++logins[bucket_of(l.time, width)];
+
+    // Sampled cumulative control.readds series, if the trace carries metrics.
+    std::vector<std::pair<sim::SimTime, double>> readds;
+    {
+        std::uint32_t readd_id = 0;
+        bool have_readds = false;
+        const auto& names = trace.metric_names();
+        for (std::uint32_t i = 0; i < names.size(); ++i)
+            if (names[i] == "control.readds") {
+                readd_id = i;
+                have_readds = true;
+                break;
+            }
+        if (have_readds)
+            for (const auto& p : trace.metric_points())
+                if (p.metric == readd_id) readds.emplace_back(p.time, p.value);
+    }
+
+    // --- per-fault measurements ---------------------------------------------
+    for (FaultRecovery& f : report.faults) {
+        if (!f.evaluable) continue;
+        const std::size_t first = bucket_of(f.onset, width);
+        const std::size_t last = std::min(buckets - 1, bucket_of(f.restore, width));
+
+        for (std::size_t b = first; b <= last; ++b)
+            if (!delivery[b].empty())
+                f.min_delivery_during = std::min(f.min_delivery_during, delivery[b].rate());
+
+        // First healthy (or empty: nothing failed) bucket at/after the
+        // restore ends the outage from the user's point of view.
+        const std::size_t horizon_bucket =
+            std::min(buckets - 1, bucket_of(f.restore + options.horizon, width));
+        for (std::size_t b = last; b <= horizon_bucket; ++b) {
+            if (!delivery[b].empty() && delivery[b].rate() < options.delivery_threshold) continue;
+            const sim::SimTime healthy_at{static_cast<std::int64_t>(b) * width.us};
+            f.recover_hours =
+                std::max(0.0, (healthy_at.us - f.restore.us) / 3600e6);
+            break;
+        }
+
+        for (const auto& d : trace.degradations()) {
+            if (d.time < f.onset || d.time > f.restore + options.horizon) continue;
+            ++f.degradations;
+            if (d.kind == trace::DegradationKind::source_blacklisted) ++f.blacklist_churn;
+        }
+
+        if (f.kind == TracedFaultKind::cn_outage) {
+            // Baseline login rate from the buckets fully before the onset.
+            double baseline = 0.0;
+            if (first > 0) {
+                std::int64_t total = 0;
+                for (std::size_t b = 0; b < first; ++b) total += logins[b];
+                baseline = static_cast<double>(total) / static_cast<double>(first);
+            }
+            for (std::size_t b = last; b <= horizon_bucket; ++b) {
+                if (static_cast<double>(logins[b]) > 2.0 * baseline + 1.0) continue;
+                const sim::SimTime drained_at{static_cast<std::int64_t>(b) * width.us};
+                f.login_drain_hours = std::max(0.0, (drained_at.us - f.restore.us) / 3600e6);
+                break;
+            }
+        }
+
+        if (f.kind == TracedFaultKind::dn_outage && readds.size() >= 2) {
+            // Per-sample RE-ADD deltas; baseline from the pre-onset samples.
+            double baseline = 0.0;
+            int baseline_n = 0;
+            for (std::size_t i = 1; i < readds.size(); ++i) {
+                if (readds[i].first >= f.onset) break;
+                baseline += readds[i].second - readds[i - 1].second;
+                ++baseline_n;
+            }
+            if (baseline_n > 0) baseline /= baseline_n;
+            for (std::size_t i = 1; i < readds.size(); ++i) {
+                if (readds[i].first < f.restore) continue;
+                if (readds[i].first > f.restore + options.horizon) break;
+                const double delta = readds[i].second - readds[i - 1].second;
+                if (delta <= 2.0 * baseline + 1.0) {
+                    f.readd_drain_hours =
+                        std::max(0.0, (readds[i].first.us - f.restore.us) / 3600e6);
+                    break;
+                }
+            }
+        }
+    }
+
+    for (const FaultRecovery& f : report.faults) {
+        if (!f.evaluable) continue;
+        if (f.recover_hours < 0.0)
+            report.all_recovered = false;
+        else
+            report.worst_recover_hours = std::max(report.worst_recover_hours, f.recover_hours);
+    }
+    return report;
+}
+
+}  // namespace netsession::analysis

@@ -174,4 +174,12 @@ Digest256 hmac_sha256(std::string_view key, std::string_view message) noexcept {
     return outer.finish();
 }
 
+bool constant_time_equal(const Digest256& a, const Digest256& b) noexcept {
+    // Accumulate differences instead of branching on them: the comparison
+    // touches every byte regardless of where the first mismatch sits.
+    volatile std::uint8_t diff = 0;
+    for (std::size_t i = 0; i < a.bytes.size(); ++i) diff = diff | (a.bytes[i] ^ b.bytes[i]);
+    return diff == 0;
+}
+
 }  // namespace netsession

@@ -54,4 +54,9 @@ private:
 /// HMAC-SHA256 (RFC 2104). Used for edge-server authorization tokens.
 [[nodiscard]] Digest256 hmac_sha256(std::string_view key, std::string_view message) noexcept;
 
+/// Constant-time digest comparison for MAC verification. Digest256's
+/// operator== short-circuits on the first differing byte, which leaks how
+/// much of a forged MAC matched; token checks must use this instead.
+[[nodiscard]] bool constant_time_equal(const Digest256& a, const Digest256& b) noexcept;
+
 }  // namespace netsession

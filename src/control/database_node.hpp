@@ -57,6 +57,9 @@ public:
         return directory_.registration_count();
     }
 
+    /// Read-only directory access (audit layer).
+    [[nodiscard]] const Directory& directory() const noexcept { return directory_; }
+
     /// Failure injection: the DN process dies, losing its soft state.
     void fail() {
         up_ = false;

@@ -103,6 +103,35 @@ void Directory::clear() {
     live_entries_ = 0;
 }
 
+int Directory::audit_consistency() const {
+    int violations = 0;
+    // Every posting must resolve to a live swarm entry for that GUID.
+    std::size_t posted = 0;
+    for (const auto& [guid, objects] : postings_) {
+        for (const ObjectId object : objects) {
+            ++posted;
+            const Swarm* swarm = find_swarm(object);
+            const std::uint32_t* idx = swarm == nullptr ? nullptr : swarm->by_guid.find_value(guid);
+            if (idx == nullptr || !swarm->entries[*idx].alive) ++violations;
+        }
+    }
+    // The counter, the postings, and a full swarm walk must agree.
+    std::size_t live = 0;
+    for (const auto& [object, handle] : swarms_) {
+        const Swarm& swarm = swarm_pool_.get(handle);
+        for (const Entry& e : swarm.entries)
+            if (e.alive) ++live;
+    }
+    if (live != live_entries_) ++violations;
+    if (posted != live_entries_) ++violations;
+    return violations;
+}
+
+void Directory::for_each_registration(const std::function<void(Guid, ObjectId)>& fn) const {
+    for (const auto& [guid, objects] : postings_)
+        for (const ObjectId object : objects) fn(guid, object);
+}
+
 Directory::Swarm* Directory::find_swarm(ObjectId object) {
     auto* handle = swarms_.find_value(object);
     return handle == nullptr ? nullptr : &swarm_pool_.get(*handle);

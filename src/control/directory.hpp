@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -90,6 +91,16 @@ public:
 
     /// Drops everything (simulates a DN crash losing its soft state).
     void clear();
+
+    // --- audit hooks (src/audit/; read-only) --------------------------------
+    /// Cross-checks the two internal indexes: every posting (guid, object)
+    /// must resolve to a live swarm entry for that guid, and the live-entry
+    /// counter must equal both the posting count and the live entries found
+    /// by walking every swarm. Returns the number of inconsistencies (0 on a
+    /// healthy directory, including mid-RE-ADD and right after clear()).
+    [[nodiscard]] int audit_consistency() const;
+    /// Visits every live (guid, object) registration.
+    void for_each_registration(const std::function<void(Guid, ObjectId)>& fn) const;
 
     /// Storage accounting for the mem.* gauges.
     struct MemoryStats {

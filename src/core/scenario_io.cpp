@@ -190,6 +190,16 @@ Result<SimulationConfig> parse_scenario(const std::string& text) {
             config.faults.events.push_back(event.value());
             continue;
         }
+        if (key == "campaign") {
+            // Repeated key: each line declares one chaos campaign, expanded
+            // deterministically into fault events when the run starts.
+            auto spec = fault::parse_campaign(value);
+            if (!spec)
+                return Error{Error::Code::invalid_argument, "line " + std::to_string(line_no) +
+                                                                ": " + spec.error().message};
+            config.campaigns.push_back(spec.value());
+            continue;
+        }
         const auto it = knobs().find(key);
         if (it == knobs().end())
             return Error{Error::Code::invalid_argument,
@@ -219,6 +229,11 @@ std::string describe_scenario(const SimulationConfig& config) {
         out += "# fault timeline (docs/ROBUSTNESS.md); times in days from t=0\n";
         for (const auto& event : config.faults.events)
             out += "fault = " + fault::to_string(event) + "\n";
+    }
+    if (!config.campaigns.empty()) {
+        out += "# chaos campaigns (docs/ROBUSTNESS.md); expanded from each seed at run start\n";
+        for (const auto& spec : config.campaigns)
+            out += "campaign = " + fault::to_string(spec) + "\n";
     }
     return out;
 }

@@ -3,8 +3,30 @@
 #include <algorithm>
 
 #include "common/parallel.hpp"
+#include "analysis/recovery.hpp"
+#include "net/world_data.hpp"
 
 namespace netsession {
+
+// analysis/ cannot name fault::FaultKind (it sits below fault/ in the
+// layering), so it mirrors the enum; core sees both and pins them together.
+static_assert(static_cast<int>(analysis::TracedFaultKind::edge_outage) ==
+                  static_cast<int>(fault::FaultKind::edge_outage) &&
+              static_cast<int>(analysis::TracedFaultKind::region_partition) ==
+                  static_cast<int>(fault::FaultKind::region_partition) &&
+              static_cast<int>(analysis::TracedFaultKind::as_degradation) ==
+                  static_cast<int>(fault::FaultKind::as_degradation) &&
+              static_cast<int>(analysis::TracedFaultKind::stun_blackout) ==
+                  static_cast<int>(fault::FaultKind::stun_blackout) &&
+              static_cast<int>(analysis::TracedFaultKind::mass_churn) ==
+                  static_cast<int>(fault::FaultKind::mass_churn) &&
+              static_cast<int>(analysis::TracedFaultKind::cn_outage) ==
+                  static_cast<int>(fault::FaultKind::cn_outage) &&
+              static_cast<int>(analysis::TracedFaultKind::dn_outage) ==
+                  static_cast<int>(fault::FaultKind::dn_outage) &&
+              static_cast<int>(analysis::TracedFaultKind::flash_crowd) ==
+                  static_cast<int>(fault::FaultKind::flash_crowd),
+              "analysis::TracedFaultKind must mirror fault::FaultKind");
 
 Simulation::Simulation(SimulationConfig config)
     : config_(std::move(config)), accounting_(trace_) {
@@ -45,7 +67,10 @@ Simulation::Simulation(SimulationConfig config)
         config_.client, root.child("behavior"));
 
     fault_engine_ = std::make_unique<fault::FaultEngine>(sim_, *world_, *edges_, *plane_,
-                                                         *driver_, root.child("faults"));
+                                                         *driver_, trace_, root.child("faults"));
+
+    auditor_ = std::make_unique<audit::Auditor>(sim_, *world_, *plane_, registry_, *driver_,
+                                                config_.client, config_.audit);
 
     register_metrics();
     sampler_ = std::make_unique<obs::Sampler>(sim_, metrics_registry_, trace_, config_.metrics);
@@ -134,18 +159,54 @@ void Simulation::register_metrics() {
     });
     metrics_registry_.add_computed("mem.client_table_load",
                                    [this] { return registry_.table_load_factor(); });
+
+#if NS_AUDIT_ENABLED
+    // Registered last, and only in audit builds: default-build metric ids
+    // stay byte-identical to audit-free binaries.
+    auditor_->register_metrics(metrics_registry_);
+#endif
 }
 
 void Simulation::run() {
     driver_->create_users(config_.peers);
-    fault_engine_->arm(config_.faults);
+    fault::FaultPlan plan = config_.faults;
+    if (!config_.campaigns.empty())
+        fault::append_campaigns(plan, config_.campaigns, campaign_context());
+    fault_engine_->arm(plan);
+    const sim::SimTime window_end =
+        sim::SimTime{} + config_.behavior.warmup + config_.behavior.window;
 #if NS_METRICS_ENABLED
-    sampler_->start(sim::SimTime{} + config_.behavior.warmup + config_.behavior.window);
+    sampler_->start(window_end);
+#endif
+#if NS_AUDIT_ENABLED
+    auditor_->start(window_end);
 #endif
     driver_->run();
 #if NS_METRICS_ENABLED
     sampler_->finish();
 #endif
+#if NS_AUDIT_ENABLED
+    auditor_->finish();
+#endif
+}
+
+fault::CampaignContext Simulation::campaign_context() const {
+    // Pure function of the deterministic topology: region count from the
+    // static region table, AS candidates from the generated AS graph — the
+    // largest access (eyeball) networks, where degradations actually land.
+    fault::CampaignContext ctx;
+    ctx.regions = static_cast<int>(net::regions().size());
+    std::vector<const net::AsInfo*> access;
+    for (const net::AsInfo& info : world_->as_graph().all())
+        if (info.tier == 3) access.push_back(&info);
+    std::sort(access.begin(), access.end(), [](const net::AsInfo* a, const net::AsInfo* b) {
+        if (a->size_weight != b->size_weight) return a->size_weight > b->size_weight;
+        return a->asn.value < b->asn.value;
+    });
+    const std::size_t take = std::min<std::size_t>(access.size(), 64);
+    ctx.asns.reserve(take);
+    for (std::size_t i = 0; i < take; ++i) ctx.asns.push_back(access[i]->asn.value);
+    return ctx;
 }
 
 }  // namespace netsession

@@ -19,8 +19,10 @@
 #include <memory>
 
 #include "accounting/accounting.hpp"
+#include "audit/auditor.hpp"
 #include "control/control_plane.hpp"
 #include "edge/edge_network.hpp"
+#include "fault/campaign.hpp"
 #include "fault/fault_engine.hpp"
 #include "fault/fault_spec.hpp"
 #include "net/world.hpp"
@@ -62,6 +64,17 @@ struct SimulationConfig {
     /// FaultEngine before the user driver starts; part of the determinism
     /// contract (same seed + same plan ⇒ byte-identical traces).
     fault::FaultPlan faults;
+
+    /// Chaos campaigns expanded (deterministically, from each campaign's own
+    /// seed) into additional fault events on top of `faults`. The expansion
+    /// happens in run(), against the topology-derived CampaignContext, so
+    /// the armed plan is a pure function of the config.
+    std::vector<fault::CampaignSpec> campaigns;
+
+    /// Runtime invariant auditor cadence (src/audit/). Periodic sweeps run
+    /// only in NS_AUDIT=ON builds; audit_now() works in every build. The
+    /// auditor is read-only, so this cannot change trace bytes.
+    audit::AuditConfig audit;
 
     /// Periodic metrics sampling into the trace (format v6). The sampler
     /// reads registered metrics only — it cannot perturb the rest of the
@@ -108,6 +121,9 @@ public:
     /// The trace sampler (never null after construction; inert when the
     /// config disables it or the build compiled metrics out).
     [[nodiscard]] obs::Sampler& sampler() noexcept { return *sampler_; }
+    /// The invariant auditor (never null after construction; periodic sweeps
+    /// only run in NS_AUDIT=ON builds, but audit_now() works everywhere).
+    [[nodiscard]] audit::Auditor& auditor() noexcept { return *auditor_; }
 
     // --- results -----------------------------------------------------------
     [[nodiscard]] const trace::TraceLog& trace() const noexcept { return trace_; }
@@ -140,10 +156,12 @@ private:
     std::unique_ptr<workload::PopulationGenerator> population_;
     std::unique_ptr<workload::UserDriver> driver_;
     std::unique_ptr<fault::FaultEngine> fault_engine_;
+    std::unique_ptr<audit::Auditor> auditor_;
     obs::Registry metrics_registry_;
     std::unique_ptr<obs::Sampler> sampler_;
 
     void register_metrics();
+    [[nodiscard]] fault::CampaignContext campaign_context() const;
 };
 
 }  // namespace netsession

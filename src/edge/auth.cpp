@@ -15,7 +15,8 @@ AuthToken TokenAuthority::issue(Guid guid, ObjectId object, sim::SimTime expiry)
 
 bool TokenAuthority::validate(const AuthToken& token, sim::SimTime now) const {
     if (now > token.expiry) return false;
-    return compute_mac(token.guid, token.object, token.expiry) == token.mac;
+    // MAC comparison must not leak the matching prefix length through timing.
+    return constant_time_equal(compute_mac(token.guid, token.object, token.expiry), token.mac);
 }
 
 }  // namespace netsession::edge

@@ -1,0 +1,250 @@
+#include "fault/campaign.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/rng.hpp"
+
+namespace netsession::fault {
+
+namespace {
+
+bool parse_double(const std::string& v, double& out) {
+    try {
+        std::size_t used = 0;
+        out = std::stod(v, &used);
+        return used == v.size();
+    } catch (...) {
+        return false;
+    }
+}
+
+bool parse_kind_word(const std::string& word, FaultKind& out) {
+    for (const FaultKind k :
+         {FaultKind::edge_outage, FaultKind::region_partition, FaultKind::as_degradation,
+          FaultKind::stun_blackout, FaultKind::mass_churn, FaultKind::cn_outage,
+          FaultKind::dn_outage, FaultKind::flash_crowd}) {
+        if (word == to_string(k)) {
+            out = k;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool parse_kinds(const std::string& value, std::vector<FaultKind>& out) {
+    out.clear();
+    std::string item;
+    std::istringstream in(value);
+    while (std::getline(in, item, ',')) {
+        FaultKind k{};
+        if (item.empty() || !parse_kind_word(item, k)) return false;
+        out.push_back(k);
+    }
+    return !out.empty();
+}
+
+std::string format_g(double v) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%g", v);
+    return buf;
+}
+
+Error bad(const std::string& what) { return Error{Error::Code::invalid_argument, what}; }
+
+/// The default storm mix: every kind the paper's availability story covers,
+/// minus region partitions (whose two-sided scope reads better when chosen
+/// explicitly) and STUN blackouts (global and binary — better as a `fault =`
+/// line than a random draw).
+const std::vector<FaultKind>& default_kinds() {
+    static const std::vector<FaultKind> kinds = {
+        FaultKind::edge_outage, FaultKind::cn_outage,  FaultKind::dn_outage,
+        FaultKind::mass_churn,  FaultKind::flash_crowd, FaultKind::as_degradation,
+    };
+    return kinds;
+}
+
+/// Draws one event of `kind` for a wave starting at `onset` days.
+FaultEvent draw_event(FaultKind kind, double onset, const CampaignSpec& spec,
+                      const CampaignContext& ctx, Rng& rng) {
+    FaultEvent e;
+    e.kind = kind;
+    e.at_days = onset;
+    const bool one_shot = kind == FaultKind::mass_churn || kind == FaultKind::flash_crowd;
+    if (!one_shot) e.duration_days = spec.duration_days * rng.uniform(0.5, 1.5);
+    switch (kind) {
+        case FaultKind::edge_outage:
+        case FaultKind::cn_outage:
+        case FaultKind::dn_outage:
+            // Mostly regional; occasionally the whole tier goes dark.
+            e.region = rng.chance(0.1) ? -1
+                                       : static_cast<int>(rng.below(
+                                             static_cast<std::uint64_t>(std::max(ctx.regions, 1))));
+            break;
+        case FaultKind::region_partition: {
+            const int r = std::max(ctx.regions, 2);
+            e.region = static_cast<int>(rng.below(static_cast<std::uint64_t>(r)));
+            e.region_b = rng.chance(0.25)
+                             ? -1
+                             : static_cast<int>(rng.below(static_cast<std::uint64_t>(r)));
+            if (e.region_b == e.region) e.region_b = (e.region + 1) % r;
+            break;
+        }
+        case FaultKind::as_degradation:
+            e.asn = ctx.asns.empty()
+                        ? static_cast<std::uint32_t>(1 + rng.below(4096))
+                        : ctx.asns[rng.below(ctx.asns.size())];
+            e.latency_factor = rng.uniform(2.0, 6.0);
+            e.rate_factor = rng.uniform(0.1, 0.5);
+            e.loss = rng.uniform(0.0, 0.05);
+            break;
+        case FaultKind::stun_blackout:
+            break;
+        case FaultKind::mass_churn:
+        case FaultKind::flash_crowd:
+            e.fraction = std::clamp(spec.fraction * rng.uniform(0.5, 1.5), 0.01, 1.0);
+            break;
+    }
+    return e;
+}
+
+/// The correlated companion of a wave's anchor fault — the compound regimes
+/// the paper's robustness story is really tested by. An outage anchor gets a
+/// flash crowd landing while it is still dark; a one-shot churn/crowd anchor
+/// gets a DN outage spanning the shock (restart mid-churn ⇒ RE-ADD fan-out
+/// while the directory is stale); anything else gets mass churn on top.
+FaultEvent companion_for(const FaultEvent& anchor, const CampaignSpec& spec,
+                         const CampaignContext& ctx, Rng& rng) {
+    const bool anchor_one_shot =
+        anchor.kind == FaultKind::mass_churn || anchor.kind == FaultKind::flash_crowd;
+    FaultKind kind;
+    double onset;
+    if (anchor_one_shot) {
+        kind = FaultKind::dn_outage;
+        // Starts just before the shock so the restart happens mid-churn.
+        onset = std::max(0.0, anchor.at_days - 0.25 * spec.duration_days);
+    } else if (anchor.kind == FaultKind::edge_outage || anchor.kind == FaultKind::cn_outage ||
+               anchor.kind == FaultKind::dn_outage) {
+        kind = FaultKind::flash_crowd;
+        onset = anchor.at_days + 0.25 * anchor.duration_days;
+    } else {
+        kind = FaultKind::mass_churn;
+        onset = anchor.at_days + 0.25 * anchor.duration_days;
+    }
+    FaultEvent e = draw_event(kind, onset, spec, ctx, rng);
+    if (kind == FaultKind::dn_outage) {
+        // Span the anchor's moment, and prefer its scope when it has one.
+        e.duration_days = std::max(e.duration_days, 0.5 * spec.duration_days);
+        if (anchor.region >= 0) e.region = anchor.region;
+    }
+    return e;
+}
+
+}  // namespace
+
+Result<CampaignSpec> parse_campaign(const std::string& text) {
+    std::istringstream in(text);
+    std::string word;
+    CampaignSpec spec;
+    bool any = false;
+    while (in >> word) {
+        any = true;
+        const auto eq = word.find('=');
+        if (eq == std::string::npos) return bad("expected key=value, got '" + word + "'");
+        const std::string key = word.substr(0, eq);
+        const std::string value = word.substr(eq + 1);
+        double d = 0;
+        bool ok = true;
+        if (key == "seed") {
+            ok = parse_double(value, d) && d >= 0;
+            spec.seed = static_cast<std::uint64_t>(d);
+        } else if (key == "waves") {
+            ok = parse_double(value, d) && d >= 1;
+            spec.waves = static_cast<int>(d);
+        } else if (key == "mean_concurrent") {
+            ok = parse_double(value, d) && d >= 1.0;
+            spec.mean_concurrent = d;
+        } else if (key == "kinds") {
+            ok = parse_kinds(value, spec.kinds);
+        } else if (key == "start") {
+            ok = parse_double(value, d) && d >= 0.0;
+            spec.start_days = d;
+        } else if (key == "spacing") {
+            ok = parse_double(value, d) && d > 0.0;
+            spec.spacing_days = d;
+        } else if (key == "duration") {
+            ok = parse_double(value, d) && d > 0.0;
+            spec.duration_days = d;
+        } else if (key == "fraction") {
+            ok = parse_double(value, d) && d > 0.0 && d <= 1.0;
+            spec.fraction = d;
+        } else if (key == "correlated") {
+            ok = parse_double(value, d) && d >= 0.0 && d <= 1.0;
+            spec.correlated = d;
+        } else {
+            return bad("unknown campaign key '" + key + "'");
+        }
+        if (!ok) return bad("bad value '" + value + "' for campaign key '" + key + "'");
+    }
+    if (!any) return bad("empty campaign spec");
+    return spec;
+}
+
+std::string to_string(const CampaignSpec& spec) {
+    std::string out = "seed=" + std::to_string(spec.seed);
+    out += " waves=" + std::to_string(spec.waves);
+    out += " mean_concurrent=" + format_g(spec.mean_concurrent);
+    if (!spec.kinds.empty()) {
+        out += " kinds=";
+        for (std::size_t i = 0; i < spec.kinds.size(); ++i) {
+            if (i != 0) out += ",";
+            out += to_string(spec.kinds[i]);
+        }
+    }
+    out += " start=" + format_g(spec.start_days);
+    out += " spacing=" + format_g(spec.spacing_days);
+    out += " duration=" + format_g(spec.duration_days);
+    out += " fraction=" + format_g(spec.fraction);
+    out += " correlated=" + format_g(spec.correlated);
+    return out;
+}
+
+FaultPlan expand_campaign(const CampaignSpec& spec, const CampaignContext& ctx) {
+    FaultPlan plan;
+    const std::vector<FaultKind>& kinds = spec.kinds.empty() ? default_kinds() : spec.kinds;
+    const Rng root(spec.seed);
+    for (int w = 0; w < spec.waves; ++w) {
+        // One child stream per wave, keyed by position: editing the wave
+        // count changes later waves only, and every wave's draws are stable.
+        Rng rng = root.child("wave-" + std::to_string(w));
+        const double onset =
+            spec.start_days + static_cast<double>(w) * spec.spacing_days * rng.uniform(0.75, 1.25);
+        // Concurrency: the integer part is exact, the fraction a Bernoulli
+        // extra — mean_concurrent=2 really means two faults per wave.
+        int concurrent = static_cast<int>(spec.mean_concurrent);
+        if (rng.chance(spec.mean_concurrent - concurrent)) ++concurrent;
+        const std::size_t anchor_index = plan.events.size();
+        for (int j = 0; j < concurrent; ++j) {
+            const FaultKind kind = kinds[rng.below(kinds.size())];
+            // Stagger inside the wave so the faults overlap rather than
+            // coincide: each later event lands while the anchor is active.
+            const double stagger =
+                j == 0 ? 0.0 : rng.uniform(0.0, 0.5) * spec.duration_days;
+            plan.events.push_back(draw_event(kind, onset + stagger, spec, ctx, rng));
+        }
+        if (rng.chance(spec.correlated))
+            plan.events.push_back(companion_for(plan.events[anchor_index], spec, ctx, rng));
+    }
+    return plan;
+}
+
+void append_campaigns(FaultPlan& plan, const std::vector<CampaignSpec>& campaigns,
+                      const CampaignContext& ctx) {
+    for (const CampaignSpec& spec : campaigns) {
+        const FaultPlan expanded = expand_campaign(spec, ctx);
+        plan.events.insert(plan.events.end(), expanded.events.begin(), expanded.events.end());
+    }
+}
+
+}  // namespace netsession::fault

@@ -1,0 +1,84 @@
+// Chaos campaigns: seeded generators of overlapping fault timelines.
+//
+// A single `fault =` line injects one fault; a *campaign* draws a whole
+// storm of them deterministically from its own seed — waves of concurrent,
+// overlapping events plus correlated pairs (a flash crowd *during* an edge
+// outage, a DN restart *during* mass churn), the compound-failure regimes
+// the paper's graceful-degradation claim (§3.8, §5.2) is actually about.
+//
+// Campaigns expand to a plain FaultPlan before the engine arms, so the
+// determinism contract is unchanged: expansion is a pure function of the
+// CampaignSpec and a CampaignContext (region/AS candidates derived from the
+// deterministic topology), never of live simulation state. Same scenario —
+// campaign seed included — ⇒ byte-identical traces.
+//
+// Scenario syntax (`campaign = key=value ...`, repeatable; docs/ROBUSTNESS.md):
+//   campaign = seed=7 waves=5 mean_concurrent=2 kinds=cn_outage,dn_outage,mass_churn
+//              start=2 spacing=0.8 duration=0.2 fraction=0.15 correlated=0.5
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "fault/fault_spec.hpp"
+
+namespace netsession::fault {
+
+/// One campaign: `waves` clusters of overlapping faults, the first near
+/// `start_days`, successive clusters ~`spacing_days` apart. Every knob is
+/// part of the determinism contract.
+struct CampaignSpec {
+    /// Campaign seed; independent of the master simulation seed so the same
+    /// storm can replay against different populations.
+    std::uint64_t seed = 1;
+    int waves = 3;
+    /// Mean number of concurrent faults per wave (>= 1). Integer values are
+    /// exact; fractional parts become a Bernoulli extra event.
+    double mean_concurrent = 2.0;
+    /// Kinds the generator may draw. Empty = the default storm mix
+    /// (edge/cn/dn outages, mass churn, AS degradation, flash crowds).
+    std::vector<FaultKind> kinds;
+    /// Onset of the first wave, days from t=0 (see FaultEvent::at_days).
+    double start_days = 1.0;
+    /// Mean spacing between wave onsets, days (jittered ±25%).
+    double spacing_days = 1.0;
+    /// Mean fault duration, days (jittered ±50%; one-shot kinds ignore it).
+    double duration_days = 0.25;
+    /// Mean affected peer share for churn / flash crowds (jittered ±50%).
+    double fraction = 0.2;
+    /// Probability that a wave also draws a correlated companion fault
+    /// (flash crowd during an outage, DN outage spanning mass churn).
+    double correlated = 0.5;
+};
+
+/// Topology-derived candidate targets for generated events. Built by core
+/// from the deterministic AS graph / region table (never from mutable run
+/// state); tests pass fixed values.
+struct CampaignContext {
+    /// Number of world regions events may target.
+    int regions = 9;
+    /// Candidate ASNs for as_degradation events (typically the largest
+    /// eyeball ASes). Empty = ASNs are drawn as raw small integers.
+    std::vector<std::uint32_t> asns;
+};
+
+/// Parses one scenario line payload ("seed=7 waves=5 ..."). Unknown keys,
+/// unknown kinds, and out-of-range values are errors, mirroring
+/// parse_fault_event (typos must not silently weaken a chaos gate).
+[[nodiscard]] Result<CampaignSpec> parse_campaign(const std::string& text);
+
+/// Renders a spec in the syntax parse_campaign accepts (round-trips).
+[[nodiscard]] std::string to_string(const CampaignSpec& spec);
+
+/// Deterministically expands a campaign into concrete fault events. Pure:
+/// only `spec` and `ctx` matter, and all randomness comes from child streams
+/// of Rng(spec.seed).
+[[nodiscard]] FaultPlan expand_campaign(const CampaignSpec& spec, const CampaignContext& ctx);
+
+/// Appends the expansion of every campaign to `plan` (scenario load order).
+void append_campaigns(FaultPlan& plan, const std::vector<CampaignSpec>& campaigns,
+                      const CampaignContext& ctx);
+
+}  // namespace netsession::fault

@@ -10,10 +10,13 @@
 namespace netsession::fault {
 
 FaultEngine::FaultEngine(sim::Simulator& sim, net::World& world, edge::EdgeNetwork& edges,
-                         control::ControlPlane& plane, workload::UserDriver& driver, Rng rng)
-    : sim_(&sim), world_(&world), edges_(&edges), plane_(&plane), driver_(&driver), rng_(rng) {}
+                         control::ControlPlane& plane, workload::UserDriver& driver,
+                         trace::TraceLog& trace, Rng rng)
+    : sim_(&sim), world_(&world), edges_(&edges), plane_(&plane), driver_(&driver),
+      trace_(&trace), rng_(rng) {}
 
 void FaultEngine::arm(const FaultPlan& plan) {
+    as_tokens_.assign(plan.events.size(), 0);
     for (std::size_t i = 0; i < plan.events.size(); ++i) {
         const FaultEvent e = plan.events[i];
         const int index = static_cast<int>(i);
@@ -24,9 +27,25 @@ void FaultEngine::arm(const FaultPlan& plan) {
         const bool one_shot = e.kind == FaultKind::mass_churn || e.kind == FaultKind::flash_crowd;
         if (!one_shot && e.duration_days > 0.0) {
             sim_->schedule_at(sim::SimTime{} + sim::days(e.at_days + e.duration_days),
-                              [this, e] { restore(e); });
+                              [this, e, index] { restore(e, index); });
         }
     }
+}
+
+void FaultEngine::record(const FaultEvent& e, int index, bool is_restore) {
+    trace::FaultRecord r;
+    r.time = sim_->now();
+    r.index = static_cast<std::uint16_t>(index);
+    r.kind = static_cast<std::uint8_t>(e.kind);
+    r.phase = is_restore ? 1 : 0;
+    r.region = static_cast<std::int8_t>(e.region);
+    r.region_b = static_cast<std::int8_t>(e.region_b);
+    r.asn = e.asn;
+    if (e.kind == FaultKind::mass_churn || e.kind == FaultKind::flash_crowd)
+        r.param = e.fraction;
+    else if (e.kind == FaultKind::as_degradation)
+        r.param = e.rate_factor;
+    trace_->add(r);
 }
 
 void FaultEngine::apply(const FaultEvent& e, int index) {
@@ -39,7 +58,10 @@ void FaultEngine::apply(const FaultEvent& e, int index) {
             world_->partition_regions(e.region, e.region_b);
             break;
         case FaultKind::as_degradation:
-            world_->degrade_as(Asn{e.asn}, e.latency_factor, e.rate_factor, e.loss);
+            // Keep the layer token: overlapping degradations of one AS must
+            // each restore exactly their own layer (docs/ROBUSTNESS.md).
+            as_tokens_[static_cast<std::size_t>(index)] =
+                world_->degrade_as(Asn{e.asn}, e.latency_factor, e.rate_factor, e.loss);
             break;
         case FaultKind::stun_blackout:
             plane_->set_stuns_online(false);
@@ -63,9 +85,10 @@ void FaultEngine::apply(const FaultEvent& e, int index) {
             break;
         }
     }
+    record(e, index, /*is_restore=*/false);
 }
 
-void FaultEngine::restore(const FaultEvent& e) {
+void FaultEngine::restore(const FaultEvent& e, int index) {
     ++faults_restored_;
     switch (e.kind) {
         case FaultKind::edge_outage:
@@ -75,7 +98,7 @@ void FaultEngine::restore(const FaultEvent& e) {
             world_->heal_partition(e.region, e.region_b);
             break;
         case FaultKind::as_degradation:
-            world_->restore_as(Asn{e.asn});
+            world_->restore_as(Asn{e.asn}, as_tokens_[static_cast<std::size_t>(index)]);
             break;
         case FaultKind::stun_blackout:
             plane_->set_stuns_online(true);
@@ -90,6 +113,7 @@ void FaultEngine::restore(const FaultEvent& e) {
         case FaultKind::flash_crowd:
             break;  // one-shot; never scheduled
     }
+    record(e, index, /*is_restore=*/true);
 }
 
 }  // namespace netsession::fault

@@ -6,12 +6,18 @@
 //
 //   edge_outage       edge::EdgeNetwork::fail_region / restart_region
 //   region_partition  net::World::partition_regions / heal_partition
-//   as_degradation    net::World::degrade_as / restore_as
+//   as_degradation    net::World::degrade_as / restore_as (layer token)
 //   stun_blackout     control::ControlPlane::set_stuns_online
 //   mass_churn        workload::UserDriver::crash_peers
 //   cn_outage         control::ControlPlane::fail_cn_region / restart_cn_region
 //   dn_outage         control::ControlPlane::fail_dn_region / restart_dn_region
 //   flash_crowd       workload::UserDriver::flash_crowd
+//
+// Each onset and restore is also written to the trace as a FaultRecord
+// (format v8), so recovery analysis can pair them into per-fault
+// time-to-recover without a scenario file. AS degradations remember the
+// World layer token per event, so overlapping degradations of one AS
+// restore exactly the layer they created (see net::World::degrade_as).
 //
 // The engine deliberately takes references to the individual components, not
 // to core::Simulation, so it sits beside the other mid-level subsystems in
@@ -22,9 +28,12 @@
 // labels — the same seed and the same plan replay the same faults exactly.
 #pragma once
 
+#include <vector>
+
 #include "common/rng.hpp"
 #include "fault/fault_spec.hpp"
 #include "sim/simulator.hpp"
+#include "trace/trace_log.hpp"
 
 namespace netsession::net {
 class World;
@@ -44,7 +53,8 @@ namespace netsession::fault {
 class FaultEngine {
 public:
     FaultEngine(sim::Simulator& sim, net::World& world, edge::EdgeNetwork& edges,
-                control::ControlPlane& plane, workload::UserDriver& driver, Rng rng);
+                control::ControlPlane& plane, workload::UserDriver& driver,
+                trace::TraceLog& trace, Rng rng);
 
     FaultEngine(const FaultEngine&) = delete;
     FaultEngine& operator=(const FaultEngine&) = delete;
@@ -61,16 +71,20 @@ public:
 
 private:
     void apply(const FaultEvent& e, int index);
-    void restore(const FaultEvent& e);
+    void restore(const FaultEvent& e, int index);
+    void record(const FaultEvent& e, int index, bool is_restore);
 
     sim::Simulator* sim_;
     net::World* world_;
     edge::EdgeNetwork* edges_;
     control::ControlPlane* plane_;
     workload::UserDriver* driver_;
+    trace::TraceLog* trace_;
     Rng rng_;
     int faults_applied_ = 0;
     int faults_restored_ = 0;
+    /// Per armed event: the World AS-degradation layer token (0 = none).
+    std::vector<std::uint32_t> as_tokens_;
 };
 
 }  // namespace netsession::fault

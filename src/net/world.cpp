@@ -131,11 +131,47 @@ void World::cut_partitioned_flows() {
 
 // --- AS degradation & host failure --------------------------------------------------------
 
-void World::degrade_as(Asn asn, double latency_factor, double rate_factor, double loss) {
+void World::AsFault::recompute() noexcept {
+    latency_factor = 1.0;
+    rate_factor = 1.0;
+    double pass = 1.0;  // probability a message survives every layer
+    for (const AsFaultLayer& l : layers) {
+        latency_factor *= l.latency_factor;
+        rate_factor *= l.rate_factor;
+        pass *= 1.0 - l.loss;
+    }
+    rate_factor = std::clamp(rate_factor, 0.01, 1.0);
+    loss = std::clamp(1.0 - pass, 0.0, 0.999);
+}
+
+std::uint32_t World::degrade_as(Asn asn, double latency_factor, double rate_factor, double loss) {
     AsFault& f = as_faults_[asn.value];
-    f.latency_factor = std::max(latency_factor, 1.0);
-    f.rate_factor = std::clamp(rate_factor, 0.01, 1.0);
-    f.loss = std::clamp(loss, 0.0, 0.999);
+    AsFaultLayer layer;
+    layer.token = next_as_fault_token_++;
+    layer.latency_factor = std::max(latency_factor, 1.0);
+    layer.rate_factor = std::clamp(rate_factor, 0.01, 1.0);
+    layer.loss = std::clamp(loss, 0.0, 0.999);
+    f.layers.push_back(layer);
+    f.recompute();
+    for (std::size_t i = 0; i < hosts_.size(); ++i)
+        if (hosts_[i].attach.asn == asn)
+            apply_capacity(HostId{static_cast<std::uint32_t>(i)});
+    return layer.token;
+}
+
+void World::restore_as(Asn asn, std::uint32_t token) {
+    const auto it = as_faults_.find(asn.value);
+    if (it == as_faults_.end()) return;
+    auto& layers = it->second.layers;
+    const auto layer = std::find_if(layers.begin(), layers.end(),
+                                    [token](const AsFaultLayer& l) { return l.token == token; });
+    if (layer == layers.end()) return;
+    layers.erase(layer);  // preserves order: remaining products stay exact
+    if (layers.empty()) {
+        as_faults_.erase(it);
+    } else {
+        it->second.recompute();
+    }
     for (std::size_t i = 0; i < hosts_.size(); ++i)
         if (hosts_[i].attach.asn == asn)
             apply_capacity(HostId{static_cast<std::uint32_t>(i)});
@@ -146,6 +182,12 @@ void World::restore_as(Asn asn) {
     for (std::size_t i = 0; i < hosts_.size(); ++i)
         if (hosts_[i].attach.asn == asn)
             apply_capacity(HostId{static_cast<std::uint32_t>(i)});
+}
+
+int World::active_as_degradations() const noexcept {
+    int n = 0;
+    for (const auto& [asn, fault] : as_faults_) n += static_cast<int>(fault.layers.size());
+    return n;
 }
 
 int World::drop_host_flows(HostId h) {

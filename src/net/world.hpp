@@ -94,12 +94,21 @@ public:
     /// Degrades one AS's links: one-way latency multiplier, link capacity
     /// multiplier applied to attached non-server hosts (clamped to >= 0.01 so
     /// flows slow to a crawl rather than freezing), and per-message loss
-    /// probability. One degradation per AS at a time; a second call replaces
-    /// the first. Loss draws come from a dedicated constant-seeded stream and
-    /// only happen while a loss fault is active, so fault-free runs are
-    /// byte-identical to pre-fault builds.
-    void degrade_as(Asn asn, double latency_factor, double rate_factor, double loss);
+    /// probability. Degradations *stack*: each call pushes an independent
+    /// layer and returns a token identifying it; overlapping faults compose
+    /// (latency/rate multiply, losses combine as 1-Π(1-loss)). Removing a
+    /// layer with restore_as(asn, token) recomputes the effective factors
+    /// from the remaining layers in order, so restoring every layer lands on
+    /// the exact pre-fault state (overlap-restore is byte-exact). Loss draws
+    /// come from a dedicated constant-seeded stream and only happen while a
+    /// loss fault is active, so fault-free runs are byte-identical to
+    /// pre-fault builds.
+    std::uint32_t degrade_as(Asn asn, double latency_factor, double rate_factor, double loss);
+    void restore_as(Asn asn, std::uint32_t token);
+    /// Removes every degradation layer on `asn` (manual injection / tests).
     void restore_as(Asn asn);
+    /// Total degradation layers currently active across all ASes.
+    [[nodiscard]] int active_as_degradations() const noexcept;
 
     /// Cancels every active flow touching `h` (host crash / server failure);
     /// completion callbacks are not invoked. Returns how many were cut.
@@ -114,10 +123,24 @@ public:
     [[nodiscard]] const GeoDatabase& geodb() const noexcept { return geodb_; }
 
 private:
-    struct AsFault {
+    /// One active degradation layer on an AS.
+    struct AsFaultLayer {
+        std::uint32_t token = 0;
         double latency_factor = 1.0;
         double rate_factor = 1.0;
         double loss = 0.0;
+    };
+    /// All layers on one AS plus the cached effective factors the hot paths
+    /// read. Effective values are recomputed as ordered products whenever a
+    /// layer is added or removed — never by dividing a factor back out, which
+    /// would not round-trip in floating point.
+    struct AsFault {
+        std::vector<AsFaultLayer> layers;
+        double latency_factor = 1.0;
+        double rate_factor = 1.0;
+        double loss = 0.0;
+
+        void recompute() noexcept;
     };
 
     /// Reapplies a host's effective capacities from its nominal values and
@@ -138,6 +161,7 @@ private:
     std::vector<std::uint16_t> partition_count_;
     int active_partitions_ = 0;
     std::unordered_map<std::uint32_t, AsFault> as_faults_;  // keyed by Asn::value
+    std::uint32_t next_as_fault_token_ = 1;
     Rng fault_rng_{0xFA017FA017FA017ULL};  // loss draws only; constant seed
 };
 

@@ -841,10 +841,27 @@ bool NetSessionClient::source_blacklisted(Guid source) {
     const auto it = blacklist_.find(source);
     if (it == blacklist_.end()) return false;
     if (world_->simulator().now() >= it->second) {
-        blacklist_.erase(it);  // bench served; lazily expire
+        blacklist_.erase(it);  // ban served; lazily expire
         return false;
     }
     return true;
+}
+
+void NetSessionClient::sweep_blacklist(sim::SimTime now) {
+    // Lazy expiry in source_blacklisted() only fires when the same GUID is
+    // looked up again; sources that never come back would accumulate forever
+    // at 200k-peer scale. The watchdog ticks call this to keep the table
+    // bounded by the set of bans that are actually still in force.
+    if (blacklist_.empty()) return;
+    blacklist_scratch_.clear();
+    for (const auto& [source, expiry] : blacklist_)
+        if (now >= expiry) blacklist_scratch_.push_back(source);
+    for (const Guid source : blacklist_scratch_) blacklist_.erase(source);
+}
+
+void NetSessionClient::for_each_open_download(
+    const std::function<void(const Download&)>& fn) const {
+    for (const auto& [object, handle] : downloads_) fn(registry_->downloads().get(handle));
 }
 
 void NetSessionClient::schedule_watchdog(ObjectId object) {
@@ -863,6 +880,8 @@ void NetSessionClient::watchdog_tick(ObjectId object, std::uint32_t epoch) {
     Download& d = *dp;
     const sim::SimTime now = world_->simulator().now();
     const sim::Duration grace = sim::seconds(config_.stall_grace_s);
+
+    sweep_blacklist(now);
 
     // Stall detection is liveness-based: a transfer is healthy while its flow
     // exists, however slow it runs. A missing flow past the grace period

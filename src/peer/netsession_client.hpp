@@ -75,6 +75,11 @@ public:
     void abort_download(ObjectId object, trace::DownloadOutcome outcome);
     /// Number of downloads in any non-terminal state (incl. paused).
     [[nodiscard]] int open_downloads() const noexcept { return static_cast<int>(downloads_.size()); }
+    /// Currently blacklisted sources, expired entries included until the next
+    /// watchdog sweep. Bounded: the watchdog drops entries past their expiry.
+    [[nodiscard]] std::size_t blacklist_size() const noexcept { return blacklist_.size(); }
+    /// Read-only visit of every open download (audit layer, tests).
+    void for_each_open_download(const std::function<void(const Download&)>& fn) const;
     /// Objects whose downloads are currently paused (resumable).
     [[nodiscard]] std::vector<ObjectId> paused_downloads() const;
 
@@ -184,6 +189,7 @@ private:
     void note_degradation(trace::DegradationKind kind);
     void note_source_failure(Guid source);
     [[nodiscard]] bool source_blacklisted(Guid source);
+    void sweep_blacklist(sim::SimTime now);
 
     void request_from_edge(ObjectId object);
     void on_edge_piece(ObjectId object, std::uint32_t epoch, std::uint32_t attempt,
@@ -231,7 +237,8 @@ private:
     bool conservative_nat_ = false;
     std::uint64_t attempt_seq_ = 0;  // unique ids for connection handshakes
     FlatHashMap<Guid, int> source_failures_;
-    FlatHashMap<Guid, sim::SimTime> blacklist_;  // guid -> bench expiry
+    FlatHashMap<Guid, sim::SimTime> blacklist_;  // guid -> ban expiry
+    std::vector<Guid> blacklist_scratch_;        // reusable sweep buffer
     double reconnect_delay_s_;
     std::vector<SecondaryGuid> chain_;
     FlatHashMap<ObjectId, sim::SimTime> cache_;  // object -> cached_at

@@ -152,6 +152,26 @@ struct DegradationRecord {
     std::uint8_t reserved_[7] = {};
 };
 
+/// One fault-timeline entry (trace format v8): the FaultEngine records when
+/// each planned fault strikes and when it is restored, so recovery analysis
+/// (analysis/recovery.hpp) can measure time-to-recover per fault without
+/// re-deriving the timeline from a scenario file. `kind` carries the raw
+/// fault::FaultKind value — trace/ sits below fault/ in the layering, so the
+/// enum is not named here; analysis and tools that print names link ns_fault.
+struct FaultRecord {
+    sim::SimTime time;
+    /// Kind-specific magnitude: affected fraction (churn / flash crowds) or
+    /// capacity multiplier (AS degradation); 0 otherwise.
+    double param = 0.0;
+    std::uint32_t asn = 0;       // as_degradation target, else 0
+    std::uint16_t index = 0;     // event position in the armed plan
+    std::uint8_t kind = 0;       // fault::FaultKind value
+    std::uint8_t phase = 0;      // 0 = onset, 1 = restore
+    std::int8_t region = -1;     // -1 = all regions
+    std::int8_t region_b = -1;   // partition second side
+    std::uint8_t reserved_[6] = {};  // keeps the raw dump free of padding
+};
+
 /// One point of a sampled metric time series (trace format v6). The obs
 /// sampler snapshots the metrics registry periodically; `metric` indexes the
 /// trace's metric-name table (TraceLog::metric_names()). Counters sample

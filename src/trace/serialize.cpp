@@ -29,7 +29,10 @@ constexpr std::uint64_t kMagic = 0x4E53545243455231ULL;  // "NSTRCE" v1
 // v7: POD record payloads start on 64-byte-aligned file offsets (zero
 // padding), so a memory-mapped file can serve record sections in place as
 // TraceLog views with no alignment UB and no deserialisation copy.
-constexpr std::uint32_t kVersion = 7;
+// v8: fault-timeline section — the FaultEngine's onset/restore records,
+// which recovery analysis pairs into per-fault time-to-recover (chaos
+// campaigns, docs/ROBUSTNESS.md).
+constexpr std::uint32_t kVersion = 8;
 constexpr std::size_t kSectionAlign = 64;
 
 struct FileCloser {
@@ -195,6 +198,10 @@ static_assert(sizeof(GeoEntry) == 2 * sizeof(double) + 3 * sizeof(std::uint32_t)
 static_assert(std::is_trivially_copyable_v<MetricPointRecord>);
 static_assert(sizeof(MetricPointRecord) ==
               sizeof(sim::SimTime) + sizeof(double) + 2 * sizeof(std::uint32_t));
+// FaultRecord also holds a double; the packed-size check rules out padding.
+static_assert(std::is_trivially_copyable_v<FaultRecord>);
+static_assert(sizeof(FaultRecord) == sizeof(sim::SimTime) + sizeof(double) +
+                                         sizeof(std::uint32_t) + sizeof(std::uint16_t) + 10);
 // The zero-copy path reinterprets image bytes at kSectionAlign boundaries;
 // no record may demand stricter alignment than the format provides.
 static_assert(alignof(DownloadRecord) <= kSectionAlign);
@@ -202,6 +209,7 @@ static_assert(alignof(LoginRecord) <= kSectionAlign);
 static_assert(alignof(TransferRecord) <= kSectionAlign);
 static_assert(alignof(DnRegistrationRecord) <= kSectionAlign);
 static_assert(alignof(DegradationRecord) <= kSectionAlign);
+static_assert(alignof(FaultRecord) <= kSectionAlign);
 static_assert(alignof(MetricPointRecord) <= kSectionAlign);
 static_assert(alignof(GeoEntry) <= kSectionAlign);
 
@@ -223,6 +231,7 @@ bool parse_dataset(const std::shared_ptr<const void>& keepalive, const unsigned 
     if (!read_section(c, keepalive, log.transfers())) return false;
     if (!read_section(c, keepalive, log.registrations())) return false;
     if (!read_section(c, keepalive, log.degradations())) return false;
+    if (!read_section(c, keepalive, log.fault_events())) return false;
     std::vector<std::string> metric_names;
     if (!read_strings(c, metric_names)) return false;
     if (!read_section(c, keepalive, log.metric_points())) return false;
@@ -301,6 +310,7 @@ bool save_dataset(const Dataset& dataset, const std::string& path) {
         write_section(w, log.transfers().data(), log.transfers().size());
         write_section(w, log.registrations().data(), log.registrations().size());
         write_section(w, log.degradations().data(), log.degradations().size());
+        write_section(w, log.fault_events().data(), log.fault_events().size());
         write_strings(w, log.metric_names());
         write_section(w, log.metric_points().data(), log.metric_points().size());
 

@@ -112,6 +112,7 @@ public:
     void add(const TransferRecord& r) { transfers_.push_back(r); }
     void add(const DnRegistrationRecord& r) { registrations_.push_back(r); }
     void add(const DegradationRecord& r) { degradations_.push_back(r); }
+    void add(const FaultRecord& r) { fault_events_.push_back(r); }
     void add(const MetricPointRecord& r) {
         assert(r.metric < metric_names_.size() && "metric id must be interned first");
         metric_points_.push_back(r);
@@ -133,6 +134,10 @@ public:
         return degradations_;
     }
     [[nodiscard]] Records<DegradationRecord>& degradations() noexcept { return degradations_; }
+    [[nodiscard]] const Records<FaultRecord>& fault_events() const noexcept {
+        return fault_events_;
+    }
+    [[nodiscard]] Records<FaultRecord>& fault_events() noexcept { return fault_events_; }
 
     // --- metrics time series (format v6) ------------------------------------
     /// Interns a metric series name, returning its stable id. Ids are
@@ -165,14 +170,15 @@ public:
         transfers_.clear();
         registrations_.clear();
         degradations_.clear();
+        fault_events_.clear();
         metric_points_.clear();
     }
 
     /// Total log entries across record kinds (Table 1's "log entries" row).
-    /// Degradation telemetry and metric samples are deliberately excluded:
-    /// neither has a counterpart in the paper's CN log schema, and including
-    /// them would shift the Table-1 comparison whenever faults are injected
-    /// or sampling cadence changes.
+    /// Degradation telemetry, fault-timeline entries, and metric samples are
+    /// deliberately excluded: none has a counterpart in the paper's CN log
+    /// schema, and including them would shift the Table-1 comparison
+    /// whenever faults are injected or sampling cadence changes.
     [[nodiscard]] std::size_t total_entries() const noexcept {
         return downloads_.size() + logins_.size() + transfers_.size() + registrations_.size();
     }
@@ -187,6 +193,7 @@ private:
     Records<TransferRecord> transfers_;
     Records<DnRegistrationRecord> registrations_;
     Records<DegradationRecord> degradations_;
+    Records<FaultRecord> fault_events_;
     std::vector<std::string> metric_names_;
     Records<MetricPointRecord> metric_points_;
 };

@@ -75,6 +75,22 @@ TEST(HmacSha256, Rfc4231LongKey) {
               "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
 }
 
+TEST(ConstantTimeEqual, MatchesOperatorEqForEveryBitFlip) {
+    const Digest256 base = Sha256::hash("token");
+    EXPECT_TRUE(constant_time_equal(base, base));
+    // Flipping any single bit anywhere in the digest must be detected — the
+    // comparison may not early-exit on a prefix match (that timing leak is
+    // the whole reason this function exists; see TokenAuthority::validate).
+    for (std::size_t byte = 0; byte < base.bytes.size(); ++byte) {
+        for (int bit = 0; bit < 8; ++bit) {
+            Digest256 flipped = base;
+            flipped.bytes[byte] = static_cast<std::uint8_t>(flipped.bytes[byte] ^ (1u << bit));
+            EXPECT_FALSE(constant_time_equal(base, flipped)) << "byte " << byte << " bit " << bit;
+            EXPECT_FALSE(constant_time_equal(flipped, base)) << "byte " << byte << " bit " << bit;
+        }
+    }
+}
+
 TEST(HmacSha256, KeySensitivity) {
     EXPECT_NE(hmac_sha256("key1", "message"), hmac_sha256("key2", "message"));
     EXPECT_NE(hmac_sha256("key", "message1"), hmac_sha256("key", "message2"));

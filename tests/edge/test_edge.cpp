@@ -67,6 +67,39 @@ TEST(TokenAuthority, TamperedTokenRejected) {
     EXPECT_FALSE(authority.validate(token2, sim::SimTime{2'000'000}));
 }
 
+TEST(TokenAuthority, ForgedMacRejectedWhateverItsShape) {
+    // An attacker who never held a genuine token submits a guessed MAC.
+    // validate() compares via constant_time_equal, so rejection must hold
+    // for an all-zero MAC, a near-miss (one bit off the genuine MAC), and a
+    // MAC for the right tuple under the wrong key.
+    TokenAuthority authority("secret");
+    const auto genuine = authority.issue(Guid{1, 2}, ObjectId{3, 4}, sim::SimTime{1'000'000});
+
+    auto zeroed = genuine;
+    zeroed.mac = Digest256{};
+    EXPECT_FALSE(authority.validate(zeroed, sim::SimTime{0}));
+
+    auto near_miss = genuine;
+    near_miss.mac.bytes[31] ^= 0x01;  // last byte: a prefix-compare would pass
+    EXPECT_FALSE(authority.validate(near_miss, sim::SimTime{0}));
+    near_miss = genuine;
+    near_miss.mac.bytes[0] ^= 0x80;
+    EXPECT_FALSE(authority.validate(near_miss, sim::SimTime{0}));
+
+    auto wrong_key = TokenAuthority("not-the-secret")
+                         .issue(genuine.guid, genuine.object, genuine.expiry);
+    EXPECT_FALSE(authority.validate(wrong_key, sim::SimTime{0}));
+    EXPECT_TRUE(authority.validate(genuine, sim::SimTime{0}));
+}
+
+TEST(TokenAuthority, ExpiredTokenRejectedEvenWithGenuineMac) {
+    TokenAuthority authority("secret");
+    const auto token = authority.issue(Guid{5, 6}, ObjectId{7, 8}, sim::SimTime{1'000'000});
+    EXPECT_TRUE(authority.validate(token, sim::SimTime{999'999}));
+    EXPECT_FALSE(authority.validate(token, sim::SimTime{1'000'001}))
+        << "a genuine but stale token must not authorize peer search";
+}
+
 TEST(TokenAuthority, DifferentSecretsDontValidate) {
     TokenAuthority a("secret-a");
     TokenAuthority b("secret-b");

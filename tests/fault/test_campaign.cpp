@@ -1,0 +1,173 @@
+// Campaign grammar + expansion: the spec parses and round-trips, typos are
+// hard errors, and expansion is a pure function of (spec, context) — the
+// determinism contract chaos-fuzz relies on (docs/ROBUSTNESS.md §2a).
+#include <gtest/gtest.h>
+
+#include "fault/campaign.hpp"
+
+namespace netsession::fault {
+namespace {
+
+CampaignContext test_context() {
+    CampaignContext ctx;
+    ctx.regions = 9;
+    ctx.asns = {101, 202, 303, 404};
+    return ctx;
+}
+
+CampaignSpec parse_ok(const std::string& text) {
+    auto result = parse_campaign(text);
+    EXPECT_TRUE(result.ok()) << text << ": " << (result.ok() ? "" : result.error().message);
+    return result.ok() ? result.value() : CampaignSpec{};
+}
+
+std::string plan_fingerprint(const FaultPlan& plan) {
+    std::string out;
+    for (const FaultEvent& e : plan.events) {
+        out += to_string(e);
+        out += '\n';
+    }
+    return out;
+}
+
+TEST(Campaign, ParsesFullSpec) {
+    const CampaignSpec spec = parse_ok(
+        "seed=7 waves=5 mean_concurrent=2.5 kinds=cn_outage,dn_outage,mass_churn "
+        "start=2 spacing=1.5 duration=0.25 fraction=0.3 correlated=0.75");
+    EXPECT_EQ(spec.seed, 7u);
+    EXPECT_EQ(spec.waves, 5);
+    EXPECT_DOUBLE_EQ(spec.mean_concurrent, 2.5);
+    ASSERT_EQ(spec.kinds.size(), 3u);
+    EXPECT_EQ(spec.kinds[0], FaultKind::cn_outage);
+    EXPECT_EQ(spec.kinds[2], FaultKind::mass_churn);
+    EXPECT_DOUBLE_EQ(spec.start_days, 2.0);
+    EXPECT_DOUBLE_EQ(spec.spacing_days, 1.5);
+    EXPECT_DOUBLE_EQ(spec.duration_days, 0.25);
+    EXPECT_DOUBLE_EQ(spec.fraction, 0.3);
+    EXPECT_DOUBLE_EQ(spec.correlated, 0.75);
+}
+
+TEST(Campaign, SpecRoundTrips) {
+    const char* specs[] = {
+        "seed=7 waves=5 mean_concurrent=2.5 kinds=cn_outage,dn_outage,mass_churn "
+        "start=2 spacing=1.5 duration=0.25 fraction=0.3 correlated=0.75",
+        "seed=1 waves=3 mean_concurrent=2 start=1 spacing=1 duration=0.25 fraction=0.2 "
+        "correlated=0.5",
+    };
+    for (const char* text : specs) {
+        const CampaignSpec spec = parse_ok(text);
+        EXPECT_EQ(to_string(spec), text) << "render must reproduce the canonical spelling";
+        auto again = parse_campaign(to_string(spec));
+        ASSERT_TRUE(again.ok());
+        EXPECT_EQ(to_string(again.value()), to_string(spec));
+    }
+}
+
+TEST(Campaign, RejectsTyposAndBadValues) {
+    EXPECT_FALSE(parse_campaign("").ok()) << "empty spec";
+    EXPECT_FALSE(parse_campaign("sede=7").ok()) << "unknown key";
+    EXPECT_FALSE(parse_campaign("seed").ok()) << "key without value";
+    EXPECT_FALSE(parse_campaign("waves=0").ok()) << "zero waves";
+    EXPECT_FALSE(parse_campaign("mean_concurrent=0.5").ok()) << "sub-single concurrency";
+    EXPECT_FALSE(parse_campaign("kinds=edge_outge").ok()) << "misspelled kind";
+    EXPECT_FALSE(parse_campaign("kinds=").ok()) << "empty kind list";
+    EXPECT_FALSE(parse_campaign("spacing=0").ok()) << "zero spacing";
+    EXPECT_FALSE(parse_campaign("fraction=1.5").ok()) << "fraction > 1";
+    EXPECT_FALSE(parse_campaign("correlated=2").ok()) << "probability > 1";
+    EXPECT_FALSE(parse_campaign("start=soon").ok()) << "non-numeric";
+}
+
+TEST(Campaign, ExpansionIsDeterministic) {
+    const CampaignSpec spec = parse_ok("seed=7 waves=5 mean_concurrent=2");
+    const CampaignContext ctx = test_context();
+    const std::string a = plan_fingerprint(expand_campaign(spec, ctx));
+    const std::string b = plan_fingerprint(expand_campaign(spec, ctx));
+    EXPECT_EQ(a, b);
+    EXPECT_FALSE(a.empty());
+
+    CampaignSpec other = spec;
+    other.seed = 8;
+    EXPECT_NE(plan_fingerprint(expand_campaign(other, ctx)), a)
+        << "different seed must draw a different storm";
+}
+
+TEST(Campaign, IntegerConcurrencyIsExactAndKindsAreRespected) {
+    // correlated=0 and an integer mean: every wave draws exactly that many
+    // events, all from the requested kind list.
+    CampaignSpec spec = parse_ok("seed=3 waves=4 mean_concurrent=2 correlated=0");
+    spec.kinds = {FaultKind::mass_churn};
+    const FaultPlan plan = expand_campaign(spec, test_context());
+    EXPECT_EQ(plan.events.size(), 8u);
+    for (const FaultEvent& e : plan.events) EXPECT_EQ(e.kind, FaultKind::mass_churn);
+}
+
+TEST(Campaign, CorrelatedCompanionOverlapsItsAnchor) {
+    // correlated=1: every wave carries a companion. An outage anchor's
+    // companion is a flash crowd landing while the outage is still active;
+    // a one-shot anchor's companion is a DN outage spanning the shock.
+    CampaignSpec spec = parse_ok("seed=5 waves=6 mean_concurrent=1 correlated=1 duration=0.5");
+    spec.kinds = {FaultKind::edge_outage};
+    const FaultPlan plan = expand_campaign(spec, test_context());
+    ASSERT_EQ(plan.events.size(), 12u);
+    for (std::size_t w = 0; w < 6; ++w) {
+        const FaultEvent& anchor = plan.events[2 * w];
+        const FaultEvent& companion = plan.events[2 * w + 1];
+        EXPECT_EQ(anchor.kind, FaultKind::edge_outage);
+        EXPECT_EQ(companion.kind, FaultKind::flash_crowd);
+        EXPECT_GE(companion.at_days, anchor.at_days);
+        EXPECT_LT(companion.at_days, anchor.at_days + anchor.duration_days)
+            << "the crowd must land while the outage is still dark";
+    }
+
+    spec.kinds = {FaultKind::mass_churn};
+    const FaultPlan shocks = expand_campaign(spec, test_context());
+    ASSERT_EQ(shocks.events.size(), 12u);
+    for (std::size_t w = 0; w < 6; ++w) {
+        const FaultEvent& anchor = shocks.events[2 * w];
+        const FaultEvent& companion = shocks.events[2 * w + 1];
+        EXPECT_EQ(anchor.kind, FaultKind::mass_churn);
+        EXPECT_EQ(companion.kind, FaultKind::dn_outage);
+        EXPECT_LE(companion.at_days, anchor.at_days) << "restart must begin before the shock";
+        EXPECT_GT(companion.at_days + companion.duration_days, anchor.at_days)
+            << "and still be down when the churn hits";
+    }
+}
+
+TEST(Campaign, EditingWaveCountKeepsEarlierWavesStable) {
+    // Per-wave child RNG streams: adding waves appends, never reshuffles.
+    CampaignSpec spec = parse_ok("seed=11 waves=2 mean_concurrent=2 correlated=0");
+    const CampaignContext ctx = test_context();
+    const std::string two = plan_fingerprint(expand_campaign(spec, ctx));
+    spec.waves = 3;
+    const std::string three = plan_fingerprint(expand_campaign(spec, ctx));
+    EXPECT_EQ(three.substr(0, two.size()), two);
+    EXPECT_GT(three.size(), two.size());
+}
+
+TEST(Campaign, AppendLayersOnExplicitPlan) {
+    FaultPlan plan;
+    plan.events.push_back(parse_fault_event("stun_blackout at=1 duration=2").value());
+    const CampaignSpec spec = parse_ok("seed=7 waves=2 mean_concurrent=1 correlated=0");
+    append_campaigns(plan, {spec}, test_context());
+    ASSERT_GE(plan.events.size(), 3u);
+    EXPECT_EQ(plan.events[0].kind, FaultKind::stun_blackout)
+        << "explicit events stay first; campaigns append";
+}
+
+TEST(Campaign, DrawsUseContextTargets) {
+    CampaignSpec spec = parse_ok("seed=13 waves=8 mean_concurrent=2 correlated=0");
+    spec.kinds = {FaultKind::as_degradation};
+    const CampaignContext ctx = test_context();
+    const FaultPlan plan = expand_campaign(spec, ctx);
+    ASSERT_FALSE(plan.events.empty());
+    for (const FaultEvent& e : plan.events) {
+        EXPECT_TRUE(std::find(ctx.asns.begin(), ctx.asns.end(), e.asn) != ctx.asns.end())
+            << "degradations must target the context's eyeball ASes, got asn=" << e.asn;
+        EXPECT_GE(e.latency_factor, 1.0);
+        EXPECT_GT(e.rate_factor, 0.0);
+        EXPECT_LE(e.rate_factor, 1.0);
+    }
+}
+
+}  // namespace
+}  // namespace netsession::fault

@@ -9,8 +9,10 @@
 #include <string>
 
 #include "analysis/measurement.hpp"
+#include "analysis/recovery.hpp"
 #include "core/scenario_io.hpp"
 #include "core/simulation.hpp"
+#include "fault/campaign.hpp"
 #include "fault/fault_spec.hpp"
 #include "trace/serialize.hpp"
 
@@ -146,6 +148,128 @@ TEST(Chaos, FaultedRunIsByteIdenticalForSameSeedAndPlan) {
     EXPECT_TRUE(bytes_a == bytes_b) << "faulted runs differ between identical configs";
     std::filesystem::remove(path_a);
     std::filesystem::remove(path_b);
+}
+
+void add_campaign(SimulationConfig& config, const std::string& spec) {
+    auto parsed = fault::parse_campaign(spec);
+    ASSERT_TRUE(parsed.ok()) << spec << ": " << (parsed.ok() ? "" : parsed.error().message);
+    config.campaigns.push_back(parsed.value());
+}
+
+TEST(Chaos, CampaignRunIsByteIdenticalForSameSeed) {
+    // Campaign expansion happens inside the run against the deterministic
+    // topology, so the determinism contract must hold end to end: same
+    // scenario (explicit faults + campaign) ⇒ byte-identical traces.
+    auto config = chaos_config(506);
+    config.peers = 300;
+    add_fault(config, "stun_blackout at=1 duration=0.5");
+    add_campaign(config, "seed=7 waves=2 mean_concurrent=2 start=1.5 spacing=1 duration=0.1 "
+                         "fraction=0.15");
+
+    int faults_applied = -1;
+    const auto run_once = [&](const std::string& path) {
+        Simulation s(config);
+        s.run();
+        EXPECT_GT(s.faults().faults_applied(), 1) << "campaign waves must have landed";
+        if (faults_applied < 0)
+            faults_applied = s.faults().faults_applied();
+        else
+            EXPECT_EQ(s.faults().faults_applied(), faults_applied)
+                << "expansion drew a different storm on the second run";
+        trace::Dataset dataset;
+        dataset.log = s.trace();
+        s.geodb().for_each([&](net::IpAddr ip, const net::GeoRecord& rec) {
+            dataset.geodb.register_ip(ip, rec);
+        });
+        ASSERT_TRUE(trace::save_dataset(dataset, path));
+    };
+    const auto dir = std::filesystem::temp_directory_path();
+    const std::string path_a = (dir / "ns_campaign_determinism_a.nstrace").string();
+    const std::string path_b = (dir / "ns_campaign_determinism_b.nstrace").string();
+    run_once(path_a);
+    run_once(path_b);
+    const auto read_all = [](const std::string& p) {
+        std::ifstream in(p, std::ios::binary);
+        return std::string(std::istreambuf_iterator<char>(in), {});
+    };
+    const std::string bytes_a = read_all(path_a);
+    ASSERT_GT(bytes_a.size(), 1000u);
+    EXPECT_TRUE(bytes_a == read_all(path_b)) << "campaign runs differ between identical configs";
+    std::filesystem::remove(path_a);
+    std::filesystem::remove(path_b);
+}
+
+TEST(Chaos, CampaignDeliveryHoldsUnderConcurrentFaults) {
+    // The §3.8 claim under compound failure: ~2 concurrent faults per wave
+    // must not collapse delivery among the downloads users waited for.
+    auto config = chaos_config(507);
+    add_campaign(config, "seed=11 waves=2 mean_concurrent=2 start=1.5 spacing=1 duration=0.1 "
+                         "fraction=0.15");
+    Simulation s(config);
+    s.run();
+    EXPECT_GT(s.faults().faults_applied(), 1);
+
+    const auto outcomes = analysis::outcome_stats(s.trace());
+    EXPECT_GT(outcomes.all.n, 50);
+    const double served =
+        outcomes.all.completed + outcomes.all.failed_system + outcomes.all.failed_other;
+    ASSERT_GT(served, 0.0);
+    EXPECT_GE(outcomes.all.completed / served, 0.95)
+        << "delivery under a 2-concurrent-fault campaign (ISSUE 7 acceptance)";
+}
+
+TEST(Chaos, RecoveryReportMeasuresTheFaultTimeline) {
+    // The v8 trace carries onset/restore records; recovery_report must pair
+    // them, place them at the plan's times, and produce a recovery verdict.
+    auto config = chaos_config(508);
+    add_fault(config, "edge_outage at=2 duration=0.125 region=all");
+    add_fault(config, "mass_churn at=2.5 fraction=0.2");
+    Simulation s(config);
+    s.run();
+
+    const auto report = analysis::recovery_report(s.trace());
+    ASSERT_EQ(report.faults.size(), 2u);
+    const auto& outage = report.faults[0];
+    EXPECT_EQ(outage.kind, analysis::TracedFaultKind::edge_outage);
+    ASSERT_TRUE(outage.evaluable);
+    EXPECT_NEAR(outage.onset.seconds() / 86400.0, 2.0, 1e-6);
+    EXPECT_NEAR(outage.restore.seconds() / 86400.0, 2.125, 1e-6);
+    EXPECT_GE(outage.min_delivery_during, 0.0);
+    EXPECT_LE(outage.min_delivery_during, 1.0);
+    EXPECT_GE(outage.recover_hours, 0.0) << "a 3-hour outage must recover within the horizon";
+
+    const auto& churn = report.faults[1];
+    EXPECT_EQ(churn.kind, analysis::TracedFaultKind::mass_churn);
+    ASSERT_TRUE(churn.evaluable);
+    EXPECT_EQ(churn.restore, churn.onset) << "one-shot faults recover from their onset";
+    EXPECT_TRUE(report.all_recovered);
+    EXPECT_GE(report.worst_recover_hours, 0.0);
+}
+
+TEST(Chaos, CampaignScenarioRoundTripsAndSmokes) {
+    // The shipped campaign scenario parses, the campaign spec round-trips
+    // through describe_scenario, and a reduced-scale run completes with the
+    // fault timeline visible to the recovery analysis.
+    const auto loaded = load_scenario(NS_SOURCE_DIR "/scenarios/chaos_campaign.ini");
+    ASSERT_TRUE(loaded.ok()) << loaded.error().message;
+    auto config = loaded.value();
+    ASSERT_EQ(config.campaigns.size(), 1u);
+    ASSERT_EQ(config.faults.events.size(), 1u);
+    EXPECT_EQ(config.campaigns[0].seed, 7u);
+
+    const std::string described = describe_scenario(config);
+    const auto reparsed = parse_scenario(described);
+    ASSERT_TRUE(reparsed.ok()) << reparsed.error().message;
+    ASSERT_EQ(reparsed.value().campaigns.size(), 1u);
+    EXPECT_EQ(fault::to_string(reparsed.value().campaigns[0]),
+              fault::to_string(config.campaigns[0]));
+
+    config.peers = 500;  // smoke scale
+    config.as_graph.total_ases = 200;
+    Simulation s(config);
+    s.run();
+    EXPECT_GT(s.faults().faults_applied(), 1);
+    EXPECT_FALSE(analysis::recovery_report(s.trace()).faults.empty());
 }
 
 TEST(Chaos, RegionalOutageScenarioSmokes) {

@@ -92,6 +92,99 @@ TEST(World, SameAsIsFasterThanCrossAs) {
     EXPECT_LT(w.latency(ha, hb).us, w.latency(ha, hc).us);
 }
 
+TEST(World, OverlappingAsDegradationsRestoreExactPreFaultState) {
+    // Two degradation layers on the same AS — the shape a chaos campaign
+    // produces — must compose while both are live and, once both are
+    // removed (in either order), leave latency and capacities bit-identical
+    // to the pre-fault values. Recompute-from-layers, never divide-back-out.
+    sim::Simulator sim;
+    World w = make_world(sim);
+    Rng rng(7);
+    const HostInfo a_info = host_in(w, "DE", rng);
+    const HostId a = w.create_host(a_info);
+    const HostId b = w.create_host(host_in(w, "FR", rng));
+    const Asn asn = a_info.attach.asn;
+
+    const std::int64_t base_latency = w.latency(a, b).us;
+    const Rate base_up = w.flows().up_capacity(a);
+    const Rate base_down = w.flows().down_capacity(a);
+
+    for (const bool reverse_order : {false, true}) {
+        const std::uint32_t first = w.degrade_as(asn, 5.0, 0.2, 0.0);
+        const std::uint32_t second = w.degrade_as(asn, 3.0, 0.5, 0.01);
+        EXPECT_EQ(w.active_as_degradations(), 2);
+        EXPECT_GT(w.latency(a, b).us, base_latency) << "factors must compose, not replace";
+        EXPECT_LT(w.flows().up_capacity(a), base_up);
+
+        w.restore_as(asn, reverse_order ? second : first);
+        EXPECT_EQ(w.active_as_degradations(), 1);
+        EXPECT_GT(w.latency(a, b).us, base_latency) << "one layer is still live";
+
+        w.restore_as(asn, reverse_order ? first : second);
+        EXPECT_EQ(w.active_as_degradations(), 0);
+        EXPECT_EQ(w.latency(a, b).us, base_latency);
+        EXPECT_EQ(w.flows().up_capacity(a), base_up);
+        EXPECT_EQ(w.flows().down_capacity(a), base_down);
+    }
+}
+
+TEST(World, RestoreAllLayersAtOnceIsExactToo) {
+    sim::Simulator sim;
+    World w = make_world(sim);
+    Rng rng(8);
+    const HostInfo a_info = host_in(w, "US", rng);
+    const HostId a = w.create_host(a_info);
+    const HostId b = w.create_host(host_in(w, "JP", rng));
+    const std::int64_t base_latency = w.latency(a, b).us;
+    const Rate base_up = w.flows().up_capacity(a);
+
+    (void)w.degrade_as(a_info.attach.asn, 2.0, 0.5, 0.02);
+    (void)w.degrade_as(a_info.attach.asn, 4.0, 0.25, 0.0);
+    w.restore_as(a_info.attach.asn);  // blanket restore
+    EXPECT_EQ(w.active_as_degradations(), 0);
+    EXPECT_EQ(w.latency(a, b).us, base_latency);
+    EXPECT_EQ(w.flows().up_capacity(a), base_up);
+}
+
+TEST(World, NestedPartitionsHealBackToFullReachability) {
+    // A campaign can partition region A<->B while A is also cut off from
+    // everyone (region=all). Cuts nest by count: healing one leaves the
+    // other in force; healing both — in either order — restores exact
+    // pre-fault reachability and message delivery.
+    sim::Simulator sim;
+    World w = make_world(sim);
+    Rng rng(9);
+    const HostId de = w.create_host(host_in(w, "DE", rng));  // EU region
+    const HostId us = w.create_host(host_in(w, "US", rng));
+    const int eu = static_cast<int>(w.region_of(de).value);
+    const int na = static_cast<int>(w.region_of(us).value);
+    ASSERT_NE(eu, na);
+    ASSERT_TRUE(w.reachable(de, us));
+
+    for (const bool reverse_order : {false, true}) {
+        w.partition_regions(eu, na);  // targeted cut
+        w.partition_regions(eu, -1);  // nested: EU vs the world
+        EXPECT_FALSE(w.reachable(de, us));
+
+        if (reverse_order)
+            w.heal_partition(eu, na);
+        else
+            w.heal_partition(eu, -1);
+        EXPECT_FALSE(w.reachable(de, us)) << "the other cut is still in force";
+
+        if (reverse_order)
+            w.heal_partition(eu, -1);
+        else
+            w.heal_partition(eu, na);
+        EXPECT_TRUE(w.reachable(de, us));
+
+        bool delivered = false;
+        w.send(de, us, [&] { delivered = true; });
+        sim.run();
+        EXPECT_TRUE(delivered) << "messages must flow again after full heal";
+    }
+}
+
 TEST(World, SendDeliversAfterLatency) {
     sim::Simulator sim;
     World w = make_world(sim);

@@ -382,6 +382,54 @@ TEST(Client, CorruptUploaderIsDetectedAndContentNotPropagated) {
     EXPECT_GT(h.plane.monitoring().problems(control::ProblemKind::piece_corruption), 0);
 }
 
+TEST(Client, WatchdogSweepBoundsBlacklistGrowth) {
+    // Regression: blacklist entries used to expire only lazily, when the
+    // same GUID was consulted again — a source that never came back left its
+    // entry behind forever, so long-lived clients under churny swarms grew
+    // the table without bound. The stall watchdog now sweeps expired bans.
+    Harness h;
+    NetSessionClient& bad_seed = h.add_client("DE", true);
+    bad_seed.set_corrupt_uploads(true);
+
+    // A leech with an aggressive blacklist (one strike, 60 s ban) and a slow
+    // downlink so its download far outlives the ban + watchdog period.
+    const net::CountryInfo* c = net::find_country("DE");
+    net::HostInfo info;
+    info.attach.location = net::Location{c->id, 0, c->center};
+    info.attach.asn = h.world.as_graph().pick_for_country(c->id, h.rng);
+    info.attach.nat = net::NatType::full_cone;
+    info.up = mbps(4.0);
+    info.down = mbps(8.0);
+    const HostId host = h.world.create_host(info);
+    ClientConfig config;
+    config.blacklist_failures = 1;
+    config.blacklist_duration_s = 60.0;
+    NetSessionClient leech(h.world, h.plane, h.edges, h.catalog, h.registry,
+                           Guid{h.rng.next(), h.rng.next()}, host, config, h.rng.child("leech"));
+
+    bad_seed.start();
+    leech.start();
+    h.settle();
+    bool seeded = false;
+    bad_seed.begin_download(h.big, [&](const trace::DownloadRecord&) { seeded = true; });
+    h.sim.run_until(h.sim.now() + sim::hours(2.0));
+    ASSERT_TRUE(seeded);
+
+    leech.begin_download(h.big, {});
+    // The first corrupt piece bans the seed.
+    for (int i = 0; i < 120 && leech.blacklist_size() == 0; ++i)
+        h.sim.run_until(h.sim.now() + sim::seconds(1.0));
+    ASSERT_EQ(leech.blacklist_size(), 1u);
+
+    // The banned seed never reconnects, so only the watchdog sweep can drop
+    // the entry: within ban + one watchdog period it must be gone, with the
+    // download still open (i.e. swept mid-flight, not at teardown).
+    h.sim.run_until(h.sim.now() +
+                    sim::seconds(config.blacklist_duration_s + config.watchdog_interval_s + 5.0));
+    EXPECT_EQ(leech.blacklist_size(), 0u);
+    EXPECT_TRUE(leech.download_active(h.big));
+}
+
 TEST(Client, MoveToReattachesAndRelogsIn) {
     Harness h;
     NetSessionClient& c = h.add_client("DE", false);
@@ -577,7 +625,7 @@ TEST(Client, StallWhileRequestInFlightDoesNotDoubleCountEdgeBytes) {
     // the retry's request then lands quickly and streams the object while
     // the original request is still in the air (arriving at ~t+60 s,
     // mid-download — 400 MB at 24 Mbps takes over two minutes).
-    h.sim.schedule_after(sim::seconds(31.0), [&] { h.world.degrade_as(asn, 1.0, 1.0, 0.0); });
+    h.sim.schedule_after(sim::seconds(31.0), [&] { h.world.restore_as(asn); });
 
     h.sim.run_until(h.sim.now() + sim::hours(1.0));
     ASSERT_TRUE(done);

@@ -70,6 +70,46 @@ run_flavour() {
     fi
 }
 
+# The audit flavour compiles the runtime invariant auditor in (NS_AUDIT=ON)
+# with violations fatal (NS_AUDIT_FATAL=ON) and runs the fault/integration
+# surface under ASan: cross-layer contracts (byte conservation, directory
+# consistency, flow capacity, stall bounds, arena accounting) are checked
+# *while faults are live*, and any violation aborts the test. It finishes
+# with a chaos-fuzz smoke: five campaign seeds, each run twice and the two
+# traces compared byte-for-byte — the campaign determinism contract.
+run_audit_flavour() {
+    local build_dir=build-ci-audit
+    echo "==== [audit] configure ===="
+    cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DNS_SANITIZE=address \
+        -DNS_AUDIT=ON -DNS_AUDIT_FATAL=ON \
+        -DCMAKE_CXX_FLAGS=-DNS_ARENA_CHECKS=1 >/dev/null
+    echo "==== [audit] build ===="
+    cmake --build "$build_dir" -j "$JOBS"
+    echo "==== [audit] fault/integration focus (auditor fatal) ===="
+    (cd "$build_dir" && ctest --output-on-failure \
+        -R 'Audit|Fault|Chaos|Robustness|Simulation|Integration|Campaign|Recovery')
+    echo "==== [audit] chaos-fuzz smoke (5 seeds, byte-identity) ===="
+    local fuzz_dir="$build_dir/chaos_fuzz"
+    mkdir -p "$fuzz_dir"
+    for seed in 3 7 11 13 17; do
+        local ini="$fuzz_dir/campaign_$seed.ini"
+        {
+            echo "seed = 42"
+            echo "peers = 1500"
+            echo "warmup_days = 1"
+            echo "window_days = 4"
+            echo "downloads_per_peer_per_month = 10"
+            echo "campaign = seed=$seed waves=3 mean_concurrent=2 start=2 spacing=1 duration=0.15 fraction=0.15"
+        } > "$ini"
+        "$build_dir/tools/netsession_sim" run "$ini" "$fuzz_dir/a_$seed.nstrace" >/dev/null
+        "$build_dir/tools/netsession_sim" run "$ini" "$fuzz_dir/b_$seed.nstrace" >/dev/null
+        cmp "$fuzz_dir/a_$seed.nstrace" "$fuzz_dir/b_$seed.nstrace" \
+            || { echo "ERROR: campaign seed=$seed is not deterministic" >&2; exit 1; }
+        echo "  seed=$seed: traces byte-identical"
+    done
+    rm -rf "$fuzz_dir"
+}
+
 # The TSan flavour builds the whole tree but focuses ctest on the suites that
 # actually go multi-threaded: the parallel runtime, the analysis pipeline it
 # drives, and the obs/fidelity harnesses that consume pipeline output. TSan's
@@ -93,6 +133,7 @@ run_flavour release build-ci-release -DCMAKE_BUILD_TYPE=Release
 run_flavour asan build-ci-asan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DNS_SANITIZE=address \
     -DCMAKE_CXX_FLAGS=-DNS_ARENA_CHECKS=1
 run_flavour ubsan build-ci-ubsan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DNS_SANITIZE=undefined
+run_audit_flavour
 run_tsan_flavour
 
 echo "==== CI: all flavours passed ===="

@@ -7,6 +7,7 @@
 //   nstrace objects   <file> [n]        top-n objects by downloads
 //   nstrace outcomes  <file>            §5.2 outcome breakdown
 //   nstrace faults    <file>            §3.8 degradation telemetry counters
+//   nstrace recovery  <file>            per-fault onset/restore/time-to-recover (v8 timeline)
 //   nstrace metrics   <file> [series]   v6 metric time-series (sampler output)
 //   nstrace guids     <file>            Fig 12 secondary-GUID graph patterns
 //   nstrace tsv       <file> <out.tsv>  dump the download log as TSV
@@ -20,6 +21,7 @@
 #include "analysis/export.hpp"
 #include "analysis/guid_graph.hpp"
 #include "analysis/measurement.hpp"
+#include "analysis/recovery.hpp"
 #include "analysis/table.hpp"
 #include "common/format.hpp"
 #include "trace/serialize.hpp"
@@ -30,8 +32,8 @@ using namespace netsession;
 
 int usage() {
     std::fprintf(stderr,
-                 "usage: nstrace <summary|headline|providers|objects|outcomes|faults|metrics|"
-                 "guids|tsv|export> <file> [args]\n");
+                 "usage: nstrace <summary|headline|providers|objects|outcomes|faults|recovery|"
+                 "metrics|guids|tsv|export> <file> [args]\n");
     return 2;
 }
 
@@ -78,6 +80,53 @@ void cmd_faults(const trace::Dataset& dataset) {
     table.add_row({"Total incidents", format_count(d.total)});
     table.add_row({"Affected clients", format_count(d.affected_clients)});
     std::printf("%s", table.render().c_str());
+}
+
+void cmd_recovery(const trace::Dataset& dataset) {
+    const auto report = analysis::recovery_report(dataset.log);
+    if (report.faults.empty()) {
+        std::printf("no fault timeline in this trace (pre-v8 data or an undisturbed run)\n");
+        return;
+    }
+    const auto hours = [](sim::SimTime t) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.2f", t.seconds() / 3600.0);
+        return std::string(buf);
+    };
+    const auto ttr = [](double h) {
+        if (h < 0.0) return std::string("never");
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.1f", h);
+        return std::string(buf);
+    };
+    analysis::TextTable table({"#", "Fault", "Onset(h)", "Restore(h)", "TTR(h)", "Min delivery",
+                               "Degradations", "Blacklist"});
+    for (const auto& f : report.faults) {
+        if (!f.evaluable) {
+            table.add_row({format_count(f.index), std::string(analysis::to_string(f.kind)),
+                           hours(f.onset), "-", "-", "-", "-", "-"});
+            continue;
+        }
+        table.add_row({format_count(f.index), std::string(analysis::to_string(f.kind)),
+                       hours(f.onset), hours(f.restore), ttr(f.recover_hours),
+                       format_percent(f.min_delivery_during), format_count(f.degradations),
+                       format_count(f.blacklist_churn)});
+    }
+    std::printf("%s", table.render().c_str());
+    for (const auto& f : report.faults) {
+        if (f.evaluable && f.kind == analysis::TracedFaultKind::cn_outage &&
+            f.login_drain_hours >= 0.0)
+            std::printf("fault #%u: re-login storm drained %.1f h after CN restore\n", f.index,
+                        f.login_drain_hours);
+        if (f.evaluable && f.kind == analysis::TracedFaultKind::dn_outage &&
+            f.readd_drain_hours >= 0.0)
+            std::printf("fault #%u: RE-ADD fan-out drained %.1f h after DN restore\n", f.index,
+                        f.readd_drain_hours);
+    }
+    std::printf("%s; worst time-to-recover %.1f h\n",
+                report.all_recovered ? "all evaluable faults recovered"
+                                     : "NOT all faults recovered within the horizon",
+                report.worst_recover_hours);
 }
 
 void cmd_metrics(const trace::Dataset& dataset, const char* series) {
@@ -249,6 +298,8 @@ int main(int argc, char** argv) {
         cmd_outcomes(dataset);
     } else if (command == "faults") {
         cmd_faults(dataset);
+    } else if (command == "recovery") {
+        cmd_recovery(dataset);
     } else if (command == "metrics") {
         cmd_metrics(dataset, argc > 3 ? argv[3] : nullptr);
     } else if (command == "guids") {
