@@ -67,6 +67,40 @@ TEST(ScenarioIo, DescribeRoundTrips) {
     EXPECT_EQ(result.value().control.cross_region_threshold, 0);
 }
 
+TEST(ScenarioIo, ShardsKnobParsesPrintsAndDefaults) {
+    // Parse.
+    const auto four = parse_scenario("shards = 4\n");
+    ASSERT_TRUE(four.ok()) << four.error().message;
+    EXPECT_EQ(four.value().shards, 4);
+
+    // Defaulting: an unset config keeps the in-memory sentinel 0 ("ask
+    // NS_SIM_SHARDS, else 1")...
+    const auto unset = parse_scenario("");
+    ASSERT_TRUE(unset.ok());
+    EXPECT_EQ(unset.value().shards, 0);
+    // ...but a *written* scenario pins its engine: unset prints as 1.
+    EXPECT_NE(describe_scenario(SimulationConfig{}).find("shards = 1"), std::string::npos);
+
+    // Round trip of an explicit count.
+    SimulationConfig config;
+    config.shards = 8;
+    const auto round = parse_scenario(describe_scenario(config));
+    ASSERT_TRUE(round.ok()) << round.error().message;
+    EXPECT_EQ(round.value().shards, 8);
+}
+
+TEST(ScenarioIo, ShardsKnobRejectsInvalidCounts) {
+    // 0 is only an in-memory sentinel, never a valid scenario value.
+    EXPECT_FALSE(parse_scenario("shards = 0\n").ok());
+    EXPECT_FALSE(parse_scenario("shards = -2\n").ok());
+    EXPECT_FALSE(parse_scenario("shards = 65\n").ok()) << "engine caps lanes at 64";
+    EXPECT_FALSE(parse_scenario("shards = 2.5\n").ok()) << "whole lanes only";
+    EXPECT_FALSE(parse_scenario("shards = four\n").ok());
+    const auto zero = parse_scenario("shards = 0\n");
+    ASSERT_FALSE(zero.ok());
+    EXPECT_NE(zero.error().message.find("bad value"), std::string::npos);
+}
+
 TEST(ScenarioIo, TemplateIsLoadable) {
     const std::string path = ::testing::TempDir() + "/scenario.ini";
     ASSERT_TRUE(write_scenario_template(path));

@@ -1,0 +1,396 @@
+// The sharded engine's ordering contract, pinned (docs/PARALLELISM.md "The
+// sharded simulation core"):
+//
+//   - within a lane: (timestamp, lane-local seq) — FIFO on ties; slot indices
+//     never participate (slots are recycled storage);
+//   - across lanes, within a window: ascending shard id (lane-major), so at
+//     equal timestamps the order is (timestamp, shard, seq);
+//   - cross-shard sends: parked in the sender lane's outbox, merged at the
+//     window barrier in (source shard, send order), inert handle;
+//   - timestamps below the conservative window end are clamped to the barrier
+//     and counted, never silently reordered into the closed window.
+//
+// The property-based half generates randomized event programs — cross-shard
+// sends, cancels, same-timestamp ties — and checks the sharded scheduler
+// against the single-queue engine as reference: the per-entity execution
+// history (which ops ran, at what time, in what order) must be identical for
+// every shard count, and any fixed configuration must replay identically.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace netsession::sim {
+namespace {
+
+SimTime at_us(std::int64_t us) { return SimTime{us}; }
+
+constexpr Duration kLookahead = milliseconds(1.0);  // 1000 us, like net::kLatencyFloor
+
+// --- tie-breaking ------------------------------------------------------------------------
+
+TEST(ShardedSim, SingleQueueTiesAreFifo) {
+    Simulator sim;
+    std::vector<int> log;
+    for (int i = 0; i < 8; ++i) sim.schedule_at(at_us(50), [&log, i] { log.push_back(i); });
+    sim.run();
+    EXPECT_EQ(log, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(ShardedSim, SameTimestampOrderIsIndependentOfSlotReuse) {
+    // Cancelled events release their slab slots (lazily, when the stale heap
+    // entry purges); later same-timestamp events reuse them. If the
+    // comparator ever fell back on slot indices, dispatch order would depend
+    // on allocation history. Pin that it does not.
+    Simulator sim;
+    std::vector<int> log;
+    const auto a = sim.schedule_at(at_us(10), [&log] { log.push_back(-1); });
+    const auto b = sim.schedule_at(at_us(10), [&log] { log.push_back(-2); });
+    ASSERT_TRUE(sim.cancel(a));
+    ASSERT_TRUE(sim.cancel(b));
+    const auto e1 = sim.schedule_at(at_us(100), [&log] { log.push_back(1); });
+    const auto e2 = sim.schedule_at(at_us(100), [&log] { log.push_back(2); });
+    // Drain past the cancelled events: their (low) slots recycle.
+    sim.run_until(at_us(20));
+    const auto e3 = sim.schedule_at(at_us(100), [&log] { log.push_back(3); });
+    const auto e4 = sim.schedule_at(at_us(100), [&log] { log.push_back(4); });
+    // The late events really do occupy the cancelled events' lower slots —
+    // the interesting case: storage order disagrees with schedule order.
+    EXPECT_TRUE((e3.slot() == a.slot() || e3.slot() == b.slot()));
+    EXPECT_TRUE((e4.slot() == a.slot() || e4.slot() == b.slot()));
+    EXPECT_LT(e3.slot(), e1.slot());
+    EXPECT_LT(e4.slot(), e2.slot());
+    sim.run();
+    EXPECT_EQ(log, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(ShardedSim, EqualTimestampsRunByShardThenSeq) {
+    Simulator sim;
+    sim.configure_shards(4, kLookahead);
+    std::vector<std::pair<int, int>> log;  // (shard, op)
+    // Scheduled in deliberately scrambled lane order; two ops per lane.
+    for (const int lane : {2, 0, 3, 1})
+        for (int op = 0; op < 2; ++op)
+            sim.schedule_in_shard(lane, at_us(500), [&log, &sim, op] {
+                log.push_back({sim.current_shard(), op});
+            });
+    sim.run();
+    const std::vector<std::pair<int, int>> want = {{0, 0}, {0, 1}, {1, 0}, {1, 1},
+                                                   {2, 0}, {2, 1}, {3, 0}, {3, 1}};
+    EXPECT_EQ(log, want);
+}
+
+TEST(ShardedSim, WindowsAreLaneMajorByDesign) {
+    // Distinct timestamps inside ONE window still execute lane-major: lane
+    // 0's later event runs before lane 1's earlier one. This is the
+    // documented window-batched contract, not a bug — pin it so a change is
+    // a conscious decision.
+    Simulator sim;
+    sim.configure_shards(2, kLookahead);
+    std::vector<int> log;
+    sim.schedule_in_shard(1, at_us(10), [&log] { log.push_back(10); });
+    sim.schedule_in_shard(0, at_us(20), [&log] { log.push_back(20); });
+    sim.run();
+    EXPECT_EQ(log, (std::vector<int>{20, 10}));
+    EXPECT_EQ(sim.shard_stats().windows, 1u) << "both events fit one 1 ms window";
+}
+
+// --- lanes, inheritance, cancellation ----------------------------------------------------
+
+TEST(ShardedSim, ScheduleAfterInheritsTheDispatchingLane) {
+    Simulator sim;
+    sim.configure_shards(4, kLookahead);
+    std::vector<int> lanes;
+    sim.schedule_in_shard(2, at_us(0), [&] {
+        sim.schedule_after(milliseconds(5.0), [&] { lanes.push_back(sim.current_shard()); });
+    });
+    sim.schedule_in_shard(3, at_us(0), [&] {
+        sim.schedule_at(sim.now() + milliseconds(7.0),
+                        [&] { lanes.push_back(sim.current_shard()); });
+    });
+    sim.run();
+    EXPECT_EQ(lanes, (std::vector<int>{2, 3}));
+}
+
+TEST(ShardedSim, SetupHandlesCancelAcrossLanes) {
+    Simulator sim;
+    sim.configure_shards(4, kLookahead);
+    bool ran = false;
+    const auto h = sim.schedule_in_shard(3, at_us(100), [&ran] { ran = true; });
+    EXPECT_TRUE(h.valid());
+    EXPECT_EQ(h.shard(), 3u);
+    EXPECT_TRUE(sim.cancel(h));
+    EXPECT_FALSE(sim.cancel(h)) << "double-cancel is a no-op";
+    sim.run();
+    EXPECT_FALSE(ran);
+    EXPECT_EQ(sim.stats().cancelled, 1u);
+}
+
+// --- cross-shard sends -------------------------------------------------------------------
+
+TEST(ShardedSim, CrossShardSendRunsInDestinationLane) {
+    Simulator sim;
+    sim.configure_shards(2, kLookahead);
+    std::int64_t ran_at = -1;
+    int ran_in = -1;
+    sim.schedule_in_shard(0, at_us(0), [&] {
+        // 2 ms ≥ the 1 ms lookahead: next window, no clamping.
+        const auto h = sim.schedule_in_shard(1, sim.now() + milliseconds(2.0), [&] {
+            ran_at = sim.now().us;
+            ran_in = sim.current_shard();
+        });
+        EXPECT_FALSE(h.valid()) << "outbox-routed sends are not cancellable";
+    });
+    sim.run();
+    EXPECT_EQ(ran_at, 2000);
+    EXPECT_EQ(ran_in, 1);
+    EXPECT_EQ(sim.shard_stats().cross_messages, 1u);
+    EXPECT_EQ(sim.shard_stats().cross_clamped, 0u);
+}
+
+TEST(ShardedSim, CrossShardBelowLookaheadClampsToBarrier) {
+    Simulator sim;
+    sim.configure_shards(2, kLookahead);
+    std::int64_t ran_at = -1;
+    sim.schedule_in_shard(0, at_us(0), [&] {
+        // Violates the conservative contract (delay < lookahead): the engine
+        // clamps to the window barrier instead of mutating the closed window.
+        sim.schedule_in_shard(1, sim.now() + microseconds(10), [&] { ran_at = sim.now().us; });
+    });
+    sim.run();
+    EXPECT_EQ(ran_at, 1000) << "clamped to w_end = t0 + lookahead";
+    EXPECT_EQ(sim.shard_stats().cross_clamped, 1u);
+}
+
+TEST(ShardedSim, CrossShardMergesInSourceShardOrder) {
+    Simulator sim;
+    sim.configure_shards(4, kLookahead);
+    std::vector<int> log;
+    // Lanes 3, 1, 2 all send to lane 0 with the SAME arrival timestamp; the
+    // barrier merges outboxes in ascending source-shard order, so arrival
+    // FIFO order is source shard 1, 2, 3 regardless of send interleaving.
+    for (const int src : {3, 1, 2})
+        sim.schedule_in_shard(src, at_us(0), [&sim, &log, src] {
+            sim.schedule_in_shard(0, at_us(5000), [&log, src] { log.push_back(src); });
+        });
+    sim.run();
+    EXPECT_EQ(log, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(ShardedSim, SameLaneScheduleInShardStaysCancellable) {
+    Simulator sim;
+    sim.configure_shards(2, kLookahead);
+    bool cancelled_ran = false;
+    bool ran = false;
+    sim.schedule_in_shard(1, at_us(0), [&] {
+        // Into the *own* lane from inside a window: a direct push, live handle.
+        const auto h = sim.schedule_in_shard(1, sim.now() + milliseconds(3.0),
+                                             [&] { cancelled_ran = true; });
+        EXPECT_TRUE(h.valid());
+        EXPECT_TRUE(sim.cancel(h));
+        sim.schedule_in_shard(1, sim.now() + milliseconds(3.0), [&] { ran = true; });
+    });
+    sim.run();
+    EXPECT_FALSE(cancelled_ran);
+    EXPECT_TRUE(ran);
+    EXPECT_EQ(sim.shard_stats().cross_messages, 0u);
+}
+
+// --- property-based differential: sharded scheduler vs single-queue reference ------------
+
+// A randomized event program over E entities. Ops are pre-assigned globally
+// unique timestamp residues (t % kOps == op id), so every op has a distinct
+// timestamp: cross-count comparison never depends on cross-lane tie order,
+// which is *deliberately* shard-count-specific (window-batched).
+struct Program {
+    static constexpr int kEntities = 24;
+    static constexpr int kOps = 480;
+
+    struct Op {
+        int id = 0;
+        int entity = 0;          // entity whose lane the op runs in
+        std::int64_t at_us = 0;  // initial ops; follow-ups derive theirs
+        int send_to = -1;        // follow-up op on another entity, or -1
+        int cancels = -1;        // initial op this op cancels when it runs, or -1
+    };
+    std::vector<Op> ops;      // [0, first_follow) are initial, rest follow-ups
+    int first_follow = 0;
+
+    // Smallest T >= min_t with T % kOps == id: keeps every timestamp unique.
+    static std::int64_t align(std::int64_t min_t, int id) {
+        const std::int64_t base = min_t - (min_t % kOps) + id;
+        return base >= min_t ? base : base + kOps;
+    }
+
+    static Program generate(std::uint64_t seed) {
+        Program p;
+        Rng rng(seed);
+        const int initial = kOps / 2;
+        p.first_follow = initial;
+        for (int i = 0; i < kOps; ++i) {
+            Op op;
+            op.id = i;
+            op.entity = static_cast<int>(rng.below(kEntities));
+            if (i < initial) op.at_us = align(1000 + static_cast<std::int64_t>(rng.below(200000)), i);
+            p.ops.push_back(op);
+        }
+        // Half the initial ops fire a follow-up on some entity (usually a
+        // different one — a cross-shard send for most shard counts), at
+        // least one lookahead away so no configuration clamps it.
+        for (int i = initial; i < kOps; ++i) {
+            const int parent = static_cast<int>(rng.below(static_cast<std::uint64_t>(initial)));
+            p.ops[static_cast<std::size_t>(parent)].send_to = i;
+        }
+        // Some late ops cancel a pending earlier-scheduled op on the SAME
+        // entity (same lane under every sharding, so the handle is live).
+        for (int tries = 0; tries < kOps / 8; ++tries) {
+            const int a = static_cast<int>(rng.below(static_cast<std::uint64_t>(initial)));
+            const int b = static_cast<int>(rng.below(static_cast<std::uint64_t>(initial)));
+            auto& canceller = p.ops[static_cast<std::size_t>(a)];
+            const auto& victim = p.ops[static_cast<std::size_t>(b)];
+            if (canceller.at_us < victim.at_us && canceller.cancels < 0 && a != b) {
+                canceller.cancels = b;
+                p.ops[static_cast<std::size_t>(a)].entity = victim.entity;
+            }
+        }
+        return p;
+    }
+};
+
+// Runs `p` on a fresh simulator with `shards` lanes; entity e lives in lane
+// e % shards. Returns the per-entity execution history: (op id, time) in
+// execution order.
+std::vector<std::vector<std::pair<int, std::int64_t>>> run_program(const Program& p, int shards,
+                                                                   bool parallel_dispatch) {
+    Simulator sim;
+    if (shards > 1) sim.configure_shards(shards, kLookahead);
+    sim.set_parallel_dispatch(parallel_dispatch);
+    std::vector<std::vector<std::pair<int, std::int64_t>>> history(Program::kEntities);
+    std::vector<EventHandle> handles(p.ops.size());
+    const auto lane_of = [shards](int entity) { return shards > 1 ? entity % shards : 0; };
+
+    // InlineFn has a small buffer; capture one context pointer.
+    struct Ctx {
+        const Program* p;
+        Simulator* sim;
+        std::vector<std::vector<std::pair<int, std::int64_t>>>* history;
+        std::vector<EventHandle>* handles;
+        int shards;
+    } ctx{&p, &sim, &history, &handles, shards};
+
+    struct Runner {
+        static void fire(Ctx* c, int id) {
+            const Program::Op& op = c->p->ops[static_cast<std::size_t>(id)];
+            (*c->history)[static_cast<std::size_t>(op.entity)].push_back(
+                {id, c->sim->now().us});
+            if (op.cancels >= 0) c->sim->cancel((*c->handles)[static_cast<std::size_t>(op.cancels)]);
+            if (op.send_to >= 0) {
+                const Program::Op& next = c->p->ops[static_cast<std::size_t>(op.send_to)];
+                const std::int64_t at =
+                    Program::align(c->sim->now().us + kLookahead.us + 1, next.id);
+                const int dst = c->shards > 1 ? next.entity % c->shards : 0;
+                c->sim->schedule_in_shard(dst, SimTime{at},
+                                          [c, id = next.id] { fire(c, id); });
+            }
+        }
+    };
+
+    for (int i = 0; i < p.first_follow; ++i) {
+        const Program::Op& op = p.ops[static_cast<std::size_t>(i)];
+        handles[static_cast<std::size_t>(i)] = sim.schedule_in_shard(
+            lane_of(op.entity), SimTime{op.at_us}, [&ctx, id = op.id] { Runner::fire(&ctx, id); });
+    }
+    sim.run();
+    return history;
+}
+
+TEST(ShardedSimProperty, PerEntityHistoryMatchesSingleQueueReference) {
+    for (const std::uint64_t seed : {7ull, 21ull, 1337ull}) {
+        SCOPED_TRACE("seed=" + std::to_string(seed));
+        const Program p = Program::generate(seed);
+        const auto reference = run_program(p, 1, false);
+        std::size_t total = 0;
+        for (const auto& h : reference) total += h.size();
+        ASSERT_GT(total, static_cast<std::size_t>(Program::kOps) / 2)
+            << "program must actually execute most ops";
+        for (const int shards : {2, 4, 8}) {
+            SCOPED_TRACE("shards=" + std::to_string(shards));
+            EXPECT_EQ(run_program(p, shards, false), reference)
+                << "what each entity runs, and when, must not depend on the shard count";
+        }
+    }
+}
+
+TEST(ShardedSimProperty, FixedConfigurationReplaysIdentically) {
+    const Program p = Program::generate(99);
+    for (const int shards : {2, 4, 8}) {
+        SCOPED_TRACE("shards=" + std::to_string(shards));
+        EXPECT_EQ(run_program(p, shards, false), run_program(p, shards, false));
+    }
+}
+
+TEST(ShardedSimProperty, ParallelDispatchMatchesSerialDispatch) {
+    // The engine-level pool dispatch (lane-isolated workloads only) must
+    // produce the same per-entity histories and aggregate counters as serial
+    // lane-major dispatch — parallelism is an engine detail, not a semantic.
+    for (const std::uint64_t seed : {5ull, 303ull}) {
+        SCOPED_TRACE("seed=" + std::to_string(seed));
+        const Program p = Program::generate(seed);
+        for (const int shards : {2, 8}) {
+            SCOPED_TRACE("shards=" + std::to_string(shards));
+            EXPECT_EQ(run_program(p, shards, true), run_program(p, shards, false));
+        }
+    }
+}
+
+TEST(ShardedSimProperty, TiedProgramsReplayIdentically) {
+    // Deliberate same-timestamp ties across lanes: the cross-count order is
+    // unspecified (window-batched), but any fixed shard count must replay
+    // bit-for-bit, and the single-queue engine must stay FIFO.
+    for (const int shards : {1, 4}) {
+        SCOPED_TRACE("shards=" + std::to_string(shards));
+        const auto run_tied = [shards] {
+            Simulator sim;
+            if (shards > 1) sim.configure_shards(shards, kLookahead);
+            std::vector<std::pair<int, int>> log;  // (lane, op)
+            Rng rng(42);
+            for (int op = 0; op < 200; ++op) {
+                const int lane = shards > 1 ? static_cast<int>(rng.below(shards)) : 0;
+                const std::int64_t at = 1000 * (1 + static_cast<std::int64_t>(rng.below(5)));
+                sim.schedule_in_shard(lane, SimTime{at}, [&log, &sim, op] {
+                    log.push_back({sim.current_shard(), op});
+                });
+            }
+            sim.run();
+            return log;
+        };
+        const auto first = run_tied();
+        EXPECT_EQ(first.size(), 200u);
+        EXPECT_EQ(run_tied(), first);
+    }
+}
+
+TEST(ShardedSim, StatsAggregateAcrossLanes) {
+    Simulator sim;
+    sim.configure_shards(4, kLookahead);
+    for (int lane = 0; lane < 4; ++lane)
+        for (int i = 0; i <= lane; ++i) sim.schedule_in_shard(lane, at_us(0), [] {});
+    const auto h = sim.schedule_in_shard(2, at_us(50), [] {});
+    sim.cancel(h);
+    sim.run();
+    EXPECT_EQ(sim.stats().scheduled, 11u);
+    EXPECT_EQ(sim.stats().dispatched, 10u);
+    EXPECT_EQ(sim.stats().cancelled, 1u);
+    EXPECT_EQ(sim.events_dispatched(), 10u);
+    std::uint64_t per_lane = 0;
+    for (int lane = 0; lane < 4; ++lane) per_lane += sim.shard_dispatched(lane);
+    EXPECT_EQ(per_lane, 10u);
+    EXPECT_EQ(sim.pending(), 0u);
+}
+
+}  // namespace
+}  // namespace netsession::sim
