@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include <filesystem>
 
@@ -91,51 +92,83 @@ std::string analysis_section_json(const trace::Dataset& dataset, const char* cac
     return buf;
 }
 
-/// The "scale" headline section: a fresh run of the scenario file named by
-/// NS_BENCH_SCALE (tools/ci.sh points it at scenarios/standard_200k.ini),
-/// recording wall-clock, events/sec, peak RSS, and the arena-pool footprint.
+/// The "scale" headline section: a scale LADDER. NS_BENCH_SCALE names one or
+/// more scenario files (':'- or ','-separated; tools/ci.sh points it at
+/// 40k:200k:1M) and each is run fresh, smallest first, emitting one JSON row
+/// per rung: wall-clock, events/sec, peak RSS, amortised bytes-per-peer, the
+/// flow-pool footprint, and the hibernation cold store. Peak RSS is a
+/// process-wide high-water mark — it never goes down — so rungs must be
+/// listed in ascending size for per-rung numbers to be attributable; the
+/// runner keeps whatever order the caller gave and records it as-is.
 /// Empty string when the env var is unset — the section is omitted.
 std::string scale_section_json() {
-    const char* scenario = std::getenv("NS_BENCH_SCALE");
-    if (scenario == nullptr) return "";
-    auto loaded = load_scenario(scenario);
-    if (!loaded) {
-        std::fprintf(stderr, "[scenario] NS_BENCH_SCALE: %s\n",
-                     loaded.error().message.c_str());
-        return "";
+    const char* spec = std::getenv("NS_BENCH_SCALE");
+    if (spec == nullptr) return "";
+    std::vector<std::string> scenarios;
+    std::string cur;
+    for (const char* p = spec;; ++p) {
+        if (*p == ':' || *p == ',' || *p == '\0') {
+            if (!cur.empty()) scenarios.push_back(cur);
+            cur.clear();
+            if (*p == '\0') break;
+        } else {
+            cur += *p;
+        }
     }
-    std::printf("[scenario] running scale scenario %s (%d peers)...\n", scenario,
-                loaded.value().peers);
-    std::fflush(stdout);
-    const int peers = loaded.value().peers;
-    const auto t0 = std::chrono::steady_clock::now();
-    Simulation sim(std::move(loaded.value()));
-    sim.run();
-    const double wall_seconds = seconds_since(t0);
-    const Simulation::PerfStats perf = sim.perf_stats();
-    const obs::ProcessMemory mem = obs::read_process_memory();
-    const arena::PoolStats flow_pool = sim.world().flows().pool_stats();
-    char buf[768];
-    std::snprintf(buf, sizeof(buf),
-                  "{\n"
-                  "    \"scenario\": \"%s\",\n"
-                  "    \"peers\": %d,\n"
-                  "    \"wall_seconds\": %.3f,\n"
-                  "    \"events_dispatched\": %llu,\n"
-                  "    \"events_per_second\": %.0f,\n"
-                  "    \"peak_rss_bytes\": %zu,\n"
-                  "    \"flow_pool\": {\"slots\": %zu, \"peak_live\": %zu, "
-                  "\"bytes_reserved\": %zu}\n"
-                  "  }",
-                  scenario, peers, wall_seconds,
-                  static_cast<unsigned long long>(perf.sim.dispatched),
-                  wall_seconds > 0.0 ? static_cast<double>(perf.sim.dispatched) / wall_seconds
-                                     : 0.0,
-                  mem.peak_rss_bytes, flow_pool.slots, flow_pool.peak_live,
-                  flow_pool.bytes_reserved);
-    std::printf("[scenario] scale run done: %.1fs wall, peak RSS %.0f MiB\n", wall_seconds,
-                static_cast<double>(mem.peak_rss_bytes) / (1024.0 * 1024.0));
-    return buf;
+    if (scenarios.empty()) return "";
+
+    std::string rows;
+    for (std::size_t i = 0; i < scenarios.size(); ++i) {
+        const std::string& scenario = scenarios[i];
+        auto loaded = load_scenario(scenario.c_str());
+        if (!loaded) {
+            std::fprintf(stderr, "[scenario] NS_BENCH_SCALE: %s\n",
+                         loaded.error().message.c_str());
+            continue;
+        }
+        std::printf("[scenario] scale rung %zu/%zu: %s (%d peers)...\n", i + 1,
+                    scenarios.size(), scenario.c_str(), loaded.value().peers);
+        std::fflush(stdout);
+        const int peers = loaded.value().peers;
+        const auto t0 = std::chrono::steady_clock::now();
+        Simulation sim(std::move(loaded.value()));
+        sim.run();
+        const double wall_seconds = seconds_since(t0);
+        const Simulation::PerfStats perf = sim.perf_stats();
+        const obs::ProcessMemory mem = obs::read_process_memory();
+        const arena::PoolStats flow_pool = sim.world().flows().pool_stats();
+        const peer::ColdStore& cold = sim.registry().cold();
+        const double bytes_per_peer =
+            peers > 0 ? static_cast<double>(mem.peak_rss_bytes) / peers : 0.0;
+        char buf[1024];
+        std::snprintf(
+            buf, sizeof(buf),
+            "%s\n"
+            "    {\"scenario\": \"%s\",\n"
+            "     \"peers\": %d,\n"
+            "     \"wall_seconds\": %.3f,\n"
+            "     \"events_dispatched\": %llu,\n"
+            "     \"events_per_second\": %.0f,\n"
+            "     \"peak_rss_bytes\": %zu,\n"
+            "     \"bytes_per_peer\": %.0f,\n"
+            "     \"flow_pool\": {\"slots\": %zu, \"peak_live\": %zu, "
+            "\"bytes_reserved\": %zu},\n"
+            "     \"cold_store\": {\"records\": %zu, \"bytes_live\": %zu, "
+            "\"bytes_reserved\": %zu}}",
+            rows.empty() ? "" : ",", scenario.c_str(), peers, wall_seconds,
+            static_cast<unsigned long long>(perf.sim.dispatched),
+            wall_seconds > 0.0 ? static_cast<double>(perf.sim.dispatched) / wall_seconds : 0.0,
+            mem.peak_rss_bytes, bytes_per_peer, flow_pool.slots, flow_pool.peak_live,
+            flow_pool.bytes_reserved, cold.records(), cold.bytes_live(),
+            cold.bytes_reserved());
+        rows += buf;
+        std::printf(
+            "[scenario] scale rung done: %.1fs wall, peak RSS %.0f MiB, %.0f B/peer\n",
+            wall_seconds, static_cast<double>(mem.peak_rss_bytes) / (1024.0 * 1024.0),
+            bytes_per_peer);
+    }
+    if (rows.empty()) return "";
+    return "[" + rows + "\n  ]";
 }
 
 /// The "sim_parallel" headline section: how the region-sharded simulation

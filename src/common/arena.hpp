@@ -10,11 +10,27 @@
 //   * Deterministic slot order. New slots are handed out sequentially;
 //     freed slots are reused LIFO. Same request sequence => same slot
 //     sequence on every platform (no address-order dependence anywhere).
+//   * 32-bit packed handles. A Handle is a single u32: slot in the low 20
+//     bits, generation in the high 12. Halving the handle width halves the
+//     footprint of everything that stores handles densely (directory
+//     postings, flow adjacency lists, per-client download tables) — the
+//     point of the per-peer memory diet. A pool therefore holds at most
+//     2^20 slots (the simulator aborts loudly if a pool ever outgrows
+//     that; at 1M peers the pooled populations — concurrent downloads,
+//     flows, swarms — stay far below it).
 //   * Free-list reuse keyed by generation. Every release bumps the slot's
 //     generation; a Handle carries the generation it was minted with, so a
 //     stale handle is detectable. With NS_ARENA_CHECKS=1 (default in debug
 //     builds; forced on by the CI ASan leg) every dereference verifies the
 //     generation and aborts loudly on a dangling handle.
+//   * Generation wrap safety. A 12-bit generation wraps after 4095
+//     releases of the same slot. Instead of wrapping (which would let a
+//     stale pre-wrap handle alias a new object — silently, even under
+//     NS_ARENA_CHECKS), a slot whose generation reaches the cap is
+//     *retired*: removed from the free list forever. Aliasing becomes
+//     structurally impossible at the cost of ~one leaked slot per 4095
+//     releases. Retired slots also guarantee no live handle ever equals
+//     the invalid-sentinel bit pattern.
 //   * Two release flavours:
 //       - destroy(h): runs ~T(), slot returns to raw storage.
 //       - release(h): *parks* the object — it stays constructed and is
@@ -52,26 +68,48 @@ namespace netsession::arena {
     std::abort();
 }
 
+[[noreturn]] inline void pool_exhausted(const char* what) {
+    std::fprintf(stderr, "arena::Pool: %s\n", what);
+    std::abort();
+}
+
 /// Storage accounting for the mem.* gauges (see Pool::stats()).
 struct PoolStats {
     std::size_t live = 0;            ///< objects currently held out
     std::size_t parked = 0;          ///< constructed objects on the free list
     std::size_t slots = 0;           ///< total slots across all chunks
+    std::size_t retired = 0;         ///< slots lost to generation-wrap retirement
     std::size_t peak_live = 0;       ///< high-water mark of live
     std::size_t bytes_reserved = 0;  ///< chunk storage owned by the pool
     std::size_t bytes_live = 0;      ///< live * sizeof(T)
 };
 
-/// Typed pool handle: slot index + the generation the slot had when the
-/// object was created. Trivially copyable; fits in a register.
+/// Packed 32-bit pool handle: slot index in the low 20 bits, the generation
+/// the slot had when the object was created in the high 12. Trivially
+/// copyable; half the width of a pointer, so handle-dense structures
+/// (postings lists, adjacency lists) stay compact.
 template <class T>
 struct PoolHandle {
-    static constexpr std::uint32_t kInvalidSlot = 0xFFFFFFFFu;
+    static constexpr std::uint32_t kSlotBits = 20;
+    static constexpr std::uint32_t kGenBits = 12;
+    static constexpr std::uint32_t kSlotMask = (1u << kSlotBits) - 1;        // 0xFFFFF
+    static constexpr std::uint32_t kGenMask = (1u << kGenBits) - 1;         // 0xFFF
+    /// Last generation a handle is ever minted with. 0xFFF is reserved so
+    /// slot 0xFFFFF/gen 0xFFF (== the invalid sentinel) can never be live.
+    static constexpr std::uint32_t kMaxGeneration = kGenMask - 1;           // 0xFFE
+    static constexpr std::uint32_t kInvalidBits = 0xFFFFFFFFu;
 
-    std::uint32_t slot = kInvalidSlot;
-    std::uint32_t generation = 0;
+    std::uint32_t bits = kInvalidBits;
 
-    [[nodiscard]] constexpr bool valid() const noexcept { return slot != kInvalidSlot; }
+    constexpr PoolHandle() noexcept = default;
+    constexpr PoolHandle(std::uint32_t slot, std::uint32_t generation) noexcept
+        : bits((generation << kSlotBits) | slot) {}
+
+    [[nodiscard]] constexpr std::uint32_t slot() const noexcept { return bits & kSlotMask; }
+    [[nodiscard]] constexpr std::uint32_t generation() const noexcept {
+        return bits >> kSlotBits;
+    }
+    [[nodiscard]] constexpr bool valid() const noexcept { return bits != kInvalidBits; }
     friend constexpr bool operator==(const PoolHandle&, const PoolHandle&) = default;
 };
 
@@ -95,7 +133,7 @@ public:
 
     ~Pool() {
         for (std::uint32_t s = 0; s < slot_count(); ++s)
-            if (state_[s] != State::raw) ptr_at(s)->~T();
+            if (state_[s] == State::live || state_[s] == State::parked) ptr_at(s)->~T();
     }
 
     // --- create / destroy (construct-per-use flavour) ----------------------
@@ -111,8 +149,8 @@ public:
 
     void destroy(Handle h) {
         check(h, "destroy");
-        ptr_at(h.slot)->~T();
-        retire(h.slot, State::raw);
+        ptr_at(h.slot())->~T();
+        retire(h.slot(), State::raw);
     }
 
     // --- acquire / release (parked-reuse flavour) --------------------------
@@ -130,25 +168,25 @@ public:
     /// Parks the object for reuse without destroying it.
     void release(Handle h) {
         check(h, "release");
-        retire(h.slot, State::parked);
+        retire(h.slot(), State::parked);
     }
 
     // --- access ------------------------------------------------------------
     [[nodiscard]] T& get(Handle h) {
         check(h, "get");
-        return *ptr_at(h.slot);
+        return *ptr_at(h.slot());
     }
     [[nodiscard]] const T& get(Handle h) const {
         check(h, "get");
-        return *ptr_at(h.slot);
+        return *ptr_at(h.slot());
     }
     /// nullptr on stale/invalid handles instead of aborting.
     [[nodiscard]] T* try_get(Handle h) noexcept {
-        return valid(h) ? ptr_at(h.slot) : nullptr;
+        return valid(h) ? ptr_at(h.slot()) : nullptr;
     }
     [[nodiscard]] bool valid(Handle h) const noexcept {
-        return h.slot < slot_count() && state_[h.slot] == State::live &&
-               gen_[h.slot] == h.generation;
+        return h.slot() < slot_count() && state_[h.slot()] == State::live &&
+               gen_[h.slot()] == h.generation();
     }
 
     /// Slot-indexed access for dense iteration (flow refill loops). The slot
@@ -177,6 +215,7 @@ public:
         for (const auto st : state_)
             if (st == State::parked) ++s.parked;
         s.slots = state_.size();
+        s.retired = retired_;
         s.peak_live = peak_live_;
         s.bytes_reserved = chunks_.size() * per_chunk_ * sizeof(T);
         s.bytes_live = live_ * sizeof(T);
@@ -184,12 +223,15 @@ public:
     }
     [[nodiscard]] std::size_t live() const noexcept { return live_; }
     [[nodiscard]] std::size_t peak_live() const noexcept { return peak_live_; }
+    [[nodiscard]] std::size_t retired_slots() const noexcept { return retired_; }
     [[nodiscard]] std::size_t bytes_reserved() const noexcept {
         return chunks_.size() * per_chunk_ * sizeof(T);
     }
 
 private:
-    enum class State : std::uint8_t { raw, live, parked };
+    // `retired` slots hit the 12-bit generation cap; they hold no object and
+    // are never handed out again (see the header comment on wrap safety).
+    enum class State : std::uint8_t { raw, live, parked, retired };
 
     struct ChunkDeleter {
         std::size_t bytes = 0;
@@ -211,6 +253,8 @@ private:
             return slot;
         }
         const std::uint32_t slot = slot_count();
+        if (slot > Handle::kSlotMask)
+            pool_exhausted("slot space exhausted (2^20 slots per pool)");
         if (slot % per_chunk_ == 0) {
             auto* raw = static_cast<std::byte*>(
                 ::operator new[](per_chunk_ * sizeof(T), std::align_val_t{alignof(T)}));
@@ -222,10 +266,20 @@ private:
     }
 
     void retire(std::uint32_t slot, State to) {
+        --live_;
+        if (gen_[slot] >= Handle::kMaxGeneration) {
+            // Generation cap reached: the next mint would wrap (or mint the
+            // reserved 0xFFF). Retire the slot instead of reusing it — a
+            // stale handle can then never alias a future object.
+            if (to == State::parked) ptr_at(slot)->~T();
+            state_[slot] = State::retired;
+            gen_[slot] = Handle::kGenMask;
+            ++retired_;
+            return;
+        }
         state_[slot] = to;
         ++gen_[slot];
         free_.push_back(slot);
-        --live_;
     }
 
     void bump_live() {
@@ -235,18 +289,19 @@ private:
 
     void check([[maybe_unused]] Handle h, [[maybe_unused]] const char* op) const {
 #if NS_ARENA_CHECKS
-        if (h.slot >= slot_count()) handle_check_failed(op);
-        if (state_[h.slot] != State::live) handle_check_failed(op);
-        if (gen_[h.slot] != h.generation) handle_check_failed(op);
+        if (h.slot() >= slot_count()) handle_check_failed(op);
+        if (state_[h.slot()] != State::live) handle_check_failed(op);
+        if (gen_[h.slot()] != h.generation()) handle_check_failed(op);
 #endif
     }
 
     std::size_t per_chunk_;
     std::vector<ChunkPtr> chunks_;
     std::vector<State> state_;
-    std::vector<std::uint32_t> gen_;
+    std::vector<std::uint16_t> gen_;  // 12 bits used; u16 keeps the array tight
     std::vector<std::uint32_t> free_;  // LIFO
     std::size_t live_ = 0;
+    std::size_t retired_ = 0;
     std::size_t peak_live_ = 0;
 };
 

@@ -147,6 +147,29 @@ public:
         used_buckets_ = 0;
     }
 
+    /// Releases excess capacity retained from a past peak: purges dead
+    /// entries, reindexes into the smallest bucket table valid for the live
+    /// count, and returns spare vector capacity to the allocator. Without
+    /// this, an erase-heavy table (a hibernating client's download map, the
+    /// directory after a mass logout) keeps its high-water storage forever —
+    /// the amortized compaction in maybe_compact() reuses capacity but never
+    /// gives it back. An empty table drops all storage. O(n); call from
+    /// mass-demote paths, not per-erase.
+    void shrink_to_fit() {
+        if (live_ == 0) {
+            entries_ = std::vector<Entry>();
+            dead_ = std::vector<std::uint8_t>();
+            buckets_ = std::vector<std::uint32_t>();
+            dead_count_ = 0;
+            used_buckets_ = 0;
+            return;
+        }
+        rebuild(bucket_capacity_for(live_));
+        entries_.shrink_to_fit();
+        dead_.shrink_to_fit();
+        buckets_.shrink_to_fit();
+    }
+
     // --- lookup ------------------------------------------------------------
     template <class K2>
     [[nodiscard]] iterator find(const K2& key) {

@@ -54,6 +54,23 @@ public:
     /// the label only.
     [[nodiscard]] Rng child(std::string_view label) const noexcept;
 
+    /// Full generator state, as a POD — used by peer hibernation to park a
+    /// client's stream in cold storage and resume it bit-exactly.
+    struct State {
+        std::uint64_t s[4];
+        std::uint64_t seed;
+    };
+    [[nodiscard]] State state() const noexcept {
+        return State{{s_[0], s_[1], s_[2], s_[3]}, seed_};
+    }
+    void restore(const State& st) noexcept {
+        s_[0] = st.s[0];
+        s_[1] = st.s[1];
+        s_[2] = st.s[2];
+        s_[3] = st.s[3];
+        seed_ = st.seed;
+    }
+
 private:
     std::uint64_t s_[4];
     std::uint64_t seed_;

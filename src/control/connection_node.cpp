@@ -196,6 +196,9 @@ void ConnectionNode::fail() {
                                          [ep] { ep->on_disconnected(); });
     }
     sessions_.clear();
+    // A dead CN's peers scatter to other CNs; when this one comes back it
+    // refills gradually, so release the peak-sized table now.
+    sessions_.shrink_to_fit();
 }
 
 void ConnectionNode::issue_re_add() {

@@ -10,8 +10,10 @@ void Directory::add(ObjectId object, const PeerDescriptor& peer) {
     if (fresh_swarm) {
         sit->second = swarm_pool_.acquire();
         swarm_pool_.get(sit->second).reset();
+        swarm_pool_.get(sit->second).object = object;
     }
-    Swarm& swarm = swarm_pool_.get(sit->second);
+    const SwarmHandle handle = sit->second;
+    Swarm& swarm = swarm_pool_.get(handle);
 
     bool had_guid = false;
     if (auto* idxp = swarm.by_guid.find_value(peer.guid)) {
@@ -36,15 +38,19 @@ void Directory::add(ObjectId object, const PeerDescriptor& peer) {
     swarm.by_continent[static_cast<std::uint8_t>(peer.continent)].members.push_back(idx);
     swarm.world.members.push_back(idx);
     ++live_entries_;
-    // The postings list tracks (guid → objects); a moved peer was already
-    // listed for this object.
-    if (!had_guid) postings_[peer.guid].push_back(object);
+    // The postings list tracks (guid → swarm handles); a moved peer was
+    // already listed for this object's swarm.
+    if (!had_guid) postings_[peer.guid].push_back(handle);
 }
 
 void Directory::kill_registration(ObjectId object, Guid guid, bool drop_posting) {
-    const auto sit = swarms_.find(object);
-    if (sit == swarms_.end()) return;
-    Swarm& swarm = swarm_pool_.get(sit->second);
+    const auto* handle = swarms_.find_value(object);
+    if (handle == nullptr) return;
+    kill_by_handle(*handle, guid, drop_posting);
+}
+
+void Directory::kill_by_handle(SwarmHandle handle, Guid guid, bool drop_posting) {
+    Swarm& swarm = swarm_pool_.get(handle);
     const auto* idxp = swarm.by_guid.find_value(guid);
     if (idxp == nullptr) return;
     swarm.entries[*idxp].alive = false;
@@ -54,7 +60,7 @@ void Directory::kill_registration(ObjectId object, Guid guid, bool drop_posting)
 
     if (drop_posting) {
         if (auto* list = postings_.find_value(guid)) {
-            const auto it = std::find(list->begin(), list->end(), object);
+            const auto it = std::find(list->begin(), list->end(), handle);
             assert(it != list->end() && "postings list out of sync with by_guid");
             *it = list->back();  // unordered within a guid: swap-pop
             list->pop_back();
@@ -65,8 +71,8 @@ void Directory::kill_registration(ObjectId object, Guid guid, bool drop_posting)
     if (swarm.by_guid.empty()) {
         // Last registration gone: park the swarm (entry arrays and bucket
         // tables keep their capacity for the next object that forms here).
-        swarm_pool_.release(sit->second);
-        swarms_.erase(object);
+        swarms_.erase(swarm.object);
+        swarm_pool_.release(handle);
     } else if (swarm.dead > 64 && swarm.dead * 2 > swarm.entries.size()) {
         swarm.compact();
     }
@@ -85,8 +91,8 @@ void Directory::remove_peer(Guid guid) {
     remove_scratch_.clear();
     remove_scratch_.swap(it->second);
     postings_.erase(guid);
-    for (const auto object : remove_scratch_)
-        kill_registration(object, guid, /*drop_posting=*/false);
+    for (const SwarmHandle handle : remove_scratch_)
+        kill_by_handle(handle, guid, /*drop_posting=*/false);
 }
 
 int Directory::copies(ObjectId object) const {
@@ -100,19 +106,30 @@ void Directory::clear() {
     for (auto& [object, handle] : swarms_) swarm_pool_.release(handle);
     swarms_.clear();
     postings_.clear();
+    // A restarted DN typically refills to a fraction of its pre-crash peak
+    // (warm-up swarms are gone); drop the empty tables' storage too.
+    swarms_.shrink_to_fit();
+    postings_.shrink_to_fit();
     live_entries_ = 0;
 }
 
 int Directory::audit_consistency() const {
     int violations = 0;
-    // Every posting must resolve to a live swarm entry for that GUID.
+    // Every posting must resolve to a live swarm entry for that GUID, and
+    // the handle must agree with the swarms_ index for the swarm's object.
     std::size_t posted = 0;
-    for (const auto& [guid, objects] : postings_) {
-        for (const ObjectId object : objects) {
+    for (const auto& [guid, handles] : postings_) {
+        for (const SwarmHandle handle : handles) {
             ++posted;
-            const Swarm* swarm = find_swarm(object);
-            const std::uint32_t* idx = swarm == nullptr ? nullptr : swarm->by_guid.find_value(guid);
-            if (idx == nullptr || !swarm->entries[*idx].alive) ++violations;
+            if (!swarm_pool_.valid(handle)) {
+                ++violations;
+                continue;
+            }
+            const Swarm& swarm = swarm_pool_.get(handle);
+            const SwarmHandle* indexed = swarms_.find_value(swarm.object);
+            if (indexed == nullptr || !(*indexed == handle)) ++violations;
+            const std::uint32_t* idx = swarm.by_guid.find_value(guid);
+            if (idx == nullptr || !swarm.entries[*idx].alive) ++violations;
         }
     }
     // The counter, the postings, and a full swarm walk must agree.
@@ -128,8 +145,8 @@ int Directory::audit_consistency() const {
 }
 
 void Directory::for_each_registration(const std::function<void(Guid, ObjectId)>& fn) const {
-    for (const auto& [guid, objects] : postings_)
-        for (const ObjectId object : objects) fn(guid, object);
+    for (const auto& [guid, handles] : postings_)
+        for (const SwarmHandle handle : handles) fn(guid, swarm_pool_.get(handle).object);
 }
 
 Directory::Swarm* Directory::find_swarm(ObjectId object) {

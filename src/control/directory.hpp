@@ -136,6 +136,9 @@ private:
         FlatHashMap<std::uint16_t, Bucket> by_country;   // CountryId value
         FlatHashMap<std::uint8_t, Bucket> by_continent;  // Continent
         Bucket world;
+        /// The object this swarm indexes — lets a 4-byte posting handle
+        /// resolve back to the 16-byte ObjectId without a map lookup.
+        ObjectId object;
         std::uint32_t dead = 0;
 
         void compact();
@@ -148,6 +151,8 @@ private:
     [[nodiscard]] const Swarm* find_swarm(ObjectId object) const;
     /// Marks one registration dead; compacts/releases per the shared policy.
     void kill_registration(ObjectId object, Guid guid, bool drop_posting);
+    /// Same, addressed by swarm handle (the remove_peer fast path).
+    void kill_by_handle(SwarmHandle handle, Guid guid, bool drop_posting);
 
     /// Walks a bucket round-robin and returns the next acceptable entry.
     template <typename Key>
@@ -162,11 +167,15 @@ private:
 
     FlatHashMap<ObjectId, SwarmHandle> swarms_;
     arena::Pool<Swarm> swarm_pool_;
-    /// guid → objects it currently has registered here (unordered within).
-    FlatHashMap<Guid, std::vector<ObjectId>> postings_;
+    /// guid → 32-bit handles of the swarms it is registered in (unordered
+    /// within a guid). Handles instead of ObjectIds quarter the per-posting
+    /// footprint (4 B vs 16 B) and skip the swarms_ lookup on removal; a
+    /// posting handle stays valid exactly as long as the registration lives,
+    /// because a swarm is only parked when its last registration goes.
+    FlatHashMap<Guid, std::vector<SwarmHandle>> postings_;
     std::size_t live_entries_ = 0;
 
-    std::vector<ObjectId> remove_scratch_;       // remove_peer working set
+    std::vector<SwarmHandle> remove_scratch_;    // remove_peer working set
     mutable std::vector<Guid> chosen_scratch_;   // select_into dedup set
 };
 

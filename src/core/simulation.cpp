@@ -206,6 +206,17 @@ void Simulation::register_metrics() {
     });
     metrics_registry_.add_computed("mem.client_table_load",
                                    [this] { return registry_.table_load_factor(); });
+    // Hibernation accounting (PR 9): how much of the population is demoted to
+    // the cold arena, and what it costs there.
+    metrics_registry_.add_computed("mem.cold_bytes_reserved", [this] {
+        return static_cast<double>(registry_.cold().bytes_reserved());
+    });
+    metrics_registry_.add_computed("mem.cold_bytes_live", [this] {
+        return static_cast<double>(registry_.cold().bytes_live());
+    });
+    metrics_registry_.add_computed("mem.cold_records", [this] {
+        return static_cast<double>(registry_.cold().records());
+    });
 
 #if NS_AUDIT_ENABLED
     // Registered last, and only in audit builds: default-build metric ids

@@ -147,6 +147,7 @@ public:
     [[nodiscard]] control::ControlPlane& control_plane() noexcept { return *plane_; }
     [[nodiscard]] accounting::AccountingService& accounting() noexcept { return accounting_; }
     [[nodiscard]] workload::UserDriver& driver() noexcept { return *driver_; }
+    [[nodiscard]] peer::PeerRegistry& registry() noexcept { return registry_; }
     [[nodiscard]] fault::FaultEngine& faults() noexcept { return *fault_engine_; }
     [[nodiscard]] const workload::CatalogBundle& bundle() const noexcept { return *bundle_; }
     [[nodiscard]] const SimulationConfig& config() const noexcept { return config_; }

@@ -38,10 +38,9 @@ HostId FlowNetwork::add_host(Rate up, Rate down) {
 }
 
 const FlowNetwork::Flow* FlowNetwork::find(FlowId id) const {
-    const auto slot = static_cast<std::uint32_t>(id.value & 0xFFFFFFFFu);
-    const auto gen = static_cast<std::uint32_t>(id.value >> 32) - 1;  // see make_id
-    if (slot >= flow_pool_.slot_count() || !flow_pool_.is_live(slot) ||
-        flow_pool_.generation(slot) != gen)
+    const std::uint32_t slot = id.slot();
+    if (!id.valid() || slot >= flow_pool_.slot_count() || !flow_pool_.is_live(slot) ||
+        flow_pool_.generation(slot) != id.generation())
         return nullptr;
     const Flow& f = flow_at(slot);
     return f.active ? &f : nullptr;
@@ -87,7 +86,7 @@ FlowId FlowNetwork::start_flow(HostId src, HostId dst, Bytes size, Rate cap,
 
     // LIFO slot reuse with stable addresses; the generation lives in the
     // pool and is already bumped past any stale FlowId.
-    const std::uint32_t slot = flow_pool_.acquire().slot;
+    const std::uint32_t slot = flow_pool_.acquire().slot();
     Flow& f = flow_at(slot);
     f = Flow{};
     f.src = src;
@@ -132,7 +131,7 @@ FlowId FlowNetwork::start_flow(HostId src, HostId dst, Bytes size, Rate cap,
 Bytes FlowNetwork::cancel_flow(FlowId id) {
     Flow* f = find(id);
     if (f == nullptr) return 0;
-    const auto slot = static_cast<std::uint32_t>(id.value & 0xFFFFFFFFu);
+    const std::uint32_t slot = id.slot();
     settle(slot);
     const auto moved = static_cast<Bytes>(std::llround(f->done));
     total_delivered_ += moved;
@@ -147,7 +146,7 @@ bool FlowNetwork::active(FlowId id) const { return find(id) != nullptr; }
 Bytes FlowNetwork::transferred(FlowId id) {
     Flow* f = find(id);
     if (f == nullptr) return 0;
-    settle(static_cast<std::uint32_t>(id.value & 0xFFFFFFFFu));
+    settle(id.slot());
     return static_cast<Bytes>(std::llround(f->done));
 }
 

@@ -56,9 +56,20 @@ namespace netsession::net {
 inline constexpr Rate kUnlimited = std::numeric_limits<double>::infinity();
 
 /// Identifies a flow; stale ids (after completion/cancel) are safely ignored.
+/// Packed 32-bit: pool slot in the low 20 bits, (generation + 1) in the high
+/// 12 — the same diet as arena::PoolHandle, so structures that store flow ids
+/// densely (peer sources, adjacency mirrors) stay compact. The all-zero value
+/// remains the invalid sentinel because a live id always carries gen + 1 >= 1.
 struct FlowId {
-    std::uint64_t value = 0;
+    static constexpr std::uint32_t kSlotBits = 20;
+    static constexpr std::uint32_t kSlotMask = (1u << kSlotBits) - 1;
+
+    std::uint32_t value = 0;
     [[nodiscard]] bool valid() const noexcept { return value != 0; }
+    [[nodiscard]] constexpr std::uint32_t slot() const noexcept { return value & kSlotMask; }
+    [[nodiscard]] constexpr std::uint32_t generation() const noexcept {
+        return (value >> kSlotBits) - 1;  // callers must check valid() first
+    }
     friend constexpr auto operator<=>(const FlowId&, const FlowId&) = default;
 };
 
@@ -215,8 +226,7 @@ private:
     /// Slot generations live in the pool; FlowId packs (generation + 1) so
     /// the all-zero id stays the invalid sentinel for slot 0 / generation 0.
     [[nodiscard]] FlowId make_id(std::uint32_t slot) const {
-        return FlowId{((static_cast<std::uint64_t>(flow_pool_.generation(slot)) + 1) << 32) |
-                      slot};
+        return FlowId{((flow_pool_.generation(slot) + 1u) << FlowId::kSlotBits) | slot};
     }
     [[nodiscard]] Flow& flow_at(std::uint32_t slot) { return flow_pool_.at_slot(slot); }
     [[nodiscard]] const Flow& flow_at(std::uint32_t slot) const {

@@ -65,6 +65,12 @@ struct ClientConfig {
     /// start (the user can also resume explicitly, §3.3).
     bool resume_on_start = false;
 
+    /// Whether an offline client demotes its state into the registry's
+    /// ColdStore (a few hundred bytes) instead of staying fully resident.
+    /// Purely a memory-layout knob — traces are byte-identical either way
+    /// (NS_NO_HIBERNATE=1 clears it; the differential suite relies on that).
+    bool hibernate_offline = true;
+
     // --- failure hardening (§3.8: graceful degradation) ---------------------
 
     /// Stall-watchdog period per active download. Stalls are detected by

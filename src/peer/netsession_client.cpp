@@ -27,17 +27,286 @@ NetSessionClient::NetSessionClient(net::World& world, control::ControlPlane& pla
       registry_(&registry),
       guid_(guid),
       host_(host),
-      config_(config),
-      rng_(rng),
+      config_(registry.intern_config(config)),
       uploads_enabled_(config.uploads_enabled),
       version_(config.software_version),
       reconnect_delay_s_(config.reconnect_base_s),
-      base_up_(world.flows().up_capacity(host)) {
+      base_up_(world.flows().up_capacity(host)),
+      res_(std::make_unique<Resident>()) {
+    res_->rng = rng;
     registry_->add(guid_, this);
+    // Clients are born offline; with hibernation on, the (nearly empty)
+    // resident block is demoted immediately, so constructing a 1M-peer
+    // population never holds more than one resident client at a time.
+    if (config_->hibernate_offline) hibernate();
 }
 
 NetSessionClient::~NetSessionClient() {
+    registry_->cold().free(cold_blob_);
     if (registry_->find(guid_) == this) registry_->remove(guid_);
+}
+
+// --- hibernation -------------------------------------------------------------
+//
+// Cold blob layout, in write order (all fields trivially copyable; counts are
+// u32; raw pointers are stored verbatim — this is an in-memory snapshot, not
+// a disk format). The cache section comes first so the auditor's per-tick
+// has_cached() probes stay O(cache entries):
+//   Rng::State
+//   cache:              n × { ObjectId, SimTime cached_at }
+//   chain:              n × SecondaryGuid
+//   source_failures:    n × { Guid, int strikes }
+//   blacklist:          n × { Guid, SimTime expiry }
+//   uploaded_per_object n × { ObjectId, Bytes }
+//   pending reports:    n × { DownloadRecord, m × TransferRecord }
+//   downloads:          n × { ObjectId, CatalogEntry*, EdgeServer*, epoch,
+//                             edge_attempt, bytes_infra, bytes_peers,
+//                             start_time, peers_initially_returned,
+//                             corrupt_pieces, u8 sequential, u32 piece_count,
+//                             ⌈pieces/64⌉ × u64 have-bitmap,
+//                             m × { Guid, IpAddr, Bytes } per-source ledger }
+// Everything stop()/crash() already cleared (sources, attempted handshakes,
+// tokens, watchdogs) is omitted: hibernation only happens while offline, and
+// every download is paused with its transfers torn down.
+
+namespace {
+
+void skip_counted(ColdReader& rd, std::size_t elem_bytes) {
+    const auto n = rd.get<std::uint32_t>();
+    rd.skip<std::uint8_t>(static_cast<std::size_t>(n) * elem_bytes);
+}
+
+/// Positions a fresh blob reader at the downloads section.
+void skip_to_cold_downloads(ColdReader& rd) {
+    rd.skip<Rng::State>(1);
+    skip_counted(rd, sizeof(ObjectId) + sizeof(sim::SimTime));      // cache
+    skip_counted(rd, sizeof(SecondaryGuid));                        // chain
+    skip_counted(rd, sizeof(Guid) + sizeof(int));                   // source_failures
+    skip_counted(rd, sizeof(Guid) + sizeof(sim::SimTime));          // blacklist
+    skip_counted(rd, sizeof(ObjectId) + sizeof(Bytes));             // uploaded_per_object
+    const auto pending = rd.get<std::uint32_t>();
+    for (std::uint32_t i = 0; i < pending; ++i) {
+        rd.skip<trace::DownloadRecord>(1);
+        skip_counted(rd, sizeof(trace::TransferRecord));
+    }
+}
+
+/// The fixed POD prefix of one cold download entry.
+struct ColdDownloadHead {
+    ObjectId object;
+    const edge::CatalogEntry* entry;
+    edge::EdgeServer* edge;
+    std::uint32_t epoch;
+    std::uint32_t edge_attempt;
+    Bytes bytes_infra;
+    Bytes bytes_peers;
+    sim::SimTime start_time;
+    int peers_initially_returned;
+    int corrupt_pieces;
+    bool sequential;
+};
+
+ColdDownloadHead read_cold_download_head(ColdReader& rd) {
+    ColdDownloadHead h;
+    h.object = rd.get<ObjectId>();
+    h.entry = rd.get<const edge::CatalogEntry*>();
+    h.edge = rd.get<edge::EdgeServer*>();
+    h.epoch = rd.get<std::uint32_t>();
+    h.edge_attempt = rd.get<std::uint32_t>();
+    h.bytes_infra = rd.get<Bytes>();
+    h.bytes_peers = rd.get<Bytes>();
+    h.start_time = rd.get<sim::SimTime>();
+    h.peers_initially_returned = rd.get<int>();
+    h.corrupt_pieces = rd.get<int>();
+    h.sequential = rd.get<std::uint8_t>() != 0;
+    return h;
+}
+
+}  // namespace
+
+void NetSessionClient::write_cold(ColdWriter& w) const {
+    const Resident& r = *res_;
+    w.put(r.rng.state());
+    w.put(static_cast<std::uint32_t>(r.cache.size()));
+    for (const auto& [object, when] : r.cache) {
+        w.put(object);
+        w.put(when);
+    }
+    w.put_counted(r.chain.data(), r.chain.size());
+    w.put(static_cast<std::uint32_t>(r.source_failures.size()));
+    for (const auto& [guid, strikes] : r.source_failures) {
+        w.put(guid);
+        w.put(strikes);
+    }
+    w.put(static_cast<std::uint32_t>(r.blacklist.size()));
+    for (const auto& [guid, expiry] : r.blacklist) {
+        w.put(guid);
+        w.put(expiry);
+    }
+    w.put(static_cast<std::uint32_t>(r.uploaded_per_object.size()));
+    for (const auto& [object, bytes] : r.uploaded_per_object) {
+        w.put(object);
+        w.put(bytes);
+    }
+    w.put(static_cast<std::uint32_t>(r.pending.size()));
+    for (const auto& [record, transfers] : r.pending) {
+        w.put(record);
+        w.put_counted(transfers.data(), transfers.size());
+    }
+    w.put(static_cast<std::uint32_t>(r.downloads.size()));
+    for (const auto& [object, handle] : r.downloads) {
+        const Download& d = registry_->downloads().get(handle);
+        // Offline invariants stop()/crash() established; the blob relies on
+        // them (nothing transfer-related is serialized).
+        assert(d.paused && !d.edge_transferring && d.sources.empty() &&
+               d.open_attempts.empty() && d.pending_attempts == 0);
+        w.put(object);
+        w.put(d.entry);
+        w.put(d.edge);
+        w.put(d.epoch);
+        w.put(d.edge_attempt);
+        w.put(d.bytes_infra);
+        w.put(d.bytes_peers);
+        w.put(d.start_time);
+        w.put(d.peers_initially_returned);
+        w.put(d.corrupt_pieces);
+        w.put(static_cast<std::uint8_t>(d.options.sequential ? 1 : 0));
+        const auto pieces = static_cast<std::uint32_t>(d.have.size());
+        w.put(pieces);
+        std::uint64_t word = 0;
+        for (std::uint32_t i = 0; i < pieces; ++i) {
+            if (d.have.has(i)) word |= std::uint64_t{1} << (i % 64);
+            if (i % 64 == 63) {
+                w.put(word);
+                word = 0;
+            }
+        }
+        if (pieces % 64 != 0) w.put(word);
+        w.put(static_cast<std::uint32_t>(d.per_source_bytes.size()));
+        for (const auto& [from, detail] : d.per_source_bytes) {
+            w.put(from);
+            w.put(detail.first);
+            w.put(detail.second);
+        }
+    }
+}
+
+void NetSessionClient::hibernate() {
+    if (running_ || res_ == nullptr) return;
+    if (!config_->hibernate_offline) return;  // NS_NO_HIBERNATE escape hatch
+
+    // Park the per-download callbacks shell-side (non-POD; the blob holds
+    // raw bytes only), in downloads-map insertion order.
+    cold_aux_.clear();
+    for (const auto& [object, handle] : res_->downloads) {
+        Download& d = registry_->downloads().get(handle);
+        cold_aux_.push_back(ColdAux{std::move(d.on_finish), std::move(d.options.on_piece)});
+    }
+
+    ColdWriter& w = registry_->cold_writer();
+    w.clear();
+    write_cold(w);
+    cold_blob_ = registry_->cold().store(w.data(), w.size());
+
+    // The pooled Download slots go back to the pool — a hibernated client
+    // holds no arena slots (the auditor's accounting depends on this).
+    for (const auto& [object, handle] : res_->downloads) registry_->downloads().release(handle);
+    res_.reset();
+}
+
+void NetSessionClient::ensure_resident() {
+    if (res_ != nullptr) return;
+    res_ = std::make_unique<Resident>();
+    Resident& r = *res_;
+    ColdReader rd(registry_->cold().data(cold_blob_), cold_blob_.size);
+    r.rng.restore(rd.get<Rng::State>());
+    const auto ncache = rd.get<std::uint32_t>();
+    for (std::uint32_t i = 0; i < ncache; ++i) {
+        const auto object = rd.get<ObjectId>();
+        const auto when = rd.get<sim::SimTime>();
+        r.cache[object] = when;
+    }
+    const auto nchain = rd.get<std::uint32_t>();
+    r.chain.reserve(nchain);
+    for (std::uint32_t i = 0; i < nchain; ++i) r.chain.push_back(rd.get<SecondaryGuid>());
+    const auto nfail = rd.get<std::uint32_t>();
+    for (std::uint32_t i = 0; i < nfail; ++i) {
+        const auto guid = rd.get<Guid>();
+        const auto strikes = rd.get<int>();
+        r.source_failures[guid] = strikes;
+    }
+    const auto nban = rd.get<std::uint32_t>();
+    for (std::uint32_t i = 0; i < nban; ++i) {
+        const auto guid = rd.get<Guid>();
+        const auto expiry = rd.get<sim::SimTime>();
+        r.blacklist[guid] = expiry;
+    }
+    const auto nup = rd.get<std::uint32_t>();
+    for (std::uint32_t i = 0; i < nup; ++i) {
+        const auto object = rd.get<ObjectId>();
+        const auto bytes = rd.get<Bytes>();
+        r.uploaded_per_object[object] = bytes;
+    }
+    const auto npending = rd.get<std::uint32_t>();
+    r.pending.reserve(npending);
+    for (std::uint32_t i = 0; i < npending; ++i) {
+        const auto record = rd.get<trace::DownloadRecord>();
+        const auto ntr = rd.get<std::uint32_t>();
+        std::vector<trace::TransferRecord> transfers;
+        transfers.reserve(ntr);
+        for (std::uint32_t t = 0; t < ntr; ++t)
+            transfers.push_back(rd.get<trace::TransferRecord>());
+        r.pending.emplace_back(record, std::move(transfers));
+    }
+    const auto ndl = rd.get<std::uint32_t>();
+    auto& pool = registry_->downloads();
+    for (std::uint32_t i = 0; i < ndl; ++i) {
+        const ColdDownloadHead head = read_cold_download_head(rd);
+        const DownloadHandle handle = pool.acquire();
+        Download& d = pool.get(handle);
+        d.reset();
+        d.entry = head.entry;
+        d.edge = head.edge;
+        d.epoch = head.epoch;  // stale pre-hibernation callbacks must still miss
+        d.edge_attempt = head.edge_attempt;
+        d.bytes_infra = head.bytes_infra;
+        d.bytes_peers = head.bytes_peers;
+        d.start_time = head.start_time;
+        d.peers_initially_returned = head.peers_initially_returned;
+        d.corrupt_pieces = head.corrupt_pieces;
+        d.options.sequential = head.sequential;
+        d.on_finish = std::move(cold_aux_[i].on_finish);
+        d.options.on_piece = std::move(cold_aux_[i].on_piece);
+        const auto pieces = rd.get<std::uint32_t>();
+        d.have.reset(pieces);
+        d.full.reset_full(pieces);
+        d.picker.reset(pieces);
+        for (std::uint32_t base = 0; base < pieces; base += 64) {
+            const auto word = rd.get<std::uint64_t>();
+            const std::uint32_t top = std::min(pieces - base, 64u);
+            for (std::uint32_t b = 0; b < top; ++b)
+                if ((word >> b) & 1u) d.have.set(base + b);
+        }
+        d.paused = true;
+        const auto nsrc = rd.get<std::uint32_t>();
+        for (std::uint32_t s = 0; s < nsrc; ++s) {
+            const auto from = rd.get<Guid>();
+            const auto ip = rd.get<net::IpAddr>();
+            const auto bytes = rd.get<Bytes>();
+            auto& [slot_ip, slot_total] = d.per_source_bytes[from];
+            slot_ip = ip;
+            slot_total = bytes;
+        }
+        r.downloads[head.object] = handle;
+    }
+    assert(rd.done());
+    cold_aux_.clear();
+    registry_->cold().free(cold_blob_);
+    cold_blob_ = ColdStore::BlobRef{};
+    // Upload-ledger deltas that raced hibernation (the ledger is lookup-only,
+    // so folding them in late is unobservable).
+    for (const auto& [object, bytes] : cold_uploaded_) r.uploaded_per_object[object] += bytes;
+    cold_uploaded_.clear();
 }
 
 control::PeerDescriptor NetSessionClient::descriptor() const {
@@ -53,33 +322,68 @@ control::LoginInfo NetSessionClient::make_login_info() const {
     info.software_version = version_;
     info.uploads_enabled = uploads_enabled_;
     // Last five secondary GUIDs, newest first (§6.2).
-    for (std::size_t i = 0; i < info.secondary_guids.size() && i < chain_.size(); ++i)
-        info.secondary_guids[i] = chain_[chain_.size() - 1 - i];
+    for (std::size_t i = 0; i < info.secondary_guids.size() && i < res_->chain.size(); ++i)
+        info.secondary_guids[i] = res_->chain[res_->chain.size() - 1 - i];
     info.cached_objects = cached_objects();
     return info;
 }
 
 std::vector<ObjectId> NetSessionClient::cached_objects() const {
     std::vector<ObjectId> out;
-    out.reserve(cache_.size());
-    for (const auto& [object, when] : cache_) out.push_back(object);
+    if (res_ != nullptr) {
+        out.reserve(res_->cache.size());
+        for (const auto& [object, when] : res_->cache) out.push_back(object);
+        return out;
+    }
+    if (!cold_blob_.valid()) return out;
+    ColdReader rd(registry_->cold().data(cold_blob_), cold_blob_.size);
+    rd.skip<Rng::State>(1);
+    const auto n = rd.get<std::uint32_t>();
+    const sim::SimTime now = world_->simulator().now();
+    for (std::uint32_t i = 0; i < n; ++i) {
+        const auto object = rd.get<ObjectId>();
+        const auto when = rd.get<sim::SimTime>();
+        // Retention expiry is applied lazily on cold entries (their eviction
+        // timers no-op while hibernated), mirroring the timer's cutoff.
+        if (now - when < config_->cache_retention) out.push_back(object);
+    }
     return out;
+}
+
+bool NetSessionClient::has_cached(ObjectId object) const {
+    if (res_ != nullptr) return res_->cache.contains(object);
+    if (!cold_blob_.valid()) return false;
+    ColdReader rd(registry_->cold().data(cold_blob_), cold_blob_.size);
+    rd.skip<Rng::State>(1);
+    const auto n = rd.get<std::uint32_t>();
+    const sim::SimTime now = world_->simulator().now();
+    for (std::uint32_t i = 0; i < n; ++i) {
+        const auto cached = rd.get<ObjectId>();
+        const auto when = rd.get<sim::SimTime>();
+        if (cached == object) return now - when < config_->cache_retention;
+    }
+    return false;
 }
 
 // --- lifecycle ---------------------------------------------------------------
 
 void NetSessionClient::start() {
     if (running_) return;
+    ensure_resident();
     running_ = true;
     // A fresh secondary GUID is chosen every time the software starts (§6.2).
-    chain_.push_back(SecondaryGuid{rng_.next(), rng_.next()});
+    res_->chain.push_back(SecondaryGuid{res_->rng.next(), res_->rng.next()});
 
-    // Lazy cache eviction for retention that elapsed while offline.
+    // Lazy cache eviction for retention that elapsed while offline. The >=
+    // mirrors the eviction timer's cutoff exactly (the timer fires at
+    // cached_at + retention and evicts there), so a hibernated client — whose
+    // timers no-op while it is demoted — converges to the same cache content
+    // as a resident one the moment it comes back.
     const auto now = world_->simulator().now();
-    evict_scratch_.clear();
-    for (const auto& [object, when] : cache_)
-        if (now - when > config_.cache_retention) evict_scratch_.push_back(object);
-    for (const auto object : evict_scratch_) cache_.erase(object);
+    res_->evict_scratch.clear();
+    for (const auto& [object, when] : res_->cache)
+        if (now - when >= config_->cache_retention) res_->evict_scratch.push_back(object);
+    for (const auto object : res_->evict_scratch) res_->cache.erase(object);
 
     // Connectivity discovery, then the persistent control connection. The
     // probe can be silently lost (STUN blackout, partition); a timeout makes
@@ -94,7 +398,7 @@ void NetSessionClient::start() {
         conservative_nat_ = false;  // fresh, authoritative classification
         if (was_pending) connect_control_plane();
     });
-    world_->simulator().schedule_after(sim::seconds(config_.stun_timeout_s), [this, attempt] {
+    world_->simulator().schedule_after(sim::seconds(config_->stun_timeout_s), [this, attempt] {
         if (!running_ || attempt != stun_attempt_ || !stun_pending_) return;
         stun_pending_ = false;
         conservative_nat_ = true;
@@ -102,8 +406,8 @@ void NetSessionClient::start() {
         connect_control_plane();
     });
 
-    if (config_.resume_on_start)
-        for (const auto& [object, handle] : downloads_)
+    if (config_->resume_on_start)
+        for (const auto& [object, handle] : res_->downloads)
             if (registry_->downloads().get(handle).paused) resume_download(object);
 }
 
@@ -112,7 +416,7 @@ void NetSessionClient::stop() {
     running_ = false;
 
     // Active downloads pause; they can be continued later (§3.3).
-    for (const auto& [object, handle] : downloads_) {
+    for (const auto& [object, handle] : res_->downloads) {
         Download& d = registry_->downloads().get(handle);
         if (!d.paused) {
             d.paused = true;
@@ -120,15 +424,15 @@ void NetSessionClient::stop() {
         }
     }
     // Downloads we were serving break off.
-    for (const auto& [downloader, object] : upload_conns_) {
+    for (const auto& [downloader, object] : res_->upload_conns) {
         if (NetSessionClient* remote = registry_->find(downloader)) {
             const Guid self = guid_;
             world_->send(host_, remote->host(),
                          [remote, self, object] { remote->on_source_lost(self, object); });
         }
     }
-    upload_conns_.clear();
-    introductions_.clear();
+    res_->upload_conns.clear();
+    res_->introductions.clear();
 
     if (cn_ != nullptr) {
         control::ConnectionNode* cn = cn_;
@@ -146,15 +450,15 @@ void NetSessionClient::crash() {
     // Downloads pause exactly as on a clean stop (resumable on disk), but
     // nothing is announced: no goodbyes to transfer partners, no CN logout —
     // the session just goes stale server-side.
-    for (const auto& [object, handle] : downloads_) {
+    for (const auto& [object, handle] : res_->downloads) {
         Download& d = registry_->downloads().get(handle);
         if (!d.paused) {
             d.paused = true;
             stop_transfers(d, /*notify_remotes=*/false);
         }
     }
-    upload_conns_.clear();
-    introductions_.clear();
+    res_->upload_conns.clear();
+    res_->introductions.clear();
     // Everything still moving through this host — chiefly uploads we were
     // serving — dies with the machine; downloaders' watchdogs must notice.
     world_->drop_host_flows(host_);
@@ -187,7 +491,7 @@ void NetSessionClient::connect_control_plane() {
     });
     // Request or reply may be lost outright (CN died mid-handshake, network
     // partition); without this timeout login_in_flight_ would wedge forever.
-    world_->simulator().schedule_after(sim::seconds(config_.login_timeout_s), [this, attempt] {
+    world_->simulator().schedule_after(sim::seconds(config_->login_timeout_s), [this, attempt] {
         if (attempt != login_attempt_ || !login_in_flight_) return;
         login_in_flight_ = false;
         note_degradation(trace::DegradationKind::login_timeout);
@@ -208,7 +512,7 @@ void NetSessionClient::on_login_ok(control::ConnectionNode* cn, std::uint32_t at
     }
     login_in_flight_ = false;
     cn_ = cn;
-    reconnect_delay_s_ = config_.reconnect_base_s;
+    reconnect_delay_s_ = config_->reconnect_base_s;
     flush_pending_reports();
     kick_downloads();
 }
@@ -223,8 +527,8 @@ void NetSessionClient::schedule_reconnect() {
     if (!running_) return;
     // Exponential backoff with jitter keeps reconnection storms smooth when
     // a CN dies with >150k peers attached (§3.8).
-    const double delay = reconnect_delay_s_ * (1.0 + rng_.uniform());
-    reconnect_delay_s_ = std::min(reconnect_delay_s_ * 2.0, config_.reconnect_max_s);
+    const double delay = reconnect_delay_s_ * (1.0 + res_->rng.uniform());
+    reconnect_delay_s_ = std::min(reconnect_delay_s_ * 2.0, config_->reconnect_max_s);
     world_->simulator().schedule_after(sim::seconds(delay), [this] {
         if (running_ && cn_ == nullptr) connect_control_plane();
     });
@@ -237,20 +541,20 @@ void NetSessionClient::on_disconnected() {
 
 void NetSessionClient::on_re_add_request() {
     if (!running_ || cn_ == nullptr || !uploads_enabled_) return;
-    for (const auto& [object, when] : cache_) announce_object(object, /*readd=*/true);
+    for (const auto& [object, when] : res_->cache) announce_object(object, /*readd=*/true);
 }
 
 void NetSessionClient::on_introduction(const control::PeerDescriptor& downloader,
                                        ObjectId object) {
     if (!running_) return;
-    introductions_.insert(intro_key(downloader.guid, object));
+    res_->introductions.insert(intro_key(downloader.guid, object));
 }
 
 void NetSessionClient::on_upgrade_available(std::uint32_t version) {
     if (version <= version_) return;
     // Automated background upgrade, spread over several minutes so the
     // whole population does not restart at once (§3.8).
-    const double delay_s = rng_.uniform(30.0, 900.0);
+    const double delay_s = res_->rng.uniform(30.0, 900.0);
     world_->simulator().schedule_after(sim::seconds(delay_s), [this, version] {
         if (version > version_) version_ = version;
     });
@@ -269,9 +573,9 @@ void NetSessionClient::begin_download(ObjectId object, DownloadCallback on_finis
         resume_download(object);
         return;
     }
-    if (cache_.contains(object)) {
+    if (res_->cache.contains(object)) {
         // Stale copy: the DLM re-downloads (versions must not mix, §3.5).
-        cache_.erase(object);
+        res_->cache.erase(object);
         withdraw_object(object);
     }
 
@@ -291,7 +595,7 @@ void NetSessionClient::begin_download(ObjectId object, DownloadCallback on_finis
     d.on_finish = std::move(on_finish);
     d.options = std::move(options);
     const std::uint32_t epoch = d.epoch;
-    downloads_[object] = handle;
+    res_->downloads[object] = handle;
 
     request_from_edge(object);
     schedule_watchdog(object);
@@ -312,8 +616,23 @@ void NetSessionClient::begin_download(ObjectId object, DownloadCallback on_finis
 
 std::vector<ObjectId> NetSessionClient::paused_downloads() const {
     std::vector<ObjectId> out;
-    for (const auto& [object, handle] : downloads_)
-        if (registry_->downloads().get(handle).paused) out.push_back(object);
+    if (res_ != nullptr) {
+        for (const auto& [object, handle] : res_->downloads)
+            if (registry_->downloads().get(handle).paused) out.push_back(object);
+        return out;
+    }
+    // Hibernated: every cold download is paused by construction.
+    if (!cold_blob_.valid()) return out;
+    ColdReader rd(registry_->cold().data(cold_blob_), cold_blob_.size);
+    skip_to_cold_downloads(rd);
+    const auto n = rd.get<std::uint32_t>();
+    for (std::uint32_t i = 0; i < n; ++i) {
+        const ColdDownloadHead head = read_cold_download_head(rd);
+        const auto pieces = rd.get<std::uint32_t>();
+        rd.skip<std::uint64_t>((pieces + 63) / 64);
+        skip_counted(rd, sizeof(Guid) + sizeof(net::IpAddr) + sizeof(Bytes));
+        out.push_back(head.object);
+    }
     return out;
 }
 
@@ -356,14 +675,19 @@ void NetSessionClient::resume_download(ObjectId object) {
 }
 
 void NetSessionClient::abort_download(ObjectId object, trace::DownloadOutcome outcome) {
-    if (!downloads_.contains(object)) return;
-    finish_download(object, outcome);
+    // Aborting while hibernated (a workload cancel event landing on an
+    // offline user) wakes the client just long enough to finish the record,
+    // then demotes it again.
+    const bool was_hibernated = hibernated();
+    ensure_resident();
+    if (res_->downloads.contains(object)) finish_download(object, outcome);
+    if (was_hibernated) hibernate();
 }
 
 void NetSessionClient::kick_downloads() {
     std::vector<ObjectId> objects;
-    objects.reserve(downloads_.size());
-    for (const auto& [object, handle] : downloads_)
+    objects.reserve(res_->downloads.size());
+    for (const auto& [object, handle] : res_->downloads)
         if (!registry_->downloads().get(handle).paused) objects.push_back(object);
     for (const auto object : objects) {
         Download* d = find_download(object);
@@ -392,7 +716,7 @@ void NetSessionClient::request_from_edge(ObjectId object) {
                 break;
             }
     } else {
-        piece = d.picker.pick_from_edge(d.have, rng_);
+        piece = d.picker.pick_from_edge(d.have, res_->rng);
     }
     if (!piece) return;  // everything left is in flight from peers
     if (!d.options.sequential) d.picker.set_in_flight(*piece, true);
@@ -427,12 +751,12 @@ void NetSessionClient::on_edge_piece(ObjectId object, std::uint32_t epoch, std::
     d.edge_retry_delay_s = 0;  // the edge path works again; reset the backoff
     if (!d.options.sequential) d.picker.set_in_flight(piece, false);
 
-    if (rng_.chance(config_.corruption_prob_edge)) digest = corrupted(digest);
+    if (res_->rng.chance(config_->corruption_prob_edge)) digest = corrupted(digest);
     if (!d.entry->object.verify(piece, digest)) {
         ++d.corrupt_pieces;
         NS_OBS_INC_P(metrics_, corrupt_pieces);
         plane_->monitoring().report_problem(guid_, control::ProblemKind::piece_corruption);
-        if (d.corrupt_pieces > config_.max_corrupt_pieces) {
+        if (d.corrupt_pieces > config_->max_corrupt_pieces) {
             finish_download(object, trace::DownloadOutcome::failed_system);
             return;
         }
@@ -475,7 +799,7 @@ void NetSessionClient::query_for_peers(ObjectId object) {
     });
     // The query or its reply can be lost (CN failure mid-request, partition);
     // clear the outstanding flag so later re-queries are not blocked forever.
-    world_->simulator().schedule_after(sim::seconds(config_.query_timeout_s),
+    world_->simulator().schedule_after(sim::seconds(config_->query_timeout_s),
                                        [this, object, epoch] {
                                            Download* dl = find_download(object);
                                            if (dl == nullptr || dl->epoch != epoch ||
@@ -501,11 +825,11 @@ void NetSessionClient::on_query_reply(ObjectId object, std::uint32_t epoch,
     // ("additional queries are issued until a sufficient number of peer
     // connections succeed", §3.7). `d` is still valid — pool addresses are
     // stable and attempt_connection never finishes a download synchronously.
-    if (static_cast<int>(d.sources.size()) + d.pending_attempts < config_.target_peer_sources &&
-        d.additional_queries < config_.max_additional_queries) {
+    if (static_cast<int>(d.sources.size()) + d.pending_attempts < config_->target_peer_sources &&
+        d.additional_queries < config_->max_additional_queries) {
         ++d.additional_queries;
         const std::uint32_t requery_epoch = d.epoch;
-        world_->simulator().schedule_after(sim::seconds(config_.requery_interval_s),
+        world_->simulator().schedule_after(sim::seconds(config_->requery_interval_s),
                                            [this, object, requery_epoch] {
                                                Download* dl = find_download(object);
                                                if (dl == nullptr || dl->epoch != requery_epoch)
@@ -521,7 +845,7 @@ void NetSessionClient::attempt_connection(ObjectId object, const control::PeerDe
     Download* dp = find_download(object);
     if (dp == nullptr) return;
     Download& d = *dp;
-    if (static_cast<int>(d.sources.size()) + d.pending_attempts >= config_.max_peer_sources)
+    if (static_cast<int>(d.sources.size()) + d.pending_attempts >= config_->max_peer_sources)
         return;
     if (remote.guid == guid_) return;
     if (std::find(d.attempted.begin(), d.attempted.end(), remote.guid) != d.attempted.end())
@@ -550,7 +874,7 @@ void NetSessionClient::attempt_connection(ObjectId object, const control::PeerDe
     // a conservative one (hole punching still usually works, just worse).
     const net::NatType my_nat = conservative_nat_ ? net::NatType::port_restricted
                                                   : world_->host(host_).attach.nat;
-    if (!rng_.chance(net::traversal_success_probability(my_nat, remote.nat))) {
+    if (!res_->rng.chance(net::traversal_success_probability(my_nat, remote.nat))) {
         plane_->monitoring().report_problem(guid_, control::ProblemKind::connect_failure);
         maybe_need_more_sources(object);
         return;
@@ -570,7 +894,7 @@ void NetSessionClient::attempt_connection(ObjectId object, const control::PeerDe
     });
     // The handshake (or its answer) can be lost; reclaim the pending slot so
     // source accounting does not leak and re-queries stay possible.
-    world_->simulator().schedule_after(sim::seconds(config_.query_timeout_s),
+    world_->simulator().schedule_after(sim::seconds(config_->query_timeout_s),
                                        [this, object, epoch, seq] {
                                            Download* dl = find_download(object);
                                            if (dl == nullptr || dl->epoch != epoch) return;
@@ -602,7 +926,7 @@ void NetSessionClient::on_connection_result(ObjectId object, std::uint32_t epoch
         maybe_need_more_sources(object);
         return;
     }
-    if (d.paused || static_cast<int>(d.sources.size()) >= config_.max_peer_sources) {
+    if (d.paused || static_cast<int>(d.sources.size()) >= config_->max_peer_sources) {
         if (NetSessionClient* target = registry_->find(remote.guid)) {
             const Guid self = guid_;
             world_->send(host_, remote.host,
@@ -620,8 +944,8 @@ void NetSessionClient::maybe_need_more_sources(ObjectId object) {
     Download& d = *dp;
     if (!running_ || d.paused || cn_ == nullptr || !d.entry->policy.p2p_enabled) return;
     const int live = static_cast<int>(d.sources.size()) + d.pending_attempts;
-    if (live >= config_.target_peer_sources) return;
-    if (d.additional_queries >= config_.max_additional_queries) return;
+    if (live >= config_->target_peer_sources) return;
+    if (d.additional_queries >= config_->max_additional_queries) return;
     if (d.query_outstanding) return;
     ++d.additional_queries;
     query_for_peers(object);
@@ -652,7 +976,7 @@ void NetSessionClient::request_from_source(ObjectId object, Guid source_guid) {
     // the (fast, reliable) edge connection.
     auto piece = d.options.sequential
                      ? d.picker.pick_sequential(d.have, &d.full, /*skip_urgent=*/2)
-                     : d.picker.pick_from_peer(d.have, d.full, rng_);
+                     : d.picker.pick_from_peer(d.have, d.full, res_->rng);
     if (!piece && d.options.sequential) piece = d.picker.pick_sequential(d.have, &d.full);
     if (!piece) return;  // all remaining pieces are in flight; source idles
     d.picker.set_in_flight(*piece, true);
@@ -686,14 +1010,14 @@ void NetSessionClient::on_peer_piece(ObjectId object, std::uint32_t epoch, Guid 
     const Bytes len = d.entry->object.piece_length(piece);
     NetSessionClient* uploader = registry_->find(from);
     if (uploader != nullptr && uploader->corrupt_uploads()) digest = corrupted(digest);
-    if (rng_.chance(config_.corruption_prob_peer)) digest = corrupted(digest);
+    if (res_->rng.chance(config_->corruption_prob_peer)) digest = corrupted(digest);
     if (!d.entry->object.verify(piece, digest)) {
         // Discard the piece; it is never passed on to other peers (§3.5).
         ++d.corrupt_pieces;
         ++src.corrupt_pieces;
         NS_OBS_INC_P(metrics_, corrupt_pieces);
         plane_->monitoring().report_problem(guid_, control::ProblemKind::piece_corruption);
-        if (d.corrupt_pieces > config_.max_corrupt_pieces) {
+        if (d.corrupt_pieces > config_->max_corrupt_pieces) {
             finish_download(object, trace::DownloadOutcome::failed_system);
             return;
         }
@@ -714,7 +1038,7 @@ void NetSessionClient::on_peer_piece(ObjectId object, std::uint32_t epoch, Guid 
     d.bytes_peers += len;
     NS_OBS_ADD_P(metrics_, bytes_from_peers, len);
     src.bytes += len;
-    source_failures_.erase(from);  // a delivered piece clears the strike count
+    res_->source_failures.erase(from);  // a delivered piece clears the strike count
     auto& [ip, total] = d.per_source_bytes[from];
     ip = src.desc.ip;
     total += len;
@@ -737,11 +1061,11 @@ void NetSessionClient::on_peer_piece(ObjectId object, std::uint32_t epoch, Guid 
 
 void NetSessionClient::handle_upload_request(const control::PeerDescriptor& downloader,
                                              ObjectId object, std::function<void(bool)> reply) {
-    bool accept = running_ && uploads_enabled_ && cache_.contains(object);
+    bool accept = running_ && uploads_enabled_ && res_->cache.contains(object);
     // Connections come through CN coordination only (hole punching needs it).
-    if (accept && !introductions_.contains(intro_key(downloader.guid, object))) accept = false;
+    if (accept && !res_->introductions.contains(intro_key(downloader.guid, object))) accept = false;
     if (accept &&
-        static_cast<int>(upload_conns_.size()) >= config_.max_upload_connections)
+        static_cast<int>(res_->upload_conns.size()) >= config_->max_upload_connections)
         accept = false;
     // "peers upload each object at most a limited number of times" (§3.9):
     // the budget is full-object equivalents of uploaded bytes.
@@ -750,20 +1074,21 @@ void NetSessionClient::handle_upload_request(const control::PeerDescriptor& down
         const Bytes budget =
             entry == nullptr ? 0
                              : entry->object.size() *
-                                   static_cast<Bytes>(config_.max_uploads_per_object);
-        if (uploaded_per_object_[object] >= budget) {
+                                   static_cast<Bytes>(config_->max_uploads_per_object);
+        if (res_->uploaded_per_object[object] >= budget) {
             accept = false;
             withdraw_object(object);
         }
     }
-    if (accept) upload_conns_.emplace_back(downloader.guid, object);
+    if (accept) res_->upload_conns.emplace_back(downloader.guid, object);
     world_->send(host_, downloader.host, [reply = std::move(reply), accept] { reply(accept); });
 }
 
 void NetSessionClient::on_upload_closed(Guid downloader, ObjectId object) {
-    const auto it = std::find(upload_conns_.begin(), upload_conns_.end(),
+    if (res_ == nullptr) return;  // hibernated: connections were already torn down
+    const auto it = std::find(res_->upload_conns.begin(), res_->upload_conns.end(),
                               std::make_pair(downloader, object));
-    if (it != upload_conns_.end()) upload_conns_.erase(it);
+    if (it != res_->upload_conns.end()) res_->upload_conns.erase(it);
 }
 
 void NetSessionClient::drop_source(Download& d, Guid source_guid, bool notify_remote) {
@@ -829,19 +1154,19 @@ void NetSessionClient::note_degradation(trace::DegradationKind kind) {
 }
 
 void NetSessionClient::note_source_failure(Guid source) {
-    const int failures = ++source_failures_[source];
-    if (failures < config_.blacklist_failures) return;
-    source_failures_.erase(source);
-    blacklist_[source] =
-        world_->simulator().now() + sim::seconds(config_.blacklist_duration_s);
+    const int failures = ++res_->source_failures[source];
+    if (failures < config_->blacklist_failures) return;
+    res_->source_failures.erase(source);
+    res_->blacklist[source] =
+        world_->simulator().now() + sim::seconds(config_->blacklist_duration_s);
     note_degradation(trace::DegradationKind::source_blacklisted);
 }
 
 bool NetSessionClient::source_blacklisted(Guid source) {
-    const auto it = blacklist_.find(source);
-    if (it == blacklist_.end()) return false;
+    const auto it = res_->blacklist.find(source);
+    if (it == res_->blacklist.end()) return false;
     if (world_->simulator().now() >= it->second) {
-        blacklist_.erase(it);  // ban served; lazily expire
+        res_->blacklist.erase(it);  // ban served; lazily expire
         return false;
     }
     return true;
@@ -852,16 +1177,17 @@ void NetSessionClient::sweep_blacklist(sim::SimTime now) {
     // looked up again; sources that never come back would accumulate forever
     // at 200k-peer scale. The watchdog ticks call this to keep the table
     // bounded by the set of bans that are actually still in force.
-    if (blacklist_.empty()) return;
-    blacklist_scratch_.clear();
-    for (const auto& [source, expiry] : blacklist_)
-        if (now >= expiry) blacklist_scratch_.push_back(source);
-    for (const Guid source : blacklist_scratch_) blacklist_.erase(source);
+    if (res_->blacklist.empty()) return;
+    res_->blacklist_scratch.clear();
+    for (const auto& [source, expiry] : res_->blacklist)
+        if (now >= expiry) res_->blacklist_scratch.push_back(source);
+    for (const Guid source : res_->blacklist_scratch) res_->blacklist.erase(source);
 }
 
 void NetSessionClient::for_each_open_download(
     const std::function<void(const Download&)>& fn) const {
-    for (const auto& [object, handle] : downloads_) fn(registry_->downloads().get(handle));
+    if (res_ == nullptr) return;  // hibernated state is frozen; nothing live to visit
+    for (const auto& [object, handle] : res_->downloads) fn(registry_->downloads().get(handle));
 }
 
 void NetSessionClient::schedule_watchdog(ObjectId object) {
@@ -870,7 +1196,7 @@ void NetSessionClient::schedule_watchdog(ObjectId object) {
     Download& d = *dp;
     const std::uint32_t epoch = d.epoch;
     d.watchdog = world_->simulator().schedule_after(
-        sim::seconds(config_.watchdog_interval_s),
+        sim::seconds(config_->watchdog_interval_s),
         [this, object, epoch] { watchdog_tick(object, epoch); });
 }
 
@@ -879,7 +1205,7 @@ void NetSessionClient::watchdog_tick(ObjectId object, std::uint32_t epoch) {
     if (dp == nullptr || dp->epoch != epoch || dp->paused) return;
     Download& d = *dp;
     const sim::SimTime now = world_->simulator().now();
-    const sim::Duration grace = sim::seconds(config_.stall_grace_s);
+    const sim::Duration grace = sim::seconds(config_->stall_grace_s);
 
     sweep_blacklist(now);
 
@@ -937,8 +1263,8 @@ void NetSessionClient::schedule_edge_retry(ObjectId object) {
     // Capped exponential backoff: no hammering a dead edge every tick, quick
     // recovery once something changes (reset on the next delivered piece).
     d.edge_retry_delay_s = d.edge_retry_delay_s == 0
-                               ? config_.edge_retry_base_s
-                               : std::min(d.edge_retry_delay_s * 2.0, config_.edge_retry_max_s);
+                               ? config_->edge_retry_base_s
+                               : std::min(d.edge_retry_delay_s * 2.0, config_->edge_retry_max_s);
     const std::uint32_t epoch = d.epoch;
     world_->simulator().schedule_after(sim::seconds(d.edge_retry_delay_s),
                                        [this, object, epoch] {
@@ -988,7 +1314,7 @@ void NetSessionClient::stop_transfers(Download& d, bool notify_remotes) {
 }
 
 void NetSessionClient::finish_download(ObjectId object, trace::DownloadOutcome outcome) {
-    const DownloadHandle* hp = downloads_.find_value(object);
+    const DownloadHandle* hp = res_->downloads.find_value(object);
     assert(hp != nullptr);
     const DownloadHandle handle = *hp;
     Download& d = registry_->downloads().get(handle);
@@ -1025,7 +1351,7 @@ void NetSessionClient::finish_download(ObjectId object, trace::DownloadOutcome o
     }
 
     DownloadCallback cb = std::move(d.on_finish);
-    downloads_.erase(object);
+    res_->downloads.erase(object);
     // Park the state for reuse; `d` must not be touched past this point.
     registry_->downloads().release(handle);
 
@@ -1039,7 +1365,7 @@ void NetSessionClient::submit_report(trace::DownloadRecord record,
                                      std::vector<trace::TransferRecord> transfers) {
     if (cn_ == nullptr) {
         // Usage statistics are batched and uploaded on the next login.
-        pending_.emplace_back(record, std::move(transfers));
+        res_->pending.emplace_back(record, std::move(transfers));
         return;
     }
     control::ConnectionNode* cn = cn_;
@@ -1051,28 +1377,60 @@ void NetSessionClient::submit_report(trace::DownloadRecord record,
 
 void NetSessionClient::flush_pending_reports() {
     if (cn_ == nullptr) return;
-    auto pending = std::move(pending_);
-    pending_.clear();
+    auto pending = std::move(res_->pending);
+    res_->pending.clear();
     for (auto& [record, transfers] : pending) submit_report(record, std::move(transfers));
 }
 
 void NetSessionClient::flush_unfinished() {
-    for (const auto& [object, handle] : downloads_) {
-        const Download& d = registry_->downloads().get(handle);
+    if (res_ != nullptr) {
+        for (const auto& [object, handle] : res_->downloads) {
+            const Download& d = registry_->downloads().get(handle);
+            trace::DownloadRecord rec;
+            rec.guid = guid_;
+            rec.object = object;
+            rec.url_hash = d.entry->object.url_hash();
+            rec.cp_code = d.entry->object.provider();
+            rec.object_size = d.entry->object.size();
+            rec.start = d.start_time;
+            rec.end = world_->simulator().now();
+            rec.bytes_from_infrastructure = d.bytes_infra;
+            rec.bytes_from_peers = d.bytes_peers;
+            rec.p2p_enabled = d.entry->policy.p2p_enabled;
+            rec.peers_initially_returned = std::max(0, d.peers_initially_returned);
+            rec.outcome = d.paused ? trace::DownloadOutcome::aborted_by_user
+                                   : trace::DownloadOutcome::in_progress;
+            plane_->trace_log().add(rec);
+        }
+        return;
+    }
+    // Hibernated: read the downloads straight out of the cold blob. At 1M
+    // peers the terminal flush must not rehydrate the (mostly offline)
+    // population just to write a few records.
+    if (!cold_blob_.valid()) return;
+    ColdReader rd(registry_->cold().data(cold_blob_), cold_blob_.size);
+    skip_to_cold_downloads(rd);
+    const auto n = rd.get<std::uint32_t>();
+    for (std::uint32_t i = 0; i < n; ++i) {
+        const ColdDownloadHead head = read_cold_download_head(rd);
+        const auto pieces = rd.get<std::uint32_t>();
+        rd.skip<std::uint64_t>((pieces + 63) / 64);
+        skip_counted(rd, sizeof(Guid) + sizeof(net::IpAddr) + sizeof(Bytes));
         trace::DownloadRecord rec;
         rec.guid = guid_;
-        rec.object = object;
-        rec.url_hash = d.entry->object.url_hash();
-        rec.cp_code = d.entry->object.provider();
-        rec.object_size = d.entry->object.size();
-        rec.start = d.start_time;
+        rec.object = head.object;
+        rec.url_hash = head.entry->object.url_hash();
+        rec.cp_code = head.entry->object.provider();
+        rec.object_size = head.entry->object.size();
+        rec.start = head.start_time;
         rec.end = world_->simulator().now();
-        rec.bytes_from_infrastructure = d.bytes_infra;
-        rec.bytes_from_peers = d.bytes_peers;
-        rec.p2p_enabled = d.entry->policy.p2p_enabled;
-        rec.peers_initially_returned = std::max(0, d.peers_initially_returned);
-        rec.outcome = d.paused ? trace::DownloadOutcome::aborted_by_user
-                               : trace::DownloadOutcome::in_progress;
+        rec.bytes_from_infrastructure = head.bytes_infra;
+        rec.bytes_from_peers = head.bytes_peers;
+        rec.p2p_enabled = head.entry->policy.p2p_enabled;
+        rec.peers_initially_returned = std::max(0, head.peers_initially_returned);
+        // Cold downloads are paused by construction (hibernation only
+        // happens offline, with every download paused).
+        rec.outcome = trace::DownloadOutcome::aborted_by_user;
         plane_->trace_log().add(rec);
     }
 }
@@ -1080,28 +1438,31 @@ void NetSessionClient::flush_unfinished() {
 // --- cache -----------------------------------------------------------------------------
 
 void NetSessionClient::cache_object(ObjectId object) {
-    cache_[object] = world_->simulator().now();
-    uploaded_per_object_[object] = 0;  // a fresh copy resets the upload budget
+    res_->cache[object] = world_->simulator().now();
+    res_->uploaded_per_object[object] = 0;  // a fresh copy resets the upload budget
     announce_object(object, /*readd=*/false);
     schedule_eviction(object);
 
     // Disk budget: evict the oldest copies beyond the cap.
-    while (static_cast<int>(cache_.size()) > config_.max_cached_objects) {
-        auto oldest = cache_.begin();
-        for (auto it = cache_.begin(); it != cache_.end(); ++it)
+    while (static_cast<int>(res_->cache.size()) > config_->max_cached_objects) {
+        auto oldest = res_->cache.begin();
+        for (auto it = res_->cache.begin(); it != res_->cache.end(); ++it)
             if (it->second < oldest->second) oldest = it;
         const ObjectId victim = oldest->first;
-        cache_.erase(victim);
+        res_->cache.erase(victim);
         withdraw_object(victim);
     }
 }
 
 void NetSessionClient::schedule_eviction(ObjectId object) {
-    world_->simulator().schedule_after(config_.cache_retention, [this, object] {
-        const auto it = cache_.find(object);
-        if (it == cache_.end()) return;
-        if (world_->simulator().now() - it->second < config_.cache_retention) return;  // renewed
-        cache_.erase(it);
+    world_->simulator().schedule_after(config_->cache_retention, [this, object] {
+        // Hibernated: the timer is lost, but start()'s lazy sweep (and the
+        // cold-query retention cutoff) apply the same expiry rule.
+        if (res_ == nullptr) return;
+        const auto it = res_->cache.find(object);
+        if (it == res_->cache.end()) return;
+        if (world_->simulator().now() - it->second < config_->cache_retention) return;  // renewed
+        res_->cache.erase(it);
         withdraw_object(object);
     });
 }
@@ -1128,9 +1489,9 @@ void NetSessionClient::set_uploads_enabled(bool enabled) {
     uploads_enabled_ = enabled;
     if (cn_ == nullptr) return;
     if (enabled) {
-        for (const auto& [object, when] : cache_) announce_object(object, /*readd=*/false);
+        for (const auto& [object, when] : res_->cache) announce_object(object, /*readd=*/false);
     } else {
-        for (const auto& [object, when] : cache_) withdraw_object(object);
+        for (const auto& [object, when] : res_->cache) withdraw_object(object);
     }
 }
 
@@ -1140,7 +1501,7 @@ void NetSessionClient::set_user_traffic(bool active) {
     // Uploads back off while the user's own traffic needs the link (§3.9);
     // downloads are user-initiated and keep their full share. Routed through
     // the world so an active AS degradation stays applied on top.
-    world_->set_host_up_capacity(host_, active ? base_up_ * config_.user_traffic_upload_factor
+    world_->set_host_up_capacity(host_, active ? base_up_ * config_->user_traffic_upload_factor
                                                : base_up_);
 }
 
@@ -1157,14 +1518,16 @@ void NetSessionClient::move_to(net::Location location, Asn asn, net::NatType nat
     if (running_) connect_control_plane();
 }
 
-NetSessionClient::InstallState NetSessionClient::snapshot_state() const {
-    return InstallState{guid_, chain_, uploads_enabled_};
+NetSessionClient::InstallState NetSessionClient::snapshot_state() {
+    ensure_resident();
+    return InstallState{guid_, res_->chain, uploads_enabled_};
 }
 
 void NetSessionClient::restore_state(InstallState state) {
+    ensure_resident();
     if (registry_->find(guid_) == this) registry_->remove(guid_);
     guid_ = state.guid;
-    chain_ = std::move(state.chain);
+    res_->chain = std::move(state.chain);
     uploads_enabled_ = state.uploads_enabled;
     registry_->add(guid_, this);
 }

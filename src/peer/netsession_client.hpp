@@ -5,9 +5,21 @@
 // serves them to other peers (subject to the user's upload setting and the
 // §3.9 best-practice limits), reports usage statistics, and survives control
 // plane failures by falling back to edge-only delivery (§3.8).
+//
+// Memory layout (docs/SIMULATOR.md): the object itself is a slim *shell* —
+// identity, connectivity flags, and the async-callback anchor (in-flight
+// lambdas capture the raw `this`). Everything that scales with activity
+// (hash tables, the secondary-GUID chain, pending reports, per-download
+// state) lives in a heap Resident block. While the user is offline the
+// driver calls hibernate(): the Resident block is serialized into the
+// registry's ColdStore (a few hundred bytes) and destroyed; the next start
+// rehydrates it byte-identically. Queries that must answer while hibernated
+// (auditor consistency checks, terminal flush) read the cold blob directly
+// and never wake the client.
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "common/arena.hpp"
@@ -17,6 +29,7 @@
 #include "edge/edge_network.hpp"
 #include "peer/client_config.hpp"
 #include "peer/client_metrics.hpp"
+#include "peer/cold_store.hpp"
 #include "peer/download_state.hpp"
 #include "peer/registry.hpp"
 #include "swarm/picker.hpp"
@@ -42,7 +55,7 @@ public:
 
     // --- lifecycle (driven by the user-session model) -----------------------
     /// The user logged in / the machine came up: fresh secondary GUID, STUN
-    /// probe, CN connect, paused downloads resume.
+    /// probe, CN connect, paused downloads resume. Rehydrates first.
     void start();
     /// The user logged out: active downloads pause (resumable), uploads stop.
     void stop();
@@ -57,11 +70,20 @@ public:
     /// STUN probe timed out (§3.8 degraded mode).
     [[nodiscard]] bool conservative_nat() const noexcept { return conservative_nat_; }
 
+    // --- hibernation (the driver calls this when the user goes offline) -----
+    /// Demotes the Resident block to a compact serialized record in the
+    /// registry's ColdStore. No-op while running or already hibernated.
+    /// Purely a memory-layout transition: rehydration restores the exact
+    /// state, so traces are byte-identical with hibernation off.
+    void hibernate();
+    [[nodiscard]] bool hibernated() const noexcept { return res_ == nullptr; }
+
     // --- identity ------------------------------------------------------------
     [[nodiscard]] Guid guid() const noexcept override { return guid_; }
     [[nodiscard]] HostId host() const noexcept override { return host_; }
-    [[nodiscard]] const std::vector<SecondaryGuid>& secondary_chain() const noexcept {
-        return chain_;
+    [[nodiscard]] const std::vector<SecondaryGuid>& secondary_chain() {
+        ensure_resident();
+        return res_->chain;
     }
 
     // --- user actions ----------------------------------------------------------
@@ -73,14 +95,24 @@ public:
     void pause_download(ObjectId object);
     void resume_download(ObjectId object);
     void abort_download(ObjectId object, trace::DownloadOutcome outcome);
-    /// Number of downloads in any non-terminal state (incl. paused).
-    [[nodiscard]] int open_downloads() const noexcept { return static_cast<int>(downloads_.size()); }
+    /// Number of downloads in any non-terminal state (incl. paused) holding a
+    /// slot in the shared pool. Hibernated downloads live in the cold blob,
+    /// not the pool, so they intentionally do not count here (the auditor
+    /// cross-checks this sum against the pool's live count).
+    [[nodiscard]] int open_downloads() const noexcept {
+        return res_ == nullptr ? 0 : static_cast<int>(res_->downloads.size());
+    }
     /// Currently blacklisted sources, expired entries included until the next
     /// watchdog sweep. Bounded: the watchdog drops entries past their expiry.
-    [[nodiscard]] std::size_t blacklist_size() const noexcept { return blacklist_.size(); }
-    /// Read-only visit of every open download (audit layer, tests).
+    [[nodiscard]] std::size_t blacklist_size() const noexcept {
+        return res_ == nullptr ? 0 : res_->blacklist.size();
+    }
+    /// Read-only visit of every open download (audit layer, tests). Visits
+    /// resident state only; a hibernated client's downloads are frozen and
+    /// were checked while it was live.
     void for_each_open_download(const std::function<void(const Download&)>& fn) const;
-    /// Objects whose downloads are currently paused (resumable).
+    /// Objects whose downloads are currently paused (resumable). Answers
+    /// from the cold blob without rehydrating.
     [[nodiscard]] std::vector<ObjectId> paused_downloads() const;
 
     /// The GUI preference toggle (§3.4: users can turn uploads off
@@ -93,7 +125,9 @@ public:
     void set_user_traffic(bool active);
 
     // --- cache -----------------------------------------------------------------
-    [[nodiscard]] bool has_cached(ObjectId object) const { return cache_.contains(object); }
+    /// Whether a fresh (retention not yet elapsed) copy is cached. Answers
+    /// from the cold blob without rehydrating.
+    [[nodiscard]] bool has_cached(ObjectId object) const;
     [[nodiscard]] std::vector<ObjectId> cached_objects() const;
 
     // --- mobility & install-state modelling (§6.2) ------------------------------
@@ -106,7 +140,7 @@ public:
         std::vector<SecondaryGuid> chain;
         bool uploads_enabled = false;
     };
-    [[nodiscard]] InstallState snapshot_state() const;
+    [[nodiscard]] InstallState snapshot_state();
     void restore_state(InstallState state);
 
     // --- PeerEndpoint (control-plane callbacks) ---------------------------------
@@ -128,10 +162,17 @@ public:
     /// An uploader we were fetching from went offline.
     void on_source_lost(Guid uploader, ObjectId object);
     /// Byte accounting on the uploading side (drives the per-object upload
-    /// cap, §3.9).
+    /// cap, §3.9). Can race hibernation — a downloader's piece completes
+    /// while the notification is in flight and we already demoted — so the
+    /// per-object ledger update is parked shell-side and folded in on the
+    /// next rehydrate (the ledger is only ever looked up, never iterated,
+    /// so the deferred insertion order is unobservable).
     void note_uploaded(ObjectId object, Bytes bytes) {
         uploaded_bytes_ += bytes;
-        uploaded_per_object_[object] += bytes;
+        if (res_ != nullptr)
+            res_->uploaded_per_object[object] += bytes;
+        else
+            cold_uploaded_.emplace_back(object, bytes);
     }
 
     // --- experimentation hooks ---------------------------------------------------
@@ -152,25 +193,64 @@ public:
 
     [[nodiscard]] Bytes uploaded_bytes() const noexcept { return uploaded_bytes_; }
     [[nodiscard]] int active_upload_connections() const noexcept {
-        return static_cast<int>(upload_conns_.size());
+        return res_ == nullptr ? 0 : static_cast<int>(res_->upload_conns.size());
     }
 
     /// Terminal flush at the end of a measurement window: emits records for
     /// never-finished downloads (outcome aborted_by_user for paused ones,
-    /// in_progress for live ones) directly into the trace.
+    /// in_progress for live ones) directly into the trace. Reads hibernated
+    /// clients' downloads straight out of the cold blob — flushing a 1M-peer
+    /// run must not rehydrate the whole population.
     void flush_unfinished();
 
 private:
     using DownloadHandle = arena::PoolHandle<Download>;
 
-    /// Looks up the live Download for `object`, or nullptr. Pool slots have
-    /// stable addresses, so the pointer stays valid across map growth.
+    /// Everything whose footprint scales with client activity. Destroyed on
+    /// hibernate (after serialization into the ColdStore), rebuilt
+    /// byte-identically by ensure_resident().
+    struct Resident {
+        Rng rng;
+        FlatHashMap<Guid, int> source_failures;
+        FlatHashMap<Guid, sim::SimTime> blacklist;  // guid -> ban expiry
+        std::vector<Guid> blacklist_scratch;        // reusable sweep buffer
+        std::vector<SecondaryGuid> chain;
+        FlatHashMap<ObjectId, sim::SimTime> cache;  // object -> cached_at
+        /// Live downloads; the state itself lives in the registry-wide pool.
+        FlatHashMap<ObjectId, DownloadHandle> downloads;
+        FlatHashMap<ObjectId, Bytes> uploaded_per_object;
+        std::vector<std::pair<Guid, ObjectId>> upload_conns;  // active upload connections
+        FlatHashSet<std::uint64_t> introductions;  // CN-coordinated (guid, object) pairs
+        std::vector<ObjectId> evict_scratch;       // reusable cache-sweep buffer
+        std::vector<std::pair<trace::DownloadRecord, std::vector<trace::TransferRecord>>> pending;
+    };
+
+    /// Non-POD per-download residue that cannot live in the cold byte blob:
+    /// the finish callback and the streaming piece hook. Kept shell-side in
+    /// downloads-map insertion order across hibernation.
+    struct ColdAux {
+        DownloadCallback on_finish;
+        std::function<void(swarm::PieceIndex)> on_piece;
+    };
+
+    /// Rebuilds the Resident block from the cold blob (no-op when already
+    /// resident).
+    void ensure_resident();
+    /// Serializes the Resident block into `w` (layout documented at the
+    /// definition; ColdReader consumers must match it exactly).
+    void write_cold(ColdWriter& w) const;
+
+    /// Looks up the live Download for `object`, or nullptr (hibernated
+    /// clients have no live downloads). Pool slots have stable addresses,
+    /// so the pointer stays valid across map growth.
     [[nodiscard]] Download* find_download(ObjectId object) {
-        const DownloadHandle* h = downloads_.find_value(object);
+        if (res_ == nullptr) return nullptr;
+        const DownloadHandle* h = res_->downloads.find_value(object);
         return h == nullptr ? nullptr : &registry_->downloads().get(*h);
     }
     [[nodiscard]] const Download* find_download(ObjectId object) const {
-        const DownloadHandle* h = downloads_.find_value(object);
+        if (res_ == nullptr) return nullptr;
+        const DownloadHandle* h = res_->downloads.find_value(object);
         return h == nullptr ? nullptr : &registry_->downloads().get(*h);
     }
 
@@ -222,8 +302,9 @@ private:
     PeerRegistry* registry_;
     Guid guid_;
     HostId host_;
-    ClientConfig config_;
-    Rng rng_;
+    /// Interned in the registry: a population shares a handful of distinct
+    /// configurations, so the shell holds 8 bytes instead of ~200.
+    const ClientConfig* config_;
 
     bool running_ = false;
     bool uploads_enabled_ = false;
@@ -236,24 +317,21 @@ private:
     std::uint32_t stun_attempt_ = 0;
     bool conservative_nat_ = false;
     std::uint64_t attempt_seq_ = 0;  // unique ids for connection handshakes
-    FlatHashMap<Guid, int> source_failures_;
-    FlatHashMap<Guid, sim::SimTime> blacklist_;  // guid -> ban expiry
-    std::vector<Guid> blacklist_scratch_;        // reusable sweep buffer
     double reconnect_delay_s_;
-    std::vector<SecondaryGuid> chain_;
-    FlatHashMap<ObjectId, sim::SimTime> cache_;  // object -> cached_at
-    /// Live downloads; the state itself lives in the registry-wide pool.
-    FlatHashMap<ObjectId, DownloadHandle> downloads_;
-    FlatHashMap<ObjectId, Bytes> uploaded_per_object_;
-    std::vector<std::pair<Guid, ObjectId>> upload_conns_;  // active upload connections
-    FlatHashSet<std::uint64_t> introductions_;  // CN-coordinated (guid, object) pairs
-    std::vector<ObjectId> evict_scratch_;       // reusable cache-sweep buffer
     Bytes uploaded_bytes_ = 0;
     bool corrupt_uploads_ = false;
     Rate base_up_;
-    std::vector<std::pair<trace::DownloadRecord, std::vector<trace::TransferRecord>>> pending_;
     std::function<void(trace::DownloadRecord&)> tamper_;
     ClientMetrics* metrics_ = nullptr;  // shared, driver-owned; may be null
+
+    /// Fat state; null while hibernated.
+    std::unique_ptr<Resident> res_;
+    /// Serialized Resident while hibernated; invalid while resident.
+    ColdStore::BlobRef cold_blob_;
+    /// Per-download callbacks parked across hibernation (insertion order).
+    std::vector<ColdAux> cold_aux_;
+    /// note_uploaded() deltas that arrived while hibernated.
+    std::vector<std::pair<ObjectId, Bytes>> cold_uploaded_;
 };
 
 }  // namespace netsession::peer

@@ -13,9 +13,15 @@
 // maps and hash tables at capacity) instead of churning the heap.
 #pragma once
 
+#include <cstring>
+#include <memory>
+#include <vector>
+
 #include "common/arena.hpp"
 #include "common/flat_hash.hpp"
 #include "common/types.hpp"
+#include "peer/client_config.hpp"
+#include "peer/cold_store.hpp"
 #include "peer/download_state.hpp"
 
 namespace netsession::peer {
@@ -43,9 +49,33 @@ public:
     /// Storage accounting for the mem.* gauges.
     [[nodiscard]] double table_load_factor() const noexcept { return clients_.load_factor(); }
 
+    /// Chunked arena holding hibernated clients' serialized state (see
+    /// peer/cold_store.hpp).
+    [[nodiscard]] ColdStore& cold() noexcept { return cold_; }
+    [[nodiscard]] const ColdStore& cold() const noexcept { return cold_; }
+    /// Shared serialization scratch buffer (capacity warm across the whole
+    /// population's hibernations).
+    [[nodiscard]] ColdWriter& cold_writer() noexcept { return cold_writer_; }
+
+    /// Deduplicates client configurations. A 200k..1M-peer population uses a
+    /// handful of distinct configs (one per content-provider binary in the
+    /// workload), so clients hold a pointer instead of a ~200-byte copy.
+    /// Trivially-copyable bytewise comparison; a padding mismatch costs at
+    /// worst one extra stored copy.
+    [[nodiscard]] const ClientConfig* intern_config(const ClientConfig& config) {
+        static_assert(std::is_trivially_copyable_v<ClientConfig>);
+        for (const auto& known : configs_)
+            if (std::memcmp(known.get(), &config, sizeof(ClientConfig)) == 0) return known.get();
+        configs_.push_back(std::make_unique<ClientConfig>(config));
+        return configs_.back().get();
+    }
+
 private:
     FlatHashMap<Guid, NetSessionClient*> clients_;
     arena::Pool<Download> download_pool_;
+    ColdStore cold_;
+    ColdWriter cold_writer_;
+    std::vector<std::unique_ptr<ClientConfig>> configs_;
 };
 
 }  // namespace netsession::peer

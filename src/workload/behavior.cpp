@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 
 namespace netsession::workload {
 
@@ -17,7 +18,11 @@ UserDriver::UserDriver(net::World& world, control::ControlPlane& plane, edge::Ed
       registry_(&registry),
       behavior_(behavior),
       base_config_(base),
-      rng_(rng) {}
+      rng_(rng) {
+    // Escape hatch for the differential determinism suite: a build that never
+    // demotes clients to the ColdStore must produce byte-identical traces.
+    if (std::getenv("NS_NO_HIBERNATE") != nullptr) base_config_.hibernate_offline = false;
+}
 
 int UserDriver::region_column(CountryId country) {
     const net::CountryInfo& c = net::country(country);
@@ -191,6 +196,7 @@ void UserDriver::start_session(std::size_t idx) {
     apply_mobility(u);
     apply_anomaly_pre(u);
     u.client->start();
+    roster_.add(static_cast<std::uint32_t>(idx), u.client);
 
     // Session length.
     const double median =
@@ -228,7 +234,11 @@ void UserDriver::start_session(std::size_t idx) {
 void UserDriver::end_session(std::size_t idx) {
     User& u = users_[idx];
     u.client->stop();
+    roster_.remove(static_cast<std::uint32_t>(idx));
+    // Anomalies snapshot/scramble install state while it is still resident;
+    // only then is the now-offline client demoted to the ColdStore.
     apply_anomaly_post(u);
+    u.client->hibernate();
     schedule_session(idx);
 }
 
@@ -396,14 +406,17 @@ void UserDriver::apply_anomaly_post(User& u) {
 }
 
 int UserDriver::crash_peers(double fraction, Rng& rng) {
-    // Deterministic: clients_ is iterated in creation order and the draws
-    // come from the fault engine's dedicated stream.
+    // Deterministic: the roster is visited in creation order (matching the
+    // old full-array scan, which only drew for running clients) and the
+    // draws come from the fault engine's dedicated stream.
     int crashed = 0;
-    for (auto& client : clients_) {
-        if (!client->running() || !rng.chance(fraction)) continue;
+    roster_.for_each_in_creation_order([&](std::uint32_t user, peer::NetSessionClient* client) {
+        if (!rng.chance(fraction)) return;
         client->crash();
+        roster_.remove(user);
+        client->hibernate();
         ++crashed;
-    }
+    });
     return crashed;
 }
 
@@ -411,11 +424,10 @@ int UserDriver::flash_crowd(double fraction, Rng& rng) {
     // Everyone wants the same object at once (breaking news, patch release).
     const ObjectId object = bundle_->sample_object(/*region=*/6, rng);
     int launched = 0;
-    for (auto& client : clients_) {
-        if (!client->running() || !rng.chance(fraction)) continue;
-        if (client->download_active(object)) continue;
+    roster_.for_each_in_creation_order([&](std::uint32_t, peer::NetSessionClient* cl) {
+        if (!rng.chance(fraction)) return;
+        if (cl->download_active(object)) return;
         ++launched;
-        peer::NetSessionClient* cl = client.get();
         const double at_s = rng.uniform(0.0, 60.0);
         // Mass events fan out from the fault engine's lane; the per-client
         // launch must run in the client's shard.
@@ -425,7 +437,7 @@ int UserDriver::flash_crowd(double fraction, Rng& rng) {
             cl->begin_download(object,
                                [this](const trace::DownloadRecord&) { ++downloads_finished_; });
         });
-    }
+    });
     return launched;
 }
 
@@ -437,11 +449,8 @@ void UserDriver::register_metrics(obs::Registry& registry) {
                           [this] { return static_cast<double>(downloads_finished_); });
     registry.add_computed("driver.sessions_started",
                           [this] { return static_cast<double>(sessions_started_); });
-    registry.add_computed("driver.clients_running", [this] {
-        std::size_t n = 0;
-        for (const auto& client : clients_) n += client->running() ? 1 : 0;
-        return static_cast<double>(n);
-    });
+    registry.add_computed("driver.clients_running",
+                          [this] { return static_cast<double>(roster_.size()); });
 }
 
 void UserDriver::run() {

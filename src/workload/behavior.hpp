@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "peer/netsession_client.hpp"
+#include "workload/hot_roster.hpp"
 #include "workload/population.hpp"
 #include "workload/providers.hpp"
 
@@ -171,6 +172,9 @@ private:
     Rng rng_;
     std::vector<std::unique_ptr<peer::NetSessionClient>> clients_;
     std::vector<User> users_;
+    /// Dense SoA roster of the currently-running clients; the full clients_
+    /// array is cold storage the per-tick/fault paths never scan.
+    HotRoster roster_;
     std::int64_t downloads_requested_ = 0;
     std::int64_t downloads_finished_ = 0;
     std::int64_t sessions_started_ = 0;

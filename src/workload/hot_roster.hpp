@@ -1,0 +1,79 @@
+// Dense roster of the currently-running clients.
+//
+// At 1M peers only a small fraction of the population is online at any
+// moment (diurnal sessions), and everything the driver does per tick or per
+// fault event — the clients_running gauge, mass-churn crash sweeps, flash
+// crowds — concerns exactly that fraction. Scanning the full creation-order
+// client array for `running()` made those O(population); this struct-of-
+// arrays slab keeps the running set dense (swap-remove), so scans touch
+// contiguous memory proportional to the *online* peers only.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace netsession::peer {
+class NetSessionClient;
+}
+
+namespace netsession::workload {
+
+class HotRoster {
+public:
+    /// Registers a user as running. No-op if already present.
+    void add(std::uint32_t user, peer::NetSessionClient* client) {
+        if (user >= index_of_.size()) index_of_.resize(user + 1, kAbsent);
+        if (index_of_[user] != kAbsent) return;
+        index_of_[user] = static_cast<std::uint32_t>(creation_.size());
+        creation_.push_back(user);
+        client_.push_back(client);
+    }
+
+    /// Removes a user (swap-remove; order within the slab is not preserved).
+    void remove(std::uint32_t user) {
+        if (user >= index_of_.size() || index_of_[user] == kAbsent) return;
+        const std::uint32_t slot = index_of_[user];
+        const auto last = static_cast<std::uint32_t>(creation_.size() - 1);
+        if (slot != last) {
+            creation_[slot] = creation_[last];
+            client_[slot] = client_[last];
+            index_of_[creation_[slot]] = slot;
+        }
+        creation_.pop_back();
+        client_.pop_back();
+        index_of_[user] = kAbsent;
+    }
+
+    [[nodiscard]] std::size_t size() const noexcept { return creation_.size(); }
+
+    /// Visits every running client in creation (user-index) order. Fault
+    /// sweeps draw RNG per visited client, so the visit order must be
+    /// independent of the swap-remove history — identical to what a scan of
+    /// the full creation-order array used to produce. Safe against add/remove
+    /// from inside `fn` (iterates a snapshot).
+    template <typename Fn>
+    void for_each_in_creation_order(Fn&& fn) const {
+        order_scratch_.clear();
+        order_scratch_.reserve(creation_.size());
+        for (std::uint32_t slot = 0; slot < creation_.size(); ++slot)
+            order_scratch_.push_back((static_cast<std::uint64_t>(creation_[slot]) << 32) | slot);
+        std::sort(order_scratch_.begin(), order_scratch_.end());
+        for (const std::uint64_t packed : order_scratch_) {
+            const auto slot = static_cast<std::uint32_t>(packed & 0xFFFFFFFFu);
+            fn(static_cast<std::uint32_t>(packed >> 32), client_[slot]);
+        }
+    }
+
+private:
+    static constexpr std::uint32_t kAbsent = 0xFFFFFFFFu;
+
+    // SoA columns, indexed by dense hot slot.
+    std::vector<std::uint32_t> creation_;            ///< user (creation) index
+    std::vector<peer::NetSessionClient*> client_;    ///< paired client pointer
+    std::vector<std::uint32_t> index_of_;            ///< user index -> hot slot
+    mutable std::vector<std::uint64_t> order_scratch_;  ///< reusable sort buffer
+};
+
+}  // namespace netsession::workload

@@ -51,18 +51,18 @@ TEST(ArenaPool, SlotReuseIsLifoAndSequentialGrowth) {
     auto a = pool.create(1);  // slot 0
     auto b = pool.create(2);  // slot 1
     auto c = pool.create(3);  // slot 2
-    EXPECT_EQ(a.slot, 0u);
-    EXPECT_EQ(b.slot, 1u);
-    EXPECT_EQ(c.slot, 2u);
+    EXPECT_EQ(a.slot(), 0u);
+    EXPECT_EQ(b.slot(), 1u);
+    EXPECT_EQ(c.slot(), 2u);
     pool.destroy(b);
     pool.destroy(a);
     // LIFO: last freed (a = slot 0) comes back first.
     auto d = pool.create(4);
-    EXPECT_EQ(d.slot, 0u);
+    EXPECT_EQ(d.slot(), 0u);
     auto e = pool.create(5);
-    EXPECT_EQ(e.slot, 1u);
+    EXPECT_EQ(e.slot(), 1u);
     auto f = pool.create(6);
-    EXPECT_EQ(f.slot, 3u) << "fresh slots are sequential";
+    EXPECT_EQ(f.slot(), 3u) << "fresh slots are sequential";
 }
 
 TEST(ArenaPool, GenerationInvalidatesStaleHandles) {
@@ -70,8 +70,8 @@ TEST(ArenaPool, GenerationInvalidatesStaleHandles) {
     auto h1 = pool.create(1);
     pool.destroy(h1);
     auto h2 = pool.create(2);
-    ASSERT_EQ(h1.slot, h2.slot) << "test requires slot reuse";
-    EXPECT_NE(h1.generation, h2.generation);
+    ASSERT_EQ(h1.slot(), h2.slot()) << "test requires slot reuse";
+    EXPECT_NE(h1.generation(), h2.generation());
     EXPECT_FALSE(pool.valid(h1));
     EXPECT_TRUE(pool.valid(h2));
     EXPECT_EQ(pool.try_get(h1), nullptr);
@@ -96,8 +96,8 @@ TEST(ArenaPool, AcquireParksAndRetainsCapacity) {
     const int* stable = pool.get(h).data.data();
     pool.release(h);  // parked, not destroyed
     auto h2 = pool.acquire();
-    EXPECT_EQ(h2.slot, h.slot);
-    EXPECT_NE(h2.generation, h.generation);
+    EXPECT_EQ(h2.slot(), h.slot());
+    EXPECT_NE(h2.generation(), h.generation());
     // The parked object comes back exactly as released: same buffer, caller
     // resets logical state.
     EXPECT_EQ(pool.get(h2).data.data(), stable);
@@ -110,12 +110,12 @@ TEST(ArenaPool, MixedDestroyAndReleaseOnSameSlot) {
     auto h = pool.acquire();
     pool.release(h);
     auto h2 = pool.create();  // create over a parked slot must reconstruct
-    EXPECT_EQ(h2.slot, h.slot);
+    EXPECT_EQ(h2.slot(), h.slot());
     EXPECT_TRUE(pool.get(h2).data.empty());
     EXPECT_EQ(pool.get(h2).data.capacity(), 0u);
     pool.destroy(h2);
     auto h3 = pool.acquire();  // acquire over a raw slot default-constructs
-    EXPECT_EQ(h3.slot, h.slot);
+    EXPECT_EQ(h3.slot(), h.slot());
     EXPECT_TRUE(pool.get(h3).data.empty());
 }
 
@@ -157,6 +157,62 @@ TEST(ArenaPool, SlotIterationSeesLiveOnly) {
     pool.destroy(a);
     pool.destroy(c);
 }
+
+TEST(ArenaPool, GenerationWrapRetiresSlotInsteadOfAliasing) {
+    // 12-bit generations: after kMaxGeneration releases of one slot the slot
+    // is retired, never reused — a stale pre-wrap handle can then never alias
+    // a fresh object, and no live handle ever equals the invalid sentinel.
+    Pool<int> pool;
+    using Handle = Pool<int>::Handle;
+    Handle last{};
+    for (std::uint32_t gen = 0; gen <= Handle::kMaxGeneration; ++gen) {
+        last = pool.acquire();
+        ASSERT_EQ(last.slot(), 0u);
+        ASSERT_EQ(last.generation(), gen);
+        ASSERT_NE(last.bits, Handle::kInvalidBits) << "live handle aliases the sentinel";
+        pool.release(last);
+    }
+    EXPECT_EQ(pool.retired_slots(), 1u);
+    EXPECT_FALSE(pool.valid(last)) << "handles into a retired slot are dead";
+    EXPECT_EQ(pool.try_get(last), nullptr);
+
+    // The slot is gone from the free list: the next acquire opens slot 1 at
+    // generation 0 — a bit pattern no stale handle can ever carry.
+    const Handle fresh = pool.acquire();
+    EXPECT_EQ(fresh.slot(), 1u);
+    EXPECT_EQ(fresh.generation(), 0u);
+    EXPECT_EQ(pool.stats().retired, 1u);
+    pool.release(fresh);
+}
+
+TEST(ArenaPool, RetirementDestructsTheParkedObject) {
+    static int alive = 0;
+    struct Counted {
+        std::vector<int> padding;
+        Counted() { ++alive; }
+        ~Counted() { --alive; }
+    };
+    Pool<Counted> pool;
+    for (std::uint32_t gen = 0; gen <= Pool<Counted>::Handle::kMaxGeneration; ++gen) {
+        auto h = pool.acquire();
+        pool.release(h);
+    }
+    EXPECT_EQ(pool.retired_slots(), 1u);
+    EXPECT_EQ(alive, 0) << "a retired slot must not leak its parked object";
+}
+
+#if NS_ARENA_CHECKS
+TEST(ArenaPoolDeathTest, HandleIntoRetiredSlotAborts) {
+    Pool<int> pool;
+    Pool<int>::Handle stale{};
+    for (std::uint32_t gen = 0; gen <= Pool<int>::Handle::kMaxGeneration; ++gen) {
+        stale = pool.acquire();
+        pool.release(stale);
+    }
+    ASSERT_EQ(pool.retired_slots(), 1u);
+    EXPECT_DEATH((void)pool.get(stale), "dangling");
+}
+#endif
 
 TEST(ArenaPool, DestructorRunsDtorsOfLiveAndParked) {
     static int alive = 0;

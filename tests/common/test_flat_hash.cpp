@@ -163,6 +163,50 @@ TEST(FlatHashSet, BasicAndOrdered) {
     EXPECT_EQ(order, (std::vector<std::uint64_t>{1, 9}));
 }
 
+TEST(FlatHashMap, ShrinkToFitReleasesPeakStorageAndPreservesOrder) {
+    FlatHashMap<int, std::string> m;
+    for (int i = 0; i < 4096; ++i) m[i] = std::to_string(i);
+    // Erase-heavy demotion: keep a sparse survivor set, out of insertion order.
+    for (int i = 0; i < 4096; ++i)
+        if (i % 97 != 0) m.erase(i);
+    ASSERT_EQ(m.size(), 43u);
+    const std::size_t peak_bytes = m.memory_bytes();
+
+    m.shrink_to_fit();
+    EXPECT_LT(m.memory_bytes(), peak_bytes / 8)
+        << "post-shrink storage must be proportional to survivors, not the peak";
+    EXPECT_EQ(m.size(), 43u);
+
+    // Contents and insertion-ordered iteration survive the reindex.
+    std::vector<int> order;
+    for (const auto& [k, v] : m) {
+        EXPECT_EQ(v, std::to_string(k));
+        order.push_back(k);
+    }
+    std::vector<int> expected;
+    for (int i = 0; i < 4096; i += 97) expected.push_back(i);
+    EXPECT_EQ(order, expected);
+    for (int i = 0; i < 4096; ++i) EXPECT_EQ(m.contains(i), i % 97 == 0) << i;
+
+    // The table stays fully usable after shrinking.
+    m[100000] = "big";
+    EXPECT_EQ(m.at(100000), "big");
+    EXPECT_EQ(m.size(), 44u);
+}
+
+TEST(FlatHashMap, ShrinkToFitOnEmptyTableDropsAllStorage) {
+    FlatHashMap<std::uint64_t, std::uint64_t> m;
+    for (std::uint64_t i = 0; i < 1000; ++i) m[i] = i;
+    for (std::uint64_t i = 0; i < 1000; ++i) m.erase(i);
+    EXPECT_TRUE(m.empty());
+    EXPECT_GT(m.memory_bytes(), 0u);
+    m.shrink_to_fit();
+    EXPECT_EQ(m.memory_bytes(), 0u) << "an empty table should own no memory";
+    m[7] = 7;  // still usable from scratch
+    EXPECT_EQ(m.at(7), 7u);
+    EXPECT_EQ(m.size(), 1u);
+}
+
 TEST(FlatHashSet, ChurnAgainstOracle) {
     FlatHashSet<std::uint64_t> s;
     Rng rng(3);

@@ -142,6 +142,49 @@ run_shard_flavour() {
     rm -rf "$smoke_dir"
 }
 
+# The scale flavour proves the hibernation memory diet (docs/SIMULATOR.md
+# "Memory layout") end to end:
+#   1. in Release, a 1M-peer smoke of scenarios/standard_1m.ini under a hard
+#      wall-clock budget AND a peak-RSS ceiling — the whole point of demoting
+#      offline peers to the cold store is that a million installations fit on
+#      one box. The ceiling is read back from the kernel's VmHWM high-water
+#      mark via /usr/bin/time -v (skipped with a warning if GNU time is not
+#      installed);
+#   2. under ASan with NS_ARENA_CHECKS=1 (the asan tree), the labelled
+#      memdiet suites (`ctest -L memdiet`) — hibernate/rehydrate round-trips,
+#      the hibernation-on/off trace differential, and the pool-handle
+#      generation-wrap regressions, with every cold-blob read/write and pool
+#      dereference instrumented.
+run_scale_flavour() {
+    local release_dir=build-ci-release asan_dir=build-ci-asan
+    local ceiling_kib=$(( ${NS_SCALE_RSS_CEILING_MIB:-6144} * 1024 ))
+    echo "==== [scale] release 1M-peer smoke (RSS ceiling ${NS_SCALE_RSS_CEILING_MIB:-6144} MiB) ===="
+    local scale_out="$release_dir/scale_1m.nstrace"
+    local time_log="$release_dir/scale_1m.time"
+    if [ -x /usr/bin/time ] && /usr/bin/time -v true >/dev/null 2>&1; then
+        timeout "${NS_SCALE_1M_BUDGET_SECONDS:-5400}" \
+            /usr/bin/time -v -o "$time_log" \
+            "$release_dir/tools/netsession_sim" run scenarios/standard_1m.ini "$scale_out"
+        local peak_kib
+        peak_kib=$(awk '/Maximum resident set size/ {print $NF}' "$time_log")
+        echo "  1M smoke peak RSS: $(( peak_kib / 1024 )) MiB (ceiling $(( ceiling_kib / 1024 )) MiB)"
+        if [ "$peak_kib" -gt "$ceiling_kib" ]; then
+            echo "ERROR: 1M-peer run peak RSS ${peak_kib} KiB exceeds ceiling ${ceiling_kib} KiB" >&2
+            exit 1
+        fi
+        rm -f "$time_log"
+    else
+        echo "  WARNING: GNU time not available; running 1M smoke without the RSS ceiling check"
+        timeout "${NS_SCALE_1M_BUDGET_SECONDS:-5400}" \
+            "$release_dir/tools/netsession_sim" run scenarios/standard_1m.ini "$scale_out"
+    fi
+    rm -f "$scale_out"
+    echo "==== [scale] release labelled memdiet suites ===="
+    (cd "$release_dir" && ctest --output-on-failure -L memdiet)
+    echo "==== [scale] asan (NS_ARENA_CHECKS=1) labelled memdiet suites ===="
+    (cd "$asan_dir" && ctest --output-on-failure -L memdiet)
+}
+
 # The TSan flavour builds the whole tree but focuses ctest on the suites that
 # actually go multi-threaded: the parallel runtime, the analysis pipeline it
 # drives, and the obs/fidelity harnesses that consume pipeline output. TSan's
@@ -168,5 +211,6 @@ run_flavour ubsan build-ci-ubsan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DNS_SANITIZE
 run_audit_flavour
 run_tsan_flavour
 run_shard_flavour  # reuses the tsan + release trees built above
+run_scale_flavour  # reuses the release + asan trees built above
 
 echo "==== CI: all flavours passed ===="
